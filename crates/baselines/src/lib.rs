@@ -1,0 +1,42 @@
+//! Baseline recommenders for the GraphAug evaluation (paper Table II).
+//!
+//! Eighteen models spanning the paper's five paradigms, all built on the
+//! same tensor/graph substrate and trained with the same BPR protocol so
+//! comparisons isolate the modelling idea:
+//!
+//! | Paradigm | Models |
+//! |---|---|
+//! | Conventional CF | [`BiasMf`], [`Ncf`], [`AutoRec`] |
+//! | GNN CF | [`GnnCf`]: GC-MC, PinSage, NGCF, LightGCN, GCCF |
+//! | Disentangled | [`DisenCf`]: DisenGCN, DGCF |
+//! | Generative SSL | [`Mhcn`], [`Stgcn`] |
+//! | Contrastive SSL | [`SlRec`], [`EdgeClCf`] (SGL, DGCL), [`Hccf`], [`Ncl`], [`Cgi`] |
+//!
+//! Every model implements [`common::Trainable`] + `graphaug_eval::Recommender`;
+//! use [`registry::build_model`] to construct one by its paper name.
+
+pub mod autorec;
+pub mod biasmf;
+pub mod cgi;
+pub mod common;
+pub mod contrastive;
+pub mod disentangled;
+pub mod generative;
+pub mod gnn;
+pub mod hccf;
+pub mod ncf;
+pub mod ncl;
+pub mod registry;
+
+pub use autorec::AutoRec;
+pub use biasmf::BiasMf;
+pub use cgi::Cgi;
+pub use common::{BaselineOpts, Trainable};
+pub use contrastive::{EdgeClCf, EdgeClKind, SlRec};
+pub use disentangled::{DisenCf, DisenKind};
+pub use generative::{Mhcn, Stgcn};
+pub use gnn::{GnnCf, GnnKind};
+pub use hccf::Hccf;
+pub use ncf::Ncf;
+pub use ncl::Ncl;
+pub use registry::{build_model, model_names};

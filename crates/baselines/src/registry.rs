@@ -1,0 +1,68 @@
+//! Name-based model construction for the experiment harness.
+
+use graphaug_graph::InteractionGraph;
+
+use crate::common::{BaselineOpts, Trainable};
+use crate::{AutoRec, BiasMf, Cgi, DisenCf, EdgeClCf, GnnCf, Hccf, Mhcn, Ncf, Ncl, SlRec, Stgcn};
+
+/// All baseline names in the paper's Table II row order.
+pub fn model_names() -> Vec<&'static str> {
+    vec![
+        "BiasMF", "NCF", "AutoR", "GCMC", "PinSage", "NGCF", "LightGCN", "GCCF", "DisenGCN",
+        "DGCF", "MHCN", "STGCN", "SLRec", "SGL", "DGCL", "HCCF", "CGI", "NCL",
+    ]
+}
+
+/// Builds a baseline by its paper name. Panics on an unknown name — the
+/// valid set is [`model_names`].
+pub fn build_model(
+    name: &str,
+    opts: BaselineOpts,
+    train: &InteractionGraph,
+) -> Box<dyn Trainable> {
+    match name {
+        "BiasMF" => Box::new(BiasMf::new(opts, train)),
+        "NCF" => Box::new(Ncf::new(opts, train)),
+        "AutoR" => Box::new(AutoRec::new(opts, train)),
+        "GCMC" => Box::new(GnnCf::gcmc(opts, train)),
+        "PinSage" => Box::new(GnnCf::pinsage(opts, train)),
+        "NGCF" => Box::new(GnnCf::ngcf(opts, train)),
+        "LightGCN" => Box::new(GnnCf::lightgcn(opts, train)),
+        "GCCF" => Box::new(GnnCf::gccf(opts, train)),
+        "DisenGCN" => Box::new(DisenCf::disengcn(opts, train)),
+        "DGCF" => Box::new(DisenCf::dgcf(opts, train)),
+        "MHCN" => Box::new(Mhcn::new(opts, train)),
+        "STGCN" => Box::new(Stgcn::new(opts, train)),
+        "SLRec" => Box::new(SlRec::new(opts, train)),
+        "SGL" => Box::new(EdgeClCf::sgl(opts, train)),
+        "DGCL" => Box::new(EdgeClCf::dgcl(opts, train)),
+        "HCCF" => Box::new(Hccf::new(opts, train)),
+        "CGI" => Box::new(Cgi::new(opts, train)),
+        "NCL" => Box::new(Ncl::new(opts, train)),
+        other => panic!("unknown baseline {other:?}; valid names: {:?}", model_names()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_data::{generate, SyntheticConfig};
+
+    #[test]
+    fn registry_builds_every_model() {
+        let train = generate(&SyntheticConfig::new(30, 25, 300).seed(1));
+        for name in model_names() {
+            let m = build_model(name, BaselineOpts::fast_test(), &train);
+            assert_eq!(m.name(), name, "registry name mismatch");
+            let s = m.score_items(0);
+            assert_eq!(s.len(), 25, "{name} must score all items");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown baseline")]
+    fn registry_rejects_unknown_names() {
+        let train = generate(&SyntheticConfig::new(10, 10, 40).seed(1));
+        build_model("NotAModel", BaselineOpts::fast_test(), &train);
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates paper Figure 7: embedding-distribution analysis — 2-D PCA
+//! projections plus Wang–Isola uniformity and MAD for {LightGCN, NCL,
+//! GraphAug} on Gowalla. The PCA scatter coordinates are written to CSV for
+//! external plotting (the paper uses UMAP; see DESIGN.md for the
+//! substitution rationale).
+
+use graphaug_bench::{banner, prepared_split, run_model, results_dir, write_csv};
+use graphaug_data::Dataset;
+use graphaug_eval::{mad, pca_2d, uniformity, TextTable};
+
+fn main() {
+    banner("Figure 7 — Embedding distribution (Gowalla)");
+    let split = prepared_split(Dataset::Gowalla);
+    let mut table = TextTable::new(&["Model", "Uniformity (lower=more uniform)", "MAD"]);
+    for name in ["LightGCN", "NCL", "GraphAug"] {
+        let out = run_model(name, &split);
+        let emb = out.model.all_node_embeddings().expect("embedding models");
+        let uni = uniformity(&emb, 20_000, 11);
+        let m = mad(&emb);
+        println!("{name:<10} uniformity {uni:.4}  MAD {m:.4}");
+        table.row(&[name.to_string(), format!("{uni:.4}"), format!("{m:.4}")]);
+
+        // User-embedding scatter for plotting.
+        let (ue, _) = out.model.embeddings().expect("embedding models");
+        let proj = pca_2d(ue, 5);
+        let mut csv = String::from("x,y\n");
+        for r in 0..proj.rows() {
+            csv.push_str(&format!("{},{}\n", proj.get(r, 0), proj.get(r, 1)));
+        }
+        let path = results_dir().join(format!(
+            "fig7_scatter_{}.csv",
+            name.to_lowercase().replace(' ', "_")
+        ));
+        std::fs::write(&path, csv).expect("write scatter");
+        println!("  scatter: {}", path.display());
+    }
+    println!("\n{}", table.render());
+    let p = write_csv("fig7_distribution", &table);
+    println!("written: {}", p.display());
+}

@@ -1,0 +1,260 @@
+//! `graphaug` — command-line interface for training and serving the models
+//! in this workspace on plain-text interaction data.
+//!
+//! ```text
+//! graphaug train <edges.tsv> [--model GraphAug] [--epochs 40] [--seed 7]
+//!     trains on an 80/20 per-user split and reports Recall/NDCG@{20,40}
+//!
+//! graphaug recommend <edges.tsv> <user-id> [--top 10] [--model GraphAug]
+//!     trains on the full data and prints the user's top-N unseen items
+//!
+//! graphaug compare <edges.tsv> [--epochs 40] [--models A,B,...]
+//!     trains several models on the same split and prints a leaderboard
+//!
+//! graphaug stats <edges.tsv>
+//!     prints Table-I-style dataset statistics
+//! ```
+//!
+//! The edge-list format is one `user item` pair per line (whitespace
+//! separated, `#` comments allowed); ids are arbitrary tokens.
+
+use std::process::ExitCode;
+
+use graphaug_bench::build_any;
+use graphaug_data::{load_edge_list, DatasetStats};
+use graphaug_eval::{
+    evaluate, export_embeddings, import_embeddings, topk_indices, Recommender, TextTable,
+};
+use graphaug_graph::{InteractionGraph, TrainTestSplit};
+
+struct Args {
+    positional: Vec<String>,
+    model: String,
+    models: Vec<String>,
+    epochs: Option<usize>,
+    seed: u64,
+    top: usize,
+}
+
+fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        positional: Vec::new(),
+        model: "GraphAug".into(),
+        models: vec!["BiasMF".into(), "LightGCN".into(), "SGL".into(), "NCL".into(), "GraphAug".into()],
+        epochs: None,
+        seed: 7,
+        top: 10,
+    };
+    while let Some(a) = raw.next() {
+        let mut value_of = |flag: &str| {
+            raw.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--model" => args.model = value_of("--model")?,
+            "--models" => {
+                args.models = value_of("--models")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
+            }
+            "--epochs" => {
+                args.epochs = Some(
+                    value_of("--epochs")?
+                        .parse()
+                        .map_err(|_| "--epochs must be an integer".to_string())?,
+                )
+            }
+            "--seed" => {
+                args.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--top" => {
+                args.top = value_of("--top")?
+                    .parse()
+                    .map_err(|_| "--top must be an integer".to_string())?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => args.positional.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<InteractionGraph, String> {
+    let g = load_edge_list(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    if g.n_interactions() == 0 {
+        return Err("edge list is empty".into());
+    }
+    Ok(g)
+}
+
+fn set_epochs(epochs: Option<usize>) {
+    if let Some(e) = epochs {
+        std::env::set_var("GRAPHAUG_EPOCHS", e.to_string());
+    }
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("train needs an edge-list path")?;
+    let g = load(path)?;
+    set_epochs(args.epochs);
+    let split = TrainTestSplit::per_user(&g, 0.2, args.seed);
+    println!(
+        "training {} on {} users / {} items / {} interactions…",
+        args.model,
+        g.n_users(),
+        g.n_items(),
+        g.n_interactions()
+    );
+    let mut model = build_any(&args.model, &split.train);
+    let start = std::time::Instant::now();
+    model.fit();
+    let res = evaluate(model.as_ref(), &split, &[20, 40]);
+    println!(
+        "{}: Recall@20 {:.4}  Recall@40 {:.4}  NDCG@20 {:.4}  NDCG@40 {:.4}  ({:.1}s, {} users)",
+        args.model,
+        res.recall(20),
+        res.recall(40),
+        res.ndcg(20),
+        res.ndcg(40),
+        start.elapsed().as_secs_f64(),
+        res.n_users
+    );
+    Ok(())
+}
+
+fn cmd_recommend(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("recommend needs an edge-list path")?;
+    let user: usize = args
+        .positional
+        .get(1)
+        .ok_or("recommend needs a user id (dense index)")?
+        .parse()
+        .map_err(|_| "user id must be a dense integer index".to_string())?;
+    let g = load(path)?;
+    if user >= g.n_users() {
+        return Err(format!("user {user} out of range (dataset has {} users)", g.n_users()));
+    }
+    set_epochs(args.epochs);
+    let mut model = build_any(&args.model, &g);
+    model.fit();
+    let mut scores = model.score_items(user);
+    for &v in g.items_of(user) {
+        scores[v as usize] = f32::NEG_INFINITY;
+    }
+    let top = topk_indices(&scores, args.top);
+    println!("user {user} has {} observed interactions", g.items_of(user).len());
+    println!("top-{} recommendations ({}):", args.top, args.model);
+    for (rank, v) in top.iter().enumerate() {
+        println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, v, scores[*v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("compare needs an edge-list path")?;
+    let g = load(path)?;
+    set_epochs(args.epochs);
+    let split = TrainTestSplit::per_user(&g, 0.2, args.seed);
+    let mut table = TextTable::new(&["Model", "Recall@20", "NDCG@20", "train s"]);
+    for name in &args.models {
+        let mut model = build_any(name, &split.train);
+        let start = std::time::Instant::now();
+        model.fit();
+        let res = evaluate(model.as_ref(), &split, &[20]);
+        table.row(&[
+            name.clone(),
+            format!("{:.4}", res.recall(20)),
+            format!("{:.4}", res.ndcg(20)),
+            format!("{:.1}", start.elapsed().as_secs_f64()),
+        ]);
+        println!("{name} done");
+    }
+    println!("\n{}", table.render());
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("export needs an edge-list path")?;
+    let out_path = args.positional.get(1).ok_or("export needs an output path")?;
+    let g = load(path)?;
+    set_epochs(args.epochs);
+    let mut model = build_any(&args.model, &g);
+    model.fit();
+    if model.embeddings().is_none() {
+        return Err(format!("{} is not an embedding model; cannot export", args.model));
+    }
+    std::fs::write(out_path, export_embeddings(model.as_ref())).map_err(|e| e.to_string())?;
+    println!("trained {} and wrote embeddings to {out_path}", args.model);
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let emb_path = args.positional.first().ok_or("serve needs an embeddings path")?;
+    let user: usize = args
+        .positional
+        .get(1)
+        .ok_or("serve needs a user id")?
+        .parse()
+        .map_err(|_| "user id must be a dense integer index".to_string())?;
+    let text = std::fs::read_to_string(emb_path).map_err(|e| e.to_string())?;
+    let snap = import_embeddings(&text).map_err(|e| e.to_string())?;
+    let scores = snap.score_items(user);
+    let top = topk_indices(&scores, args.top);
+    println!("top-{} for user {user} (from {emb_path}):", args.top);
+    for (rank, v) in top.iter().enumerate() {
+        println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, v, scores[*v as usize]);
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("stats needs an edge-list path")?;
+    let g = load(path)?;
+    let s = DatasetStats::of(path, &g);
+    println!("{}", DatasetStats::markdown_header());
+    println!("{}", s.markdown_row());
+    Ok(())
+}
+
+const USAGE: &str = "usage: graphaug <train|recommend|compare|stats|export|serve> …
+  train     <edges.tsv> [--model NAME] [--epochs N] [--seed S]
+  recommend <edges.tsv> <user> [--top N] [--model NAME] [--epochs N]
+  compare   <edges.tsv> [--models A,B,C] [--epochs N] [--seed S]
+  stats     <edges.tsv>
+  export    <edges.tsv> <out.emb> [--model NAME] [--epochs N]
+  serve     <model.emb> <user> [--top N]
+models: BiasMF NCF AutoR GCMC PinSage NGCF LightGCN GCCF DisenGCN DGCF MHCN
+        STGCN SLRec SGL DGCL HCCF CGI NCL GraphAug (+ 'GraphAug w/o …' ablations)";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "train" => cmd_train(&args),
+        "recommend" => cmd_recommend(&args),
+        "compare" => cmd_compare(&args),
+        "stats" => cmd_stats(&args),
+        "export" => cmd_export(&args),
+        "serve" => cmd_serve(&args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Regenerates paper Table I: dataset statistics.
+
+use graphaug_bench::{banner, fast_mode, write_csv};
+use graphaug_data::{Dataset, DatasetStats};
+use graphaug_eval::TextTable;
+
+fn main() {
+    banner("Table I — Experimental Data Statistics (1/64-scale presets)");
+    let mut table = TextTable::new(&[
+        "Dataset", "User #", "Item #", "Interaction #", "Density", "Mean user deg", "Item Gini",
+    ]);
+    for ds in Dataset::ALL {
+        let g = if fast_mode() { ds.load_mini() } else { ds.load() };
+        let s = DatasetStats::of(ds.name(), &g);
+        table.row(&[
+            s.name.clone(),
+            s.users.to_string(),
+            s.items.to_string(),
+            s.interactions.to_string(),
+            format!("{:.1e}", s.density),
+            format!("{:.1}", s.mean_user_degree),
+            format!("{:.2}", s.item_gini),
+        ]);
+    }
+    println!("{}", table.render());
+    let p = write_csv("table1_stats", &table);
+    println!("written: {}", p.display());
+}

@@ -1,0 +1,75 @@
+//! Regenerates paper Table V: performance against skewed (long-tail) data
+//! distributions — Recall@40 / NDCG@40 per user-degree bucket for
+//! {LightGCN, DGCL, NCL, GraphAug} on two datasets.
+
+use graphaug_bench::{banner, prepared_split, run_model, write_csv};
+use graphaug_data::Dataset;
+use graphaug_eval::{evaluate_item_group, evaluate_users, fmt4, TextTable};
+use graphaug_graph::{paper_degree_groups, paper_item_degree_groups};
+
+fn main() {
+    banner("Table V — Performance against skewed data distribution");
+    let models = ["LightGCN", "DGCL", "NCL", "GraphAug"];
+    let mut table = TextTable::new(&[
+        "Dataset", "Model", "Metric", "0-10", "10-20", "20-30", "30-40", "40-50",
+    ]);
+    for ds in [Dataset::Gowalla, Dataset::RetailRocket] {
+        let split = prepared_split(ds);
+        let groups = paper_degree_groups(&split.train);
+        println!(
+            "\n--- {} (group sizes: {:?}) ---",
+            ds.name(),
+            groups.iter().map(|g| g.users.len()).collect::<Vec<_>>()
+        );
+        let item_groups = paper_item_degree_groups(&split.train);
+        for name in models {
+            let out = run_model(name, &split);
+            let mut recalls = Vec::new();
+            let mut ndcgs = Vec::new();
+            for grp in &groups {
+                if grp.users.is_empty() {
+                    recalls.push("-".to_string());
+                    ndcgs.push("-".to_string());
+                    continue;
+                }
+                let r = evaluate_users(out.model.as_ref(), &split, &grp.users, &[40]);
+                recalls.push(fmt4(r.recall(40)));
+                ndcgs.push(fmt4(r.ndcg(40)));
+            }
+            println!("{name:<10} users Recall@40 {recalls:?}");
+            println!("{name:<10} users NDCG@40   {ndcgs:?}");
+            let mut row_r =
+                vec![ds.name().to_string(), name.to_string(), "user Recall@40".into()];
+            row_r.extend(recalls);
+            table.row(&row_r);
+            let mut row_n = vec![ds.name().to_string(), name.to_string(), "user NDCG@40".into()];
+            row_n.extend(ndcgs);
+            table.row(&row_n);
+
+            // Item-side skew (the second block of the paper's Table V).
+            let mut irecalls = Vec::new();
+            let mut indcgs = Vec::new();
+            for grp in &item_groups {
+                if grp.users.is_empty() {
+                    irecalls.push("-".to_string());
+                    indcgs.push("-".to_string());
+                    continue;
+                }
+                let r = evaluate_item_group(out.model.as_ref(), &split, &grp.users, &[40]);
+                irecalls.push(fmt4(r.recall(40)));
+                indcgs.push(fmt4(r.ndcg(40)));
+            }
+            println!("{name:<10} items Recall@40 {irecalls:?}");
+            let mut row_ir =
+                vec![ds.name().to_string(), name.to_string(), "item Recall@40".into()];
+            row_ir.extend(irecalls);
+            table.row(&row_ir);
+            let mut row_in = vec![ds.name().to_string(), name.to_string(), "item NDCG@40".into()];
+            row_in.extend(indcgs);
+            table.row(&row_in);
+        }
+    }
+    println!("\n{}", table.render());
+    let p = write_csv("table5_skewed", &table);
+    println!("written: {}", p.display());
+}

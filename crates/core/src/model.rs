@@ -1,0 +1,462 @@
+//! The GraphAug model: GIB-regularized learnable augmentation + mixhop
+//! contrastive encoding, trained jointly per Algorithm 1 / Eq. 16.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use graphaug_eval::Recommender;
+use graphaug_graph::{InteractionGraph, TripletSampler};
+use graphaug_tensor::init::{seeded_rng, xavier_uniform};
+use graphaug_tensor::{Graph, Mat, NodeId, Optimizer, ParamId, ParamStore, SpPair};
+
+use crate::augmentor::{edge_logits, sample_view, AugmentorNodes, AugmentorSettings, EdgeIndex};
+use crate::config::{EncoderKind, GraphAugConfig};
+use crate::gib::gib_kl;
+use crate::mixhop::{
+    encode_mixhop, encode_mixhop_ew, encode_vanilla, encode_vanilla_ew, mixing_row_shape,
+};
+use crate::nn::{bpr_loss, infonce_loss, weight_decay, BprBatch};
+
+/// Per-step diagnostics reported by [`GraphAug::train_step`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Total Eq. 16 loss.
+    pub loss: f32,
+    /// Main-graph BPR component.
+    pub bpr: f32,
+    /// GIB KL component (0 when disabled).
+    pub kl: f32,
+    /// Contrastive component (0 when disabled).
+    pub cl: f32,
+    /// Mean fraction of edges kept by the two sampled views.
+    pub kept_fraction: f32,
+}
+
+/// The GraphAug recommender (paper Sec. III). Construct with
+/// [`GraphAug::new`], train with [`GraphAug::fit`], then use the
+/// [`Recommender`] interface for scoring.
+pub struct GraphAug {
+    cfg: GraphAugConfig,
+    train_graph: InteractionGraph,
+    adj: SpPair,
+    edge_index: EdgeIndex,
+    store: ParamStore,
+    p_h0: ParamId,
+    p_enc: Vec<ParamId>,
+    p_mlp: [ParamId; 4],
+    rng: StdRng,
+    user_emb: Mat,
+    item_emb: Mat,
+    trained: bool,
+    steps_taken: usize,
+}
+
+impl GraphAug {
+    /// Initializes a model for the given training graph (parameters are
+    /// Xavier-initialized from `cfg.seed`).
+    pub fn new(cfg: GraphAugConfig, train: &InteractionGraph) -> Self {
+        let d = cfg.embed_dim;
+        let n = train.n_nodes();
+        let mut rng = seeded_rng(cfg.seed);
+        let mut store = ParamStore::new();
+        let p_h0 = store.register(xavier_uniform(n, d, &mut rng));
+        // One mixing row per layer (the rows of the paper's mixing matrix
+        // M), initialized to uniform hop averaging so training starts from
+        // LightGCN-like propagation and refines the mixture. The vanilla
+        // ("w/o Mixhop") ablation has no mixing parameters.
+        let p_enc: Vec<ParamId> = if cfg.encoder == EncoderKind::Mixhop {
+            let (r, c) = mixing_row_shape(cfg.hops.len());
+            // Zero logits → uniform softmax mixture at initialization.
+            (0..cfg.n_layers).map(|_| store.register(Mat::zeros(r, c))).collect()
+        } else {
+            Vec::new()
+        };
+        let h = (d / 2).max(4);
+        let p_mlp = [
+            store.register(xavier_uniform(2 * d, h, &mut rng)),
+            store.register(Mat::zeros(1, h)),
+            store.register(xavier_uniform(h, 1, &mut rng)),
+            store.register(Mat::zeros(1, 1)),
+        ];
+        let adj = SpPair::symmetric(train.normalized_adjacency_plain());
+        let edge_index = EdgeIndex::build(train);
+        let mut model = GraphAug {
+            cfg,
+            train_graph: train.clone(),
+            adj,
+            edge_index,
+            store,
+            p_h0,
+            p_enc,
+            p_mlp,
+            rng,
+            user_emb: Mat::zeros(train.n_users(), d),
+            item_emb: Mat::zeros(train.n_items(), d),
+            trained: false,
+            steps_taken: 0,
+        };
+        model.refresh_embeddings();
+        model
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &GraphAugConfig {
+        &self.cfg
+    }
+
+    /// Total scalar parameter count (cost reporting, Table VI).
+    pub fn n_parameters(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// True once [`GraphAug::fit`]/[`GraphAug::fit_with`] has completed.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// The learned per-layer hop-mixing rows (rows of the mixing matrix
+    /// `M`); empty for the vanilla encoder.
+    pub fn mixing_rows(&self) -> Vec<Vec<f32>> {
+        self.p_enc
+            .iter()
+            .map(|&p| self.store.value(p).as_slice().to_vec())
+            .collect()
+    }
+
+    fn augmentor_settings(&self) -> AugmentorSettings {
+        AugmentorSettings {
+            gumbel_temperature: self.cfg.gumbel_temperature,
+            edge_threshold: self.cfg.edge_threshold,
+            feature_keep_prob: self.cfg.feature_keep_prob,
+            feature_noise_std: self.cfg.feature_noise_std,
+            leaky_slope: self.cfg.leaky_slope,
+        }
+    }
+
+    fn param_nodes(&self, g: &mut Graph) -> (NodeId, Vec<NodeId>, AugmentorNodes, Vec<(ParamId, NodeId)>) {
+        let h0 = self.store.node(g, self.p_h0);
+        let enc: Vec<NodeId> = self.p_enc.iter().map(|&p| self.store.node(g, p)).collect();
+        let mlp = AugmentorNodes {
+            w1: self.store.node(g, self.p_mlp[0]),
+            b1: self.store.node(g, self.p_mlp[1]),
+            w2: self.store.node(g, self.p_mlp[2]),
+            b2: self.store.node(g, self.p_mlp[3]),
+        };
+        let mut pairs = vec![(self.p_h0, h0)];
+        pairs.extend(self.p_enc.iter().copied().zip(enc.iter().copied()));
+        pairs.extend([
+            (self.p_mlp[0], mlp.w1),
+            (self.p_mlp[1], mlp.b1),
+            (self.p_mlp[2], mlp.w2),
+            (self.p_mlp[3], mlp.b2),
+        ]);
+        (h0, enc, mlp, pairs)
+    }
+
+    fn encode_main(&self, g: &mut Graph, h0: NodeId, enc: &[NodeId]) -> NodeId {
+        match self.cfg.encoder {
+            EncoderKind::Mixhop => encode_mixhop(g, &self.adj, h0, enc, &self.cfg.hops),
+            EncoderKind::Vanilla => encode_vanilla(g, &self.adj, h0, self.cfg.n_layers),
+        }
+    }
+
+    fn encode_view(&self, g: &mut Graph, weights: NodeId, h0: NodeId, enc: &[NodeId]) -> NodeId {
+        let pattern = &self.edge_index.pattern;
+        match self.cfg.encoder {
+            EncoderKind::Mixhop => {
+                encode_mixhop_ew(g, pattern, weights, h0, enc, &self.cfg.hops)
+            }
+            EncoderKind::Vanilla => {
+                encode_vanilla_ew(g, pattern, weights, h0, self.cfg.n_layers)
+            }
+        }
+    }
+
+    fn sample_items(&mut self, n: usize) -> Vec<u32> {
+        let n_items = self.train_graph.n_items() as u32;
+        let off = self.train_graph.n_users() as u32;
+        let mut pool: Vec<u32> = (0..n_items).collect();
+        let n = n.min(pool.len());
+        for i in 0..n {
+            let j = self.rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(n);
+        pool.iter_mut().for_each(|v| *v += off);
+        pool
+    }
+
+    /// Runs one optimization step (one tape build/backward/Adam update).
+    pub fn train_step(&mut self, sampler: &mut TripletSampler<'_>) -> StepStats {
+        let mut g = Graph::new();
+        let (h0, enc, mlp, pairs) = self.param_nodes(&mut g);
+        let h_main = self.encode_main(&mut g, h0, &enc);
+
+        let (users, pos, neg) = sampler.sample_batch(self.cfg.bpr_batch);
+        let batch = BprBatch::from_raw(users, pos, neg, self.train_graph.n_users());
+        let bpr_main = bpr_loss(&mut g, h_main, &batch);
+        let mut loss = bpr_main;
+        let mut stats = StepStats { bpr: g.value(bpr_main).item(), ..Default::default() };
+
+        if self.cfg.use_cl || self.cfg.use_gib {
+            let settings = self.augmentor_settings();
+            let logits = edge_logits(&mut g, h_main, &self.edge_index, &mlp, &settings, &mut self.rng);
+            let v1 = sample_view(&mut g, logits, &self.edge_index, &settings, &mut self.rng);
+            let v2 = sample_view(&mut g, logits, &self.edge_index, &settings, &mut self.rng);
+            stats.kept_fraction = 0.5 * (v1.kept_fraction + v2.kept_fraction);
+            let z1 = self.encode_view(&mut g, v1.weights, h0, &enc);
+            let z2 = self.encode_view(&mut g, v2.weights, h0, &enc);
+
+            if self.cfg.use_gib {
+                // −I(Z′;Y) lower bound: recommendation likelihood on both
+                // view embeddings (Eq. 7) …
+                let b1 = bpr_loss(&mut g, z1, &batch);
+                let b2 = bpr_loss(&mut g, z2, &batch);
+                let vb_sum = g.add(b1, b2);
+                let vb = g.scale(vb_sum, 0.5 * self.cfg.view_bpr_weight);
+                loss = g.add(loss, vb);
+                // … plus the compression KL (Eq. 9) weighted by β₁.
+                let kl = gib_kl(&mut g, h_main, z1, z2);
+                stats.kl = g.value(kl).item();
+                let klw = g.scale(kl, self.cfg.beta_gib);
+                loss = g.add(loss, klw);
+            }
+            if self.cfg.use_cl {
+                let user_idx = Rc::new(
+                    TripletSampler::new(&self.train_graph, self.rng.random())
+                        .sample_active_users(self.cfg.cl_batch),
+                );
+                let item_idx = Rc::new(self.sample_items(self.cfg.cl_batch));
+                let cu = infonce_loss(&mut g, z1, z2, &user_idx, self.cfg.temperature);
+                let ci = infonce_loss(&mut g, z1, z2, &item_idx, self.cfg.temperature);
+                let c = g.add(cu, ci);
+                stats.cl = g.value(c).item();
+                // Linear warm-up of the contrastive weight (see config).
+                let ramp = if self.cfg.cl_warmup_steps == 0 {
+                    1.0
+                } else {
+                    ((self.steps_taken + 1) as f32 / self.cfg.cl_warmup_steps as f32).min(1.0)
+                };
+                let cw = g.scale(c, self.cfg.beta_cl * ramp);
+                loss = g.add(loss, cw);
+            }
+        }
+
+        // β₃ ‖Θ‖²_F.
+        let param_nodes: Vec<NodeId> = pairs.iter().map(|&(_, n)| n).collect();
+        let wd = weight_decay(&mut g, &param_nodes);
+        let wdw = g.scale(wd, self.cfg.beta_reg);
+        loss = g.add(loss, wdw);
+
+        stats.loss = g.value(loss).item();
+        g.backward(loss);
+        self.store
+            .apply_grads(&g, &pairs, Optimizer::adam(self.cfg.learning_rate));
+        self.steps_taken += 1;
+        stats
+    }
+
+    /// Trains for `cfg.epochs` epochs.
+    pub fn fit(&mut self) {
+        self.fit_with(|_, _, _| {});
+    }
+
+    /// Trains with a per-epoch callback receiving
+    /// `(epoch, user_embeddings, item_embeddings)` — used for convergence
+    /// curves (Fig. 4).
+    pub fn fit_with(&mut self, mut on_epoch: impl FnMut(usize, &Mat, &Mat)) {
+        let graph = self.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, self.cfg.seed.wrapping_add(101));
+        for epoch in 0..self.cfg.epochs {
+            for _ in 0..self.cfg.steps_per_epoch {
+                self.train_step(&mut sampler);
+            }
+            self.refresh_embeddings();
+            on_epoch(epoch, &self.user_emb, &self.item_emb);
+        }
+        self.trained = true;
+    }
+
+    /// Recomputes and caches the final user/item embeddings from the clean
+    /// graph (the paper's forecasting phase uses `Ĥ = GE(G)`).
+    pub fn refresh_embeddings(&mut self) {
+        let mut g = Graph::new();
+        let h0 = self.store.node(&mut g, self.p_h0);
+        let enc: Vec<NodeId> = self.p_enc.iter().map(|&p| self.store.node(&mut g, p)).collect();
+        let h = self.encode_main(&mut g, h0, &enc);
+        let emb = g.value(h);
+        let (nu, d) = (self.train_graph.n_users(), self.cfg.embed_dim);
+        let mut user_emb = Mat::zeros(nu, d);
+        let mut item_emb = Mat::zeros(self.train_graph.n_items(), d);
+        for u in 0..nu {
+            user_emb.row_mut(u).copy_from_slice(emb.row(u));
+        }
+        for v in 0..self.train_graph.n_items() {
+            item_emb.row_mut(v).copy_from_slice(emb.row(nu + v));
+        }
+        self.user_emb = user_emb;
+        self.item_emb = item_emb;
+    }
+
+    /// Deterministic keep-probabilities `p((u,v)|H̄)` for every training
+    /// edge under the trained augmentor (feature disturbance disabled) —
+    /// the quantity visualized in the paper's case study (Fig. 6).
+    pub fn edge_keep_probabilities(&mut self) -> Vec<f32> {
+        let mut g = Graph::new();
+        let (h0, enc, mlp, _) = self.param_nodes(&mut g);
+        let h_main = self.encode_main(&mut g, h0, &enc);
+        let settings = AugmentorSettings {
+            feature_keep_prob: 1.0,
+            feature_noise_std: 0.0,
+            ..self.augmentor_settings()
+        };
+        let logits =
+            edge_logits(&mut g, h_main, &self.edge_index, &mlp, &settings, &mut self.rng);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+
+    /// The training edges in the order matched by
+    /// [`GraphAug::edge_keep_probabilities`].
+    pub fn train_edges(&self) -> &[(u32, u32)] {
+        self.train_graph.edges()
+    }
+
+    /// Name reflecting the active ablation variant.
+    pub fn variant_name(&self) -> &'static str {
+        match (self.cfg.encoder, self.cfg.use_gib, self.cfg.use_cl) {
+            (EncoderKind::Mixhop, true, true) => "GraphAug",
+            (EncoderKind::Vanilla, true, true) => "GraphAug w/o Mixhop",
+            (EncoderKind::Mixhop, false, true) => "GraphAug w/o GIB",
+            (EncoderKind::Mixhop, true, false) => "GraphAug w/o CL",
+            (EncoderKind::Vanilla, false, true) => "GraphAug w/o Mixhop+GIB",
+            (EncoderKind::Vanilla, true, false) => "GraphAug w/o Mixhop+CL",
+            (EncoderKind::Mixhop, false, false) => "GraphAug base",
+            (EncoderKind::Vanilla, false, false) => "GraphAug base (vanilla)",
+        }
+    }
+}
+
+impl Recommender for GraphAug {
+    fn name(&self) -> &str {
+        self.variant_name()
+    }
+
+    fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+        Some((&self.user_emb, &self.item_emb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_data::{generate, SyntheticConfig};
+    use graphaug_eval::evaluate;
+    use graphaug_graph::TrainTestSplit;
+
+    fn toy_train() -> InteractionGraph {
+        generate(&SyntheticConfig::new(60, 50, 700).clusters(4).seed(11))
+    }
+
+    #[test]
+    fn construction_initializes_embeddings() {
+        let train = toy_train();
+        let m = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        let (u, i) = m.embeddings().unwrap();
+        assert_eq!(u.shape(), (60, 16));
+        assert_eq!(i.shape(), (50, 16));
+        assert!(u.all_finite() && i.all_finite());
+    }
+
+    #[test]
+    fn train_step_reduces_loss_over_time() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        let first = m.train_step(&mut sampler);
+        let mut last = first;
+        for _ in 0..30 {
+            last = m.train_step(&mut sampler);
+        }
+        assert!(last.loss.is_finite());
+        assert!(
+            last.bpr < first.bpr,
+            "BPR should improve: first {} last {}",
+            first.bpr,
+            last.bpr
+        );
+    }
+
+    #[test]
+    fn training_beats_untrained_ranking() {
+        let full = generate(&SyntheticConfig::new(80, 60, 1200).clusters(4).seed(3));
+        let split = TrainTestSplit::per_user(&full, 0.2, 9);
+        let untrained = GraphAug::new(GraphAugConfig::fast_test(), &split.train);
+        let before = evaluate(&untrained, &split, &[20]);
+        let mut m = GraphAug::new(GraphAugConfig::fast_test().epochs(12), &split.train);
+        m.fit();
+        let after = evaluate(&m, &split, &[20]);
+        assert!(
+            after.recall(20) > before.recall(20),
+            "training should help: before {} after {}",
+            before.recall(20),
+            after.recall(20)
+        );
+    }
+
+    #[test]
+    fn ablation_variants_have_distinct_names() {
+        let train = toy_train();
+        let names: Vec<&str> = [
+            GraphAugConfig::fast_test(),
+            GraphAugConfig::fast_test().encoder(EncoderKind::Vanilla),
+            GraphAugConfig::fast_test().gib(false),
+            GraphAugConfig::fast_test().cl(false),
+        ]
+        .into_iter()
+        .map(|c| GraphAug::new(c, &train).variant_name())
+        .collect();
+        assert_eq!(names.len(), 4);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn ablations_train_without_views_when_disabled() {
+        let train = toy_train();
+        let mut m =
+            GraphAug::new(GraphAugConfig::fast_test().gib(false).cl(false).epochs(2), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        let stats = m.train_step(&mut sampler);
+        assert_eq!(stats.kl, 0.0);
+        assert_eq!(stats.cl, 0.0);
+        assert_eq!(stats.kept_fraction, 0.0);
+        assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn edge_probabilities_cover_all_train_edges() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test().epochs(2), &train);
+        m.fit();
+        let probs = m.edge_keep_probabilities();
+        assert_eq!(probs.len(), m.train_edges().len());
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn fit_with_invokes_callback_every_epoch() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test().epochs(3), &train);
+        let mut seen = Vec::new();
+        m.fit_with(|e, u, i| {
+            assert!(u.all_finite() && i.all_finite());
+            seen.push(e);
+        });
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

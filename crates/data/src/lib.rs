@@ -1,0 +1,23 @@
+//! Dataset generation and loading for the GraphAug reproduction.
+//!
+//! The paper's datasets (Gowalla, Retail Rocket, Amazon — Table I) are not
+//! redistributable, so this crate provides:
+//!
+//! * [`synth`] — a seeded synthetic generator with cluster-structured
+//!   preferences, Zipf item popularity, Pareto user activity, and injectable
+//!   behavioural noise (the properties that drive relative model ordering);
+//! * [`presets`] — three 1/64-scale dataset presets matching Table I's shape
+//!   statistics, see [`Dataset`];
+//! * [`loader`] — plain-text edge-list parsing for users who want to run the
+//!   models on the real datasets;
+//! * [`stats`] — the Table I statistics calculator.
+
+pub mod loader;
+pub mod presets;
+pub mod stats;
+pub mod synth;
+
+pub use loader::{load_edge_list, parse_edge_list, to_edge_list, LoadError};
+pub use presets::Dataset;
+pub use stats::{gini, DatasetStats};
+pub use synth::{generate, SyntheticConfig};

@@ -1,0 +1,120 @@
+//! Loading interaction data from whitespace-separated edge-list text.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use graphaug_graph::InteractionGraph;
+
+/// Errors raised while parsing an edge-list file.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(String),
+    /// A line did not contain two tokens.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::BadLine { line, content } => {
+                write!(f, "line {line}: expected `user item`, got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Parses `user item` pairs (whitespace separated, `#`-comment and blank
+/// lines skipped) from a string. Raw ids are arbitrary tokens; they are
+/// densely re-mapped in first-seen order.
+pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, LoadError> {
+    let mut user_ids: HashMap<&str, u32> = HashMap::new();
+    let mut item_ids: HashMap<&str, u32> = HashMap::new();
+    let mut edges = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(u), Some(v)) = (it.next(), it.next()) else {
+            return Err(LoadError::BadLine { line: i + 1, content: line.to_string() });
+        };
+        let nu = user_ids.len() as u32;
+        let uid = *user_ids.entry(u).or_insert(nu);
+        let nv = item_ids.len() as u32;
+        let vid = *item_ids.entry(v).or_insert(nv);
+        edges.push((uid, vid));
+    }
+    Ok(InteractionGraph::new(user_ids.len(), item_ids.len(), edges))
+}
+
+/// Loads an edge-list file from disk.
+pub fn load_edge_list(path: &Path) -> Result<InteractionGraph, LoadError> {
+    let text = fs::read_to_string(path).map_err(|e| LoadError::Io(e.to_string()))?;
+    parse_edge_list(&text)
+}
+
+/// Writes a graph back out as a `user item` edge list (round-trip format).
+pub fn to_edge_list(g: &InteractionGraph) -> String {
+    let mut out = String::with_capacity(g.n_interactions() * 8);
+    for &(u, v) in g.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_remaps_ids() {
+        let g = parse_edge_list("alice i9\nbob i3\nalice i3\n").unwrap();
+        assert_eq!(g.n_users(), 2);
+        assert_eq!(g.n_items(), 2);
+        assert_eq!(g.n_interactions(), 3);
+        assert!(g.has_edge(0, 0)); // alice → i9
+        assert!(g.has_edge(0, 1)); // alice → i3
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let g = parse_edge_list("# header\n\nu0 v0\n  \nu1 v1\n").unwrap();
+        assert_eq!(g.n_interactions(), 2);
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        let err = parse_edge_list("u0 v0\njusttoken\n").unwrap_err();
+        assert_eq!(
+            err,
+            LoadError::BadLine { line: 2, content: "justtoken".into() }
+        );
+    }
+
+    #[test]
+    fn extra_columns_are_tolerated() {
+        // Timestamped logs: third column ignored.
+        let g = parse_edge_list("u0 v0 163412\nu1 v2 163413\n").unwrap();
+        assert_eq!(g.n_interactions(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let g = parse_edge_list("a x\nb y\nb z\n").unwrap();
+        let text = to_edge_list(&g);
+        let g2 = parse_edge_list(&text).unwrap();
+        assert_eq!(g.n_interactions(), g2.n_interactions());
+        assert_eq!(g.n_users(), g2.n_users());
+    }
+}

@@ -1,0 +1,119 @@
+//! Dataset statistics (paper Table I).
+
+use graphaug_graph::InteractionGraph;
+
+/// Summary statistics of an interaction dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Display name.
+    pub name: String,
+    /// User count.
+    pub users: usize,
+    /// Item count.
+    pub items: usize,
+    /// Interaction count.
+    pub interactions: usize,
+    /// `|E| / (I·J)`.
+    pub density: f64,
+    /// Mean interactions per user.
+    pub mean_user_degree: f64,
+    /// Gini coefficient of the item-degree distribution (popularity skew).
+    pub item_gini: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a graph.
+    pub fn of(name: &str, g: &InteractionGraph) -> Self {
+        DatasetStats {
+            name: name.to_string(),
+            users: g.n_users(),
+            items: g.n_items(),
+            interactions: g.n_interactions(),
+            density: g.density(),
+            mean_user_degree: g.n_interactions() as f64 / g.n_users() as f64,
+            item_gini: gini(&g.item_degrees()),
+        }
+    }
+
+    /// One markdown table row (matches the Table I layout plus shape stats).
+    pub fn markdown_row(&self) -> String {
+        format!(
+            "| {} | {} | {} | {} | {:.1e} | {:.1} | {:.2} |",
+            self.name,
+            self.users,
+            self.items,
+            self.interactions,
+            self.density,
+            self.mean_user_degree,
+            self.item_gini
+        )
+    }
+
+    /// The markdown table header matching [`DatasetStats::markdown_row`].
+    pub fn markdown_header() -> String {
+        "| Dataset | User # | Item # | Interaction # | Density | Mean deg | Item Gini |\n\
+         |---|---|---|---|---|---|---|"
+            .to_string()
+    }
+}
+
+/// Gini coefficient of a non-negative count distribution (0 = uniform,
+/// → 1 = fully concentrated).
+pub fn gini(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_concentrated_is_high() {
+        let g = gini(&[0, 0, 0, 100]);
+        assert!(g > 0.7, "gini {g}");
+    }
+
+    #[test]
+    fn gini_handles_degenerate_inputs() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn stats_match_graph() {
+        let g = InteractionGraph::new(2, 5, vec![(0, 0), (0, 1), (1, 2)]);
+        let s = DatasetStats::of("toy", &g);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.interactions, 3);
+        assert!((s.density - 0.3).abs() < 1e-9);
+        assert!((s.mean_user_degree - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_row_is_well_formed() {
+        let g = InteractionGraph::new(2, 5, vec![(0, 0)]);
+        let row = DatasetStats::of("toy", &g).markdown_row();
+        assert_eq!(row.matches('|').count(), 8);
+        assert!(row.contains("toy"));
+    }
+}

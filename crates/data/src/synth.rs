@@ -1,0 +1,314 @@
+//! Synthetic implicit-feedback dataset generator.
+//!
+//! The paper evaluates on Gowalla / Retail Rocket / Amazon, which are not
+//! redistributable here. This generator reproduces the *shape* properties
+//! that drive relative model performance in GCL papers:
+//!
+//! * **cluster-structured preferences** — users and items belong to latent
+//!   interest clusters, so collaborative filtering has real signal to learn;
+//! * **power-law item popularity** — a Zipf-like weighting produces the
+//!   long-tail item distribution behind popularity bias;
+//! * **skewed user activity** — Pareto-distributed user degrees produce the
+//!   0–10 / 10–20 / … buckets of the Table V study;
+//! * **behavioural noise** — a fraction of each user's interactions is drawn
+//!   from global popularity instead of their own cluster, emulating
+//!   misclicks (the noise GraphAug's GIB augmentor is designed to filter).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphaug_graph::InteractionGraph;
+
+/// Configuration for [`generate`]. Construct with [`SyntheticConfig::new`]
+/// and customize through the builder methods.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Target number of distinct interactions (approximate: deduplication
+    /// may land slightly below).
+    pub target_interactions: usize,
+    /// Number of latent interest clusters.
+    pub n_clusters: usize,
+    /// Zipf exponent for item popularity (0 = uniform).
+    pub popularity_exponent: f64,
+    /// Pareto shape for user activity (smaller = more skewed).
+    pub activity_shape: f64,
+    /// Fraction of interactions drawn off-cluster (behavioural noise).
+    pub noise_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// A reasonable default configuration at the given scale.
+    pub fn new(n_users: usize, n_items: usize, target_interactions: usize) -> Self {
+        SyntheticConfig {
+            n_users,
+            n_items,
+            target_interactions,
+            n_clusters: 12,
+            popularity_exponent: 0.8,
+            activity_shape: 1.6,
+            noise_fraction: 0.1,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the number of latent clusters.
+    pub fn clusters(mut self, k: usize) -> Self {
+        self.n_clusters = k;
+        self
+    }
+
+    /// Sets the off-cluster noise fraction.
+    pub fn noise(mut self, f: f64) -> Self {
+        self.noise_fraction = f;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the Pareto activity shape (user-degree skew).
+    pub fn activity(mut self, shape: f64) -> Self {
+        self.activity_shape = shape;
+        self
+    }
+}
+
+/// Weighted sampler over a prefix-sum table (binary search per draw).
+struct PrefixSampler {
+    cumulative: Vec<f64>,
+    ids: Vec<u32>,
+}
+
+impl PrefixSampler {
+    fn new(ids: Vec<u32>, weights: &[f64]) -> Self {
+        debug_assert_eq!(ids.len(), weights.len());
+        let mut cumulative = Vec::with_capacity(ids.len());
+        let mut acc = 0f64;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        PrefixSampler { cumulative, ids }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cumulative.last().expect("non-empty sampler");
+        let x = rng.random_range(0.0..total);
+        let i = self.cumulative.partition_point(|&c| c <= x);
+        self.ids[i.min(self.ids.len() - 1)]
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Generates an [`InteractionGraph`] according to `cfg`. Deterministic for a
+/// fixed config.
+pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
+    assert!(cfg.n_clusters >= 1, "need at least one cluster");
+    assert!(cfg.n_users > 0 && cfg.n_items > 0);
+    assert!((0.0..=1.0).contains(&cfg.noise_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Cluster assignments.
+    let user_cluster: Vec<usize> =
+        (0..cfg.n_users).map(|_| rng.random_range(0..cfg.n_clusters)).collect();
+    let item_cluster: Vec<usize> =
+        (0..cfg.n_items).map(|_| rng.random_range(0..cfg.n_clusters)).collect();
+
+    // Zipf popularity over a random permutation of items.
+    let mut rank: Vec<u32> = (0..cfg.n_items as u32).collect();
+    for i in (1..rank.len()).rev() {
+        let j = rng.random_range(0..=i);
+        rank.swap(i, j);
+    }
+    let mut popularity = vec![0f64; cfg.n_items];
+    for (pos, &item) in rank.iter().enumerate() {
+        popularity[item as usize] = 1.0 / ((pos + 1) as f64).powf(cfg.popularity_exponent);
+    }
+
+    // Per-cluster and global samplers.
+    let mut cluster_items: Vec<Vec<u32>> = vec![Vec::new(); cfg.n_clusters];
+    for (v, &c) in item_cluster.iter().enumerate() {
+        cluster_items[c].push(v as u32);
+    }
+    let cluster_samplers: Vec<Option<PrefixSampler>> = cluster_items
+        .iter()
+        .map(|items| {
+            if items.is_empty() {
+                None
+            } else {
+                let w: Vec<f64> = items.iter().map(|&v| popularity[v as usize]).collect();
+                Some(PrefixSampler::new(items.clone(), &w))
+            }
+        })
+        .collect();
+    let global_sampler =
+        PrefixSampler::new((0..cfg.n_items as u32).collect(), &popularity);
+
+    // Pareto-distributed user degrees scaled to the interaction target.
+    let raw: Vec<f64> = (0..cfg.n_users)
+        .map(|_| {
+            let u: f64 = rng.random_range(1e-9..1.0);
+            (1.0 - u).powf(-1.0 / cfg.activity_shape)
+        })
+        .collect();
+    let raw_total: f64 = raw.iter().sum();
+    let cap = (cfg.n_items * 4) / 5;
+    let mut degrees: Vec<usize> = raw
+        .iter()
+        .map(|&w| {
+            // Stochastic rounding keeps the expected total on target even
+            // when most users have a fractional share below 1.
+            let x = w / raw_total * cfg.target_interactions as f64;
+            let mut d = x.floor() as usize;
+            if rng.random_range(0.0..1.0) < x.fract() {
+                d += 1;
+            }
+            d.clamp(1, cap)
+        })
+        .collect();
+    // The cap truncates the heaviest Pareto draws; redistribute the lost
+    // mass proportionally over uncapped users so the total stays on target.
+    for _ in 0..4 {
+        let total: usize = degrees.iter().sum();
+        if total >= cfg.target_interactions {
+            break;
+        }
+        let deficit = cfg.target_interactions - total;
+        let open: f64 = degrees.iter().filter(|&&d| d < cap).map(|&d| d as f64).sum();
+        if open <= 0.0 {
+            break;
+        }
+        for d in degrees.iter_mut() {
+            if *d < cap {
+                let bump = (*d as f64 / open * deficit as f64).round() as usize;
+                *d = (*d + bump).min(cap);
+            }
+        }
+    }
+
+    // Draw interactions.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cfg.target_interactions);
+    let mut chosen = std::collections::HashSet::new();
+    for (u, &d) in degrees.iter().enumerate() {
+        chosen.clear();
+        let own = cluster_samplers[user_cluster[u]].as_ref();
+        let mut guard = 0usize;
+        while chosen.len() < d && guard < d * 40 {
+            guard += 1;
+            let noisy = rng.random_range(0.0..1.0) < cfg.noise_fraction;
+            // Spill over to the global pool once the user's cluster is
+            // nearly exhausted, so heavy users still reach their degree.
+            let exhausted = own.is_none_or(|s| chosen.len() * 5 >= s.len() * 4);
+            let v = match own {
+                Some(s) if !noisy && !exhausted => s.draw(&mut rng),
+                _ => global_sampler.draw(&mut rng),
+            };
+            if chosen.insert(v) {
+                edges.push((u as u32, v));
+            }
+        }
+    }
+    InteractionGraph::new(cfg.n_users, cfg.n_items, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SyntheticConfig {
+        SyntheticConfig::new(200, 150, 3000).seed(7)
+    }
+
+    #[test]
+    fn generator_hits_interaction_target_roughly() {
+        let g = generate(&cfg());
+        let n = g.n_interactions() as f64;
+        assert!(
+            (n - 3000.0).abs() < 3000.0 * 0.25,
+            "interactions {n} too far from target"
+        );
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate(&cfg());
+        let b = generate(&cfg());
+        assert_eq!(a.edges(), b.edges());
+        let c = generate(&cfg().seed(8));
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn every_user_has_at_least_one_interaction() {
+        let g = generate(&cfg());
+        for u in 0..g.n_users() {
+            assert!(!g.items_of(u).is_empty(), "user {u} is cold");
+        }
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let g = generate(&SyntheticConfig::new(500, 300, 8000).seed(3));
+        let mut deg = g.user_degrees();
+        deg.sort_unstable();
+        let median = deg[deg.len() / 2];
+        let p95 = deg[(deg.len() * 95) / 100];
+        assert!(
+            p95 as f64 >= 2.0 * median as f64,
+            "expected heavy tail, median {median} p95 {p95}"
+        );
+    }
+
+    #[test]
+    fn popularity_is_long_tailed() {
+        let g = generate(&SyntheticConfig::new(500, 300, 8000).seed(3));
+        let mut deg = g.item_degrees();
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = deg.iter().take(30).sum();
+        let total: usize = deg.iter().sum();
+        assert!(
+            top10 as f64 > 0.2 * total as f64,
+            "top-10% of items should absorb a large share of interactions"
+        );
+    }
+
+    #[test]
+    fn cluster_structure_is_present() {
+        // Without noise, a user's items should concentrate in one cluster.
+        let cfg = SyntheticConfig::new(100, 200, 2000).clusters(4).noise(0.0).seed(5);
+        let g = generate(&cfg);
+        // Recompute item clusters with the same RNG stream shape: instead of
+        // reaching into the generator, check cohesion statistically — items
+        // co-interacted by a user should co-occur with other users far more
+        // than random pairs would. Use a simple overlap statistic.
+        let mut same_user_pairs = 0usize;
+        let mut overlapping = 0usize;
+        for u in 0..g.n_users().min(40) {
+            let items = g.items_of(u);
+            for w in (u + 1)..g.n_users().min(40) {
+                let other = g.items_of(w);
+                let inter = items.iter().filter(|v| other.contains(v)).count();
+                same_user_pairs += 1;
+                if inter >= 2 {
+                    overlapping += 1;
+                }
+            }
+        }
+        assert!(
+            overlapping * 100 > same_user_pairs * 5,
+            "expected clustered co-interaction structure ({overlapping}/{same_user_pairs})"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! The top-K evaluation harness shared by every experiment.
+//!
+//! Evaluation follows the paper's protocol: for each user with held-out
+//! interactions, score *all* items, mask the user's training items, rank,
+//! and average Recall@K / NDCG@K over users (K ∈ {20, 40} in Table II).
+
+use graphaug_graph::TrainTestSplit;
+
+use crate::metrics::{ndcg_at_k, recall_at_k, topk_indices};
+use crate::model::Recommender;
+
+/// Metric values at one cutoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AtK {
+    /// Cutoff.
+    pub k: usize,
+    /// Mean Recall@K over evaluated users.
+    pub recall: f64,
+    /// Mean NDCG@K over evaluated users.
+    pub ndcg: f64,
+}
+
+/// Result of one evaluation pass.
+#[derive(Clone, Debug, Default)]
+pub struct EvalResult {
+    /// One entry per requested cutoff, in request order.
+    pub at: Vec<AtK>,
+    /// How many users were evaluated.
+    pub n_users: usize,
+}
+
+impl EvalResult {
+    /// Recall at the given cutoff (panics if the cutoff was not evaluated).
+    pub fn recall(&self, k: usize) -> f64 {
+        self.at.iter().find(|a| a.k == k).expect("cutoff not evaluated").recall
+    }
+
+    /// NDCG at the given cutoff (panics if the cutoff was not evaluated).
+    pub fn ndcg(&self, k: usize) -> f64 {
+        self.at.iter().find(|a| a.k == k).expect("cutoff not evaluated").ndcg
+    }
+}
+
+/// Evaluates `model` on every test user of `split` at cutoffs `ks`.
+pub fn evaluate(model: &dyn Recommender, split: &TrainTestSplit, ks: &[usize]) -> EvalResult {
+    evaluate_users(model, split, &split.test_users(), ks)
+}
+
+/// Evaluates `model` on a specific user population (used by the Table V
+/// degree-bucket study). Users without held-out items are skipped.
+pub fn evaluate_users(
+    model: &dyn Recommender,
+    split: &TrainTestSplit,
+    users: &[u32],
+    ks: &[usize],
+) -> EvalResult {
+    let kmax = ks.iter().copied().max().unwrap_or(0);
+    let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); ks.len()];
+    let mut n_eval = 0usize;
+    for &u in users {
+        let relevant = split.test.items_of(u as usize);
+        if relevant.is_empty() {
+            continue;
+        }
+        let mut scores = model.score_items(u as usize);
+        // Mask training items so the model is not rewarded for reproducing
+        // observed interactions.
+        for &v in split.train.items_of(u as usize) {
+            scores[v as usize] = f32::NEG_INFINITY;
+        }
+        let ranked = topk_indices(&scores, kmax);
+        for (i, &k) in ks.iter().enumerate() {
+            sums[i].0 += recall_at_k(&ranked, relevant, k);
+            sums[i].1 += ndcg_at_k(&ranked, relevant, k);
+        }
+        n_eval += 1;
+    }
+    let denom = n_eval.max(1) as f64;
+    EvalResult {
+        at: ks
+            .iter()
+            .zip(&sums)
+            .map(|(&k, &(r, n))| AtK { k, recall: r / denom, ndcg: n / denom })
+            .collect(),
+        n_users: n_eval,
+    }
+}
+
+/// Evaluates `model` counting only held-out items inside `items` as
+/// relevant — the item-side half of the Table V popularity-skew study.
+/// Users with no held-out items in the group are skipped.
+pub fn evaluate_item_group(
+    model: &dyn Recommender,
+    split: &TrainTestSplit,
+    items: &[u32],
+    ks: &[usize],
+) -> EvalResult {
+    let member: std::collections::HashSet<u32> = items.iter().copied().collect();
+    let kmax = ks.iter().copied().max().unwrap_or(0);
+    let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); ks.len()];
+    let mut n_eval = 0usize;
+    for u in split.test_users() {
+        let relevant: Vec<u32> = split
+            .test
+            .items_of(u as usize)
+            .iter()
+            .copied()
+            .filter(|v| member.contains(v))
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        let mut scores = model.score_items(u as usize);
+        for &v in split.train.items_of(u as usize) {
+            scores[v as usize] = f32::NEG_INFINITY;
+        }
+        let ranked = topk_indices(&scores, kmax);
+        for (i, &k) in ks.iter().enumerate() {
+            sums[i].0 += recall_at_k(&ranked, &relevant, k);
+            sums[i].1 += ndcg_at_k(&ranked, &relevant, k);
+        }
+        n_eval += 1;
+    }
+    let denom = n_eval.max(1) as f64;
+    EvalResult {
+        at: ks
+            .iter()
+            .zip(&sums)
+            .map(|(&k, &(r, n))| AtK { k, recall: r / denom, ndcg: n / denom })
+            .collect(),
+        n_users: n_eval,
+    }
+}
+
+/// Records a per-epoch metric series (paper Fig. 4 convergence curves).
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceRecorder {
+    points: Vec<(usize, f64)>,
+}
+
+impl ConvergenceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `(epoch, value)`.
+    pub fn record(&mut self, epoch: usize, value: f64) {
+        self.points.push((epoch, value));
+    }
+
+    /// The recorded series.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// Best value seen so far and its epoch.
+    pub fn best(&self) -> Option<(usize, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("metrics are finite"))
+    }
+
+    /// First epoch reaching `fraction` of the best value — the convergence-
+    /// speed statistic used when comparing methods in Fig. 4.
+    pub fn epochs_to_fraction_of_best(&self, fraction: f64) -> Option<usize> {
+        let (_, best) = self.best()?;
+        let threshold = best * fraction;
+        self.points.iter().find(|(_, v)| *v >= threshold).map(|&(e, _)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_graph::InteractionGraph;
+    use graphaug_tensor::Mat;
+
+    /// An oracle that scores the user's held-out items highest.
+    struct Oracle {
+        split: TrainTestSplit,
+        n_items: usize,
+    }
+
+    impl Recommender for Oracle {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+            None
+        }
+        fn score_items(&self, user: usize) -> Vec<f32> {
+            let mut s = vec![0f32; self.n_items];
+            for &v in self.split.test.items_of(user) {
+                s[v as usize] = 10.0;
+            }
+            s
+        }
+    }
+
+    fn toy_split() -> TrainTestSplit {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in 0..8u32 {
+                edges.push((u, (u + v) % 20));
+            }
+        }
+        let g = InteractionGraph::new(10, 20, edges);
+        TrainTestSplit::per_user(&g, 0.25, 3)
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_metrics() {
+        let split = toy_split();
+        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        let res = evaluate(&oracle, &split, &[20]);
+        assert!(res.n_users > 0);
+        assert!((res.recall(20) - 1.0).abs() < 1e-12);
+        assert!((res.ndcg(20) - 1.0).abs() < 1e-12);
+    }
+
+    /// A scorer that ranks the user's *training* items first — masking must
+    /// prevent it from earning credit.
+    struct TrainEcho {
+        split: TrainTestSplit,
+        n_items: usize,
+    }
+
+    impl Recommender for TrainEcho {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+            None
+        }
+        fn score_items(&self, user: usize) -> Vec<f32> {
+            let mut s = vec![0f32; self.n_items];
+            for &v in self.split.train.items_of(user) {
+                s[v as usize] = 10.0;
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn training_items_are_masked_out() {
+        let split = toy_split();
+        let echo = TrainEcho { split: split.clone(), n_items: 20 };
+        let res = evaluate(&echo, &split, &[5]);
+        // With train items masked, the echo model's remaining scores are
+        // uniform zero — its recall should be far below 1.
+        assert!(res.recall(5) < 0.9);
+    }
+
+    #[test]
+    fn evaluate_users_restricts_population() {
+        let split = toy_split();
+        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        let res = evaluate_users(&oracle, &split, &[0, 1], &[20]);
+        assert!(res.n_users <= 2);
+    }
+
+    #[test]
+    fn item_group_evaluation_counts_only_group_items() {
+        let split = toy_split();
+        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        // All items: perfect oracle.
+        let all: Vec<u32> = (0..20).collect();
+        let r = evaluate_item_group(&oracle, &split, &all, &[20]);
+        assert!((r.recall(20) - 1.0).abs() < 1e-12);
+        // Empty group: nothing evaluable.
+        let none = evaluate_item_group(&oracle, &split, &[], &[20]);
+        assert_eq!(none.n_users, 0);
+    }
+
+    #[test]
+    fn recorder_tracks_best_and_convergence() {
+        let mut rec = ConvergenceRecorder::new();
+        for (e, v) in [(1, 0.1), (2, 0.5), (3, 0.8), (4, 0.79)] {
+            rec.record(e, v);
+        }
+        assert_eq!(rec.best(), Some((3, 0.8)));
+        assert_eq!(rec.epochs_to_fraction_of_best(0.6), Some(2));
+        assert_eq!(rec.epochs_to_fraction_of_best(0.99), Some(3));
+    }
+}

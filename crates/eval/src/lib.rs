@@ -1,0 +1,33 @@
+//! Evaluation stack for the GraphAug reproduction: metrics, oversmoothing
+//! probes, distribution statistics, and the shared [`Recommender`] trait.
+//!
+//! * [`metrics`] — Recall@K / NDCG@K and top-K selection (Table II);
+//! * [`harness`] — full-ranking evaluation with train-item masking, plus the
+//!   convergence recorder behind Fig. 4;
+//! * [mad](mad::mad) — Mean Average Distance, the oversmoothing probe of
+//!   Tables III/VII;
+//! * [uniformity](uniformity::uniformity) — Wang–Isola uniformity and a 2-D PCA projection for the
+//!   Fig. 7 distribution study;
+//! * [`model`] — the [`Recommender`] scoring interface implemented by
+//!   GraphAug and all baselines;
+//! * [`tables`] — text/CSV table emission used by the experiment binaries;
+//! * [`export`] — plain-text persistence of trained embedding tables, so a
+//!   pipeline can train once and serve top-K recommendations elsewhere.
+
+pub mod export;
+pub mod harness;
+pub mod mad;
+pub mod metrics;
+pub mod model;
+pub mod tables;
+pub mod uniformity;
+
+pub use export::{export_embeddings, import_embeddings, EmbeddingSnapshot, ImportError};
+pub use harness::{
+    evaluate, evaluate_item_group, evaluate_users, AtK, ConvergenceRecorder, EvalResult,
+};
+pub use mad::{mad, mad_exact, mad_sampled};
+pub use metrics::{ndcg_at_k, recall_at_k, topk_indices};
+pub use model::Recommender;
+pub use tables::{fmt4, TextTable};
+pub use uniformity::{pca_2d, uniformity};

@@ -1,0 +1,120 @@
+//! Top-K ranking metrics: Recall@K and NDCG@K (the paper's Table II
+//! metrics), plus the partial top-K selection they share.
+
+/// Returns the indices of the `k` largest scores, ordered descending.
+/// `O(n)` selection followed by an `O(k log k)` sort of the prefix.
+pub fn topk_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// Recall@K: fraction of this user's held-out items appearing in the top-K
+/// ranked list.
+pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|v| relevant.binary_search(v).is_ok())
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// NDCG@K with binary relevance: `DCG = Σ 1/log₂(rank+1)` over hits,
+/// normalized by the ideal DCG of `min(k, |relevant|)` leading hits.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, v)| relevant.binary_search(v).is_ok())
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_selects_largest_in_order() {
+        let scores = vec![0.1, 0.9, 0.3, 0.7, 0.5];
+        assert_eq!(topk_indices(&scores, 3), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn topk_handles_k_larger_than_n() {
+        let scores = vec![0.2, 0.1];
+        assert_eq!(topk_indices(&scores, 10), vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_ties_break_by_index() {
+        let scores = vec![0.5, 0.5, 0.5];
+        assert_eq!(topk_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn recall_counts_hits_over_relevant() {
+        // relevant sorted.
+        let ranked = vec![4, 2, 9, 1];
+        let relevant = vec![1, 2, 7];
+        assert!((recall_at_k(&ranked, &relevant, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, &relevant, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_empty_relevant_is_zero() {
+        assert_eq!(recall_at_k(&[1, 2], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let ranked = vec![3, 8, 5, 0, 1];
+        let relevant = vec![3, 5, 8];
+        assert!((ndcg_at_k(&ranked, &relevant, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_rewards_early_hits() {
+        let relevant = vec![7];
+        let early = ndcg_at_k(&[7, 1, 2], &relevant, 3);
+        let late = ndcg_at_k(&[1, 2, 7], &relevant, 3);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_caps_ideal_at_k() {
+        // 5 relevant items but k=2: a ranking with the top-2 slots filled by
+        // relevant items is ideal.
+        let relevant = vec![0, 1, 2, 3, 4];
+        assert!((ndcg_at_k(&[0, 1], &relevant, 2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! The `Recommender` trait — the uniform scoring interface every model in
+//! the workspace (GraphAug and all 18 baselines) implements.
+
+use graphaug_tensor::Mat;
+
+/// A trained recommender that can score all items for a user.
+///
+/// Most models are embedding-dot-product scorers and should implement
+/// [`Recommender::embeddings`], inheriting the default `score_items`; models
+/// with non-factored scoring functions (NCF's MLP head, AutoRec's decoder)
+/// override `score_items` directly.
+pub trait Recommender {
+    /// Human-readable model name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Final `(user, item)` embedding matrices when the model is a
+    /// dot-product scorer. Used for scoring, MAD, and uniformity statistics.
+    fn embeddings(&self) -> Option<(&Mat, &Mat)>;
+
+    /// Preference scores for every item for `user`.
+    fn score_items(&self, user: usize) -> Vec<f32> {
+        let (ue, ie) = self
+            .embeddings()
+            .expect("models without embeddings must override score_items");
+        let urow = ue.row(user);
+        (0..ie.rows())
+            .map(|v| {
+                ie.row(v)
+                    .iter()
+                    .zip(urow)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Concatenated user+item embedding matrix, when available (for the
+    /// MAD/oversmoothing analyses that operate on all nodes).
+    fn all_node_embeddings(&self) -> Option<Mat> {
+        let (ue, ie) = self.embeddings()?;
+        debug_assert_eq!(ue.cols(), ie.cols());
+        let mut out = Mat::zeros(ue.rows() + ie.rows(), ue.cols());
+        for r in 0..ue.rows() {
+            out.row_mut(r).copy_from_slice(ue.row(r));
+        }
+        for r in 0..ie.rows() {
+            out.row_mut(ue.rows() + r).copy_from_slice(ie.row(r));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        u: Mat,
+        i: Mat,
+    }
+
+    impl Recommender for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+            Some((&self.u, &self.i))
+        }
+    }
+
+    #[test]
+    fn default_scoring_is_dot_product() {
+        let t = Toy {
+            u: Mat::from_vec(1, 2, vec![1.0, 2.0]),
+            i: Mat::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]),
+        };
+        assert_eq!(t.score_items(0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn node_embeddings_concatenate() {
+        let t = Toy {
+            u: Mat::filled(2, 3, 1.0),
+            i: Mat::filled(4, 3, 2.0),
+        };
+        let all = t.all_node_embeddings().unwrap();
+        assert_eq!(all.shape(), (6, 3));
+        assert_eq!(all.get(0, 0), 1.0);
+        assert_eq!(all.get(5, 2), 2.0);
+    }
+}

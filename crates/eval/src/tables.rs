@@ -1,0 +1,113 @@
+//! Plain-text table and CSV emission for the experiment binaries.
+
+/// A simple aligned text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<w$}  ", cell, w = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (comma-escaped with quotes where needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a metric to the paper's 4-decimal convention.
+pub fn fmt4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(&["Model", "Recall@20"]);
+        t.row(&["LightGCN".into(), "0.1799".into()]);
+        t.row(&["Ours".into(), "0.2025".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("Model"));
+        assert_eq!(lines.len(), 4);
+        // Column positions align.
+        let pos0 = lines[2].find("0.1799").unwrap();
+        let pos1 = lines[3].find("0.2025").unwrap();
+        assert_eq!(pos0, pos1);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(&["name", "v"]);
+        t.row(&["a,b".into(), "1".into()]);
+        assert_eq!(t.to_csv(), "name,v\n\"a,b\",1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        TextTable::new(&["a", "b"]).row(&["only".into()]);
+    }
+
+    #[test]
+    fn fmt4_rounds() {
+        assert_eq!(fmt4(0.12345), "0.1235");
+        assert_eq!(fmt4(0.1), "0.1000");
+    }
+}

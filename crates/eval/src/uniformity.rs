@@ -1,0 +1,186 @@
+//! Embedding-distribution statistics for the paper's Figure 7 analysis.
+//!
+//! The paper visualizes UMAP projections to argue that GraphAug's embeddings
+//! are more *uniformly* distributed on the hypersphere than LightGCN's
+//! (which collapse) while retaining cluster structure. We quantify the same
+//! claim with the Wang–Isola uniformity loss and provide a dependency-free
+//! 2-D PCA projection for scatter output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphaug_tensor::Mat;
+
+/// Wang–Isola uniformity: `log E exp(−t·‖x̂ − ŷ‖²)` over sampled pairs of
+/// L2-normalized embeddings (t = 2). **Lower is more uniform.**
+pub fn uniformity(embeddings: &Mat, n_pairs: usize, seed: u64) -> f64 {
+    let n = embeddings.rows();
+    assert!(n >= 2, "need at least two embeddings");
+    let normed = normalize_rows(embeddings);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0f64;
+    for _ in 0..n_pairs {
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let d2: f32 = normed
+            .row(i)
+            .iter()
+            .zip(normed.row(j))
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        acc += (-2.0 * d2 as f64).exp();
+    }
+    (acc / n_pairs as f64).ln()
+}
+
+fn normalize_rows(m: &Mat) -> Mat {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let n = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        for x in row.iter_mut() {
+            *x /= n;
+        }
+    }
+    out
+}
+
+/// Projects embeddings onto their top-2 principal components via power
+/// iteration with deflation. Returns an `n × 2` matrix of coordinates.
+pub fn pca_2d(embeddings: &Mat, seed: u64) -> Mat {
+    let (n, d) = embeddings.shape();
+    assert!(n >= 2 && d >= 2, "pca_2d needs at least a 2x2 input");
+    // Center.
+    let mut mean = vec![0f32; d];
+    for r in 0..n {
+        for (m, &x) in mean.iter_mut().zip(embeddings.row(r)) {
+            *m += x;
+        }
+    }
+    for m in &mut mean {
+        *m /= n as f32;
+    }
+    let centered = Mat::from_fn(n, d, |r, c| embeddings.get(r, c) - mean[c]);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let mut v: Vec<f32> = (0..d).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        for _ in 0..60 {
+            // w = Cᵀ(Cv) / n, deflated against found components.
+            let mut cv = vec![0f32; n];
+            for r in 0..n {
+                cv[r] = centered.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
+            }
+            let mut w = vec![0f32; d];
+            for r in 0..n {
+                for (wi, &x) in w.iter_mut().zip(centered.row(r)) {
+                    *wi += cv[r] * x;
+                }
+            }
+            for comp in &components {
+                let dot: f32 = w.iter().zip(comp).map(|(a, b)| a * b).sum();
+                for (wi, &c) in w.iter_mut().zip(comp) {
+                    *wi -= dot * c;
+                }
+            }
+            let norm = w.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            for wi in &mut w {
+                *wi /= norm;
+            }
+            v = w;
+        }
+        // Re-orthogonalize the converged vector; power iteration against a
+        // (near-)rank-deficient covariance can leave an O(1) leak onto the
+        // previous component through catastrophic cancellation.
+        for comp in &components {
+            let dot: f32 = v.iter().zip(comp).map(|(a, b)| a * b).sum();
+            for (vi, &c) in v.iter_mut().zip(comp) {
+                *vi -= dot * c;
+            }
+        }
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            for vi in &mut v {
+                *vi /= norm;
+            }
+        } else {
+            // Zero residual variance: any direction orthogonal to the found
+            // components is a valid (degenerate) second axis.
+            v = vec![0f32; d];
+            'basis: for axis in 0..d {
+                let mut cand = vec![0f32; d];
+                cand[axis] = 1.0;
+                for comp in &components {
+                    let dot: f32 = cand.iter().zip(comp).map(|(a, b)| a * b).sum();
+                    for (ci, &c) in cand.iter_mut().zip(comp) {
+                        *ci -= dot * c;
+                    }
+                }
+                let n = cand.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if n > 1e-3 {
+                    for ci in &mut cand {
+                        *ci /= n;
+                    }
+                    v = cand;
+                    break 'basis;
+                }
+            }
+        }
+        components.push(v);
+    }
+    Mat::from_fn(n, 2, |r, c| {
+        centered.row(r).iter().zip(&components[c]).map(|(a, b)| a * b).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sphere_beats_collapsed() {
+        // Collapsed cloud: all rows near one direction.
+        let collapsed = Mat::from_fn(50, 6, |r, c| 1.0 + 0.01 * ((r + c) as f32).sin());
+        // Spread cloud: pseudo-random directions.
+        let spread = Mat::from_fn(50, 6, |r, c| ((r * 6 + c) as f32 * 2.3).sin());
+        let u_col = uniformity(&collapsed, 5000, 1);
+        let u_spd = uniformity(&spread, 5000, 1);
+        assert!(u_spd < u_col, "spread {u_spd} should be lower than collapsed {u_col}");
+    }
+
+    #[test]
+    fn uniformity_is_deterministic_per_seed() {
+        let e = Mat::from_fn(20, 4, |r, c| ((r * c) as f32).cos());
+        assert_eq!(uniformity(&e, 1000, 3), uniformity(&e, 1000, 3));
+    }
+
+    #[test]
+    fn pca_finds_dominant_axis() {
+        // Points dominated by one direction with a faint second axis: the
+        // first component captures nearly all variance, so coordinate 1 ≫
+        // coordinate 2 in magnitude.
+        let e = Mat::from_fn(40, 5, |r, c| {
+            (r as f32 - 20.0) * [3.0, 1.0, 0.5, 0.1, 0.0][c]
+                + 0.05 * ((r * 7) as f32).sin() * [0.0, 0.0, 0.0, 1.0, -1.0][c]
+        });
+        let p = pca_2d(&e, 7);
+        assert_eq!(p.shape(), (40, 2));
+        let var1: f32 = (0..40).map(|r| p.get(r, 0).powi(2)).sum();
+        let var2: f32 = (0..40).map(|r| p.get(r, 1).powi(2)).sum();
+        assert!(var1 > 100.0 * var2.max(1e-6), "var1 {var1} var2 {var2}");
+    }
+
+    #[test]
+    fn pca_components_are_centered() {
+        let e = Mat::from_fn(30, 4, |r, c| ((r * 4 + c) as f32 * 0.77).sin() + 5.0);
+        let p = pca_2d(&e, 9);
+        for c in 0..2 {
+            let mean: f32 = (0..30).map(|r| p.get(r, c)).sum::<f32>() / 30.0;
+            assert!(mean.abs() < 1e-3, "component {c} mean {mean}");
+        }
+    }
+}

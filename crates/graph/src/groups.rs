@@ -1,0 +1,195 @@
+//! Degree-based user grouping for the skewed-distribution experiment
+//! (paper Table V).
+//!
+//! The paper splits evaluation users into buckets by their number of
+//! training interactions (0–10, 10–20, …) and reports per-bucket metrics to
+//! show how each model handles long-tail users.
+
+use crate::interaction::InteractionGraph;
+
+/// A half-open degree bucket `[lo, hi)` with its member users.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeGroup {
+    /// Inclusive lower degree bound.
+    pub lo: usize,
+    /// Exclusive upper degree bound (`usize::MAX` for the last bucket).
+    pub hi: usize,
+    /// Users whose training degree falls in `[lo, hi)`.
+    pub users: Vec<u32>,
+}
+
+impl DegreeGroup {
+    /// Human-readable label, e.g. `"10-20"`.
+    pub fn label(&self) -> String {
+        if self.hi == usize::MAX {
+            format!("{}+", self.lo)
+        } else {
+            format!("{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// Buckets users of `train` by degree at the given boundaries.
+///
+/// `boundaries = [10, 20, 30]` produces groups `[0,10) [10,20) [20,30)
+/// [30,∞)`. Users with zero training interactions are excluded (they cannot
+/// be evaluated).
+pub fn group_users_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> Vec<DegreeGroup> {
+    assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must increase");
+    let deg = train.user_degrees();
+    let mut edges: Vec<usize> = Vec::with_capacity(boundaries.len() + 2);
+    edges.push(0);
+    edges.extend_from_slice(boundaries);
+    edges.push(usize::MAX);
+    let mut groups: Vec<DegreeGroup> = edges
+        .windows(2)
+        .map(|w| DegreeGroup { lo: w[0], hi: w[1], users: Vec::new() })
+        .collect();
+    for (u, &d) in deg.iter().enumerate() {
+        if d == 0 {
+            continue;
+        }
+        let gi = groups
+            .iter()
+            .position(|g| d >= g.lo && d < g.hi)
+            .expect("degree buckets cover all positive degrees");
+        groups[gi].users.push(u as u32);
+    }
+    groups
+}
+
+/// The paper's five-group scheme: `[0,10) … [40,50)` plus an implicit tail.
+/// Returns only the first five buckets, matching Table V's columns.
+pub fn paper_degree_groups(train: &InteractionGraph) -> Vec<DegreeGroup> {
+    let mut g = group_users_by_degree(train, &[10, 20, 30, 40, 50]);
+    g.truncate(5);
+    g
+}
+
+/// Buckets *items* by training degree (popularity) — the item-side half of
+/// the paper's Table V skew study. Items with zero interactions are
+/// excluded.
+pub fn group_items_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> Vec<DegreeGroup> {
+    assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must increase");
+    let deg = train.item_degrees();
+    let mut edges: Vec<usize> = Vec::with_capacity(boundaries.len() + 2);
+    edges.push(0);
+    edges.extend_from_slice(boundaries);
+    edges.push(usize::MAX);
+    let mut groups: Vec<DegreeGroup> = edges
+        .windows(2)
+        .map(|w| DegreeGroup { lo: w[0], hi: w[1], users: Vec::new() })
+        .collect();
+    for (v, &d) in deg.iter().enumerate() {
+        if d == 0 {
+            continue;
+        }
+        let gi = groups
+            .iter()
+            .position(|g| d >= g.lo && d < g.hi)
+            .expect("degree buckets cover all positive degrees");
+        groups[gi].users.push(v as u32);
+    }
+    groups
+}
+
+/// The paper's five item buckets (`[0,10) … [40,50)`), truncated to five.
+pub fn paper_item_degree_groups(train: &InteractionGraph) -> Vec<DegreeGroup> {
+    let mut g = group_items_by_degree(train, &[10, 20, 30, 40, 50]);
+    g.truncate(5);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_degrees(degrees: &[usize]) -> InteractionGraph {
+        let n_items = degrees.iter().copied().max().unwrap_or(1).max(1);
+        let mut edges = Vec::new();
+        for (u, &d) in degrees.iter().enumerate() {
+            for v in 0..d {
+                edges.push((u as u32, v as u32));
+            }
+        }
+        InteractionGraph::new(degrees.len(), n_items, edges)
+    }
+
+    #[test]
+    fn buckets_partition_active_users() {
+        let g = graph_with_degrees(&[5, 15, 25, 0, 45]);
+        let groups = group_users_by_degree(&g, &[10, 20, 30, 40]);
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[0].users, vec![0]);
+        assert_eq!(groups[1].users, vec![1]);
+        assert_eq!(groups[2].users, vec![2]);
+        assert!(groups[3].users.is_empty());
+        assert_eq!(groups[4].users, vec![4]);
+        // User 3 (degree 0) appears nowhere.
+        let total: usize = groups.iter().map(|g| g.users.len()).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let g = graph_with_degrees(&[1]);
+        let groups = group_users_by_degree(&g, &[10]);
+        assert_eq!(groups[0].label(), "0-10");
+        assert_eq!(groups[1].label(), "10+");
+    }
+
+    #[test]
+    fn boundary_degrees_land_in_upper_bucket() {
+        let g = graph_with_degrees(&[10]);
+        let groups = group_users_by_degree(&g, &[10, 20]);
+        assert!(groups[0].users.is_empty());
+        assert_eq!(groups[1].users, vec![0]);
+    }
+
+    #[test]
+    fn paper_groups_have_five_buckets() {
+        let g = graph_with_degrees(&[3, 12, 22, 33, 44, 60]);
+        let groups = paper_degree_groups(&g);
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[4].label(), "40-50");
+        // Degree-60 user falls outside the reported buckets.
+        let total: usize = groups.iter().map(|g| g.users.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn item_groups_bucket_by_popularity() {
+        // 4 items with degrees 3, 12, 0, 25.
+        let mut edges = Vec::new();
+        for u in 0..3u32 {
+            edges.push((u, 0));
+        }
+        for u in 0..12u32 {
+            edges.push((u, 1));
+        }
+        for u in 0..25u32 {
+            edges.push((u, 3));
+        }
+        let g = InteractionGraph::new(25, 4, edges);
+        let groups = group_items_by_degree(&g, &[10, 20]);
+        assert_eq!(groups[0].users, vec![0]);
+        assert_eq!(groups[1].users, vec![1]);
+        assert_eq!(groups[2].users, vec![3]);
+        // Item 2 (degree 0) excluded.
+        assert_eq!(groups.iter().map(|x| x.users.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn paper_item_groups_have_five_buckets() {
+        let g = graph_with_degrees(&[15, 15, 15]);
+        let groups = paper_item_degree_groups(&g);
+        assert_eq!(groups.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries must increase")]
+    fn rejects_unsorted_boundaries() {
+        let g = graph_with_degrees(&[1]);
+        group_users_by_degree(&g, &[20, 10]);
+    }
+}

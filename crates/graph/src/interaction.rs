@@ -1,0 +1,200 @@
+//! The bipartite user–item interaction graph.
+
+use std::collections::HashSet;
+
+use graphaug_sparse::{bipartite_adjacency, sym_norm, Csr};
+
+/// A user id in `0..n_users`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u32);
+
+/// An item id in `0..n_items`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ItemId(pub u32);
+
+/// An observed implicit-feedback interaction set between users and items.
+///
+/// Edges are stored deduplicated and sorted `(user, item)`. All downstream
+/// structures — bipartite adjacency, per-user item lists, degree buckets —
+/// derive from this type.
+#[derive(Clone, Debug)]
+pub struct InteractionGraph {
+    n_users: usize,
+    n_items: usize,
+    edges: Vec<(u32, u32)>,
+    /// CSR of users × items (one row per user).
+    user_items: Csr,
+}
+
+impl InteractionGraph {
+    /// Builds a graph from raw interaction pairs; duplicates are removed.
+    pub fn new(n_users: usize, n_items: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(
+                (u as usize) < n_users && (v as usize) < n_items,
+                "edge ({u},{v}) out of bounds"
+            );
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let user_items = Csr::from_coo(
+            n_users,
+            n_items,
+            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect(),
+        );
+        InteractionGraph { n_users, n_items, edges, user_items }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total node count of the bipartite graph (`I + J`).
+    pub fn n_nodes(&self) -> usize {
+        self.n_users + self.n_items
+    }
+
+    /// Number of distinct interactions.
+    pub fn n_interactions(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Interaction density `|E| / (I · J)`.
+    pub fn density(&self) -> f64 {
+        self.edges.len() as f64 / (self.n_users as f64 * self.n_items as f64)
+    }
+
+    /// The deduplicated, sorted `(user, item)` edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Items interacted by `u` (sorted).
+    pub fn items_of(&self, u: usize) -> &[u32] {
+        self.user_items.row(u).0
+    }
+
+    /// True when `(u, v)` is an observed interaction.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.items_of(u as usize).binary_search(&v).is_ok()
+    }
+
+    /// Per-user interaction counts.
+    pub fn user_degrees(&self) -> Vec<usize> {
+        self.user_items.row_degrees()
+    }
+
+    /// Per-item interaction counts.
+    pub fn item_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n_items];
+        for &(_, v) in &self.edges {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// The symmetric `(I+J) × (I+J)` bipartite adjacency (unnormalized).
+    pub fn adjacency(&self) -> Csr {
+        bipartite_adjacency(self.n_users, self.n_items, &self.edges)
+    }
+
+    /// `D^{-1/2}(A + I)D^{-1/2}` over the bipartite adjacency — the Ã used by
+    /// every GNN encoder (paper Sec. III-C).
+    pub fn normalized_adjacency(&self) -> Csr {
+        sym_norm(&self.adjacency(), true)
+    }
+
+    /// Same, without self-loops (LightGCN-style propagation).
+    pub fn normalized_adjacency_plain(&self) -> Csr {
+        sym_norm(&self.adjacency(), false)
+    }
+
+    /// Returns a new graph keeping only edges accepted by `keep`.
+    pub fn filter_edges(&self, keep: impl Fn(u32, u32) -> bool) -> InteractionGraph {
+        InteractionGraph::new(
+            self.n_users,
+            self.n_items,
+            self.edges.iter().copied().filter(|&(u, v)| keep(u, v)).collect(),
+        )
+    }
+
+    /// Returns a new graph with additional edges merged in (duplicates
+    /// against existing interactions are dropped).
+    pub fn with_extra_edges(&self, extra: &[(u32, u32)]) -> InteractionGraph {
+        let mut edges = self.edges.clone();
+        let existing: HashSet<(u32, u32)> = edges.iter().copied().collect();
+        for &e in extra {
+            if !existing.contains(&e) {
+                edges.push(e);
+            }
+        }
+        InteractionGraph::new(self.n_users, self.n_items, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> InteractionGraph {
+        InteractionGraph::new(3, 4, vec![(0, 1), (0, 3), (1, 0), (2, 2), (2, 3), (0, 1)])
+    }
+
+    #[test]
+    fn dedups_and_sorts_edges() {
+        let g = g();
+        assert_eq!(g.n_interactions(), 5);
+        assert_eq!(g.edges()[0], (0, 1));
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn degrees_match_edges() {
+        let g = g();
+        assert_eq!(g.user_degrees(), vec![2, 1, 2]);
+        assert_eq!(g.item_degrees(), vec![1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn density_formula() {
+        let g = g();
+        assert!((g.density() - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_shapes_and_symmetry() {
+        let g = g();
+        let adj = g.adjacency();
+        assert_eq!(adj.n_rows(), 7);
+        assert_eq!(adj.nnz(), 10);
+        let norm = g.normalized_adjacency();
+        norm.check_invariants().unwrap();
+        // Self-loops present.
+        for i in 0..7 {
+            let (cols, _) = norm.row(i);
+            assert!(cols.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn filter_and_extend() {
+        let g = g();
+        let filtered = g.filter_edges(|u, _| u != 0);
+        assert_eq!(filtered.n_interactions(), 3);
+        let extended = g.with_extra_edges(&[(1, 1), (0, 1)]);
+        assert_eq!(extended.n_interactions(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds_edges() {
+        InteractionGraph::new(1, 1, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Structural-noise injection (paper Fig. 3).
+//!
+//! The robustness experiment corrupts the interaction graph topology by
+//! adding randomly generated fake user–item edges at a chosen proportion of
+//! the observed edge count, then measures how much each model's accuracy
+//! degrades relative to its clean-graph performance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::interaction::InteractionGraph;
+
+/// Returns a copy of `g` with `ratio · |E|` random fake edges added.
+///
+/// Fake edges are sampled uniformly over unobserved `(user, item)` pairs
+/// (rejection sampling against both observed and already-injected edges), so
+/// the corrupted graph has exactly `⌈ratio · |E|⌉` additional interactions
+/// whenever the universe is large enough.
+pub fn inject_fake_edges(g: &InteractionGraph, ratio: f64, seed: u64) -> InteractionGraph {
+    assert!(ratio >= 0.0, "noise ratio must be non-negative");
+    let target = (g.n_interactions() as f64 * ratio).ceil() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut injected: Vec<(u32, u32)> = Vec::with_capacity(target);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = target.saturating_mul(50).max(1000);
+    while injected.len() < target && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.random_range(0..g.n_users() as u32);
+        let v = rng.random_range(0..g.n_items() as u32);
+        if g.has_edge(u, v) || !seen.insert((u, v)) {
+            continue;
+        }
+        injected.push((u, v));
+    }
+    g.with_extra_edges(&injected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> InteractionGraph {
+        let mut edges = Vec::new();
+        for u in 0..30u32 {
+            for v in 0..5u32 {
+                edges.push((u, (u + v) % 40));
+            }
+        }
+        InteractionGraph::new(30, 40, edges)
+    }
+
+    #[test]
+    fn injects_requested_count() {
+        let base = g();
+        let noisy = inject_fake_edges(&base, 0.1, 11);
+        let want = (base.n_interactions() as f64 * 0.1).ceil() as usize;
+        assert_eq!(noisy.n_interactions(), base.n_interactions() + want);
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let base = g();
+        let same = inject_fake_edges(&base, 0.0, 1);
+        assert_eq!(same.edges(), base.edges());
+    }
+
+    #[test]
+    fn original_edges_are_preserved() {
+        let base = g();
+        let noisy = inject_fake_edges(&base, 0.25, 3);
+        for &(u, v) in base.edges() {
+            assert!(noisy.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let base = g();
+        let a = inject_fake_edges(&base, 0.2, 9);
+        let b = inject_fake_edges(&base, 0.2, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

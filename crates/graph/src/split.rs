@@ -1,0 +1,121 @@
+//! Seeded train/test splitting of interaction graphs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::interaction::InteractionGraph;
+
+/// A train/test partition of an interaction graph.
+///
+/// The split is per-user: a fraction of each user's interactions is held out
+/// for testing (users with a single interaction keep it in train so every
+/// trainable user has at least one positive).
+#[derive(Clone, Debug)]
+pub struct TrainTestSplit {
+    /// Training interactions.
+    pub train: InteractionGraph,
+    /// Held-out test interactions (same user/item universe).
+    pub test: InteractionGraph,
+}
+
+impl TrainTestSplit {
+    /// Splits `g` holding out `test_fraction` of every user's interactions
+    /// (rounded down, at least one interaction stays in train).
+    pub fn per_user(g: &InteractionGraph, test_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0,1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for u in 0..g.n_users() {
+            let mut items: Vec<u32> = g.items_of(u).to_vec();
+            items.shuffle(&mut rng);
+            let n_test = ((items.len() as f64) * test_fraction).floor() as usize;
+            let n_test = n_test.min(items.len().saturating_sub(1));
+            for (i, v) in items.into_iter().enumerate() {
+                if i < n_test {
+                    test.push((u as u32, v));
+                } else {
+                    train.push((u as u32, v));
+                }
+            }
+        }
+        TrainTestSplit {
+            train: InteractionGraph::new(g.n_users(), g.n_items(), train),
+            test: InteractionGraph::new(g.n_users(), g.n_items(), test),
+        }
+    }
+
+    /// Users that have at least one held-out interaction (the evaluation
+    /// population).
+    pub fn test_users(&self) -> Vec<u32> {
+        (0..self.test.n_users() as u32)
+            .filter(|&u| !self.test.items_of(u as usize).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_graph() -> InteractionGraph {
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for v in 0..10u32 {
+                if (u + v) % 2 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        InteractionGraph::new(20, 10, edges)
+    }
+
+    #[test]
+    fn split_partitions_edges() {
+        let g = dense_graph();
+        let s = TrainTestSplit::per_user(&g, 0.2, 42);
+        assert_eq!(
+            s.train.n_interactions() + s.test.n_interactions(),
+            g.n_interactions()
+        );
+        // No overlap.
+        for &(u, v) in s.test.edges() {
+            assert!(!s.train.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn every_user_keeps_a_training_positive() {
+        let g = dense_graph();
+        let s = TrainTestSplit::per_user(&g, 0.5, 7);
+        for u in 0..20 {
+            assert!(!s.train.items_of(u).is_empty(), "user {u} lost all train items");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let g = dense_graph();
+        let a = TrainTestSplit::per_user(&g, 0.2, 1);
+        let b = TrainTestSplit::per_user(&g, 0.2, 1);
+        let c = TrainTestSplit::per_user(&g, 0.2, 2);
+        assert_eq!(a.test.edges(), b.test.edges());
+        assert_ne!(a.test.edges(), c.test.edges());
+    }
+
+    #[test]
+    fn singleton_users_stay_in_train() {
+        let g = InteractionGraph::new(2, 3, vec![(0, 1), (1, 0), (1, 2)]);
+        let s = TrainTestSplit::per_user(&g, 0.5, 3);
+        assert_eq!(s.train.items_of(0), &[1]);
+        assert!(s.test.items_of(0).is_empty());
+    }
+
+    #[test]
+    fn test_users_lists_only_users_with_holdout() {
+        let g = InteractionGraph::new(2, 4, vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 0)]);
+        let s = TrainTestSplit::per_user(&g, 0.4, 5);
+        assert_eq!(s.test_users(), vec![0]);
+    }
+}

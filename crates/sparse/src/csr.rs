@@ -1,0 +1,359 @@
+//! Compressed sparse row matrices.
+
+/// An immutable sparse matrix in CSR layout over `f32` values.
+///
+/// Invariants (checked by `debug_assert!` and property tests):
+/// * `indptr.len() == n_rows + 1`, `indptr[0] == 0`, `indptr` is
+///   non-decreasing and `indptr[n_rows] == indices.len() == data.len()`;
+/// * column indices within each row are strictly increasing (no duplicates);
+/// * every column index is `< n_cols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from unsorted COO triplets `(row, col, value)`.
+    ///
+    /// Duplicate coordinates are combined by summing their values. Zeros are
+    /// kept (the pattern may be meaningful even at value zero, e.g. a masked
+    /// edge in a sampled view).
+    pub fn from_coo(n_rows: usize, n_cols: usize, mut triplets: Vec<(u32, u32, f32)>) -> Self {
+        for &(r, c, _) in &triplets {
+            assert!(
+                (r as usize) < n_rows && (c as usize) < n_cols,
+                "triplet ({r},{c}) out of bounds for {n_rows}x{n_cols}"
+            );
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+
+        let mut indptr = vec![0usize; n_rows + 1];
+        let mut indices = Vec::with_capacity(triplets.len());
+        let mut data: Vec<f32> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            if let (Some(&last_c), true) = (indices.last(), indptr[r as usize + 1] > 0) {
+                // Same row as the previous entry and same column: merge.
+                if last_c == c && indptr[r as usize + 1] == indices.len() {
+                    *data.last_mut().expect("data parallel to indices") += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // Forward-fill indptr for empty rows.
+        for i in 1..=n_rows {
+            if indptr[i] < indptr[i - 1] {
+                indptr[i] = indptr[i - 1];
+            }
+        }
+        Csr { n_rows, n_cols, indptr, indices, data }
+    }
+
+    /// Builds an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            n_rows: n,
+            n_cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[s..e], &self.data[s..e])
+    }
+
+    /// The raw row-pointer array.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The raw column-index array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The raw value array.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns a matrix with the same sparsity pattern but new values.
+    ///
+    /// This is the backbone of differentiable edge sampling: the augmentor
+    /// produces one weight per stored edge and the encoder rebuilds the view
+    /// adjacency around the fixed pattern.
+    pub fn with_data(&self, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), self.nnz(), "value vector must match nnz");
+        Csr { data, ..self.clone() }
+    }
+
+    /// Applies `f` to every stored value, returning a new matrix.
+    pub fn map_data(&self, f: impl Fn(f32) -> f32) -> Self {
+        self.with_data(self.data.iter().map(|&v| f(v)).collect())
+    }
+
+    /// Row of `(row, col, value)` triplets in row-major order.
+    pub fn to_coo(&self) -> Vec<(u32, u32, f32)> {
+        let mut out = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                out.push((r as u32, *c, *v));
+            }
+        }
+        out
+    }
+
+    /// Out-degree (stored-entry count) of every row.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.n_rows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+    }
+
+    /// Sum of stored values per row (weighted degree).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.n_cols {
+            counts[i] += counts[i - 1];
+        }
+        let indptr = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.nnz()];
+        let mut data = vec![0f32; self.nnz()];
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let slot = cursor[*c as usize];
+                indices[slot] = r as u32;
+                data[slot] = *v;
+                cursor[*c as usize] += 1;
+            }
+        }
+        Csr { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices, data }
+    }
+
+    /// Sparse × dense product: `out = self * dense`, where `dense` is a
+    /// row-major `n_cols × d` buffer and `out` a row-major `n_rows × d`
+    /// buffer. `out` is overwritten.
+    pub fn spmm_into(&self, dense: &[f32], d: usize, out: &mut [f32]) {
+        assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
+        assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
+        out.fill(0.0);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            let orow = &mut out[r * d..(r + 1) * d];
+            for (c, &v) in cols.iter().zip(vals) {
+                let drow = &dense[*c as usize * d..(*c as usize + 1) * d];
+                for (o, x) in orow.iter_mut().zip(drow) {
+                    *o += v * x;
+                }
+            }
+        }
+    }
+
+    /// Sparse × dense product returning a fresh buffer.
+    pub fn spmm(&self, dense: &[f32], d: usize) -> Vec<f32> {
+        let mut out = vec![0f32; self.n_rows * d];
+        self.spmm_into(dense, d, &mut out);
+        out
+    }
+
+    /// Sparse × vector product.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_cols);
+        (0..self.n_rows)
+            .map(|r| {
+                let (cols, vals) = self.row(r);
+                cols.iter().zip(vals).map(|(c, v)| v * x[*c as usize]).sum()
+            })
+            .collect()
+    }
+
+    /// Densifies into a row-major buffer (testing helper; avoid in hot code).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0f32; self.n_rows * self.n_cols];
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                out[r * self.n_cols + *c as usize] = *v;
+            }
+        }
+        out
+    }
+
+    /// Checks the structural invariants; used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.indptr.len() != self.n_rows + 1 {
+            return Err("indptr length".into());
+        }
+        if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.indices.len() {
+            return Err("indptr endpoints".into());
+        }
+        if self.indices.len() != self.data.len() {
+            return Err("indices/data length mismatch".into());
+        }
+        for i in 0..self.n_rows {
+            if self.indptr[i] > self.indptr[i + 1] {
+                return Err(format!("indptr decreasing at row {i}"));
+            }
+            let (cols, _) = self.row(i);
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {i} columns not strictly increasing"));
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= self.n_cols {
+                    return Err(format!("row {i} column out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_coo(
+            3,
+            4,
+            vec![(0, 1, 2.0), (0, 3, 1.0), (2, 0, -1.0), (2, 2, 4.0)],
+        )
+    }
+
+    #[test]
+    fn from_coo_builds_sorted_rows() {
+        let m = Csr::from_coo(2, 3, vec![(1, 2, 5.0), (0, 1, 1.0), (1, 0, 3.0)]);
+        m.check_invariants().unwrap();
+        assert_eq!(m.row(0), (&[1u32][..], &[1.0f32][..]));
+        assert_eq!(m.row(1), (&[0u32, 2][..], &[3.0f32, 5.0][..]));
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let m = Csr::from_coo(1, 2, vec![(0, 1, 1.0), (0, 1, 2.5), (0, 0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.row(0).1, &[1.0, 3.5]);
+    }
+
+    #[test]
+    fn empty_rows_have_zero_span() {
+        let m = sample();
+        m.check_invariants().unwrap();
+        assert_eq!(m.row(1).0.len(), 0);
+        assert_eq!(m.row_degrees(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let id = Csr::identity(3);
+        let dense: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        assert_eq!(id.spmm(&dense, 2), dense);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        let t = m.transpose();
+        t.check_invariants().unwrap();
+        let dm = m.to_dense();
+        let dt = t.to_dense();
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(dm[r * 4 + c], dt[c * 3 + r]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let m = sample();
+        let d = 2usize;
+        let dense: Vec<f32> = (0..8).map(|x| (x as f32) * 0.5 - 1.0).collect();
+        let got = m.spmm(&dense, d);
+        let dm = m.to_dense();
+        for r in 0..3 {
+            for k in 0..d {
+                let want: f32 = (0..4).map(|c| dm[r * 4 + c] * dense[c * d + k]).sum();
+                assert!((got[r * d + k] - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_spmm_single_column() {
+        let m = sample();
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        assert_eq!(m.spmv(&x), m.spmm(&x, 1));
+    }
+
+    #[test]
+    fn with_data_keeps_pattern() {
+        let m = sample();
+        let new = m.with_data(vec![9.0; m.nnz()]);
+        assert_eq!(new.indices(), m.indices());
+        assert!(new.data().iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "value vector must match nnz")]
+    fn with_data_rejects_wrong_length() {
+        sample().with_data(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_coo_rejects_out_of_bounds() {
+        Csr::from_coo(1, 1, vec![(0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn to_coo_round_trips() {
+        let m = sample();
+        let rebuilt = Csr::from_coo(3, 4, m.to_coo());
+        assert_eq!(m, rebuilt);
+    }
+
+    #[test]
+    fn row_sums_are_value_sums() {
+        let m = sample();
+        assert_eq!(m.row_sums(), vec![3.0, 0.0, 3.0]);
+    }
+}

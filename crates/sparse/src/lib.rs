@@ -1,0 +1,21 @@
+//! Sparse matrix algebra for the GraphAug reproduction.
+//!
+//! This crate provides a compact CSR (compressed sparse row) matrix type and
+//! the graph-normalization routines used throughout the workspace:
+//!
+//! * [`Csr`] — an immutable CSR matrix over `f32` values with builders from
+//!   COO triplets, transposition, sparse×dense products, and per-pattern
+//!   value replacement (used by the differentiable edge-weighted message
+//!   passing in `graphaug-tensor`).
+//! * [`norm`] — symmetric Laplacian normalization `D^{-1/2}(A+I)D^{-1/2}` and
+//!   the bipartite user–item adjacency construction from interaction edges.
+//!
+//! The implementation favours allocation-free inner loops: `spmm` walks row
+//! slices and writes into a caller-shaped output buffer, which keeps it on the
+//! hot path of every GNN forward/backward pass without churn.
+
+pub mod csr;
+pub mod norm;
+
+pub use csr::Csr;
+pub use norm::{bipartite_adjacency, sym_norm, sym_norm_weights};

@@ -1,0 +1,84 @@
+//! Property-based tests for the CSR invariants and algebra.
+
+use graphaug_sparse::{bipartite_adjacency, sym_norm, Csr};
+use proptest::prelude::*;
+
+/// Strategy: a random COO triplet list within an `r × c` bound.
+fn coo(max_r: usize, max_c: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    prop::collection::vec(
+        (
+            0..max_r as u32,
+            0..max_c as u32,
+            prop::num::f32::NORMAL.prop_map(|v| v.clamp(-10.0, 10.0)),
+        ),
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn from_coo_always_satisfies_invariants(t in coo(8, 9)) {
+        let m = Csr::from_coo(8, 9, t);
+        prop_assert!(m.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn transpose_is_involutive(t in coo(7, 5)) {
+        let m = Csr::from_coo(7, 5, t);
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn nnz_bounded_by_triplet_count(t in coo(6, 6)) {
+        let n = t.len();
+        let m = Csr::from_coo(6, 6, t);
+        prop_assert!(m.nnz() <= n);
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference(t in coo(5, 4), dense in prop::collection::vec(-5.0f32..5.0, 4 * 3)) {
+        let m = Csr::from_coo(5, 4, t);
+        let got = m.spmm(&dense, 3);
+        let dm = m.to_dense();
+        for r in 0..5 {
+            for k in 0..3 {
+                let want: f32 = (0..4).map(|c| dm[r * 4 + c] * dense[c * 3 + k]).sum();
+                prop_assert!((got[r * 3 + k] - want).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_is_linear(t in coo(5, 4), x in prop::collection::vec(-3.0f32..3.0, 4), y in prop::collection::vec(-3.0f32..3.0, 4)) {
+        let m = Csr::from_coo(5, 4, t);
+        let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = m.spmv(&sum);
+        let (mx, my) = (m.spmv(&x), m.spmv(&y));
+        for i in 0..5 {
+            prop_assert!((lhs[i] - (mx[i] + my[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sym_norm_is_symmetric(edges in prop::collection::vec((0..5u32, 0..6u32), 1..30)) {
+        let adj = bipartite_adjacency(5, 6, &edges);
+        let n = sym_norm(&adj, true);
+        let d = n.to_dense();
+        let dim = 11;
+        for r in 0..dim {
+            for c in 0..dim {
+                prop_assert!((d[r * dim + c] - d[c * dim + r]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_adjacency_degree_matches_edge_multiset(edges in prop::collection::vec((0..4u32, 0..4u32), 0..20)) {
+        use std::collections::HashSet;
+        let uniq: HashSet<_> = edges.iter().copied().collect();
+        let adj = bipartite_adjacency(4, 4, &edges);
+        // Each unique undirected edge contributes 2 stored entries.
+        prop_assert_eq!(adj.nnz(), uniq.len() * 2);
+    }
+}

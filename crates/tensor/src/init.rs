@@ -1,0 +1,70 @@
+//! Seeded weight initializers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::mat::Mat;
+
+/// Xavier/Glorot-uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Mat::from_fn(rows, cols, |_, _| rng.random_range(-a..a))
+}
+
+/// Scaled normal initialization `N(0, std²)` (Box–Muller from the seeded rng).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| {
+        let u1: f32 = rng.random_range(1e-7f32..1.0);
+        let u2: f32 = rng.random_range(0.0f32..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
+    })
+}
+
+/// Convenience constructor for a seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Near-identity initialization for hop-combination weights: an
+/// `(n_blocks·d) × d` matrix whose `d × d` blocks are `I / n_blocks` plus
+/// small uniform noise.
+///
+/// A GNN layer `H ← δ([Ã⁰H | Ã¹H | …] W)` initialized this way starts as
+/// plain hop *averaging* (LightGCN-like propagation) and lets training
+/// refine the mixture — random init instead scrambles the embedding space
+/// at every layer and costs most of the optimization budget to undo.
+pub fn identity_blocks(n_blocks: usize, d: usize, noise: f32, rng: &mut StdRng) -> Mat {
+    assert!(n_blocks >= 1);
+    let scale = 1.0 / n_blocks as f32;
+    Mat::from_fn(n_blocks * d, d, |r, c| {
+        let base = if r % d == c { scale } else { 0.0 };
+        base + rng.random_range(-noise..noise)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound_and_seed() {
+        let mut rng = seeded_rng(7);
+        let m = xavier_uniform(10, 30, &mut rng);
+        let a = (6.0 / 40.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v > -a && v < a));
+        let mut rng2 = seeded_rng(7);
+        assert_eq!(m, xavier_uniform(10, 30, &mut rng2));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = seeded_rng(11);
+        let m = normal(100, 100, 0.5, &mut rng);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+}

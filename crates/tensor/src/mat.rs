@@ -1,0 +1,306 @@
+//! Dense row-major `f32` matrices.
+//!
+//! `Mat` is the single dense container used by the autodiff tape, the
+//! optimizers, and every model in the workspace. It is deliberately simple —
+//! a shape plus a `Vec<f32>` — with the handful of BLAS-like kernels the
+//! GNN training loop needs (`matmul`, `matmul_nt`, `matmul_tn`) written as
+//! allocation-free ikj loops over row slices.
+
+/// A dense `rows × cols` matrix stored in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-`v` matrix.
+    pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
+        Mat { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Mat { rows, cols, data }
+    }
+
+    /// Builds a matrix element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// A 1×1 matrix holding a scalar.
+    pub fn scalar(v: f32) -> Self {
+        Mat::from_vec(1, 1, vec![v])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Single scalar value of a 1×1 matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two equal-shaped matrices.
+    pub fn zip_map(&self, other: &Mat, f: impl Fn(f32, f32) -> f32) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self += alpha * other` in place.
+    pub fn add_assign_scaled(&mut self, other: &Mat, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_assign_scaled shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Dense matmul `self × other` with ikj loop ordering (cache-friendly,
+    /// branch-free inner loop over contiguous rows).
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (n, m) = (self.rows, other.cols);
+        let mut out = vec![0f32; n * m];
+        for i in 0..n {
+            let arow = self.row(i);
+            let orow = &mut out[i * m..(i + 1) * m];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Mat { rows: n, cols: m, data: out }
+    }
+
+    /// `self × otherᵀ` — rows of both operands are contiguous, so this is a
+    /// row-dot-row kernel.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
+        let (n, m) = (self.rows, other.rows);
+        let mut out = vec![0f32; n * m];
+        for i in 0..n {
+            let arow = self.row(i);
+            for j in 0..m {
+                let brow = other.row(j);
+                let mut acc = 0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out[i * m + j] = acc;
+            }
+        }
+        Mat { rows: n, cols: m, data: out }
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(self.rows, other.rows, "matmul_tn inner dimension mismatch");
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0f32; n * m];
+        for kk in 0..k {
+            let arow = self.row(kk);
+            let brow = other.row(kk);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * m..(i + 1) * m];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Mat { rows: n, cols: m, data: out }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Maximum absolute element (0 for empty matrices).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let m = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(Mat::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose() {
+        let a = Mat::from_fn(3, 4, |r, c| (r + c) as f32 * 0.3 - 1.0);
+        let b = Mat::from_fn(2, 4, |r, c| (r * c) as f32 * 0.1 + 0.5);
+        let got = a.matmul_nt(&b);
+        let want = a.matmul(&b.transpose());
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let a = Mat::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.25);
+        let b = Mat::from_fn(4, 2, |r, c| (r + 2 * c) as f32 * 0.5);
+        let got = a.matmul_tn(&b);
+        let want = a.transpose().matmul(&b);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Mat::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_assign_scaled_accumulates() {
+        let mut a = Mat::filled(2, 2, 1.0);
+        let b = Mat::filled(2, 2, 2.0);
+        a.add_assign_scaled(&b, 0.5);
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn frob_sq_and_max_abs() {
+        let m = Mat::from_vec(1, 3, vec![3.0, -4.0, 0.0]);
+        assert_eq!(m.frob_sq(), 25.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        Mat::zeros(2, 3).matmul(&Mat::zeros(2, 3));
+    }
+}

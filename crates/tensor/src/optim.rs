@@ -1,0 +1,212 @@
+//! Parameter storage and first-order optimizers.
+//!
+//! Parameters live in a [`ParamStore`] that outlives the per-step tapes.
+//! Each training step snapshots parameters onto the tape with
+//! [`ParamStore::node`], runs forward/backward, and then applies the
+//! collected gradients with [`ParamStore::apply_grads`].
+
+use crate::mat::Mat;
+use crate::tape::{Graph, NodeId};
+
+/// Identifier of a stored parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+struct ParamSlot {
+    value: Mat,
+    /// Adam first moment.
+    m: Mat,
+    /// Adam second moment.
+    v: Mat,
+}
+
+/// Optimizer choice for [`ParamStore::apply_grads`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Optimizer {
+    /// Vanilla stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam with the usual bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (typically 0.9).
+        beta1: f32,
+        /// Second-moment decay (typically 0.999).
+        beta2: f32,
+        /// Denominator fuzz (typically 1e-8).
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with standard hyperparameters at the given learning rate.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Plain SGD at the given learning rate.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr }
+    }
+}
+
+/// Holds model parameters and their optimizer state across steps.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+    /// Global step counter (for Adam bias correction).
+    t: u64,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore { slots: Vec::new(), t: 0 }
+    }
+
+    /// Registers a parameter, returning its id.
+    pub fn register(&mut self, value: Mat) -> ParamId {
+        let (r, c) = value.shape();
+        self.slots.push(ParamSlot { value, m: Mat::zeros(r, c), v: Mat::zeros(r, c) });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Mat {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access (e.g. for loading pretrained values in tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Mat {
+        &mut self.slots[id.0].value
+    }
+
+    /// Snapshots the parameter onto a tape as a leaf node.
+    pub fn node(&self, g: &mut Graph, id: ParamId) -> NodeId {
+        g.constant(self.slots[id.0].value.clone())
+    }
+
+    /// Total number of scalar parameters (for cost reporting).
+    pub fn scalar_count(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// Sum of squared Frobenius norms of all parameters (weight-decay term).
+    pub fn frob_sq_total(&self) -> f32 {
+        self.slots.iter().map(|s| s.value.frob_sq()).sum()
+    }
+
+    /// Applies one optimizer step for the given `(param, tape-node)` pairs,
+    /// reading gradients from `graph`. Parameters whose node received no
+    /// gradient are left untouched. Advances the shared step counter once.
+    pub fn apply_grads(&mut self, graph: &Graph, pairs: &[(ParamId, NodeId)], opt: Optimizer) {
+        self.t += 1;
+        for &(pid, nid) in pairs {
+            let Some(grad) = graph.grad(nid) else { continue };
+            self.step_one(pid, grad, opt);
+        }
+    }
+
+    /// Applies one optimizer update to a single parameter from an explicit
+    /// gradient matrix.
+    pub fn step_one(&mut self, id: ParamId, grad: &Mat, opt: Optimizer) {
+        let slot = &mut self.slots[id.0];
+        assert_eq!(slot.value.shape(), grad.shape(), "gradient shape mismatch");
+        match opt {
+            Optimizer::Sgd { lr } => {
+                slot.value.add_assign_scaled(grad, -lr);
+            }
+            Optimizer::Adam { lr, beta1, beta2, eps } => {
+                let t = self.t.max(1) as i32;
+                let bc1 = 1.0 - beta1.powi(t);
+                let bc2 = 1.0 - beta2.powi(t);
+                let val = slot.value.as_mut_slice();
+                let m = slot.m.as_mut_slice();
+                let v = slot.v.as_mut_slice();
+                for i in 0..val.len() {
+                    let gi = grad.as_slice()[i];
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+                    let mhat = m[i] / bc1;
+                    let vhat = v[i] / bc2;
+                    val[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut store = ParamStore::new();
+        let p = store.register(Mat::scalar(1.0));
+        store.t = 1;
+        store.step_one(p, &Mat::scalar(0.5), Optimizer::sgd(0.1));
+        assert!((store.value(p).item() - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize f(x) = (x - 3)^2 with analytic gradient 2(x-3).
+        let mut store = ParamStore::new();
+        let p = store.register(Mat::scalar(0.0));
+        for _ in 0..600 {
+            store.t += 1;
+            let x = store.value(p).item();
+            let g = Mat::scalar(2.0 * (x - 3.0));
+            store.step_one(p, &g, Optimizer::adam(0.05));
+        }
+        assert!((store.value(p).item() - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn apply_grads_skips_untouched_params() {
+        let mut store = ParamStore::new();
+        let p = store.register(Mat::scalar(2.0));
+        let mut g = Graph::new();
+        let node = store.node(&mut g, p);
+        // No backward ran: node has no gradient.
+        store.apply_grads(&g, &[(p, node)], Optimizer::sgd(1.0));
+        assert_eq!(store.value(p).item(), 2.0);
+    }
+
+    #[test]
+    fn apply_grads_uses_tape_gradients() {
+        let mut store = ParamStore::new();
+        let p = store.register(Mat::scalar(2.0));
+        let mut g = Graph::new();
+        let node = store.node(&mut g, p);
+        let sq = g.square(node);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        store.apply_grads(&g, &[(p, node)], Optimizer::sgd(0.25));
+        // d(x^2)/dx = 4 at x = 2; new x = 2 - 0.25*4 = 1.
+        assert!((store.value(p).item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_count_and_frob() {
+        let mut store = ParamStore::new();
+        store.register(Mat::filled(2, 3, 1.0));
+        store.register(Mat::filled(1, 4, 2.0));
+        assert_eq!(store.scalar_count(), 10);
+        assert!((store.frob_sq_total() - (6.0 + 16.0)).abs() < 1e-6);
+    }
+}

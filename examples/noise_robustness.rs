@@ -1,0 +1,45 @@
+//! Noise robustness demo (the paper's Fig. 3 scenario at example scale):
+//! corrupt the training graph with fake edges and compare how much
+//! GraphAug and LightGCN degrade.
+//!
+//! ```text
+//! cargo run --release -p graphaug-bench --example noise_robustness
+//! ```
+
+use graphaug_baselines::{BaselineOpts, GnnCf, Trainable};
+use graphaug_core::{GraphAug, GraphAugConfig};
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_eval::evaluate;
+use graphaug_graph::{inject_fake_edges, TrainTestSplit};
+
+fn main() {
+    let data = generate(&SyntheticConfig::new(250, 200, 4_000).clusters(8).seed(5));
+    let clean = TrainTestSplit::per_user(&data, 0.2, 5);
+
+    println!("noise   GraphAug R@20   LightGCN R@20");
+    let mut base: Option<(f64, f64)> = None;
+    for ratio in [0.0f64, 0.1, 0.2, 0.3] {
+        // Corrupt only the training topology; evaluation stays clean.
+        let noisy = TrainTestSplit {
+            train: inject_fake_edges(&clean.train, ratio, 99),
+            test: clean.test.clone(),
+        };
+
+        let mut ga = GraphAug::new(GraphAugConfig::new().epochs(18).seed(3), &noisy.train);
+        ga.fit();
+        let ga_r = evaluate(&ga, &noisy, &[20]).recall(20);
+
+        let mut lg = GnnCf::lightgcn(BaselineOpts::default().epochs(18).seed(3), &noisy.train);
+        lg.fit();
+        let lg_r = evaluate(&lg, &noisy, &[20]).recall(20);
+
+        let (g0, l0) = *base.get_or_insert((ga_r, lg_r));
+        println!(
+            "{ratio:.2}    {ga_r:.4} ({:+.1}%)   {lg_r:.4} ({:+.1}%)",
+            100.0 * (ga_r - g0) / g0,
+            100.0 * (lg_r - l0) / l0,
+        );
+    }
+    println!("\nGraphAug's GIB-regularized augmentor should lose less accuracy as");
+    println!("the noise ratio grows — the paper's Figure 3 claim.");
+}
