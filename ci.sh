@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Offline tier-1 CI gate for the GraphAug workspace.
+#
+# The workspace is hermetic: every dependency is a local path crate, so the
+# whole gate runs with the network hard-disabled. Any accidental
+# reintroduction of a registry dependency fails loudly at resolution time
+# instead of silently fetching.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# Hard-disable the network for every cargo invocation below.
+export CARGO_NET_OFFLINE=true
+
+stage() { printf '\n==> %s\n' "$*"; }
+
+stage "cargo fmt --check"
+cargo fmt --all -- --check
+
+stage "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+stage "cargo build --release --offline"
+cargo build --release --offline
+
+stage "cargo test -q --offline"
+cargo test -q --offline
+
+stage "dependency hermeticity check"
+# No crate manifest may declare a non-path external dependency.
+if grep -rEn '^\s*(rand|proptest|criterion)\s*=' crates/*/Cargo.toml; then
+    echo "ERROR: external registry dependency found in a crate manifest" >&2
+    exit 1
+fi
+echo "ok: all dependencies are local path crates"
+
+printf '\nCI gate passed.\n'

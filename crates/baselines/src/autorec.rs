@@ -8,7 +8,6 @@ use graphaug_eval::Recommender;
 use graphaug_graph::InteractionGraph;
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, Optimizer, ParamId, ParamStore};
-use rand::Rng;
 use std::rc::Rc;
 
 use crate::common::{interaction_rows, BaselineOpts, Trainable};
@@ -22,7 +21,7 @@ pub struct AutoRec {
     p_b1: ParamId,
     p_w2: ParamId,
     p_b2: ParamId,
-    rng: rand::rngs::StdRng,
+    rng: graphaug_rng::StdRng,
 }
 
 impl AutoRec {
@@ -94,8 +93,9 @@ impl Trainable for AutoRec {
         let empty_i = Mat::zeros(self.train.n_items(), 1);
         for epoch in 0..self.opts.epochs {
             for _ in 0..self.opts.steps_per_epoch {
-                let users: Vec<u32> =
-                    (0..batch).map(|_| self.rng.random_range(0..n_users as u32)).collect();
+                let users: Vec<u32> = (0..batch)
+                    .map(|_| self.rng.random_range(0..n_users as u32))
+                    .collect();
                 let rows = interaction_rows(&self.train, &users);
                 // Observed entries weigh 1, unobserved 0.05 (implicit
                 // negatives keep the decoder from saturating).

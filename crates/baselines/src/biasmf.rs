@@ -12,7 +12,9 @@ use graphaug_graph::InteractionGraph;
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, NodeId, ParamId};
 
-use crate::common::{impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts, CfCore, CfModel};
+use crate::common::{
+    impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts, CfCore, CfModel,
+};
 
 /// The BiasMF model.
 pub struct BiasMf {
@@ -35,7 +37,13 @@ impl BiasMf {
         let nu = train.n_users();
         let user_mask = Rc::new(Mat::from_fn(n, 1, |r, _| if r < nu { 1.0 } else { 0.0 }));
         let item_mask = Rc::new(Mat::from_fn(n, 1, |r, _| if r >= nu { 1.0 } else { 0.0 }));
-        let mut m = BiasMf { core, p_emb, p_bias, user_mask, item_mask };
+        let mut m = BiasMf {
+            core,
+            p_emb,
+            p_bias,
+            user_mask,
+            item_mask,
+        };
         refresh_cf(&mut m);
         m
     }

@@ -10,12 +10,13 @@
 
 use std::rc::Rc;
 
-use graphaug_core::nn::{bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch};
+use graphaug_core::nn::{
+    bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch,
+};
 use graphaug_core::EdgeIndex;
 use graphaug_graph::{InteractionGraph, TripletSampler};
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, NodeId, ParamId};
-use rand::Rng;
 
 use crate::common::{
     impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts, CfCore, CfModel,
@@ -39,12 +40,16 @@ impl Cgi {
     pub fn new(opts: BaselineOpts, train: &InteractionGraph) -> Self {
         let mut core = CfCore::new(opts, train);
         let edge_index = EdgeIndex::build(train);
-        let p_emb = core
-            .store
-            .register(xavier_uniform(train.n_nodes(), core.opts.embed_dim, &mut core.rng));
+        let p_emb = core.store.register(xavier_uniform(
+            train.n_nodes(),
+            core.opts.embed_dim,
+            &mut core.rng,
+        ));
         // Initialize logits at +1 (keep-biased) so early training sees most
         // of the graph.
-        let p_edge_logits = core.store.register(Mat::filled(edge_index.n_edges(), 1, 1.0));
+        let p_edge_logits = core
+            .store
+            .register(Mat::filled(edge_index.n_edges(), 1, 1.0));
         let mut m = Cgi {
             core,
             edge_index,
@@ -72,10 +77,7 @@ impl Cgi {
     fn sampled_view(&mut self, g: &mut Graph, logits: NodeId, emb: NodeId) -> NodeId {
         let e = self.edge_index.n_edges();
         let rng = &mut self.core.rng;
-        let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| {
-            let u: f32 = rng.random_range(1e-6f32..(1.0 - 1e-6));
-            (u / (1.0 - u)).ln()
-        }));
+        let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| rng.logistic_f32()));
         let noisy = g.add_const(logits, gumbel);
         let sharp = g.scale(noisy, 1.0 / self.gumbel_temperature);
         let soft = g.sigmoid(sharp);

@@ -2,8 +2,7 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use graphaug_rng::StdRng;
 
 use graphaug_core::GraphAug;
 use graphaug_eval::Recommender;
@@ -163,13 +162,13 @@ pub fn kmeans(data: &Mat, k: usize, iters: usize, seed: u64) -> (Vec<usize>, Mat
         order.swap(i, j);
     }
     let mut centroids = Mat::zeros(k, d);
-    for c in 0..k {
-        centroids.row_mut(c).copy_from_slice(data.row(order[c]));
+    for (c, &row) in order.iter().enumerate().take(k) {
+        centroids.row_mut(c).copy_from_slice(data.row(row));
     }
     let mut assign = vec![0usize; n];
     for _ in 0..iters {
         // Assignment step.
-        for r in 0..n {
+        for (r, a) in assign.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f32::INFINITY;
             for c in 0..k {
@@ -184,7 +183,7 @@ pub fn kmeans(data: &Mat, k: usize, iters: usize, seed: u64) -> (Vec<usize>, Mat
                     best = c;
                 }
             }
-            assign[r] = best;
+            *a = best;
         }
         // Update step.
         let mut counts = vec![0usize; k];
@@ -196,12 +195,12 @@ pub fn kmeans(data: &Mat, k: usize, iters: usize, seed: u64) -> (Vec<usize>, Mat
                 *o += x;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 let j = rng.random_range(0..n);
                 centroids.row_mut(c).copy_from_slice(data.row(j));
             } else {
-                let inv = 1.0 / counts[c] as f32;
+                let inv = 1.0 / count as f32;
                 let crow = centroids.row_mut(c);
                 for (o, &s) in crow.iter_mut().zip(sums.row(c)) {
                     *o = s * inv;
@@ -235,72 +234,6 @@ pub fn softmax_cols(g: &mut Graph, x: NodeId, k: usize) -> Vec<NodeId> {
             g.exp(diff)
         })
         .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn split_embeddings_partitions_rows() {
-        let all = Mat::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
-        let (u, i) = split_embeddings(&all, 2, 3);
-        assert_eq!(u.shape(), (2, 2));
-        assert_eq!(i.shape(), (3, 2));
-        assert_eq!(i.get(0, 0), 4.0);
-    }
-
-    #[test]
-    fn edge_dropout_pairs_directions() {
-        let dir_to_undir = vec![0u32, 1, 0, 1];
-        let norm = Mat::filled(4, 1, 0.5);
-        let mut rng = graphaug_tensor::init::seeded_rng(3);
-        let w = edge_dropout_weights(2, &dir_to_undir, &norm, 0.5, &mut rng);
-        // Directed copies of the same undirected edge share fate.
-        assert_eq!(w.get(0, 0) == 0.0, w.get(2, 0) == 0.0);
-        assert_eq!(w.get(1, 0) == 0.0, w.get(3, 0) == 0.0);
-    }
-
-    #[test]
-    fn edge_dropout_scales_kept_edges() {
-        let dir_to_undir = vec![0u32];
-        let norm = Mat::filled(1, 1, 0.4);
-        let mut rng = graphaug_tensor::init::seeded_rng(1);
-        let w = edge_dropout_weights(1, &dir_to_undir, &norm, 1.0, &mut rng);
-        assert!((w.get(0, 0) - 0.4).abs() < 1e-6);
-    }
-
-    #[test]
-    fn kmeans_separates_two_blobs() {
-        let data = Mat::from_fn(20, 2, |r, _| if r < 10 { 0.0 } else { 10.0 });
-        let (assign, centroids) = kmeans(&data, 2, 10, 5);
-        assert_ne!(assign[0], assign[19]);
-        assert!(assign[..10].iter().all(|&a| a == assign[0]));
-        assert!(assign[10..].iter().all(|&a| a == assign[19]));
-        let lo = centroids.get(assign[0], 0);
-        let hi = centroids.get(assign[19], 0);
-        assert!((lo - 0.0).abs() < 1.0 && (hi - 10.0).abs() < 1.0);
-    }
-
-    #[test]
-    fn interaction_rows_are_binary() {
-        let g = InteractionGraph::new(2, 4, vec![(0, 1), (1, 3)]);
-        let m = interaction_rows(&g, &[0, 1]);
-        assert_eq!(m.get(0, 1), 1.0);
-        assert_eq!(m.get(1, 3), 1.0);
-        assert_eq!(m.as_slice().iter().sum::<f32>(), 2.0);
-    }
-
-    #[test]
-    fn softmax_cols_sums_to_one() {
-        let mut g = Graph::new();
-        let x = g.constant(Mat::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.7));
-        let cols = softmax_cols(&mut g, x, 4);
-        for r in 0..3 {
-            let total: f32 = cols.iter().map(|&c| g.value(c).get(r, 0)).sum();
-            assert!((total - 1.0).abs() < 1e-5);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -423,9 +356,7 @@ macro_rules! impl_recommender_trainable {
             fn name(&self) -> &str {
                 self.model_name()
             }
-            fn embeddings(
-                &self,
-            ) -> Option<(&graphaug_tensor::Mat, &graphaug_tensor::Mat)> {
+            fn embeddings(&self) -> Option<(&graphaug_tensor::Mat, &graphaug_tensor::Mat)> {
                 let c = self.core();
                 Some((&c.user_emb, &c.item_emb))
             }
@@ -441,3 +372,69 @@ macro_rules! impl_recommender_trainable {
     };
 }
 pub(crate) use impl_recommender_trainable;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_embeddings_partitions_rows() {
+        let all = Mat::from_fn(5, 2, |r, c| (r * 2 + c) as f32);
+        let (u, i) = split_embeddings(&all, 2, 3);
+        assert_eq!(u.shape(), (2, 2));
+        assert_eq!(i.shape(), (3, 2));
+        assert_eq!(i.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn edge_dropout_pairs_directions() {
+        let dir_to_undir = vec![0u32, 1, 0, 1];
+        let norm = Mat::filled(4, 1, 0.5);
+        let mut rng = graphaug_tensor::init::seeded_rng(3);
+        let w = edge_dropout_weights(2, &dir_to_undir, &norm, 0.5, &mut rng);
+        // Directed copies of the same undirected edge share fate.
+        assert_eq!(w.get(0, 0) == 0.0, w.get(2, 0) == 0.0);
+        assert_eq!(w.get(1, 0) == 0.0, w.get(3, 0) == 0.0);
+    }
+
+    #[test]
+    fn edge_dropout_scales_kept_edges() {
+        let dir_to_undir = vec![0u32];
+        let norm = Mat::filled(1, 1, 0.4);
+        let mut rng = graphaug_tensor::init::seeded_rng(1);
+        let w = edge_dropout_weights(1, &dir_to_undir, &norm, 1.0, &mut rng);
+        assert!((w.get(0, 0) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let data = Mat::from_fn(20, 2, |r, _| if r < 10 { 0.0 } else { 10.0 });
+        let (assign, centroids) = kmeans(&data, 2, 10, 5);
+        assert_ne!(assign[0], assign[19]);
+        assert!(assign[..10].iter().all(|&a| a == assign[0]));
+        assert!(assign[10..].iter().all(|&a| a == assign[19]));
+        let lo = centroids.get(assign[0], 0);
+        let hi = centroids.get(assign[19], 0);
+        assert!((lo - 0.0).abs() < 1.0 && (hi - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn interaction_rows_are_binary() {
+        let g = InteractionGraph::new(2, 4, vec![(0, 1), (1, 3)]);
+        let m = interaction_rows(&g, &[0, 1]);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 3), 1.0);
+        assert_eq!(m.as_slice().iter().sum::<f32>(), 2.0);
+    }
+
+    #[test]
+    fn softmax_cols_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.constant(Mat::from_fn(3, 4, |r, c| (r as f32 - c as f32) * 0.7));
+        let cols = softmax_cols(&mut g, x, 4);
+        for r in 0..3 {
+            let total: f32 = cols.iter().map(|&c| g.value(c).get(r, 0)).sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -11,12 +11,13 @@
 
 use std::rc::Rc;
 
-use graphaug_core::nn::{bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch};
+use graphaug_core::nn::{
+    bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch,
+};
 use graphaug_core::EdgeIndex;
 use graphaug_graph::{InteractionGraph, TripletSampler};
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, NodeId, ParamId};
-use rand::Rng;
 
 use crate::common::{
     edge_dropout_weights, impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts,
@@ -50,9 +51,11 @@ impl SlRec {
     /// Initializes SLRec.
     pub fn new(opts: BaselineOpts, train: &InteractionGraph) -> Self {
         let mut core = CfCore::new(opts, train);
-        let p_emb = core
-            .store
-            .register(xavier_uniform(train.n_nodes(), core.opts.embed_dim, &mut core.rng));
+        let p_emb = core.store.register(xavier_uniform(
+            train.n_nodes(),
+            core.opts.embed_dim,
+            &mut core.rng,
+        ));
         let mut m = SlRec { core, p_emb };
         refresh_cf(&mut m);
         m
@@ -133,9 +136,11 @@ impl EdgeClCf {
     /// Initializes the chosen variant.
     pub fn new(kind: EdgeClKind, opts: BaselineOpts, train: &InteractionGraph) -> Self {
         let mut core = CfCore::new(opts, train);
-        let p_emb = core
-            .store
-            .register(xavier_uniform(train.n_nodes(), core.opts.embed_dim, &mut core.rng));
+        let p_emb = core.store.register(xavier_uniform(
+            train.n_nodes(),
+            core.opts.embed_dim,
+            &mut core.rng,
+        ));
         let mut m = EdgeClCf {
             edge_index: EdgeIndex::build(train),
             core,

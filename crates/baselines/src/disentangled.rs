@@ -42,11 +42,16 @@ pub struct DisenCf {
 impl DisenCf {
     /// Initializes the chosen variant.
     pub fn new(kind: DisenKind, opts: BaselineOpts, train: &InteractionGraph) -> Self {
-        assert!(opts.embed_dim % 4 == 0, "embed_dim must be divisible by 4 factors");
+        assert!(
+            opts.embed_dim.is_multiple_of(4),
+            "embed_dim must be divisible by 4 factors"
+        );
         let mut core = CfCore::new(opts, train);
-        let p_emb = core
-            .store
-            .register(xavier_uniform(train.n_nodes(), core.opts.embed_dim, &mut core.rng));
+        let p_emb = core.store.register(xavier_uniform(
+            train.n_nodes(),
+            core.opts.embed_dim,
+            &mut core.rng,
+        ));
         let mut m = DisenCf {
             edge_index: EdgeIndex::build(train),
             core,
@@ -199,6 +204,9 @@ mod tests {
             DisenCf::disengcn(BaselineOpts::fast_test(), &s.train).name(),
             "DisenGCN"
         );
-        assert_eq!(DisenCf::dgcf(BaselineOpts::fast_test(), &s.train).name(), "DGCF");
+        assert_eq!(
+            DisenCf::dgcf(BaselineOpts::fast_test(), &s.train).name(),
+            "DGCF"
+        );
     }
 }

@@ -17,7 +17,6 @@ use graphaug_core::nn::{bpr_loss, lightgcn_propagate, BprBatch};
 use graphaug_graph::InteractionGraph;
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, NodeId, ParamId};
-use rand::Rng;
 
 use crate::common::{
     impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts, CfCore, CfModel,
@@ -41,7 +40,12 @@ impl Mhcn {
             .register(xavier_uniform(train.n_nodes(), d, &mut core.rng));
         let p_w1 = core.store.register(xavier_uniform(d, d, &mut core.rng));
         let p_w2 = core.store.register(xavier_uniform(d, d, &mut core.rng));
-        let mut m = Mhcn { core, p_emb, p_w1, p_w2 };
+        let mut m = Mhcn {
+            core,
+            p_emb,
+            p_w1,
+            p_w2,
+        };
         refresh_cf(&mut m);
         m
     }

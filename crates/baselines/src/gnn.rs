@@ -72,7 +72,11 @@ impl GnnCf {
     pub fn new(kind: GnnKind, opts: BaselineOpts, train: &InteractionGraph) -> Self {
         let mut core = CfCore::new(opts, train);
         let d = core.opts.embed_dim;
-        let layers = if kind == GnnKind::GcMc { 1 } else { core.opts.layers };
+        let layers = if kind == GnnKind::GcMc {
+            1
+        } else {
+            core.opts.layers
+        };
         let p_emb = core
             .store
             .register(xavier_uniform(train.n_nodes(), d, &mut core.rng));
@@ -84,7 +88,12 @@ impl GnnCf {
                     .collect()
             })
             .collect();
-        let mut m = GnnCf { core, kind, p_emb, p_weights };
+        let mut m = GnnCf {
+            core,
+            kind,
+            p_emb,
+            p_weights,
+        };
         refresh_cf(&mut m);
         m
     }
@@ -259,7 +268,10 @@ mod tests {
     #[test]
     fn names_match_paper_labels() {
         let s = split();
-        assert_eq!(GnnCf::gcmc(BaselineOpts::fast_test(), &s.train).name(), "GCMC");
+        assert_eq!(
+            GnnCf::gcmc(BaselineOpts::fast_test(), &s.train).name(),
+            "GCMC"
+        );
         assert_eq!(
             GnnCf::lightgcn(BaselineOpts::fast_test(), &s.train).name(),
             "LightGCN"

@@ -12,7 +12,6 @@ use graphaug_core::nn::{bpr_loss, infonce_loss, lightgcn_propagate, BprBatch};
 use graphaug_graph::{InteractionGraph, TripletSampler};
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, NodeId, ParamId};
-use rand::Rng;
 
 use crate::common::{
     impl_recommender_trainable, refresh_cf, with_weight_decay, BaselineOpts, CfCore, CfModel,
@@ -36,7 +35,12 @@ impl Hccf {
             .store
             .register(xavier_uniform(train.n_nodes(), d, &mut core.rng));
         let p_hyper = core.store.register(xavier_uniform(d, k, &mut core.rng));
-        let mut m = Hccf { core, p_emb, p_hyper, n_hyperedges: k };
+        let mut m = Hccf {
+            core,
+            p_emb,
+            p_hyper,
+            n_hyperedges: k,
+        };
         refresh_cf(&mut m);
         m
     }

@@ -165,10 +165,8 @@ impl Trainable for Ncf {
                 let w2 = self.store.node(&mut g, self.p_w2);
                 let b2 = self.store.node(&mut g, self.p_b2);
                 let out = self.store.node(&mut g, self.p_out);
-                let s_pos =
-                    self.score_node(&mut g, gmf, mlp, w1, b1, w2, b2, out, &users, &pos);
-                let s_neg =
-                    self.score_node(&mut g, gmf, mlp, w1, b1, w2, b2, out, &users, &neg);
+                let s_pos = self.score_node(&mut g, gmf, mlp, w1, b1, w2, b2, out, &users, &pos);
+                let s_neg = self.score_node(&mut g, gmf, mlp, w1, b1, w2, b2, out, &users, &neg);
                 let margin = g.sub(s_neg, s_pos);
                 let sp = g.softplus(margin);
                 let loss = g.mean_all(sp);

@@ -16,7 +16,6 @@ use graphaug_core::nn::{bpr_loss, infonce_loss, BprBatch};
 use graphaug_graph::{InteractionGraph, TripletSampler};
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, NodeId, ParamId};
-use rand::Rng;
 
 use crate::common::{
     impl_recommender_trainable, kmeans, refresh_cf, with_weight_decay, BaselineOpts, CfCore,
@@ -43,9 +42,11 @@ impl Ncl {
     /// Initializes NCL.
     pub fn new(opts: BaselineOpts, train: &InteractionGraph) -> Self {
         let mut core = CfCore::new(opts, train);
-        let p_emb = core
-            .store
-            .register(xavier_uniform(train.n_nodes(), core.opts.embed_dim, &mut core.rng));
+        let p_emb = core.store.register(xavier_uniform(
+            train.n_nodes(),
+            core.opts.embed_dim,
+            &mut core.rng,
+        ));
         let mut m = Ncl {
             core,
             p_emb,
@@ -155,10 +156,18 @@ impl CfModel for Ncl {
         refresh_cf(self);
         let k_user = self.n_clusters.min(self.core.user_emb.rows());
         let k_item = self.n_clusters.min(self.core.item_emb.rows());
-        self.user_protos =
-            Some(kmeans(&self.core.user_emb, k_user, 5, self.core.opts.seed + epoch as u64));
-        self.item_protos =
-            Some(kmeans(&self.core.item_emb, k_item, 5, self.core.opts.seed + 31 + epoch as u64));
+        self.user_protos = Some(kmeans(
+            &self.core.user_emb,
+            k_user,
+            5,
+            self.core.opts.seed + epoch as u64,
+        ));
+        self.item_protos = Some(kmeans(
+            &self.core.item_emb,
+            k_item,
+            5,
+            self.core.opts.seed + 31 + epoch as u64,
+        ));
     }
 }
 

@@ -15,11 +15,7 @@ pub fn model_names() -> Vec<&'static str> {
 
 /// Builds a baseline by its paper name. Panics on an unknown name — the
 /// valid set is [`model_names`].
-pub fn build_model(
-    name: &str,
-    opts: BaselineOpts,
-    train: &InteractionGraph,
-) -> Box<dyn Trainable> {
+pub fn build_model(name: &str, opts: BaselineOpts, train: &InteractionGraph) -> Box<dyn Trainable> {
     match name {
         "BiasMF" => Box::new(BiasMf::new(opts, train)),
         "NCF" => Box::new(Ncf::new(opts, train)),
@@ -39,7 +35,10 @@ pub fn build_model(
         "HCCF" => Box::new(Hccf::new(opts, train)),
         "CGI" => Box::new(Cgi::new(opts, train)),
         "NCL" => Box::new(Ncl::new(opts, train)),
-        other => panic!("unknown baseline {other:?}; valid names: {:?}", model_names()),
+        other => panic!(
+            "unknown baseline {other:?}; valid names: {:?}",
+            model_names()
+        ),
     }
 }
 

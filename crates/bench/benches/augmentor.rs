@@ -1,77 +1,14 @@
-//! Learnable-augmentor benchmarks: edge scoring (MLP over all train edges)
-//! and reparameterized view sampling — the cost GraphAug adds over plain
-//! GCL, and the subject of the differentiable-sampling design choice in
-//! DESIGN.md.
+//! Learnable-augmentor benchmarks: edge scoring and view sampling.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use graphaug_core::augmentor::{edge_logits, sample_view, AugmentorNodes, AugmentorSettings, EdgeIndex};
-use graphaug_data::{generate, SyntheticConfig};
-use graphaug_tensor::init::{seeded_rng, xavier_uniform};
-use graphaug_tensor::{Graph, Mat};
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_augmentor(c: &mut Criterion) {
-    let train = generate(&SyntheticConfig::new(400, 300, 8000).seed(1));
-    let idx = EdgeIndex::build(&train);
-    let d = 32;
-    let h = 16;
-    let mut rng = seeded_rng(2);
-    let h_bar = xavier_uniform(train.n_nodes(), d, &mut rng);
-    let w1 = xavier_uniform(2 * d, h, &mut rng);
-    let w2 = xavier_uniform(h, 1, &mut rng);
-    let settings = AugmentorSettings {
-        gumbel_temperature: 0.5,
-        edge_threshold: 0.2,
-        feature_keep_prob: 0.9,
-        feature_noise_std: 0.1,
-        leaky_slope: 0.5,
-    };
-
-    c.bench_function("edge_logits_8k_edges", |b| {
-        b.iter(|| {
-            let mut g = Graph::new();
-            let hb = g.constant(h_bar.clone());
-            let mlp = AugmentorNodes {
-                w1: g.constant(w1.clone()),
-                b1: g.constant(Mat::zeros(1, h)),
-                w2: g.constant(w2.clone()),
-                b2: g.constant(Mat::zeros(1, 1)),
-            };
-            let mut r = seeded_rng(3);
-            let l = edge_logits(&mut g, hb, &idx, &mlp, &settings, &mut r);
-            black_box(g.value(l).as_slice()[0]);
-        })
-    });
-
-    c.bench_function("sample_view_8k_edges", |b| {
-        let mut g = Graph::new();
-        let hb = g.constant(h_bar.clone());
-        let mlp = AugmentorNodes {
-            w1: g.constant(w1.clone()),
-            b1: g.constant(Mat::zeros(1, h)),
-            w2: g.constant(w2.clone()),
-            b2: g.constant(Mat::zeros(1, 1)),
-        };
-        let mut r = seeded_rng(3);
-        let logits = edge_logits(&mut g, hb, &idx, &mlp, &settings, &mut r);
-        b.iter(|| {
-            let v = sample_view(&mut g, logits, &idx, &settings, &mut r);
-            black_box(v.kept_fraction)
-        })
-    });
+fn main() {
+    let mut h = Harness::new("augmentor");
+    perf::augmentor(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_augmentor
-}
-criterion_main!(benches);

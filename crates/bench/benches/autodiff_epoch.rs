@@ -1,38 +1,14 @@
-//! Full GraphAug training-step benchmark: tape build + forward + backward +
-//! Adam — the unit of cost behind the paper's Table VI timing comparison.
+//! Full GraphAug training-step benchmark (paper Table VI timing).
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_data::{generate, SyntheticConfig};
-use graphaug_graph::TripletSampler;
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_train_step(c: &mut Criterion) {
-    let train = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
-    let mut full = GraphAug::new(GraphAugConfig::new().seed(3), &train);
-    let mut base = GraphAug::new(GraphAugConfig::new().gib(false).cl(false).seed(3), &train);
-    let train2 = train.clone();
-    c.bench_function("graphaug_train_step_full", |b| {
-        let mut sampler = TripletSampler::new(&train2, 5);
-        b.iter(|| black_box(full.train_step(&mut sampler).loss))
-    });
-    c.bench_function("graphaug_train_step_bpr_only", |b| {
-        let mut sampler = TripletSampler::new(&train2, 5);
-        b.iter(|| black_box(base.train_step(&mut sampler).loss))
-    });
+fn main() {
+    let mut h = Harness::new("autodiff_epoch");
+    perf::autodiff_epoch(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_train_step
-}
-criterion_main!(benches);

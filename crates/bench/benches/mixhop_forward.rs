@@ -1,53 +1,14 @@
-//! Mixhop encoder forward pass vs the vanilla-GCN ablation — the ablation
-//! bench for the paper's central encoder design choice (Table III).
+//! Mixhop encoder forward pass vs the vanilla-GCN ablation (Table III).
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use graphaug_core::mixhop::{encode_mixhop, encode_vanilla, mixing_row_shape};
-use graphaug_data::{generate, SyntheticConfig};
-use graphaug_tensor::init::{seeded_rng, xavier_uniform};
-use graphaug_tensor::{Graph, SpPair};
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_encoders(c: &mut Criterion) {
-    let g = generate(&SyntheticConfig::new(400, 300, 8000).seed(1));
-    let adj = SpPair::symmetric(g.normalized_adjacency_plain());
-    let n = g.n_nodes();
-    let d = 32;
-    let mut rng = seeded_rng(2);
-    let h0 = xavier_uniform(n, d, &mut rng);
-    let (mr, mc) = mixing_row_shape(3);
-    let rows: Vec<_> = (0..2).map(|_| xavier_uniform(mr, mc, &mut rng)).collect();
-
-    c.bench_function("mixhop_forward_L2_hops012", |b| {
-        b.iter(|| {
-            let mut tape = Graph::new();
-            let h = tape.constant(h0.clone());
-            let ws: Vec<_> = rows.iter().map(|w| tape.constant(w.clone())).collect();
-            let out = encode_mixhop(&mut tape, &adj, h, &ws, &[0, 1, 2]);
-            black_box(tape.value(out).as_slice()[0]);
-        })
-    });
-    c.bench_function("vanilla_forward_L2", |b| {
-        b.iter(|| {
-            let mut tape = Graph::new();
-            let h = tape.constant(h0.clone());
-            let out = encode_vanilla(&mut tape, &adj, h, 2);
-            black_box(tape.value(out).as_slice()[0]);
-        })
-    });
+fn main() {
+    let mut h = Harness::new("mixhop_forward");
+    perf::mixhop_forward(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_encoders
-}
-criterion_main!(benches);

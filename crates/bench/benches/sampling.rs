@@ -1,33 +1,14 @@
 //! BPR triplet-sampling benchmarks — the per-step data path.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use graphaug_data::{generate, SyntheticConfig};
-use graphaug_graph::TripletSampler;
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_sampling(c: &mut Criterion) {
-    let g = generate(&SyntheticConfig::new(794, 898, 18300).seed(1));
-    c.bench_function("bpr_batch_1024", |b| {
-        let mut s = TripletSampler::new(&g, 7);
-        b.iter(|| black_box(s.sample_batch(1024).0.len()))
-    });
-    c.bench_function("active_users_256", |b| {
-        let mut s = TripletSampler::new(&g, 7);
-        b.iter(|| black_box(s.sample_active_users(256).len()))
-    });
+fn main() {
+    let mut h = Harness::new("sampling");
+    perf::sampling(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_sampling
-}
-criterion_main!(benches);

@@ -1,41 +1,15 @@
 //! Sparse × dense kernel benchmarks — the hot inner loop of every GNN
 //! forward/backward pass in the workspace.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graphaug_data::{generate, SyntheticConfig};
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_spmm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spmm");
-    for (label, users, items, inter) in
-        [("small", 200usize, 150usize, 3000usize), ("gowalla_scale", 794, 898, 18300)]
-    {
-        let g = generate(&SyntheticConfig::new(users, items, inter).seed(1));
-        let adj = g.normalized_adjacency_plain();
-        let d = 32;
-        let dense: Vec<f32> = (0..adj.n_cols() * d).map(|i| (i as f32 * 0.37).sin()).collect();
-        let mut out = vec![0f32; adj.n_rows() * d];
-        group.bench_function(BenchmarkId::new("csr_x_dense_d32", label), |b| {
-            b.iter(|| {
-                adj.spmm_into(black_box(&dense), d, &mut out);
-                black_box(&out);
-            })
-        });
-    }
-    group.finish();
+fn main() {
+    let mut h = Harness::new("spmm");
+    perf::spmm(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_spmm
-}
-criterion_main!(benches);

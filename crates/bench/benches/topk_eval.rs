@@ -1,38 +1,14 @@
-//! Top-K selection and full-ranking evaluation benchmarks — the
-//! measurement side of every experiment.
+//! Top-K selection and full-ranking evaluation benchmarks.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use graphaug_bench::split_graph;
-use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_data::{generate, SyntheticConfig};
-use graphaug_eval::{evaluate, topk_indices};
-use std::hint::black_box;
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
 
-fn bench_topk(c: &mut Criterion) {
-    let scores: Vec<f32> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 9973) as f32).collect();
-    c.bench_function("topk_40_of_10000", |b| {
-        b.iter(|| black_box(topk_indices(black_box(&scores), 40)))
-    });
-
-    let g = generate(&SyntheticConfig::new(300, 250, 5000).seed(1));
-    let split = split_graph(&g);
-    let model = GraphAug::new(GraphAugConfig::new().seed(1), &split.train);
-    c.bench_function("full_ranking_eval_300users", |b| {
-        b.iter(|| black_box(evaluate(&model, &split, &[20, 40]).n_users))
-    });
+fn main() {
+    let mut h = Harness::new("topk_eval");
+    perf::topk_eval(&mut h);
+    h.finish();
 }
-
-fn quick() -> Criterion {
-    // Single-core CI budget: few samples, short measurement windows.
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group! {
-    name = benches;
-    config = quick();
-    targets = bench_topk
-}
-criterion_main!(benches);

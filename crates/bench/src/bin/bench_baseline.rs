@@ -1,0 +1,15 @@
+//! Records the perf-trajectory baseline: the spmm, mixhop_forward, and
+//! augmentor workloads in one process, written as `BENCH_seed.json` so
+//! future PRs have a stable comparison point (run from the repo root:
+//! `cargo run --release --offline -p graphaug-bench --bin bench_baseline`).
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("seed");
+    perf::spmm(&mut h);
+    perf::mixhop_forward(&mut h);
+    perf::augmentor(&mut h);
+    h.finish();
+}

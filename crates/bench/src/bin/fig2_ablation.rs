@@ -12,8 +12,14 @@ fn main() {
         "GraphAug w/o GIB",
         "GraphAug w/o CL",
     ];
-    let mut table =
-        TextTable::new(&["Dataset", "Variant", "Recall@20", "NDCG@20", "Recall@40", "NDCG@40"]);
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "Variant",
+        "Recall@20",
+        "NDCG@20",
+        "Recall@40",
+        "NDCG@40",
+    ]);
     for ds in selected_datasets() {
         let split = prepared_split(ds);
         println!("\n--- {} ---", ds.name());

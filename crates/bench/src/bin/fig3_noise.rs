@@ -13,14 +13,20 @@ fn main() {
     let models = ["GraphAug", "NCL", "LightGCN"];
     let ratios = [0.0f64, 0.05, 0.10, 0.15, 0.20, 0.25];
     let mut table = TextTable::new(&[
-        "Model", "Noise", "Recall@20", "NDCG@20", "Rel Recall drop %", "Rel NDCG drop %",
+        "Model",
+        "Noise",
+        "Recall@20",
+        "NDCG@20",
+        "Rel Recall drop %",
+        "Rel NDCG drop %",
     ]);
     for name in models {
         let mut base: Option<(f64, f64)> = None;
         for &ratio in &ratios {
             // Corrupt only the *training* topology; the clean holdout stays
             // the evaluation target (as in the paper).
-            let noisy_train = inject_fake_edges(&clean_split.train, ratio, 7 + (ratio * 100.0) as u64);
+            let noisy_train =
+                inject_fake_edges(&clean_split.train, ratio, 7 + (ratio * 100.0) as u64);
             let split = graphaug_graph::TrainTestSplit {
                 train: noisy_train,
                 test: clean_split.test.clone(),

@@ -17,7 +17,11 @@ fn main() {
         let mut m = GraphAug::new(graphaug_config().beta_gib(beta), &split.train);
         m.fit();
         let r = evaluate(&m, &split, &KS);
-        println!("beta1 {beta:.0e}: R@20 {:.4}  N@20 {:.4}", r.recall(20), r.ndcg(20));
+        println!(
+            "beta1 {beta:.0e}: R@20 {:.4}  N@20 {:.4}",
+            r.recall(20),
+            r.ndcg(20)
+        );
         table.row(&[
             "beta1".into(),
             format!("{beta:.0e}"),
@@ -31,7 +35,11 @@ fn main() {
         let mut m = GraphAug::new(graphaug_config().temperature(tau), &split.train);
         m.fit();
         let r = evaluate(&m, &split, &KS);
-        println!("tau {tau:.1}: R@20 {:.4}  N@20 {:.4}", r.recall(20), r.ndcg(20));
+        println!(
+            "tau {tau:.1}: R@20 {:.4}  N@20 {:.4}",
+            r.recall(20),
+            r.ndcg(20)
+        );
         table.row(&[
             "tau".into(),
             format!("{tau:.1}"),

@@ -4,7 +4,7 @@
 //! external plotting (the paper uses UMAP; see DESIGN.md for the
 //! substitution rationale).
 
-use graphaug_bench::{banner, prepared_split, run_model, results_dir, write_csv};
+use graphaug_bench::{banner, prepared_split, results_dir, run_model, write_csv};
 use graphaug_data::Dataset;
 use graphaug_eval::{mad, pca_2d, uniformity, TextTable};
 

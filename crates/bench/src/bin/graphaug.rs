@@ -40,15 +40,20 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
         model: "GraphAug".into(),
-        models: vec!["BiasMF".into(), "LightGCN".into(), "SGL".into(), "NCL".into(), "GraphAug".into()],
+        models: vec![
+            "BiasMF".into(),
+            "LightGCN".into(),
+            "SGL".into(),
+            "NCL".into(),
+            "GraphAug".into(),
+        ],
         epochs: None,
         seed: 7,
         top: 10,
     };
     while let Some(a) = raw.next() {
-        let mut value_of = |flag: &str| {
-            raw.next().ok_or_else(|| format!("{flag} requires a value"))
-        };
+        let mut value_of =
+            |flag: &str| raw.next().ok_or_else(|| format!("{flag} requires a value"));
         match a.as_str() {
             "--model" => args.model = value_of("--model")?,
             "--models" => {
@@ -96,7 +101,10 @@ fn set_epochs(epochs: Option<usize>) {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("train needs an edge-list path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("train needs an edge-list path")?;
     let g = load(path)?;
     set_epochs(args.epochs);
     let split = TrainTestSplit::per_user(&g, 0.2, args.seed);
@@ -125,7 +133,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_recommend(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("recommend needs an edge-list path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("recommend needs an edge-list path")?;
     let user: usize = args
         .positional
         .get(1)
@@ -134,7 +145,10 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
         .map_err(|_| "user id must be a dense integer index".to_string())?;
     let g = load(path)?;
     if user >= g.n_users() {
-        return Err(format!("user {user} out of range (dataset has {} users)", g.n_users()));
+        return Err(format!(
+            "user {user} out of range (dataset has {} users)",
+            g.n_users()
+        ));
     }
     set_epochs(args.epochs);
     let mut model = build_any(&args.model, &g);
@@ -144,16 +158,27 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
         scores[v as usize] = f32::NEG_INFINITY;
     }
     let top = topk_indices(&scores, args.top);
-    println!("user {user} has {} observed interactions", g.items_of(user).len());
+    println!(
+        "user {user} has {} observed interactions",
+        g.items_of(user).len()
+    );
     println!("top-{} recommendations ({}):", args.top, args.model);
     for (rank, v) in top.iter().enumerate() {
-        println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, v, scores[*v as usize]);
+        println!(
+            "  {:>2}. item {:>6}  score {:.4}",
+            rank + 1,
+            v,
+            scores[*v as usize]
+        );
     }
     Ok(())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("compare needs an edge-list path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("compare needs an edge-list path")?;
     let g = load(path)?;
     set_epochs(args.epochs);
     let split = TrainTestSplit::per_user(&g, 0.2, args.seed);
@@ -176,14 +201,23 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_export(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("export needs an edge-list path")?;
-    let out_path = args.positional.get(1).ok_or("export needs an output path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("export needs an edge-list path")?;
+    let out_path = args
+        .positional
+        .get(1)
+        .ok_or("export needs an output path")?;
     let g = load(path)?;
     set_epochs(args.epochs);
     let mut model = build_any(&args.model, &g);
     model.fit();
     if model.embeddings().is_none() {
-        return Err(format!("{} is not an embedding model; cannot export", args.model));
+        return Err(format!(
+            "{} is not an embedding model; cannot export",
+            args.model
+        ));
     }
     std::fs::write(out_path, export_embeddings(model.as_ref())).map_err(|e| e.to_string())?;
     println!("trained {} and wrote embeddings to {out_path}", args.model);
@@ -191,7 +225,10 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let emb_path = args.positional.first().ok_or("serve needs an embeddings path")?;
+    let emb_path = args
+        .positional
+        .first()
+        .ok_or("serve needs an embeddings path")?;
     let user: usize = args
         .positional
         .get(1)
@@ -204,13 +241,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let top = topk_indices(&scores, args.top);
     println!("top-{} for user {user} (from {emb_path}):", args.top);
     for (rank, v) in top.iter().enumerate() {
-        println!("  {:>2}. item {:>6}  score {:.4}", rank + 1, v, scores[*v as usize]);
+        println!(
+            "  {:>2}. item {:>6}  score {:.4}",
+            rank + 1,
+            v,
+            scores[*v as usize]
+        );
     }
     Ok(())
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("stats needs an edge-list path")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("stats needs an edge-list path")?;
     let g = load(path)?;
     let s = DatasetStats::of(path, &g);
     println!("{}", DatasetStats::markdown_header());

@@ -7,10 +7,20 @@ use graphaug_eval::TextTable;
 fn main() {
     banner("Table I — Experimental Data Statistics (1/64-scale presets)");
     let mut table = TextTable::new(&[
-        "Dataset", "User #", "Item #", "Interaction #", "Density", "Mean user deg", "Item Gini",
+        "Dataset",
+        "User #",
+        "Item #",
+        "Interaction #",
+        "Density",
+        "Mean user deg",
+        "Item Gini",
     ]);
     for ds in Dataset::ALL {
-        let g = if fast_mode() { ds.load_mini() } else { ds.load() };
+        let g = if fast_mode() {
+            ds.load_mini()
+        } else {
+            ds.load()
+        };
         let s = DatasetStats::of(ds.name(), &g);
         table.row(&[
             s.name.clone(),

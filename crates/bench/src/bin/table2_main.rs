@@ -2,8 +2,8 @@
 //! 18 baselines + GraphAug on the three datasets
 //! (Recall@20/40, NDCG@20/40).
 
-use graphaug_bench::{banner, prepared_split, run_model, selected_datasets, write_csv};
 use graphaug_baselines::model_names;
+use graphaug_bench::{banner, prepared_split, run_model, selected_datasets, write_csv};
 use graphaug_eval::{fmt4, TextTable};
 
 fn main() {
@@ -16,7 +16,13 @@ fn main() {
     }
 
     let mut table = TextTable::new(&[
-        "Dataset", "Model", "Recall@20", "Recall@40", "NDCG@20", "NDCG@40", "train s",
+        "Dataset",
+        "Model",
+        "Recall@20",
+        "Recall@40",
+        "NDCG@20",
+        "NDCG@40",
+        "train s",
     ]);
     for ds in selected_datasets() {
         let split = prepared_split(ds);

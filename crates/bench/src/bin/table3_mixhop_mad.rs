@@ -9,7 +9,10 @@ fn main() {
     banner("Table III — Ablation study of Mixhop w.r.t. MAD (Gowalla)");
     let split = prepared_split(Dataset::Gowalla);
     let mut table = TextTable::new(&["Variant", "MAD", "Recall@20", "NDCG@20"]);
-    for (label, name) in [("w Mixhop", "GraphAug"), ("w/o Mixhop", "GraphAug w/o Mixhop")] {
+    for (label, name) in [
+        ("w Mixhop", "GraphAug"),
+        ("w/o Mixhop", "GraphAug w/o Mixhop"),
+    ] {
         let out = run_model(name, &split);
         let emb = out
             .model

@@ -12,7 +12,12 @@ fn main() {
     banner("Table IV — Graph sampling reparameterization strength (ξ sweep)");
     let _ = epoch_budget();
     let mut table = TextTable::new(&[
-        "Dataset", "Aug ratio (ξ)", "Recall@20", "Recall@40", "NDCG@20", "NDCG@40",
+        "Dataset",
+        "Aug ratio (ξ)",
+        "Recall@20",
+        "Recall@40",
+        "NDCG@20",
+        "NDCG@40",
     ]);
     for ds in selected_datasets() {
         let split = prepared_split(ds);

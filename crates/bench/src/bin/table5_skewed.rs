@@ -38,11 +38,18 @@ fn main() {
             }
             println!("{name:<10} users Recall@40 {recalls:?}");
             println!("{name:<10} users NDCG@40   {ndcgs:?}");
-            let mut row_r =
-                vec![ds.name().to_string(), name.to_string(), "user Recall@40".into()];
+            let mut row_r = vec![
+                ds.name().to_string(),
+                name.to_string(),
+                "user Recall@40".into(),
+            ];
             row_r.extend(recalls);
             table.row(&row_r);
-            let mut row_n = vec![ds.name().to_string(), name.to_string(), "user NDCG@40".into()];
+            let mut row_n = vec![
+                ds.name().to_string(),
+                name.to_string(),
+                "user NDCG@40".into(),
+            ];
             row_n.extend(ndcgs);
             table.row(&row_n);
 
@@ -60,11 +67,18 @@ fn main() {
                 indcgs.push(fmt4(r.ndcg(40)));
             }
             println!("{name:<10} items Recall@40 {irecalls:?}");
-            let mut row_ir =
-                vec![ds.name().to_string(), name.to_string(), "item Recall@40".into()];
+            let mut row_ir = vec![
+                ds.name().to_string(),
+                name.to_string(),
+                "item Recall@40".into(),
+            ];
             row_ir.extend(irecalls);
             table.row(&row_ir);
-            let mut row_in = vec![ds.name().to_string(), name.to_string(), "item NDCG@40".into()];
+            let mut row_in = vec![
+                ds.name().to_string(),
+                name.to_string(),
+                "item NDCG@40".into(),
+            ];
             row_in.extend(indcgs);
             table.row(&row_in);
         }

@@ -1,0 +1,228 @@
+//! A lightweight wall-clock benchmark harness (the workspace's `criterion`
+//! replacement).
+//!
+//! Each benchmark runs a warmup window followed by `N` timed samples; very
+//! fast closures are batched so a sample never measures below timer
+//! granularity. Results print as a table and serialize into the
+//! `BENCH_*.json` trajectory format consumed by cross-PR perf comparisons:
+//!
+//! ```json
+//! {
+//!   "schema": "graphaug-bench/v1",
+//!   "suite": "spmm",
+//!   "benches": [
+//!     { "name": "spmm/csr_x_dense_d32/small", "iters": 30, "batch": 1,
+//!       "min_ns": 1, "median_ns": 2, "p95_ns": 3, "max_ns": 4, "mean_ns": 2 }
+//!   ]
+//! }
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `GRAPHAUG_BENCH_OUT` — write the JSON to this path (default
+//!   `BENCH_<suite>.json` in the current directory).
+//! * `GRAPHAUG_BENCH_ITERS` — timed samples per benchmark (default 30).
+//! * `GRAPHAUG_BENCH_WARMUP_MS` — warmup window per benchmark (default 300).
+//! * `GRAPHAUG_BENCH_MAX_MS` — per-benchmark measurement budget (default
+//!   2000); sampling stops early once spent.
+
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id (`suite/function/params`).
+    pub name: String,
+    /// Number of timed samples taken.
+    pub iters: usize,
+    /// Closure invocations per sample (auto-calibrated for fast closures).
+    pub batch: usize,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Median sample — the headline number for trajectory comparisons.
+    pub median_ns: u128,
+    /// 95th-percentile sample (tail noise indicator).
+    pub p95_ns: u128,
+    /// Slowest sample.
+    pub max_ns: u128,
+    /// Mean over all samples.
+    pub mean_ns: u128,
+}
+
+/// A benchmark suite accumulating [`BenchResult`]s.
+pub struct Harness {
+    suite: String,
+    results: Vec<BenchResult>,
+    warmup: Duration,
+    samples: usize,
+    max_time: Duration,
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Harness {
+    /// Creates a suite, reading iteration/warmup budgets from the
+    /// environment (see module docs).
+    pub fn new(suite: &str) -> Self {
+        Harness {
+            suite: suite.to_string(),
+            results: Vec::new(),
+            warmup: Duration::from_millis(env_u64("GRAPHAUG_BENCH_WARMUP_MS", 300)),
+            samples: env_u64("GRAPHAUG_BENCH_ITERS", 30) as usize,
+            max_time: Duration::from_millis(env_u64("GRAPHAUG_BENCH_MAX_MS", 2000)),
+        }
+    }
+
+    /// Times `f`: warmup until the warmup window is spent, calibrate a batch
+    /// size so one sample is ≥ ~20 µs, then record up to the configured
+    /// number of samples within the measurement budget.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        // Warmup (also primes caches/allocator) while estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_calls == 0 {
+            f();
+            warm_calls += 1;
+        }
+        let est_per_call = warm_start.elapsed().as_nanos() / warm_calls as u128;
+        // One sample should dominate timer granularity.
+        let batch = (20_000 / est_per_call.max(1)).clamp(1, 1_000_000) as usize;
+
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(self.samples);
+        let run_start = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            samples_ns.push(t.elapsed().as_nanos() / batch as u128);
+            if run_start.elapsed() > self.max_time {
+                break;
+            }
+        }
+        samples_ns.sort_unstable();
+        let n = samples_ns.len();
+        let result = BenchResult {
+            name: name.to_string(),
+            iters: n,
+            batch,
+            min_ns: samples_ns[0],
+            median_ns: samples_ns[n / 2],
+            p95_ns: samples_ns[(n * 95 / 100).min(n - 1)],
+            max_ns: samples_ns[n - 1],
+            mean_ns: samples_ns.iter().sum::<u128>() / n as u128,
+        };
+        println!(
+            "{:<40} median {:>12}  p95 {:>12}  ({} samples × {})",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            result.iters,
+            result.batch
+        );
+        self.results.push(result);
+    }
+
+    /// Renders the suite as `BENCH_*.json` trajectory JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"graphaug-bench/v1\",\n");
+        out.push_str(&format!(
+            "  \"suite\": {},\n  \"benches\": [\n",
+            json_str(&self.suite)
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": {}, \"iters\": {}, \"batch\": {}, \"min_ns\": {}, \
+                 \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}, \"mean_ns\": {} }}{}\n",
+                json_str(&r.name),
+                r.iters,
+                r.batch,
+                r.min_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.max_ns,
+                r.mean_ns,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report (`GRAPHAUG_BENCH_OUT` or
+    /// `BENCH_<suite>.json`) and prints its destination.
+    pub fn finish(self) {
+        let path = std::env::var("GRAPHAUG_BENCH_OUT")
+            .unwrap_or_else(|_| format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("cannot write bench report {path}: {e}"));
+        println!("bench report: {path}");
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_ordered_stats_and_json() {
+        // Keep the budget tiny so the unit test stays fast.
+        std::env::set_var("GRAPHAUG_BENCH_WARMUP_MS", "1");
+        std::env::set_var("GRAPHAUG_BENCH_ITERS", "5");
+        std::env::set_var("GRAPHAUG_BENCH_MAX_MS", "200");
+        let mut h = Harness::new("unit");
+        let mut acc = 0u64;
+        h.bench("noop_accumulate", || {
+            acc = acc.wrapping_add(std::hint::black_box(1));
+        });
+        std::env::remove_var("GRAPHAUG_BENCH_WARMUP_MS");
+        std::env::remove_var("GRAPHAUG_BENCH_ITERS");
+        std::env::remove_var("GRAPHAUG_BENCH_MAX_MS");
+        let r = &h.results[0];
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.p95_ns && r.p95_ns <= r.max_ns);
+        assert!(r.iters >= 1 && r.batch >= 1);
+        let json = h.to_json();
+        assert!(json.contains("\"graphaug-bench/v1\""));
+        assert!(json.contains("\"noop_accumulate\""));
+        assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -13,6 +13,9 @@
 //!   training (smoke-test mode; minutes for the full suite).
 //! * `GRAPHAUG_EPOCHS=n` — override the training epoch budget.
 
+pub mod harness;
+pub mod perf;
+
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -32,7 +35,9 @@ pub const KS: [usize; 2] = [20, 40];
 
 /// True when `GRAPHAUG_FAST=1` (mini datasets, short training).
 pub fn fast_mode() -> bool {
-    std::env::var("GRAPHAUG_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GRAPHAUG_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The training epoch budget (env-overridable).
@@ -51,7 +56,11 @@ pub fn epoch_budget() -> usize {
 
 /// Loads a dataset preset (mini variant in fast mode) and splits it.
 pub fn prepared_split(ds: Dataset) -> TrainTestSplit {
-    let g = if fast_mode() { ds.load_mini() } else { ds.load() };
+    let g = if fast_mode() {
+        ds.load_mini()
+    } else {
+        ds.load()
+    };
     split_graph(&g)
 }
 
@@ -105,7 +114,12 @@ pub fn run_model(name: &str, split: &TrainTestSplit) -> RunOutcome {
     model.fit();
     let train_time = start.elapsed();
     let result = evaluate(model.as_ref(), split, &KS);
-    RunOutcome { result, train_time, curve: ConvergenceRecorder::new(), model }
+    RunOutcome {
+        result,
+        train_time,
+        curve: ConvergenceRecorder::new(),
+        model,
+    }
 }
 
 /// An embedding snapshot that scores by dot product — used to evaluate
@@ -136,13 +150,21 @@ pub fn run_model_with_curve(name: &str, split: &TrainTestSplit) -> RunOutcome {
         if ue.cols() <= 1 {
             return;
         }
-        let snap = Snapshot { u: ue.clone(), i: ie.clone() };
+        let snap = Snapshot {
+            u: ue.clone(),
+            i: ie.clone(),
+        };
         let r = evaluate(&snap, &split2, &[20]);
         curve.record(epoch, r.recall(20));
     });
     let train_time = start.elapsed();
     let result = evaluate(model.as_ref(), split, &KS);
-    RunOutcome { result, train_time, curve, model }
+    RunOutcome {
+        result,
+        train_time,
+        curve,
+        model,
+    }
 }
 
 /// The `results/` directory at the workspace root.
@@ -178,8 +200,7 @@ pub fn selected_datasets() -> Vec<Dataset> {
     let all = Dataset::ALL.to_vec();
     match std::env::var("GRAPHAUG_DATASETS") {
         Ok(filter) => {
-            let wanted: Vec<String> =
-                filter.split(',').map(|s| s.trim().to_lowercase()).collect();
+            let wanted: Vec<String> = filter.split(',').map(|s| s.trim().to_lowercase()).collect();
             all.into_iter()
                 .filter(|d| {
                     wanted

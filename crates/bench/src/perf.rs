@@ -1,0 +1,166 @@
+//! Benchmark workload definitions, shared between the per-suite bench
+//! binaries (`benches/*.rs`) and the combined baseline recorder
+//! (`src/bin/bench_baseline.rs`) so the same workload can never drift
+//! between a suite run and the trajectory baseline.
+
+use std::hint::black_box;
+
+use graphaug_core::augmentor::{
+    edge_logits, sample_view, AugmentorNodes, AugmentorSettings, EdgeIndex,
+};
+use graphaug_core::mixhop::{encode_mixhop, encode_vanilla, mixing_row_shape};
+use graphaug_core::{GraphAug, GraphAugConfig};
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_eval::{evaluate, topk_indices};
+use graphaug_graph::TripletSampler;
+use graphaug_tensor::init::{seeded_rng, xavier_uniform};
+use graphaug_tensor::{Graph, Mat, SpPair};
+
+use crate::harness::Harness;
+use crate::split_graph;
+
+/// Sparse × dense kernels — the hot inner loop of every GNN
+/// forward/backward pass in the workspace.
+pub fn spmm(h: &mut Harness) {
+    for (label, users, items, inter) in [
+        ("small", 200usize, 150usize, 3000usize),
+        ("gowalla_scale", 794, 898, 18300),
+    ] {
+        let g = generate(&SyntheticConfig::new(users, items, inter).seed(1));
+        let adj = g.normalized_adjacency_plain();
+        let d = 32;
+        let dense: Vec<f32> = (0..adj.n_cols() * d)
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
+        let mut out = vec![0f32; adj.n_rows() * d];
+        h.bench(&format!("spmm/csr_x_dense_d32/{label}"), || {
+            adj.spmm_into(black_box(&dense), d, &mut out);
+            black_box(&out);
+        });
+    }
+}
+
+/// Mixhop encoder forward pass vs the vanilla-GCN ablation — the ablation
+/// bench for the paper's central encoder design choice (Table III).
+pub fn mixhop_forward(h: &mut Harness) {
+    let g = generate(&SyntheticConfig::new(400, 300, 8000).seed(1));
+    let adj = SpPair::symmetric(g.normalized_adjacency_plain());
+    let n = g.n_nodes();
+    let d = 32;
+    let mut rng = seeded_rng(2);
+    let h0 = xavier_uniform(n, d, &mut rng);
+    let (mr, mc) = mixing_row_shape(3);
+    let rows: Vec<_> = (0..2).map(|_| xavier_uniform(mr, mc, &mut rng)).collect();
+
+    h.bench("mixhop_forward_L2_hops012", || {
+        let mut tape = Graph::new();
+        let hn = tape.constant(h0.clone());
+        let ws: Vec<_> = rows.iter().map(|w| tape.constant(w.clone())).collect();
+        let out = encode_mixhop(&mut tape, &adj, hn, &ws, &[0, 1, 2]);
+        black_box(tape.value(out).as_slice()[0]);
+    });
+    h.bench("vanilla_forward_L2", || {
+        let mut tape = Graph::new();
+        let hn = tape.constant(h0.clone());
+        let out = encode_vanilla(&mut tape, &adj, hn, 2);
+        black_box(tape.value(out).as_slice()[0]);
+    });
+}
+
+/// BPR triplet-sampling benchmarks — the per-step data path.
+pub fn sampling(h: &mut Harness) {
+    let g = generate(&SyntheticConfig::new(794, 898, 18300).seed(1));
+    let mut s = TripletSampler::new(&g, 7);
+    h.bench("bpr_batch_1024", || {
+        black_box(s.sample_batch(1024).0.len());
+    });
+    let mut s = TripletSampler::new(&g, 7);
+    h.bench("active_users_256", || {
+        black_box(s.sample_active_users(256).len());
+    });
+}
+
+/// Full GraphAug training-step benchmark: tape build + forward + backward +
+/// Adam — the unit of cost behind the paper's Table VI timing comparison.
+pub fn autodiff_epoch(h: &mut Harness) {
+    let train = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
+    let mut full = GraphAug::new(GraphAugConfig::new().seed(3), &train);
+    let mut base = GraphAug::new(GraphAugConfig::new().gib(false).cl(false).seed(3), &train);
+    let mut sampler = TripletSampler::new(&train, 5);
+    h.bench("graphaug_train_step_full", || {
+        black_box(full.train_step(&mut sampler).loss);
+    });
+    let mut sampler = TripletSampler::new(&train, 5);
+    h.bench("graphaug_train_step_bpr_only", || {
+        black_box(base.train_step(&mut sampler).loss);
+    });
+}
+
+/// Top-K selection and full-ranking evaluation benchmarks — the
+/// measurement side of every experiment.
+pub fn topk_eval(h: &mut Harness) {
+    let scores: Vec<f32> = (0..10_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 9973) as f32)
+        .collect();
+    h.bench("topk_40_of_10000", || {
+        black_box(topk_indices(black_box(&scores), 40));
+    });
+
+    let g = generate(&SyntheticConfig::new(300, 250, 5000).seed(1));
+    let split = split_graph(&g);
+    let model = GraphAug::new(GraphAugConfig::new().seed(1), &split.train);
+    h.bench("full_ranking_eval_300users", || {
+        black_box(evaluate(&model, &split, &[20, 40]).n_users);
+    });
+}
+
+/// Learnable-augmentor benchmarks: edge scoring (MLP over all train edges)
+/// and reparameterized view sampling — the cost GraphAug adds over plain
+/// GCL, and the subject of the differentiable-sampling design choice in
+/// DESIGN.md.
+pub fn augmentor(h: &mut Harness) {
+    let train = generate(&SyntheticConfig::new(400, 300, 8000).seed(1));
+    let idx = EdgeIndex::build(&train);
+    let d = 32;
+    let hidden = 16;
+    let mut rng = seeded_rng(2);
+    let h_bar = xavier_uniform(train.n_nodes(), d, &mut rng);
+    let w1 = xavier_uniform(2 * d, hidden, &mut rng);
+    let w2 = xavier_uniform(hidden, 1, &mut rng);
+    let settings = AugmentorSettings {
+        gumbel_temperature: 0.5,
+        edge_threshold: 0.2,
+        feature_keep_prob: 0.9,
+        feature_noise_std: 0.1,
+        leaky_slope: 0.5,
+    };
+
+    h.bench("edge_logits_8k_edges", || {
+        let mut g = Graph::new();
+        let hb = g.constant(h_bar.clone());
+        let mlp = AugmentorNodes {
+            w1: g.constant(w1.clone()),
+            b1: g.constant(Mat::zeros(1, hidden)),
+            w2: g.constant(w2.clone()),
+            b2: g.constant(Mat::zeros(1, 1)),
+        };
+        let mut r = seeded_rng(3);
+        let l = edge_logits(&mut g, hb, &idx, &mlp, &settings, &mut r);
+        black_box(g.value(l).as_slice()[0]);
+    });
+
+    let mut g = Graph::new();
+    let hb = g.constant(h_bar.clone());
+    let mlp = AugmentorNodes {
+        w1: g.constant(w1.clone()),
+        b1: g.constant(Mat::zeros(1, hidden)),
+        w2: g.constant(w2.clone()),
+        b2: g.constant(Mat::zeros(1, 1)),
+    };
+    let mut r = seeded_rng(3);
+    let logits = edge_logits(&mut g, hb, &idx, &mlp, &settings, &mut r);
+    h.bench("sample_view_8k_edges", || {
+        let v = sample_view(&mut g, logits, &idx, &settings, &mut r);
+        black_box(v.kept_fraction);
+    });
+}

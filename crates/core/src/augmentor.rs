@@ -10,8 +10,7 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use graphaug_rng::StdRng;
 
 use graphaug_graph::InteractionGraph;
 use graphaug_sparse::{sym_norm_weights, Csr};
@@ -128,11 +127,7 @@ pub fn edge_logits(
         }
     }));
     let std = settings.feature_noise_std;
-    let noise = Rc::new(Mat::from_fn(n, d, |_, _| {
-        let u1: f32 = rng.random_range(1e-7f32..1.0);
-        let u2: f32 = rng.random_range(0.0f32..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
-    }));
+    let noise = Rc::new(Mat::from_fn(n, d, |_, _| rng.normal_f32() * std));
     let neg_noise = Rc::new(noise.map(|x| -x));
     let shifted = g.add_const(h_bar, neg_noise);
     let masked = g.mul_const(shifted, mask);
@@ -161,15 +156,16 @@ pub fn sample_view(
     rng: &mut StdRng,
 ) -> SampledView {
     let e = idx.n_edges();
-    assert_eq!(g.value(logits).shape(), (e, 1), "one logit per undirected edge");
+    assert_eq!(
+        g.value(logits).shape(),
+        (e, 1),
+        "one logit per undirected edge"
+    );
     let edge_probs = g.sigmoid(logits);
 
-    // logit(p) + logit(ε′), ε′ ~ U(0,1): the logistic-noise form of the
-    // binary concrete distribution.
-    let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| {
-        let u: f32 = rng.random_range(1e-6f32..(1.0 - 1e-6));
-        (u / (1.0 - u)).ln()
-    }));
+    // logit(p) + logit(ε′), ε′ ~ U(0,1): the logistic-noise (Gumbel
+    // difference) form of the binary concrete distribution.
+    let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| rng.logistic_f32()));
     let noisy = g.add_const(logits, gumbel);
     let sharpened = g.scale(noisy, 1.0 / settings.gumbel_temperature);
     let soft = g.sigmoid(sharpened);
@@ -193,7 +189,11 @@ pub fn sample_view(
     // the constant symmetric normalization.
     let directed = g.gather_rows(hard, Rc::clone(&idx.dir_to_undir));
     let weights = g.mul_const(directed, Rc::clone(&idx.norm));
-    SampledView { weights, edge_probs, kept_fraction: kept as f32 / e.max(1) as f32 }
+    SampledView {
+        weights,
+        edge_probs,
+        kept_fraction: kept as f32 / e.max(1) as f32,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +217,9 @@ mod tests {
 
     fn mlp_nodes(g: &mut Graph, d: usize, h: usize) -> AugmentorNodes {
         AugmentorNodes {
-            w1: g.constant(Mat::from_fn(2 * d, h, |r, c| ((r + c) as f32 * 0.13).sin() * 0.4)),
+            w1: g.constant(Mat::from_fn(2 * d, h, |r, c| {
+                ((r + c) as f32 * 0.13).sin() * 0.4
+            })),
             b1: g.constant(Mat::zeros(1, h)),
             w2: g.constant(Mat::from_fn(h, 1, |r, _| ((r as f32) * 0.21).cos() * 0.4)),
             b2: g.constant(Mat::zeros(1, 1)),
@@ -231,7 +233,7 @@ mod tests {
         assert_eq!(idx.pattern.nnz(), 12);
         assert_eq!(idx.dir_to_undir.len(), 12);
         // Every undirected edge id appears exactly twice.
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         for &k in idx.dir_to_undir.iter() {
             counts[k as usize] += 1;
         }

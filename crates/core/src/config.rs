@@ -106,7 +106,10 @@ impl GraphAugConfig {
 
     /// Sets the embedding dimension.
     pub fn embed_dim(mut self, d: usize) -> Self {
-        assert!(d >= 2 && d % 2 == 0, "GIB pooling splits d in half");
+        assert!(
+            d >= 2 && d.is_multiple_of(2),
+            "GIB pooling splits d in half"
+        );
         self.embed_dim = d;
         self
     }

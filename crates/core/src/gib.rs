@@ -18,7 +18,10 @@ use crate::nn::kl_std_normal;
 /// `KL(N(μ, η²) ‖ N(0, I))` averaged over elements.
 pub fn gib_kl(g: &mut Graph, z_main: NodeId, z_prime: NodeId, z_double: NodeId) -> NodeId {
     let d = g.value(z_main).cols();
-    assert!(d >= 2 && d % 2 == 0, "GIB pooling needs an even embedding dim");
+    assert!(
+        d >= 2 && d.is_multiple_of(2),
+        "GIB pooling needs an even embedding dim"
+    );
     assert_eq!(g.value(z_prime).shape(), g.value(z_main).shape());
     assert_eq!(g.value(z_double).shape(), g.value(z_main).shape());
     let s1 = g.add(z_main, z_prime);

@@ -45,13 +45,7 @@ fn simplex_weights(g: &mut Graph, alpha: NodeId, k: usize) -> Vec<NodeId> {
 
 /// One mixhop layer over a constant adjacency: `Σ_m softmax(α)_m Ã^m H`
 /// with the `1 × |hops|` mixing row `alpha` (hops sorted ascending).
-fn mixhop_layer(
-    g: &mut Graph,
-    adj: &SpPair,
-    h: NodeId,
-    alpha: NodeId,
-    hops: &[usize],
-) -> NodeId {
+fn mixhop_layer(g: &mut Graph, adj: &SpPair, h: NodeId, alpha: NodeId, hops: &[usize]) -> NodeId {
     let max_hop = *hops.last().expect("at least one hop");
     let weights = simplex_weights(g, alpha, hops.len());
     let mut power = h;

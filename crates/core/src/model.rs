@@ -3,8 +3,7 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use graphaug_rng::StdRng;
 
 use graphaug_eval::Recommender;
 use graphaug_graph::{InteractionGraph, TripletSampler};
@@ -69,7 +68,9 @@ impl GraphAug {
         let p_enc: Vec<ParamId> = if cfg.encoder == EncoderKind::Mixhop {
             let (r, c) = mixing_row_shape(cfg.hops.len());
             // Zero logits → uniform softmax mixture at initialization.
-            (0..cfg.n_layers).map(|_| store.register(Mat::zeros(r, c))).collect()
+            (0..cfg.n_layers)
+                .map(|_| store.register(Mat::zeros(r, c)))
+                .collect()
         } else {
             Vec::new()
         };
@@ -135,7 +136,10 @@ impl GraphAug {
         }
     }
 
-    fn param_nodes(&self, g: &mut Graph) -> (NodeId, Vec<NodeId>, AugmentorNodes, Vec<(ParamId, NodeId)>) {
+    fn param_nodes(
+        &self,
+        g: &mut Graph,
+    ) -> (NodeId, Vec<NodeId>, AugmentorNodes, Vec<(ParamId, NodeId)>) {
         let h0 = self.store.node(g, self.p_h0);
         let enc: Vec<NodeId> = self.p_enc.iter().map(|&p| self.store.node(g, p)).collect();
         let mlp = AugmentorNodes {
@@ -165,12 +169,8 @@ impl GraphAug {
     fn encode_view(&self, g: &mut Graph, weights: NodeId, h0: NodeId, enc: &[NodeId]) -> NodeId {
         let pattern = &self.edge_index.pattern;
         match self.cfg.encoder {
-            EncoderKind::Mixhop => {
-                encode_mixhop_ew(g, pattern, weights, h0, enc, &self.cfg.hops)
-            }
-            EncoderKind::Vanilla => {
-                encode_vanilla_ew(g, pattern, weights, h0, self.cfg.n_layers)
-            }
+            EncoderKind::Mixhop => encode_mixhop_ew(g, pattern, weights, h0, enc, &self.cfg.hops),
+            EncoderKind::Vanilla => encode_vanilla_ew(g, pattern, weights, h0, self.cfg.n_layers),
         }
     }
 
@@ -198,11 +198,21 @@ impl GraphAug {
         let batch = BprBatch::from_raw(users, pos, neg, self.train_graph.n_users());
         let bpr_main = bpr_loss(&mut g, h_main, &batch);
         let mut loss = bpr_main;
-        let mut stats = StepStats { bpr: g.value(bpr_main).item(), ..Default::default() };
+        let mut stats = StepStats {
+            bpr: g.value(bpr_main).item(),
+            ..Default::default()
+        };
 
         if self.cfg.use_cl || self.cfg.use_gib {
             let settings = self.augmentor_settings();
-            let logits = edge_logits(&mut g, h_main, &self.edge_index, &mlp, &settings, &mut self.rng);
+            let logits = edge_logits(
+                &mut g,
+                h_main,
+                &self.edge_index,
+                &mlp,
+                &settings,
+                &mut self.rng,
+            );
             let v1 = sample_view(&mut g, logits, &self.edge_index, &settings, &mut self.rng);
             let v2 = sample_view(&mut g, logits, &self.edge_index, &settings, &mut self.rng);
             stats.kept_fraction = 0.5 * (v1.kept_fraction + v2.kept_fraction);
@@ -284,7 +294,11 @@ impl GraphAug {
     pub fn refresh_embeddings(&mut self) {
         let mut g = Graph::new();
         let h0 = self.store.node(&mut g, self.p_h0);
-        let enc: Vec<NodeId> = self.p_enc.iter().map(|&p| self.store.node(&mut g, p)).collect();
+        let enc: Vec<NodeId> = self
+            .p_enc
+            .iter()
+            .map(|&p| self.store.node(&mut g, p))
+            .collect();
         let h = self.encode_main(&mut g, h0, &enc);
         let emb = g.value(h);
         let (nu, d) = (self.train_graph.n_users(), self.cfg.embed_dim);
@@ -312,8 +326,14 @@ impl GraphAug {
             feature_noise_std: 0.0,
             ..self.augmentor_settings()
         };
-        let logits =
-            edge_logits(&mut g, h_main, &self.edge_index, &mlp, &settings, &mut self.rng);
+        let logits = edge_logits(
+            &mut g,
+            h_main,
+            &self.edge_index,
+            &mlp,
+            &settings,
+            &mut self.rng,
+        );
         let probs = g.sigmoid(logits);
         g.value(probs).as_slice().to_vec()
     }
@@ -427,8 +447,10 @@ mod tests {
     #[test]
     fn ablations_train_without_views_when_disabled() {
         let train = toy_train();
-        let mut m =
-            GraphAug::new(GraphAugConfig::fast_test().gib(false).cl(false).epochs(2), &train);
+        let mut m = GraphAug::new(
+            GraphAugConfig::fast_test().gib(false).cl(false).epochs(2),
+            &train,
+        );
         let graph = m.train_graph.clone();
         let mut sampler = TripletSampler::new(&graph, 5);
         let stats = m.train_step(&mut sampler);

@@ -96,7 +96,10 @@ pub fn kl_std_normal(g: &mut Graph, mu: NodeId, sigma: NodeId) -> NodeId {
 /// Sum of squared Frobenius norms of the given parameter nodes
 /// (weight-decay / `‖Θ‖²_F` term of Eq. 16).
 pub fn weight_decay(g: &mut Graph, params: &[NodeId]) -> NodeId {
-    assert!(!params.is_empty(), "weight decay needs at least one parameter");
+    assert!(
+        !params.is_empty(),
+        "weight decay needs at least one parameter"
+    );
     let mut total: Option<NodeId> = None;
     for &p in params {
         let sq = g.square(p);

@@ -47,7 +47,10 @@ pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, LoadError> {
         }
         let mut it = line.split_whitespace();
         let (Some(u), Some(v)) = (it.next(), it.next()) else {
-            return Err(LoadError::BadLine { line: i + 1, content: line.to_string() });
+            return Err(LoadError::BadLine {
+                line: i + 1,
+                content: line.to_string(),
+            });
         };
         let nu = user_ids.len() as u32;
         let uid = *user_ids.entry(u).or_insert(nu);
@@ -98,7 +101,10 @@ mod tests {
         let err = parse_edge_list("u0 v0\njusttoken\n").unwrap_err();
         assert_eq!(
             err,
-            LoadError::BadLine { line: 2, content: "justtoken".into() }
+            LoadError::BadLine {
+                line: 2,
+                content: "justtoken".into()
+            }
         );
     }
 

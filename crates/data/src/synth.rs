@@ -14,8 +14,7 @@
 //!   from global popularity instead of their own cluster, emulating
 //!   misclicks (the noise GraphAug's GIB augmentor is designed to filter).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use graphaug_rng::StdRng;
 
 use graphaug_graph::InteractionGraph;
 
@@ -121,10 +120,12 @@ pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Cluster assignments.
-    let user_cluster: Vec<usize> =
-        (0..cfg.n_users).map(|_| rng.random_range(0..cfg.n_clusters)).collect();
-    let item_cluster: Vec<usize> =
-        (0..cfg.n_items).map(|_| rng.random_range(0..cfg.n_clusters)).collect();
+    let user_cluster: Vec<usize> = (0..cfg.n_users)
+        .map(|_| rng.random_range(0..cfg.n_clusters))
+        .collect();
+    let item_cluster: Vec<usize> = (0..cfg.n_items)
+        .map(|_| rng.random_range(0..cfg.n_clusters))
+        .collect();
 
     // Zipf popularity over a random permutation of items.
     let mut rank: Vec<u32> = (0..cfg.n_items as u32).collect();
@@ -153,8 +154,7 @@ pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
             }
         })
         .collect();
-    let global_sampler =
-        PrefixSampler::new((0..cfg.n_items as u32).collect(), &popularity);
+    let global_sampler = PrefixSampler::new((0..cfg.n_items as u32).collect(), &popularity);
 
     // Pareto-distributed user degrees scaled to the interaction target.
     let raw: Vec<f64> = (0..cfg.n_users)
@@ -186,7 +186,11 @@ pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
             break;
         }
         let deficit = cfg.target_interactions - total;
-        let open: f64 = degrees.iter().filter(|&&d| d < cap).map(|&d| d as f64).sum();
+        let open: f64 = degrees
+            .iter()
+            .filter(|&&d| d < cap)
+            .map(|&d| d as f64)
+            .sum();
         if open <= 0.0 {
             break;
         }
@@ -287,7 +291,10 @@ mod tests {
     #[test]
     fn cluster_structure_is_present() {
         // Without noise, a user's items should concentrate in one cluster.
-        let cfg = SyntheticConfig::new(100, 200, 2000).clusters(4).noise(0.0).seed(5);
+        let cfg = SyntheticConfig::new(100, 200, 2000)
+            .clusters(4)
+            .noise(0.0)
+            .seed(5);
         let g = generate(&cfg);
         // Recompute item clusters with the same RNG stream shape: instead of
         // reaching into the generator, check cohesion statistically — items

@@ -77,7 +77,12 @@ pub fn export_embeddings(model: &dyn Recommender) -> String {
         .expect("export requires an embedding-based model");
     let mut out = String::with_capacity((u.len() + i.len()) * 12);
     out.push_str("graphaug-embeddings v1\n");
-    out.push_str(&format!("users {} items {} dim {}\n", u.rows(), i.rows(), u.cols()));
+    out.push_str(&format!(
+        "users {} items {} dim {}\n",
+        u.rows(),
+        i.rows(),
+        u.cols()
+    ));
     for r in 0..u.rows() {
         out.push('u');
         for &x in u.row(r) {
@@ -145,14 +150,20 @@ pub fn import_embeddings(text: &str) -> Result<EmbeddingSnapshot, ImportError> {
         match tag {
             "u" => {
                 if nu >= n_users {
-                    return Err(ImportError::WrongCount { expected: n_users, found: nu + 1 });
+                    return Err(ImportError::WrongCount {
+                        expected: n_users,
+                        found: nu + 1,
+                    });
                 }
                 user_emb.row_mut(nu).copy_from_slice(&vals);
                 nu += 1;
             }
             "i" => {
                 if ni >= n_items {
-                    return Err(ImportError::WrongCount { expected: n_items, found: ni + 1 });
+                    return Err(ImportError::WrongCount {
+                        expected: n_items,
+                        found: ni + 1,
+                    });
                 }
                 item_emb.row_mut(ni).copy_from_slice(&vals);
                 ni += 1;
@@ -166,10 +177,16 @@ pub fn import_embeddings(text: &str) -> Result<EmbeddingSnapshot, ImportError> {
         }
     }
     if nu != n_users {
-        return Err(ImportError::WrongCount { expected: n_users, found: nu });
+        return Err(ImportError::WrongCount {
+            expected: n_users,
+            found: nu,
+        });
     }
     if ni != n_items {
-        return Err(ImportError::WrongCount { expected: n_items, found: ni });
+        return Err(ImportError::WrongCount {
+            expected: n_items,
+            found: ni,
+        });
     }
     Ok(EmbeddingSnapshot { user_emb, item_emb })
 }
@@ -205,16 +222,22 @@ mod tests {
         let snap = snapshot();
         let text = export_embeddings(&snap);
         // Drop the final item row.
-        let truncated: String = text.lines().take(text.lines().count() - 1).fold(
-            String::new(),
-            |mut acc, l| {
-                acc.push_str(l);
-                acc.push('\n');
-                acc
-            },
-        );
+        let truncated: String =
+            text.lines()
+                .take(text.lines().count() - 1)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
         let err = import_embeddings(&truncated);
-        assert_eq!(err, Err(ImportError::WrongCount { expected: 4, found: 3 }));
+        assert_eq!(
+            err,
+            Err(ImportError::WrongCount {
+                expected: 4,
+                found: 3
+            })
+        );
     }
 
     #[test]

@@ -32,12 +32,20 @@ pub struct EvalResult {
 impl EvalResult {
     /// Recall at the given cutoff (panics if the cutoff was not evaluated).
     pub fn recall(&self, k: usize) -> f64 {
-        self.at.iter().find(|a| a.k == k).expect("cutoff not evaluated").recall
+        self.at
+            .iter()
+            .find(|a| a.k == k)
+            .expect("cutoff not evaluated")
+            .recall
     }
 
     /// NDCG at the given cutoff (panics if the cutoff was not evaluated).
     pub fn ndcg(&self, k: usize) -> f64 {
-        self.at.iter().find(|a| a.k == k).expect("cutoff not evaluated").ndcg
+        self.at
+            .iter()
+            .find(|a| a.k == k)
+            .expect("cutoff not evaluated")
+            .ndcg
     }
 }
 
@@ -80,7 +88,11 @@ pub fn evaluate_users(
         at: ks
             .iter()
             .zip(&sums)
-            .map(|(&k, &(r, n))| AtK { k, recall: r / denom, ndcg: n / denom })
+            .map(|(&k, &(r, n))| AtK {
+                k,
+                recall: r / denom,
+                ndcg: n / denom,
+            })
             .collect(),
         n_users: n_eval,
     }
@@ -126,7 +138,11 @@ pub fn evaluate_item_group(
         at: ks
             .iter()
             .zip(&sums)
-            .map(|(&k, &(r, n))| AtK { k, recall: r / denom, ndcg: n / denom })
+            .map(|(&k, &(r, n))| AtK {
+                k,
+                recall: r / denom,
+                ndcg: n / denom,
+            })
             .collect(),
         n_users: n_eval,
     }
@@ -167,7 +183,10 @@ impl ConvergenceRecorder {
     pub fn epochs_to_fraction_of_best(&self, fraction: f64) -> Option<usize> {
         let (_, best) = self.best()?;
         let threshold = best * fraction;
-        self.points.iter().find(|(_, v)| *v >= threshold).map(|&(e, _)| e)
+        self.points
+            .iter()
+            .find(|(_, v)| *v >= threshold)
+            .map(|&(e, _)| e)
     }
 }
 
@@ -213,7 +232,10 @@ mod tests {
     #[test]
     fn oracle_achieves_perfect_metrics() {
         let split = toy_split();
-        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        let oracle = Oracle {
+            split: split.clone(),
+            n_items: 20,
+        };
         let res = evaluate(&oracle, &split, &[20]);
         assert!(res.n_users > 0);
         assert!((res.recall(20) - 1.0).abs() < 1e-12);
@@ -246,7 +268,10 @@ mod tests {
     #[test]
     fn training_items_are_masked_out() {
         let split = toy_split();
-        let echo = TrainEcho { split: split.clone(), n_items: 20 };
+        let echo = TrainEcho {
+            split: split.clone(),
+            n_items: 20,
+        };
         let res = evaluate(&echo, &split, &[5]);
         // With train items masked, the echo model's remaining scores are
         // uniform zero — its recall should be far below 1.
@@ -256,7 +281,10 @@ mod tests {
     #[test]
     fn evaluate_users_restricts_population() {
         let split = toy_split();
-        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        let oracle = Oracle {
+            split: split.clone(),
+            n_items: 20,
+        };
         let res = evaluate_users(&oracle, &split, &[0, 1], &[20]);
         assert!(res.n_users <= 2);
     }
@@ -264,7 +292,10 @@ mod tests {
     #[test]
     fn item_group_evaluation_counts_only_group_items() {
         let split = toy_split();
-        let oracle = Oracle { split: split.clone(), n_items: 20 };
+        let oracle = Oracle {
+            split: split.clone(),
+            n_items: 20,
+        };
         // All items: perfect oracle.
         let all: Vec<u32> = (0..20).collect();
         let r = evaluate_item_group(&oracle, &split, &all, &[20]);

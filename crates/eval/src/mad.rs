@@ -6,8 +6,7 @@
 //! direction, driving MAD towards 0; the paper argues mixhop propagation
 //! keeps MAD high (≈0.72 for GraphAug vs 0.66 for LightGCN on Gowalla).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use graphaug_rng::StdRng;
 
 use graphaug_tensor::Mat;
 
@@ -103,7 +102,10 @@ mod tests {
         }
         let exact = mad_exact(&seedmat);
         let approx = mad_sampled(&seedmat, 20_000, 5);
-        assert!((exact - approx).abs() < 0.02, "exact {exact} approx {approx}");
+        assert!(
+            (exact - approx).abs() < 0.02,
+            "exact {exact} approx {approx}"
+        );
     }
 
     #[test]

@@ -24,13 +24,7 @@ pub trait Recommender {
             .expect("models without embeddings must override score_items");
         let urow = ue.row(user);
         (0..ie.rows())
-            .map(|v| {
-                ie.row(v)
-                    .iter()
-                    .zip(urow)
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|v| ie.row(v).iter().zip(urow).map(|(a, b)| a * b).sum())
             .collect()
     }
 

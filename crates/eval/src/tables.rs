@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -58,7 +61,14 @@ impl TextTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

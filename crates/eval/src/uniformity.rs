@@ -6,8 +6,7 @@
 //! claim with the Wang–Isola uniformity loss and provide a dependency-free
 //! 2-D PCA projection for scatter output.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use graphaug_rng::StdRng;
 
 use graphaug_tensor::Mat;
 
@@ -72,13 +71,13 @@ pub fn pca_2d(embeddings: &Mat, seed: u64) -> Mat {
         for _ in 0..60 {
             // w = Cᵀ(Cv) / n, deflated against found components.
             let mut cv = vec![0f32; n];
-            for r in 0..n {
-                cv[r] = centered.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
+            for (r, cvr) in cv.iter_mut().enumerate() {
+                *cvr = centered.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
             }
             let mut w = vec![0f32; d];
-            for r in 0..n {
+            for (r, &cvr) in cv.iter().enumerate() {
                 for (wi, &x) in w.iter_mut().zip(centered.row(r)) {
-                    *wi += cv[r] * x;
+                    *wi += cvr * x;
                 }
             }
             for comp in &components {
@@ -133,7 +132,12 @@ pub fn pca_2d(embeddings: &Mat, seed: u64) -> Mat {
         components.push(v);
     }
     Mat::from_fn(n, 2, |r, c| {
-        centered.row(r).iter().zip(&components[c]).map(|(a, b)| a * b).sum()
+        centered
+            .row(r)
+            .iter()
+            .zip(&components[c])
+            .map(|(a, b)| a * b)
+            .sum()
     })
 }
 
@@ -149,7 +153,10 @@ mod tests {
         let spread = Mat::from_fn(50, 6, |r, c| ((r * 6 + c) as f32 * 2.3).sin());
         let u_col = uniformity(&collapsed, 5000, 1);
         let u_spd = uniformity(&spread, 5000, 1);
-        assert!(u_spd < u_col, "spread {u_spd} should be lower than collapsed {u_col}");
+        assert!(
+            u_spd < u_col,
+            "spread {u_spd} should be lower than collapsed {u_col}"
+        );
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Property-based tests for the ranking metrics and oversmoothing probes.
+//!
+//! Runs on the in-repo property runner (`graphaug_rng::prop`) — seeded case
+//! generation, shrink-by-halving, replayable failure seeds.
 
 use graphaug_eval::{mad_exact, ndcg_at_k, recall_at_k, topk_indices, uniformity};
+use graphaug_rng::prop::{check, Gen, DEFAULT_CASES};
+use graphaug_rng::{prop_assert, prop_assert_eq, prop_assume};
 use graphaug_tensor::Mat;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn topk_returns_descending_scores(scores in prop::collection::vec(-100f32..100.0, 1..60), k in 1usize..20) {
+fn vec_u32(g: &mut Gen, max: u32, lo: usize, hi: usize) -> Vec<u32> {
+    let n = g.len_in(lo, hi);
+    g.vec_of(n, |g| g.random_range(0..max))
+}
+
+#[test]
+fn topk_returns_descending_scores() {
+    check("topk_returns_descending_scores", DEFAULT_CASES, |g| {
+        let n = g.len_in(1, 60);
+        let scores = g.vec_of(n, |g| g.random_range(-100f32..100.0));
+        let k = g.random_range(1usize..20);
         let top = topk_indices(&scores, k);
         prop_assert_eq!(top.len(), k.min(scores.len()));
         for w in top.windows(2) {
@@ -21,14 +33,16 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn recall_and_ndcg_are_bounded(
-        ranked_raw in prop::collection::vec(0u32..50, 1..30),
-        relevant_raw in prop::collection::vec(0u32..50, 1..10),
-        k in 1usize..25,
-    ) {
+#[test]
+fn recall_and_ndcg_are_bounded() {
+    check("recall_and_ndcg_are_bounded", DEFAULT_CASES, |g| {
+        let ranked_raw = vec_u32(g, 50, 1, 30);
+        let relevant_raw = vec_u32(g, 50, 1, 10);
+        let k = g.random_range(1usize..25);
         // A real top-K list never repeats an item.
         let mut seen = std::collections::HashSet::new();
         let ranked: Vec<u32> = ranked_raw.into_iter().filter(|v| seen.insert(*v)).collect();
@@ -39,13 +53,15 @@ proptest! {
         let n = ndcg_at_k(&ranked, &relevant, k);
         prop_assert!((0.0..=1.0).contains(&r), "recall {}", r);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&n), "ndcg {}", n);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn metrics_are_monotone_in_k(
-        ranked_raw in prop::collection::vec(0u32..40, 5..30),
-        relevant_raw in prop::collection::vec(0u32..40, 1..8),
-    ) {
+#[test]
+fn metrics_are_monotone_in_k() {
+    check("metrics_are_monotone_in_k", DEFAULT_CASES, |g| {
+        let ranked_raw = vec_u32(g, 40, 5, 30);
+        let relevant_raw = vec_u32(g, 40, 1, 8);
         // Deduplicate the ranking (a real top-K list has no repeats).
         let mut seen = std::collections::HashSet::new();
         let ranked: Vec<u32> = ranked_raw.into_iter().filter(|v| seen.insert(*v)).collect();
@@ -58,10 +74,15 @@ proptest! {
             prop_assert!(r >= last_r - 1e-12, "recall must not decrease in k");
             last_r = r;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mad_is_bounded_and_scale_invariant(data in prop::collection::vec(0.1f32..3.0, 8 * 4), scale in 0.5f32..4.0) {
+#[test]
+fn mad_is_bounded_and_scale_invariant() {
+    check("mad_is_bounded_and_scale_invariant", DEFAULT_CASES, |g| {
+        let data = g.vec_of(8 * 4, |g| g.random_range(0.1f32..3.0));
+        let scale = g.random_range(0.5f32..4.0);
         let m = Mat::from_vec(8, 4, data);
         let mad1 = mad_exact(&m);
         prop_assert!((0.0..=2.0 + 1e-6).contains(&mad1));
@@ -69,18 +90,28 @@ proptest! {
         let scaled = m.map(|x| x * scale);
         let mad2 = mad_exact(&scaled);
         prop_assert!((mad1 - mad2).abs() < 1e-4);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn uniformity_is_scale_invariant_after_normalization(data in prop::collection::vec(-2f32..2.0, 10 * 4), scale in 0.5f32..4.0) {
-        // uniformity() normalizes rows internally, so rescaling inputs must
-        // not change it (identical pair sampling per seed).
-        let m = Mat::from_vec(10, 4, data.clone());
-        // Skip degenerate all-tiny inputs where normalization is unstable.
-        prop_assume!(m.as_slice().iter().any(|v| v.abs() > 0.1));
-        let s = m.map(|x| x * scale);
-        let u1 = uniformity(&m, 500, 7);
-        let u2 = uniformity(&s, 500, 7);
-        prop_assert!((u1 - u2).abs() < 1e-3, "{} vs {}", u1, u2);
-    }
+#[test]
+fn uniformity_is_scale_invariant_after_normalization() {
+    check(
+        "uniformity_is_scale_invariant_after_normalization",
+        DEFAULT_CASES,
+        |g| {
+            // uniformity() normalizes rows internally, so rescaling inputs must
+            // not change it (identical pair sampling per seed).
+            let data = g.vec_of(10 * 4, |g| g.random_range(-2f32..2.0));
+            let scale = g.random_range(0.5f32..4.0);
+            let m = Mat::from_vec(10, 4, data);
+            // Skip degenerate all-tiny inputs where normalization is unstable.
+            prop_assume!(m.as_slice().iter().any(|v| v.abs() > 0.1));
+            let s = m.map(|x| x * scale);
+            let u1 = uniformity(&m, 500, 7);
+            let u2 = uniformity(&s, 500, 7);
+            prop_assert!((u1 - u2).abs() < 1e-3, "{} vs {}", u1, u2);
+            Ok(())
+        },
+    );
 }

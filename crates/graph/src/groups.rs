@@ -35,7 +35,10 @@ impl DegreeGroup {
 /// [30,∞)`. Users with zero training interactions are excluded (they cannot
 /// be evaluated).
 pub fn group_users_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> Vec<DegreeGroup> {
-    assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must increase");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "boundaries must increase"
+    );
     let deg = train.user_degrees();
     let mut edges: Vec<usize> = Vec::with_capacity(boundaries.len() + 2);
     edges.push(0);
@@ -43,7 +46,11 @@ pub fn group_users_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> 
     edges.push(usize::MAX);
     let mut groups: Vec<DegreeGroup> = edges
         .windows(2)
-        .map(|w| DegreeGroup { lo: w[0], hi: w[1], users: Vec::new() })
+        .map(|w| DegreeGroup {
+            lo: w[0],
+            hi: w[1],
+            users: Vec::new(),
+        })
         .collect();
     for (u, &d) in deg.iter().enumerate() {
         if d == 0 {
@@ -70,7 +77,10 @@ pub fn paper_degree_groups(train: &InteractionGraph) -> Vec<DegreeGroup> {
 /// the paper's Table V skew study. Items with zero interactions are
 /// excluded.
 pub fn group_items_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> Vec<DegreeGroup> {
-    assert!(boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must increase");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] < w[1]),
+        "boundaries must increase"
+    );
     let deg = train.item_degrees();
     let mut edges: Vec<usize> = Vec::with_capacity(boundaries.len() + 2);
     edges.push(0);
@@ -78,7 +88,11 @@ pub fn group_items_by_degree(train: &InteractionGraph, boundaries: &[usize]) -> 
     edges.push(usize::MAX);
     let mut groups: Vec<DegreeGroup> = edges
         .windows(2)
-        .map(|w| DegreeGroup { lo: w[0], hi: w[1], users: Vec::new() })
+        .map(|w| DegreeGroup {
+            lo: w[0],
+            hi: w[1],
+            users: Vec::new(),
+        })
         .collect();
     for (v, &d) in deg.iter().enumerate() {
         if d == 0 {

@@ -42,7 +42,12 @@ impl InteractionGraph {
             n_items,
             edges.iter().map(|&(u, v)| (u, v, 1.0)).collect(),
         );
-        InteractionGraph { n_users, n_items, edges, user_items }
+        InteractionGraph {
+            n_users,
+            n_items,
+            edges,
+            user_items,
+        }
     }
 
     /// Number of users.
@@ -120,7 +125,11 @@ impl InteractionGraph {
         InteractionGraph::new(
             self.n_users,
             self.n_items,
-            self.edges.iter().copied().filter(|&(u, v)| keep(u, v)).collect(),
+            self.edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| keep(u, v))
+                .collect(),
         )
     }
 

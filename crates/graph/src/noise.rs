@@ -5,8 +5,7 @@
 //! the observed edge count, then measures how much each model's accuracy
 //! degrades relative to its clean-graph performance.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use graphaug_rng::StdRng;
 
 use crate::interaction::InteractionGraph;
 

@@ -1,7 +1,6 @@
 //! Pairwise (BPR) triplet sampling and negative sampling.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use graphaug_rng::StdRng;
 
 use crate::interaction::InteractionGraph;
 
@@ -30,9 +29,15 @@ pub struct TripletSampler<'g> {
 impl<'g> TripletSampler<'g> {
     /// Creates a sampler over `graph` with a fixed seed.
     pub fn new(graph: &'g InteractionGraph, seed: u64) -> Self {
-        assert!(graph.n_interactions() > 0, "cannot sample from an empty graph");
+        assert!(
+            graph.n_interactions() > 0,
+            "cannot sample from an empty graph"
+        );
         assert!(graph.n_items() > 1, "need at least two items for negatives");
-        TripletSampler { graph, rng: StdRng::seed_from_u64(seed) }
+        TripletSampler {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws one triplet.

@@ -1,8 +1,6 @@
 //! Seeded train/test splitting of interaction graphs.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use graphaug_rng::{SliceRandom, StdRng};
 
 use crate::interaction::InteractionGraph;
 
@@ -23,7 +21,10 @@ impl TrainTestSplit {
     /// Splits `g` holding out `test_fraction` of every user's interactions
     /// (rounded down, at least one interaction stays in train).
     pub fn per_user(g: &InteractionGraph, test_fraction: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&test_fraction), "fraction must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "fraction must be in [0,1)"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut train = Vec::new();
         let mut test = Vec::new();
@@ -90,7 +91,10 @@ mod tests {
         let g = dense_graph();
         let s = TrainTestSplit::per_user(&g, 0.5, 7);
         for u in 0..20 {
-            assert!(!s.train.items_of(u).is_empty(), "user {u} lost all train items");
+            assert!(
+                !s.train.items_of(u).is_empty(),
+                "user {u} lost all train items"
+            );
         }
     }
 

@@ -1,18 +1,24 @@
 //! Property-based tests for the interaction-graph domain layer.
+//!
+//! Runs on the in-repo property runner (`graphaug_rng::prop`) — seeded case
+//! generation, shrink-by-halving, replayable failure seeds.
 
 use graphaug_graph::{
     group_users_by_degree, inject_fake_edges, InteractionGraph, TrainTestSplit, TripletSampler,
 };
-use proptest::prelude::*;
+use graphaug_rng::prop::{check, Gen, DEFAULT_CASES};
+use graphaug_rng::{prop_assert, prop_assert_eq};
 
-/// Strategy: a random edge list within a `u × v` universe.
-fn edges(max_u: u32, max_v: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..max_u, 0..max_v), 1..120)
+/// Generator: a random edge list within a `u × v` universe.
+fn edges(g: &mut Gen, max_u: u32, max_v: u32) -> Vec<(u32, u32)> {
+    let n = g.len_in(1, 120);
+    g.vec_of(n, |g| (g.random_range(0..max_u), g.random_range(0..max_v)))
 }
 
-proptest! {
-    #[test]
-    fn graph_dedups_and_bounds_edges(e in edges(12, 15)) {
+#[test]
+fn graph_dedups_and_bounds_edges() {
+    check("graph_dedups_and_bounds_edges", DEFAULT_CASES, |gen| {
+        let e = edges(gen, 12, 15);
         let n = e.len();
         let g = InteractionGraph::new(12, 15, e);
         prop_assert!(g.n_interactions() <= n);
@@ -22,36 +28,55 @@ proptest! {
         // Degrees sum to edge count on both sides.
         prop_assert_eq!(g.user_degrees().iter().sum::<usize>(), g.n_interactions());
         prop_assert_eq!(g.item_degrees().iter().sum::<usize>(), g.n_interactions());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn adjacency_nnz_is_twice_edges(e in edges(10, 10)) {
+#[test]
+fn adjacency_nnz_is_twice_edges() {
+    check("adjacency_nnz_is_twice_edges", DEFAULT_CASES, |gen| {
+        let e = edges(gen, 10, 10);
         let g = InteractionGraph::new(10, 10, e);
         prop_assert_eq!(g.adjacency().nnz(), 2 * g.n_interactions());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn split_partition_is_exact_and_disjoint(e in edges(15, 20), frac in 0.0f64..0.9, seed in 0u64..50) {
-        let g = InteractionGraph::new(15, 20, e);
-        let s = TrainTestSplit::per_user(&g, frac, seed);
-        prop_assert_eq!(
-            s.train.n_interactions() + s.test.n_interactions(),
-            g.n_interactions()
-        );
-        for &(u, v) in s.test.edges() {
-            prop_assert!(!s.train.has_edge(u, v));
-            prop_assert!(g.has_edge(u, v));
-        }
-        // Every user that had interactions keeps at least one in train.
-        for u in 0..15 {
-            if !g.items_of(u).is_empty() {
-                prop_assert!(!s.train.items_of(u).is_empty());
+#[test]
+fn split_partition_is_exact_and_disjoint() {
+    check(
+        "split_partition_is_exact_and_disjoint",
+        DEFAULT_CASES,
+        |gen| {
+            let e = edges(gen, 15, 20);
+            let frac = gen.random_range(0.0f64..0.9);
+            let seed = gen.random_range(0u64..50);
+            let g = InteractionGraph::new(15, 20, e);
+            let s = TrainTestSplit::per_user(&g, frac, seed);
+            prop_assert_eq!(
+                s.train.n_interactions() + s.test.n_interactions(),
+                g.n_interactions()
+            );
+            for &(u, v) in s.test.edges() {
+                prop_assert!(!s.train.has_edge(u, v));
+                prop_assert!(g.has_edge(u, v));
             }
-        }
-    }
+            // Every user that had interactions keeps at least one in train.
+            for u in 0..15 {
+                if !g.items_of(u).is_empty() {
+                    prop_assert!(!s.train.items_of(u).is_empty());
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sampled_triplets_always_valid(e in edges(10, 12), seed in 0u64..20) {
+#[test]
+fn sampled_triplets_always_valid() {
+    check("sampled_triplets_always_valid", DEFAULT_CASES, |gen| {
+        let e = edges(gen, 10, 12);
+        let seed = gen.random_range(0u64..20);
         let g = InteractionGraph::new(10, 12, e);
         let mut s = TripletSampler::new(&g, seed);
         for _ in 0..50 {
@@ -59,31 +84,46 @@ proptest! {
             prop_assert!(g.has_edge(t.user, t.pos));
             prop_assert!(!g.has_edge(t.user, t.neg));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn noise_injection_only_adds(e in edges(10, 12), ratio in 0.0f64..0.5, seed in 0u64..20) {
+#[test]
+fn noise_injection_only_adds() {
+    check("noise_injection_only_adds", DEFAULT_CASES, |gen| {
+        let e = edges(gen, 10, 12);
+        let ratio = gen.random_range(0.0f64..0.5);
+        let seed = gen.random_range(0u64..20);
         let g = InteractionGraph::new(10, 12, e);
         let noisy = inject_fake_edges(&g, ratio, seed);
         prop_assert!(noisy.n_interactions() >= g.n_interactions());
         for &(u, v) in g.edges() {
             prop_assert!(noisy.has_edge(u, v));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn degree_groups_partition_active_users(e in edges(20, 10)) {
-        let g = InteractionGraph::new(20, 10, e);
-        let groups = group_users_by_degree(&g, &[2, 4, 8]);
-        let mut seen = std::collections::HashSet::new();
-        for grp in &groups {
-            for &u in &grp.users {
-                prop_assert!(seen.insert(u), "user {} in two buckets", u);
-                let d = g.items_of(u as usize).len();
-                prop_assert!(d >= grp.lo && d < grp.hi);
+#[test]
+fn degree_groups_partition_active_users() {
+    check(
+        "degree_groups_partition_active_users",
+        DEFAULT_CASES,
+        |gen| {
+            let e = edges(gen, 20, 10);
+            let g = InteractionGraph::new(20, 10, e);
+            let groups = group_users_by_degree(&g, &[2, 4, 8]);
+            let mut seen = std::collections::HashSet::new();
+            for grp in &groups {
+                for &u in &grp.users {
+                    prop_assert!(seen.insert(u), "user {} in two buckets", u);
+                    let d = g.items_of(u as usize).len();
+                    prop_assert!(d >= grp.lo && d < grp.hi);
+                }
             }
-        }
-        let active = (0..20).filter(|&u| !g.items_of(u).is_empty()).count();
-        prop_assert_eq!(seen.len(), active);
-    }
+            let active = (0..20).filter(|&u| !g.items_of(u).is_empty()).count();
+            prop_assert_eq!(seen.len(), active);
+            Ok(())
+        },
+    );
 }

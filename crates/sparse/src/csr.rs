@@ -52,7 +52,13 @@ impl Csr {
                 indptr[i] = indptr[i - 1];
             }
         }
-        Csr { n_rows, n_cols, indptr, indices, data }
+        Csr {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Builds an identity matrix of size `n`.
@@ -109,7 +115,10 @@ impl Csr {
     /// adjacency around the fixed pattern.
     pub fn with_data(&self, data: Vec<f32>) -> Self {
         assert_eq!(data.len(), self.nnz(), "value vector must match nnz");
-        Csr { data, ..self.clone() }
+        Csr {
+            data,
+            ..self.clone()
+        }
     }
 
     /// Applies `f` to every stored value, returning a new matrix.
@@ -131,7 +140,9 @@ impl Csr {
 
     /// Out-degree (stored-entry count) of every row.
     pub fn row_degrees(&self) -> Vec<usize> {
-        (0..self.n_rows).map(|i| self.indptr[i + 1] - self.indptr[i]).collect()
+        (0..self.n_rows)
+            .map(|i| self.indptr[i + 1] - self.indptr[i])
+            .collect()
     }
 
     /// Sum of stored values per row (weighted degree).
@@ -163,7 +174,13 @@ impl Csr {
                 cursor[*c as usize] += 1;
             }
         }
-        Csr { n_rows: self.n_cols, n_cols: self.n_rows, indptr, indices, data }
+        Csr {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Sparse × dense product: `out = self * dense`, where `dense` is a

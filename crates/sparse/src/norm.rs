@@ -129,13 +129,7 @@ mod tests {
         assert_eq!(w.len(), adj.nnz());
         // Reconstruct Ã (no self-loops) from the weights and compare against
         // sym_norm of the same graph.
-        let rebuilt = adj.with_data(
-            adj.data()
-                .iter()
-                .zip(&w)
-                .map(|(v, w)| v * w)
-                .collect(),
-        );
+        let rebuilt = adj.with_data(adj.data().iter().zip(&w).map(|(v, w)| v * w).collect());
         let direct = sym_norm(&adj, false);
         let (a, b) = (rebuilt.to_dense(), direct.to_dense());
         for (x, y) in a.iter().zip(&b) {

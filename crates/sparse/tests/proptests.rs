@@ -1,43 +1,68 @@
 //! Property-based tests for the CSR invariants and algebra.
+//!
+//! Runs on the in-repo property runner (`graphaug_rng::prop`) — seeded case
+//! generation, shrink-by-halving, replayable failure seeds.
 
+use graphaug_rng::prop::{check, Gen, DEFAULT_CASES};
+use graphaug_rng::{prop_assert, prop_assert_eq};
 use graphaug_sparse::{bipartite_adjacency, sym_norm, Csr};
-use proptest::prelude::*;
 
-/// Strategy: a random COO triplet list within an `r × c` bound.
-fn coo(max_r: usize, max_c: usize) -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
-    prop::collection::vec(
+/// Generator: a random COO triplet list within an `r × c` bound, values
+/// clamped to `[-10, 10]`.
+fn coo(g: &mut Gen, max_r: usize, max_c: usize, max_len: usize) -> Vec<(u32, u32, f32)> {
+    let n = g.len_in(0, max_len);
+    g.vec_of(n, |g| {
         (
-            0..max_r as u32,
-            0..max_c as u32,
-            prop::num::f32::NORMAL.prop_map(|v| v.clamp(-10.0, 10.0)),
-        ),
-        0..60,
-    )
+            g.random_range(0..max_r as u32),
+            g.random_range(0..max_c as u32),
+            g.random_range(-10.0f32..10.0),
+        )
+    })
 }
 
-proptest! {
-    #[test]
-    fn from_coo_always_satisfies_invariants(t in coo(8, 9)) {
+/// Generator: a random `(user, item)` edge list.
+fn edge_list(g: &mut Gen, max_u: u32, max_v: u32, lo: usize, hi: usize) -> Vec<(u32, u32)> {
+    let n = g.len_in(lo, hi);
+    g.vec_of(n, |g| (g.random_range(0..max_u), g.random_range(0..max_v)))
+}
+
+#[test]
+fn from_coo_always_satisfies_invariants() {
+    check("from_coo_always_satisfies_invariants", DEFAULT_CASES, |g| {
+        let t = coo(g, 8, 9, 60);
         let m = Csr::from_coo(8, 9, t);
         prop_assert!(m.check_invariants().is_ok());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transpose_is_involutive(t in coo(7, 5)) {
+#[test]
+fn transpose_is_involutive() {
+    check("transpose_is_involutive", DEFAULT_CASES, |g| {
+        let t = coo(g, 7, 5, 60);
         let m = Csr::from_coo(7, 5, t);
         let tt = m.transpose().transpose();
         prop_assert_eq!(m, tt);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nnz_bounded_by_triplet_count(t in coo(6, 6)) {
+#[test]
+fn nnz_bounded_by_triplet_count() {
+    check("nnz_bounded_by_triplet_count", DEFAULT_CASES, |g| {
+        let t = coo(g, 6, 6, 60);
         let n = t.len();
         let m = Csr::from_coo(6, 6, t);
         prop_assert!(m.nnz() <= n);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn spmm_matches_dense_reference(t in coo(5, 4), dense in prop::collection::vec(-5.0f32..5.0, 4 * 3)) {
+#[test]
+fn spmm_matches_dense_reference() {
+    check("spmm_matches_dense_reference", DEFAULT_CASES, |g| {
+        let t = coo(g, 5, 4, 60);
+        let dense = g.vec_of(4 * 3, |g| g.random_range(-5.0f32..5.0));
         let m = Csr::from_coo(5, 4, t);
         let got = m.spmm(&dense, 3);
         let dm = m.to_dense();
@@ -47,10 +72,16 @@ proptest! {
                 prop_assert!((got[r * 3 + k] - want).abs() < 1e-3);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn spmm_is_linear(t in coo(5, 4), x in prop::collection::vec(-3.0f32..3.0, 4), y in prop::collection::vec(-3.0f32..3.0, 4)) {
+#[test]
+fn spmm_is_linear() {
+    check("spmm_is_linear", DEFAULT_CASES, |g| {
+        let t = coo(g, 5, 4, 60);
+        let x = g.vec_of(4, |g| g.random_range(-3.0f32..3.0));
+        let y = g.vec_of(4, |g| g.random_range(-3.0f32..3.0));
         let m = Csr::from_coo(5, 4, t);
         let sum: Vec<f32> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
         let lhs = m.spmv(&sum);
@@ -58,10 +89,14 @@ proptest! {
         for i in 0..5 {
             prop_assert!((lhs[i] - (mx[i] + my[i])).abs() < 1e-3);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sym_norm_is_symmetric(edges in prop::collection::vec((0..5u32, 0..6u32), 1..30)) {
+#[test]
+fn sym_norm_is_symmetric() {
+    check("sym_norm_is_symmetric", DEFAULT_CASES, |g| {
+        let edges = edge_list(g, 5, 6, 1, 30);
         let adj = bipartite_adjacency(5, 6, &edges);
         let n = sym_norm(&adj, true);
         let d = n.to_dense();
@@ -71,14 +106,23 @@ proptest! {
                 prop_assert!((d[r * dim + c] - d[c * dim + r]).abs() < 1e-6);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bipartite_adjacency_degree_matches_edge_multiset(edges in prop::collection::vec((0..4u32, 0..4u32), 0..20)) {
-        use std::collections::HashSet;
-        let uniq: HashSet<_> = edges.iter().copied().collect();
-        let adj = bipartite_adjacency(4, 4, &edges);
-        // Each unique undirected edge contributes 2 stored entries.
-        prop_assert_eq!(adj.nnz(), uniq.len() * 2);
-    }
+#[test]
+fn bipartite_adjacency_degree_matches_edge_multiset() {
+    check(
+        "bipartite_adjacency_degree_matches_edge_multiset",
+        DEFAULT_CASES,
+        |g| {
+            use std::collections::HashSet;
+            let edges = edge_list(g, 4, 4, 0, 20);
+            let uniq: HashSet<_> = edges.iter().copied().collect();
+            let adj = bipartite_adjacency(4, 4, &edges);
+            // Each unique undirected edge contributes 2 stored entries.
+            prop_assert_eq!(adj.nnz(), uniq.len() * 2);
+            Ok(())
+        },
+    );
 }

@@ -1,7 +1,7 @@
 //! Seeded weight initializers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub use graphaug_rng::seeded_rng;
+use graphaug_rng::StdRng;
 
 use crate::mat::Mat;
 
@@ -14,16 +14,7 @@ pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Mat {
 
 /// Scaled normal initialization `N(0, std²)` (Box–Muller from the seeded rng).
 pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Mat {
-    Mat::from_fn(rows, cols, |_, _| {
-        let u1: f32 = rng.random_range(1e-7f32..1.0);
-        let u2: f32 = rng.random_range(0.0f32..1.0);
-        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std
-    })
-}
-
-/// Convenience constructor for a seeded RNG.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+    Mat::from_fn(rows, cols, |_, _| rng.normal_f32() * std)
 }
 
 /// Near-identity initialization for hop-combination weights: an
@@ -63,7 +54,12 @@ mod tests {
         let m = normal(100, 100, 0.5, &mut rng);
         let n = m.len() as f32;
         let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

@@ -17,12 +17,20 @@ pub struct Mat {
 impl Mat {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// All-`v` matrix.
     pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
-        Mat { rows, cols, data: vec![v; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Wraps an existing row-major buffer.
@@ -132,13 +140,22 @@ impl Mat {
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
     /// `self += alpha * other` in place.
     pub fn add_assign_scaled(&mut self, other: &Mat, alpha: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_assign_scaled shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign_scaled shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -163,7 +180,11 @@ impl Mat {
                 }
             }
         }
-        Mat { rows: n, cols: m, data: out }
+        Mat {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// `self × otherᵀ` — rows of both operands are contiguous, so this is a
@@ -183,7 +204,11 @@ impl Mat {
                 out[i * m + j] = acc;
             }
         }
-        Mat { rows: n, cols: m, data: out }
+        Mat {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// `selfᵀ × other` without materializing the transpose.
@@ -204,7 +229,11 @@ impl Mat {
                 }
             }
         }
-        Mat { rows: n, cols: m, data: out }
+        Mat {
+            rows: n,
+            cols: m,
+            data: out,
+        }
     }
 
     /// Transposed copy.

@@ -32,7 +32,10 @@ impl SpPair {
     /// Wraps a symmetric matrix without computing a transpose.
     pub fn symmetric(m: Csr) -> Self {
         let m = Rc::new(m);
-        SpPair { mt: Rc::clone(&m), m }
+        SpPair {
+            mt: Rc::clone(&m),
+            m,
+        }
     }
 }
 
@@ -64,13 +67,21 @@ pub enum Op {
     Spmm { sp: SpPair, h: NodeId },
     /// `y = csr(pattern, w) × h` — edge-weighted SpMM, differentiable in both
     /// the `nnz × 1` weight node `w` and the dense node `h`
-    SpmmEw { pattern: Rc<Csr>, w: NodeId, h: NodeId },
+    SpmmEw {
+        pattern: Rc<Csr>,
+        w: NodeId,
+        h: NodeId,
+    },
     /// `y[i] = src[idx[i]]`
     GatherRows { src: NodeId, idx: Rc<Vec<u32>> },
     /// `y = [a | b]` column-wise
     ConcatCols(NodeId, NodeId),
     /// `y = src[:, start..end]`
-    SliceCols { src: NodeId, start: usize, end: usize },
+    SliceCols {
+        src: NodeId,
+        start: usize,
+        end: usize,
+    },
     /// `y = σ(a)`
     Sigmoid(NodeId),
     /// `y = LeakyReLU(a; slope)`

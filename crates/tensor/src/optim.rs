@@ -44,7 +44,12 @@ pub enum Optimizer {
 impl Optimizer {
     /// Adam with standard hyperparameters at the given learning rate.
     pub fn adam(lr: f32) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Plain SGD at the given learning rate.
@@ -64,13 +69,20 @@ pub struct ParamStore {
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        ParamStore { slots: Vec::new(), t: 0 }
+        ParamStore {
+            slots: Vec::new(),
+            t: 0,
+        }
     }
 
     /// Registers a parameter, returning its id.
     pub fn register(&mut self, value: Mat) -> ParamId {
         let (r, c) = value.shape();
-        self.slots.push(ParamSlot { value, m: Mat::zeros(r, c), v: Mat::zeros(r, c) });
+        self.slots.push(ParamSlot {
+            value,
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+        });
         ParamId(self.slots.len() - 1)
     }
 
@@ -115,7 +127,9 @@ impl ParamStore {
     pub fn apply_grads(&mut self, graph: &Graph, pairs: &[(ParamId, NodeId)], opt: Optimizer) {
         self.t += 1;
         for &(pid, nid) in pairs {
-            let Some(grad) = graph.grad(nid) else { continue };
+            let Some(grad) = graph.grad(nid) else {
+                continue;
+            };
             self.step_one(pid, grad, opt);
         }
     }
@@ -129,7 +143,12 @@ impl ParamStore {
             Optimizer::Sgd { lr } => {
                 slot.value.add_assign_scaled(grad, -lr);
             }
-            Optimizer::Adam { lr, beta1, beta2, eps } => {
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 let t = self.t.max(1) as i32;
                 let bc1 = 1.0 - beta1.powi(t);
                 let bc2 = 1.0 - beta2.powi(t);

@@ -33,7 +33,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(128) }
+        Graph {
+            nodes: Vec::with_capacity(128),
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -58,7 +60,11 @@ impl Graph {
 
     fn push(&mut self, op: Op, value: Mat) -> NodeId {
         debug_assert!(value.all_finite(), "non-finite forward value");
-        self.nodes.push(Node { op, value, grad: None });
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -317,7 +323,11 @@ impl Graph {
     /// Gradients accumulate into every node reachable from `loss`; query them
     /// with [`Graph::grad`]. Panics if `loss` is not `1 × 1`.
     pub fn backward(&mut self, loss: NodeId) {
-        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be a scalar node");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "loss must be a scalar node"
+        );
         self.nodes[loss.0].grad = Some(Mat::scalar(1.0));
 
         for i in (0..self.nodes.len()).rev() {
@@ -480,9 +490,16 @@ impl Graph {
                     let y = &node.value;
                     let mut da = Mat::zeros(av.rows(), av.cols());
                     for r in 0..av.rows() {
-                        let n = av.row(r).iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                        let n = av
+                            .row(r)
+                            .iter()
+                            .map(|x| x * x)
+                            .sum::<f32>()
+                            .sqrt()
+                            .max(1e-12);
                         let dot: f32 = g.row(r).iter().zip(y.row(r)).map(|(gx, yx)| gx * yx).sum();
-                        for ((o, &gx), &yx) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r)) {
+                        for ((o, &gx), &yx) in da.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        {
                             *o = (gx - yx * dot) / n;
                         }
                     }

@@ -28,7 +28,11 @@ fn grad_check(inputs: &[Mat], f: &LossFn) {
     let analytic: Vec<Mat> = ids
         .iter()
         .zip(inputs)
-        .map(|(&id, m)| g.grad(id).cloned().unwrap_or_else(|| Mat::zeros(m.rows(), m.cols())))
+        .map(|(&id, m)| {
+            g.grad(id)
+                .cloned()
+                .unwrap_or_else(|| Mat::zeros(m.rows(), m.cols()))
+        })
         .collect();
 
     let eps = 1e-2f32;
@@ -106,7 +110,7 @@ fn grad_matmul() {
 
 #[test]
 fn grad_matmul_nt() {
-    let a = Mat::from_fn(3, 4, |r, c| (r as f32 * 0.2 - c as f32 * 0.15));
+    let a = Mat::from_fn(3, 4, |r, c| r as f32 * 0.2 - c as f32 * 0.15);
     let b = Mat::from_fn(5, 4, |r, c| ((r + c) as f32 * 0.1) - 0.3);
     let f: Box<LossFn> = Box::new(|g, ids| {
         let y = g.matmul_nt(ids[0], ids[1]);
@@ -133,7 +137,13 @@ fn grad_spmm() {
     let csr = Csr::from_coo(
         4,
         3,
-        vec![(0, 0, 0.5), (0, 2, -1.0), (1, 1, 2.0), (3, 0, 1.5), (3, 2, 0.25)],
+        vec![
+            (0, 0, 0.5),
+            (0, 2, -1.0),
+            (1, 1, 2.0),
+            (3, 0, 1.5),
+            (3, 2, 0.25),
+        ],
     );
     let sp = SpPair::new(csr);
     let h = Mat::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.4 + 0.1);
@@ -150,7 +160,13 @@ fn grad_spmm_ew_both_operands() {
     let pattern = Rc::new(Csr::from_coo(
         4,
         3,
-        vec![(0, 0, 1.0), (0, 2, 1.0), (1, 1, 1.0), (2, 0, 1.0), (3, 2, 1.0)],
+        vec![
+            (0, 0, 1.0),
+            (0, 2, 1.0),
+            (1, 1, 1.0),
+            (2, 0, 1.0),
+            (3, 2, 1.0),
+        ],
     ));
     let w = Mat::from_fn(5, 1, |r, _| 0.2 + r as f32 * 0.1);
     let h = Mat::from_fn(3, 2, |r, c| (r as f32 * 0.3) - (c as f32 * 0.2) + 0.1);

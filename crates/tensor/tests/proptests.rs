@@ -1,26 +1,41 @@
 //! Property-based tests for the tensor engine: algebraic identities of the
 //! dense kernels and randomized gradient checks over composed op chains.
+//!
+//! Runs on the in-repo property runner (`graphaug_rng::prop`) — seeded case
+//! generation, shrink-by-halving, replayable failure seeds — instead of the
+//! external `proptest` crate, so the suite works fully offline.
 
+use graphaug_rng::prop::{check, Gen, DEFAULT_CASES};
+use graphaug_rng::prop_assert;
 use graphaug_tensor::{Graph, Mat, NodeId};
-use proptest::prelude::*;
 
-fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    prop::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+/// Generator: a `rows × cols` matrix with entries in `(-2, 2)`.
+fn small_mat(g: &mut Gen, rows: usize, cols: usize) -> Mat {
+    let v = g.vec_of(rows * cols, |g| g.random_range(-2.0f32..2.0));
+    Mat::from_vec(rows, cols, v)
 }
 
-proptest! {
-    #[test]
-    fn matmul_is_associative(a in small_mat(3, 4), b in small_mat(4, 2), c in small_mat(2, 5)) {
+#[test]
+fn matmul_is_associative() {
+    check("matmul_is_associative", DEFAULT_CASES, |g| {
+        let a = small_mat(g, 3, 4);
+        let b = small_mat(g, 4, 2);
+        let c = small_mat(g, 2, 5);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(a in small_mat(3, 4), b in small_mat(4, 2), c in small_mat(4, 2)) {
+#[test]
+fn matmul_distributes_over_addition() {
+    check("matmul_distributes_over_addition", DEFAULT_CASES, |g| {
+        let a = small_mat(g, 3, 4);
+        let b = small_mat(g, 4, 2);
+        let c = small_mat(g, 4, 2);
         let sum = b.zip_map(&c, |x, y| x + y);
         let lhs = a.matmul(&sum);
         let ab = a.matmul(&b);
@@ -28,111 +43,161 @@ proptest! {
         for i in 0..lhs.len() {
             prop_assert!((lhs.as_slice()[i] - (ab.as_slice()[i] + ac.as_slice()[i])).abs() < 1e-3);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn transpose_respects_matmul(a in small_mat(3, 4), b in small_mat(4, 2)) {
+#[test]
+fn transpose_respects_matmul() {
+    check("transpose_respects_matmul", DEFAULT_CASES, |g| {
         // (AB)ᵀ = BᵀAᵀ
+        let a = small_mat(g, 3, 4);
+        let b = small_mat(g, 4, 2);
         let lhs = a.matmul(&b).transpose();
         let rhs = b.transpose().matmul(&a.transpose());
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
             prop_assert!((x - y).abs() < 1e-4);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn l2_normalized_rows_are_unit_or_zero(a in small_mat(5, 3)) {
-        let mut g = Graph::new();
-        let x = g.constant(a);
-        let y = g.l2_normalize_rows(x);
-        for r in 0..5 {
-            let n: f32 = g.value(y).row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
-            prop_assert!(n < 1.0 + 1e-4);
-            prop_assert!(n > 0.99 || n < 1e-3, "row norm {} neither unit nor zero", n);
-        }
-    }
+#[test]
+fn l2_normalized_rows_are_unit_or_zero() {
+    check(
+        "l2_normalized_rows_are_unit_or_zero",
+        DEFAULT_CASES,
+        |gen| {
+            let a = small_mat(gen, 5, 3);
+            let mut g = Graph::new();
+            let x = g.constant(a);
+            let y = g.l2_normalize_rows(x);
+            for r in 0..5 {
+                let n: f32 = g.value(y).row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+                prop_assert!(n < 1.0 + 1e-4);
+                prop_assert!(
+                    !(1e-3..=0.99).contains(&n),
+                    "row norm {} neither unit nor zero",
+                    n
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn logsumexp_bounds_hold(a in small_mat(4, 6)) {
+#[test]
+fn logsumexp_bounds_hold() {
+    check("logsumexp_bounds_hold", DEFAULT_CASES, |gen| {
         // max(x) <= lse(x) <= max(x) + ln(n)
+        let a = small_mat(gen, 4, 6);
         let mut g = Graph::new();
         let x = g.constant(a.clone());
         let y = g.logsumexp_rows(x);
         for r in 0..4 {
-            let m = a.row(r).iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+            let m = a
+                .row(r)
+                .iter()
+                .fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
             let lse = g.value(y).get(r, 0);
             prop_assert!(lse >= m - 1e-5);
             prop_assert!(lse <= m + (6f32).ln() + 1e-5);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Randomized gradient check over a composed chain: sigmoid ∘ matmul ∘
-    /// (x ⊙ mask + y). Verifies accumulation and chaining beyond the
-    /// per-op unit checks.
-    #[test]
-    fn random_chain_gradients_match_finite_differences(
-        x in small_mat(3, 3),
-        y in small_mat(3, 3),
-        w in small_mat(3, 2),
-    ) {
-        fn forward(g: &mut Graph, x: Mat, y: Mat, w: Mat) -> (NodeId, NodeId, NodeId, NodeId) {
-            let xn = g.constant(x);
-            let yn = g.constant(y);
-            let wn = g.constant(w);
-            let s = g.add(xn, yn);
-            let t = g.tanh(s);
-            let m = g.matmul(t, wn);
-            let sg = g.sigmoid(m);
-            let loss = g.mean_all(sg);
-            (loss, xn, yn, wn)
-        }
-        let mut g = Graph::new();
-        let (loss, xn, _, wn) = forward(&mut g, x.clone(), y.clone(), w.clone());
-        g.backward(loss);
-        let gx = g.grad(xn).unwrap().clone();
-        let gw = g.grad(wn).unwrap().clone();
-
-        let eps = 1e-2f32;
-        // Spot-check a few coordinates of each gradient.
-        for &i in &[0usize, 4, 8] {
-            let mut xp = x.clone();
-            xp.as_mut_slice()[i] += eps;
-            let mut xm = x.clone();
-            xm.as_mut_slice()[i] -= eps;
-            let mut g1 = Graph::new();
-            let (l1, ..) = forward(&mut g1, xp, y.clone(), w.clone());
-            let mut g2 = Graph::new();
-            let (l2, ..) = forward(&mut g2, xm, y.clone(), w.clone());
-            let num = (g1.value(l1).item() - g2.value(l2).item()) / (2.0 * eps);
-            let ana = gx.as_slice()[i];
-            prop_assert!((num - ana).abs() < 2e-2 + 0.1 * num.abs().max(ana.abs()),
-                "x[{}]: numeric {} analytic {}", i, num, ana);
-        }
-        for &i in &[0usize, 3, 5] {
-            let mut wp = w.clone();
-            wp.as_mut_slice()[i] += eps;
-            let mut wm = w.clone();
-            wm.as_mut_slice()[i] -= eps;
-            let mut g1 = Graph::new();
-            let (l1, ..) = forward(&mut g1, x.clone(), y.clone(), wp);
-            let mut g2 = Graph::new();
-            let (l2, ..) = forward(&mut g2, x.clone(), y.clone(), wm);
-            let num = (g1.value(l1).item() - g2.value(l2).item()) / (2.0 * eps);
-            let ana = gw.as_slice()[i];
-            prop_assert!((num - ana).abs() < 2e-2 + 0.1 * num.abs().max(ana.abs()),
-                "w[{}]: numeric {} analytic {}", i, num, ana);
-        }
+/// Randomized gradient check over a composed chain: sigmoid ∘ matmul ∘
+/// tanh ∘ (x + y). Verifies accumulation and chaining beyond the per-op
+/// unit checks.
+#[test]
+fn random_chain_gradients_match_finite_differences() {
+    fn forward(g: &mut Graph, x: Mat, y: Mat, w: Mat) -> (NodeId, NodeId, NodeId, NodeId) {
+        let xn = g.constant(x);
+        let yn = g.constant(y);
+        let wn = g.constant(w);
+        let s = g.add(xn, yn);
+        let t = g.tanh(s);
+        let m = g.matmul(t, wn);
+        let sg = g.sigmoid(m);
+        let loss = g.mean_all(sg);
+        (loss, xn, yn, wn)
     }
+    check(
+        "random_chain_gradients_match_finite_differences",
+        32,
+        |gen| {
+            let x = small_mat(gen, 3, 3);
+            let y = small_mat(gen, 3, 3);
+            let w = small_mat(gen, 3, 2);
+            let mut g = Graph::new();
+            let (loss, xn, _, wn) = forward(&mut g, x.clone(), y.clone(), w.clone());
+            g.backward(loss);
+            let gx = g.grad(xn).unwrap().clone();
+            let gw = g.grad(wn).unwrap().clone();
 
-    #[test]
-    fn backward_leaves_untouched_inputs_without_gradients(a in small_mat(2, 2), b in small_mat(2, 2)) {
-        let mut g = Graph::new();
-        let xa = g.constant(a);
-        let xb = g.constant(b); // never consumed
-        let sq = g.square(xa);
-        let loss = g.sum_all(sq);
-        g.backward(loss);
-        prop_assert!(g.grad(xa).is_some());
-        prop_assert!(g.grad(xb).is_none());
-    }
+            let eps = 1e-2f32;
+            // Spot-check a few coordinates of each gradient.
+            for &i in &[0usize, 4, 8] {
+                let mut xp = x.clone();
+                xp.as_mut_slice()[i] += eps;
+                let mut xm = x.clone();
+                xm.as_mut_slice()[i] -= eps;
+                let mut g1 = Graph::new();
+                let (l1, ..) = forward(&mut g1, xp, y.clone(), w.clone());
+                let mut g2 = Graph::new();
+                let (l2, ..) = forward(&mut g2, xm, y.clone(), w.clone());
+                let num = (g1.value(l1).item() - g2.value(l2).item()) / (2.0 * eps);
+                let ana = gx.as_slice()[i];
+                prop_assert!(
+                    (num - ana).abs() < 2e-2 + 0.1 * num.abs().max(ana.abs()),
+                    "x[{}]: numeric {} analytic {}",
+                    i,
+                    num,
+                    ana
+                );
+            }
+            for &i in &[0usize, 3, 5] {
+                let mut wp = w.clone();
+                wp.as_mut_slice()[i] += eps;
+                let mut wm = w.clone();
+                wm.as_mut_slice()[i] -= eps;
+                let mut g1 = Graph::new();
+                let (l1, ..) = forward(&mut g1, x.clone(), y.clone(), wp);
+                let mut g2 = Graph::new();
+                let (l2, ..) = forward(&mut g2, x.clone(), y.clone(), wm);
+                let num = (g1.value(l1).item() - g2.value(l2).item()) / (2.0 * eps);
+                let ana = gw.as_slice()[i];
+                prop_assert!(
+                    (num - ana).abs() < 2e-2 + 0.1 * num.abs().max(ana.abs()),
+                    "w[{}]: numeric {} analytic {}",
+                    i,
+                    num,
+                    ana
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn backward_leaves_untouched_inputs_without_gradients() {
+    check(
+        "backward_leaves_untouched_inputs_without_gradients",
+        DEFAULT_CASES,
+        |gen| {
+            let a = small_mat(gen, 2, 2);
+            let b = small_mat(gen, 2, 2);
+            let mut g = Graph::new();
+            let xa = g.constant(a);
+            let xb = g.constant(b); // never consumed
+            let sq = g.square(xa);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            prop_assert!(g.grad(xa).is_some());
+            prop_assert!(g.grad(xb).is_none());
+            Ok(())
+        },
+    );
 }

@@ -8,7 +8,7 @@
 
 use graphaug_baselines::{BaselineOpts, BiasMf, Trainable};
 use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_data::{parse_edge_list, to_edge_list, generate, SyntheticConfig};
+use graphaug_data::{generate, parse_edge_list, to_edge_list, SyntheticConfig};
 use graphaug_eval::{evaluate, Recommender};
 use graphaug_graph::TrainTestSplit;
 
@@ -19,7 +19,11 @@ fn main() {
     let text = to_edge_list(&source);
     let path = std::env::temp_dir().join("graphaug_custom_dataset.tsv");
     std::fs::write(&path, &text).expect("write demo edge list");
-    println!("wrote demo edge list: {} ({} lines)", path.display(), text.lines().count());
+    println!(
+        "wrote demo edge list: {} ({} lines)",
+        path.display(),
+        text.lines().count()
+    );
 
     // Load it back the way a user would.
     let loaded = parse_edge_list(&std::fs::read_to_string(&path).expect("read")).expect("parse");
@@ -40,7 +44,17 @@ fn main() {
     ga.fit();
     let ga_res = evaluate(&ga, &split, &[20]);
 
-    println!("\n{:<10} Recall@20 {:.4}  NDCG@20 {:.4}", mf.name(), mf_res.recall(20), mf_res.ndcg(20));
-    println!("{:<10} Recall@20 {:.4}  NDCG@20 {:.4}", ga.name(), ga_res.recall(20), ga_res.ndcg(20));
+    println!(
+        "\n{:<10} Recall@20 {:.4}  NDCG@20 {:.4}",
+        mf.name(),
+        mf_res.recall(20),
+        mf_res.ndcg(20)
+    );
+    println!(
+        "{:<10} Recall@20 {:.4}  NDCG@20 {:.4}",
+        ga.name(),
+        ga_res.recall(20),
+        ga_res.ndcg(20)
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -54,5 +54,8 @@ fn main() {
     }
     let top = topk_indices(&scores, 5);
     println!("top-5 recommendations for user {user}: {top:?}");
-    println!("held-out ground truth:             {:?}", split.test.items_of(user));
+    println!(
+        "held-out ground truth:             {:?}",
+        split.test.items_of(user)
+    );
 }

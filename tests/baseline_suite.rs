@@ -29,8 +29,15 @@ fn every_baseline_trains_and_produces_finite_metrics() {
             "{name}: recall must be monotone in k"
         );
         let scores = m.score_items(0);
-        assert_eq!(scores.len(), split.train.n_items(), "{name}: wrong score width");
-        assert!(scores.iter().all(|s| s.is_finite()), "{name}: non-finite scores");
+        assert_eq!(
+            scores.len(),
+            split.train.n_items(),
+            "{name}: wrong score width"
+        );
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "{name}: non-finite scores"
+        );
     }
 }
 
@@ -39,8 +46,11 @@ fn baselines_are_deterministic_per_seed() {
     let split = small_split();
     for name in ["LightGCN", "SGL", "NCL", "BiasMF"] {
         let run = |seed: u64| {
-            let mut m =
-                build_model(name, BaselineOpts::fast_test().epochs(3).seed(seed), &split.train);
+            let mut m = build_model(
+                name,
+                BaselineOpts::fast_test().epochs(3).seed(seed),
+                &split.train,
+            );
             m.fit();
             evaluate(m.as_ref(), &split, &[20]).recall(20)
         };
@@ -54,9 +64,17 @@ fn gnn_models_outperform_nonpersonalized_scoring() {
     // constant ranking == recall of top-degree items only; here we compare
     // against the untrained version of the same model as a weak floor).
     let split = small_split();
-    let untrained = build_model("LightGCN", BaselineOpts::fast_test().epochs(3), &split.train);
+    let untrained = build_model(
+        "LightGCN",
+        BaselineOpts::fast_test().epochs(3),
+        &split.train,
+    );
     let before = evaluate(untrained.as_ref(), &split, &[20]).recall(20);
-    let mut m = build_model("LightGCN", BaselineOpts::fast_test().epochs(25), &split.train);
+    let mut m = build_model(
+        "LightGCN",
+        BaselineOpts::fast_test().epochs(25),
+        &split.train,
+    );
     m.fit();
     let after = evaluate(m.as_ref(), &split, &[20]).recall(20);
     assert!(after > before, "LightGCN: {before} -> {after}");

@@ -23,7 +23,10 @@ fn graphaug_end_to_end_beats_random_ranking() {
     // 0.24 here; trained GraphAug must do meaningfully better.
     assert!(res.recall(20) > 0.35, "recall@20 {}", res.recall(20));
     assert!(res.ndcg(20) > 0.1, "ndcg@20 {}", res.ndcg(20));
-    assert!(res.recall(40) >= res.recall(20), "recall must be monotone in k");
+    assert!(
+        res.recall(40) >= res.recall(20),
+        "recall must be monotone in k"
+    );
 }
 
 #[test]
@@ -35,7 +38,12 @@ fn full_model_beats_each_ablation_or_ties_closely() {
     let mut results = Vec::new();
     for (name, cfg) in [
         ("full", GraphAugConfig::fast_test().epochs(12)),
-        ("w/o mixhop", GraphAugConfig::fast_test().epochs(12).encoder(EncoderKind::Vanilla)),
+        (
+            "w/o mixhop",
+            GraphAugConfig::fast_test()
+                .epochs(12)
+                .encoder(EncoderKind::Vanilla),
+        ),
         ("w/o gib", GraphAugConfig::fast_test().epochs(12).gib(false)),
         ("w/o cl", GraphAugConfig::fast_test().epochs(12).cl(false)),
     ] {
@@ -65,7 +73,11 @@ fn graphaug_trained_on_noise_still_ranks_clean_holdout() {
     let mut m = GraphAug::new(GraphAugConfig::fast_test().epochs(15), &noisy.train);
     m.fit();
     let res = evaluate(&m, &noisy, &[20]);
-    assert!(res.recall(20) > 0.25, "noisy-train recall {}", res.recall(20));
+    assert!(
+        res.recall(20) > 0.25,
+        "noisy-train recall {}",
+        res.recall(20)
+    );
 }
 
 #[test]
@@ -75,7 +87,9 @@ fn mixhop_keeps_mad_higher_than_vanilla() {
     let mut full = GraphAug::new(GraphAugConfig::fast_test().epochs(12), &split.train);
     full.fit();
     let mut vanilla = GraphAug::new(
-        GraphAugConfig::fast_test().epochs(12).encoder(EncoderKind::Vanilla),
+        GraphAugConfig::fast_test()
+            .epochs(12)
+            .encoder(EncoderKind::Vanilla),
         &split.train,
     );
     vanilla.fit();

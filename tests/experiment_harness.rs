@@ -54,7 +54,10 @@ fn degree_groups_cover_the_table5_population() {
     let groups = paper_degree_groups(&split.train);
     assert_eq!(groups.len(), 5);
     let covered: usize = groups.iter().map(|g| g.users.len()).sum();
-    assert!(covered > 0, "at least some users fall into the paper buckets");
+    assert!(
+        covered > 0,
+        "at least some users fall into the paper buckets"
+    );
     // Per-group evaluation runs on the harness path used by table5_skewed.
     let out = run_model("BiasMF", &split);
     for grp in &groups {
