@@ -24,8 +24,23 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 stage "cargo build --release --offline"
 cargo build --release --offline
 
-stage "cargo test -q --offline"
-cargo test -q --offline
+stage "cargo test -q --offline (GRAPHAUG_THREADS=1)"
+GRAPHAUG_THREADS=1 cargo test -q --offline
+
+stage "cargo test -q --offline (GRAPHAUG_THREADS=4)"
+# The parallel runtime must be bit-deterministic in the thread count; run
+# the whole suite again with a multi-worker pool to prove it.
+GRAPHAUG_THREADS=4 cargo test -q --offline
+
+stage "bench smoke (tiny budget)"
+# Not a perf measurement — just proves the bench harness, the workloads,
+# and the regression differ run end to end. Full recordings use
+# bench_baseline + bench_compare with default budgets.
+GRAPHAUG_BENCH_ITERS=3 GRAPHAUG_BENCH_WARMUP_MS=10 GRAPHAUG_BENCH_MAX_MS=200 \
+    GRAPHAUG_BENCH_OUT=/tmp/graphaug_bench_smoke.json \
+    cargo run --release --offline -q -p graphaug-bench --bin bench_baseline smoke
+cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
+    /tmp/graphaug_bench_smoke.json /tmp/graphaug_bench_smoke.json
 
 stage "dependency hermeticity check"
 # No crate manifest may declare a non-path external dependency.

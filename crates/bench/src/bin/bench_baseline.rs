@@ -7,8 +7,12 @@ use graphaug_bench::harness::Harness;
 use graphaug_bench::perf;
 
 fn main() {
-    let mut h = Harness::new("seed");
+    // Optional suite label (default "seed") so later PRs can record their
+    // own trajectory point: `bench_baseline pr2` → BENCH_pr2.json.
+    let suite = std::env::args().nth(1).unwrap_or_else(|| "seed".into());
+    let mut h = Harness::new(&suite);
     perf::spmm(&mut h);
+    perf::matmul(&mut h);
     perf::mixhop_forward(&mut h);
     perf::augmentor(&mut h);
     h.finish();

@@ -47,6 +47,10 @@ pub struct BenchResult {
     pub max_ns: u128,
     /// Mean over all samples.
     pub mean_ns: u128,
+    /// Optional derived throughput: `(units_per_second, unit_label)`, from
+    /// the declared work per iteration and the median sample (e.g.
+    /// `GFLOP/s` for matmul, `Medges/s` for SpMM).
+    pub throughput: Option<(f64, String)>,
 }
 
 /// A benchmark suite accumulating [`BenchResult`]s.
@@ -81,7 +85,21 @@ impl Harness {
     /// Times `f`: warmup until the warmup window is spent, calibrate a batch
     /// size so one sample is ≥ ~20 µs, then record up to the configured
     /// number of samples within the measurement budget.
-    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+    pub fn bench(&mut self, name: &str, f: impl FnMut()) {
+        self.bench_inner(name, None, f);
+    }
+
+    /// Like [`Harness::bench`], but also records throughput: `work` is the
+    /// amount of work one closure call performs (e.g. FLOPs or edges) and
+    /// `unit` labels the per-second rate derived from the median sample
+    /// (`"GFLOP/s"` ⇒ `work / 1e9 / median_seconds`, `"Medges/s"` ⇒
+    /// `work / 1e6 / median_seconds`, anything else ⇒ `work /
+    /// median_seconds`).
+    pub fn bench_throughput(&mut self, name: &str, work: f64, unit: &str, f: impl FnMut()) {
+        self.bench_inner(name, Some((work, unit.to_string())), f);
+    }
+
+    fn bench_inner(&mut self, name: &str, work: Option<(f64, String)>, mut f: impl FnMut()) {
         // Warmup (also primes caches/allocator) while estimating cost.
         let warm_start = Instant::now();
         let mut warm_calls = 0u64;
@@ -107,23 +125,39 @@ impl Harness {
         }
         samples_ns.sort_unstable();
         let n = samples_ns.len();
+        let median_ns = samples_ns[n / 2];
+        let throughput = work.map(|(w, unit)| {
+            let per_sec = w / (median_ns.max(1) as f64 * 1e-9);
+            let scaled = match unit.as_str() {
+                "GFLOP/s" => per_sec / 1e9,
+                "Medges/s" => per_sec / 1e6,
+                _ => per_sec,
+            };
+            (scaled, unit)
+        });
         let result = BenchResult {
             name: name.to_string(),
             iters: n,
             batch,
             min_ns: samples_ns[0],
-            median_ns: samples_ns[n / 2],
+            median_ns,
             p95_ns: samples_ns[(n * 95 / 100).min(n - 1)],
             max_ns: samples_ns[n - 1],
             mean_ns: samples_ns.iter().sum::<u128>() / n as u128,
+            throughput,
+        };
+        let rate = match &result.throughput {
+            Some((v, u)) => format!("  {v:>8.2} {u}"),
+            None => String::new(),
         };
         println!(
-            "{:<40} median {:>12}  p95 {:>12}  ({} samples × {})",
+            "{:<40} median {:>12}  p95 {:>12}  ({} samples × {}){}",
             result.name,
             fmt_ns(result.median_ns),
             fmt_ns(result.p95_ns),
             result.iters,
-            result.batch
+            result.batch,
+            rate
         );
         self.results.push(result);
     }
@@ -137,9 +171,19 @@ impl Harness {
             json_str(&self.suite)
         ));
         for (i, r) in self.results.iter().enumerate() {
+            let rate = match &r.throughput {
+                Some((v, u)) => {
+                    format!(
+                        ", \"throughput\": {:.3}, \"throughput_unit\": {}",
+                        v,
+                        json_str(u)
+                    )
+                }
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "    {{ \"name\": {}, \"iters\": {}, \"batch\": {}, \"min_ns\": {}, \
-                 \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}, \"mean_ns\": {} }}{}\n",
+                 \"median_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}{} }}{}\n",
                 json_str(&r.name),
                 r.iters,
                 r.batch,
@@ -148,6 +192,7 @@ impl Harness {
                 r.p95_ns,
                 r.max_ns,
                 r.mean_ns,
+                rate,
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
@@ -224,5 +269,28 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn throughput_is_derived_from_median() {
+        std::env::set_var("GRAPHAUG_BENCH_WARMUP_MS", "1");
+        std::env::set_var("GRAPHAUG_BENCH_ITERS", "5");
+        std::env::set_var("GRAPHAUG_BENCH_MAX_MS", "200");
+        let mut h = Harness::new("unit");
+        h.bench_throughput("spin", 1_000_000.0, "Medges/s", || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        std::env::remove_var("GRAPHAUG_BENCH_WARMUP_MS");
+        std::env::remove_var("GRAPHAUG_BENCH_ITERS");
+        std::env::remove_var("GRAPHAUG_BENCH_MAX_MS");
+        let r = &h.results[0];
+        let (rate, unit) = r.throughput.as_ref().expect("throughput recorded");
+        assert_eq!(unit, "Medges/s");
+        // 1e6 edges / median_s / 1e6 == 1e9 / median_ns.
+        let want = 1e9 / r.median_ns.max(1) as f64;
+        assert!((rate - want).abs() < want * 1e-6);
+        let json = h.to_json();
+        assert!(json.contains("\"throughput\""));
+        assert!(json.contains("\"throughput_unit\": \"Medges/s\""));
     }
 }

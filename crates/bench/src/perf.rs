@@ -33,9 +33,36 @@ pub fn spmm(h: &mut Harness) {
             .map(|i| (i as f32 * 0.37).sin())
             .collect();
         let mut out = vec![0f32; adj.n_rows() * d];
-        h.bench(&format!("spmm/csr_x_dense_d32/{label}"), || {
-            adj.spmm_into(black_box(&dense), d, &mut out);
-            black_box(&out);
+        let edges = adj.nnz() as f64;
+        h.bench_throughput(
+            &format!("spmm/csr_x_dense_d32/{label}"),
+            edges,
+            "Medges/s",
+            || {
+                adj.spmm_into(black_box(&dense), d, &mut out);
+                black_box(&out);
+            },
+        );
+    }
+}
+
+/// Dense matmul kernels at the embedding shapes the training loop uses —
+/// throughput reported in GFLOP/s (2·n·k·m flops per product).
+pub fn matmul(h: &mut Harness) {
+    let mut rng = seeded_rng(5);
+    for (label, n, k, m) in [
+        ("nodes_x_mixing_694x32x32", 694usize, 32usize, 32usize),
+        ("edges_x_mlp_8000x64x16", 8000, 64, 16),
+    ] {
+        let a = xavier_uniform(n, k, &mut rng);
+        let b = xavier_uniform(k, m, &mut rng);
+        let flops = 2.0 * n as f64 * k as f64 * m as f64;
+        let c = a.matmul(&b);
+        h.bench_throughput(&format!("matmul/{label}"), flops, "GFLOP/s", || {
+            black_box(black_box(&a).matmul(black_box(&b)).as_slice()[0]);
+        });
+        h.bench_throughput(&format!("matmul_tn/{label}"), flops, "GFLOP/s", || {
+            black_box(black_box(&a).matmul_tn(black_box(&c)).as_slice()[0]);
         });
     }
 }

@@ -14,7 +14,7 @@ use graphaug_rng::StdRng;
 
 use graphaug_graph::InteractionGraph;
 use graphaug_sparse::{sym_norm_weights, Csr};
-use graphaug_tensor::{Graph, Mat, NodeId};
+use graphaug_tensor::{Graph, Mat, NodeId, PairGatherPlan};
 
 /// Precomputed structure of the augmentable bipartite adjacency: the CSR
 /// pattern, the map from stored (directed) entries back to undirected edge
@@ -32,6 +32,10 @@ pub struct EdgeIndex {
     pub edge_users: Rc<Vec<u32>>,
     /// Per undirected edge: item endpoint (bipartite node id, offset by I).
     pub edge_items: Rc<Vec<u32>>,
+    /// Fused endpoint gather plan: `feat[e] = [h[u_e] | h[v_e]]` in one tape
+    /// op. Precomputed here so every `edge_logits` call is a single indexed
+    /// copy instead of two gathers plus a concat.
+    pub feat_plan: Rc<PairGatherPlan>,
 }
 
 impl EdgeIndex {
@@ -52,12 +56,15 @@ impl EdgeIndex {
         let dir_to_undir: Vec<u32> = carrier.data().iter().map(|&v| v as u32).collect();
         let pattern = carrier.map_data(|_| 1.0);
         let norm_vals = sym_norm_weights(&pattern);
+        let edge_users: Vec<u32> = edges.iter().map(|&(u, _)| u).collect();
+        let edge_items: Vec<u32> = edges.iter().map(|&(_, v)| n_users as u32 + v).collect();
         EdgeIndex {
             norm: Rc::new(Mat::from_vec(norm_vals.len(), 1, norm_vals)),
             pattern: Rc::new(pattern),
             dir_to_undir: Rc::new(dir_to_undir),
-            edge_users: Rc::new(edges.iter().map(|&(u, _)| u).collect()),
-            edge_items: Rc::new(edges.iter().map(|&(_, v)| n_users as u32 + v).collect()),
+            feat_plan: Rc::new(PairGatherPlan::build(n, &edge_users, &edge_items)),
+            edge_users: Rc::new(edge_users),
+            edge_items: Rc::new(edge_items),
         }
     }
 
@@ -133,9 +140,7 @@ pub fn edge_logits(
     let masked = g.mul_const(shifted, mask);
     let disturbed = g.add_const(masked, noise);
 
-    let hu = g.gather_rows(disturbed, Rc::clone(&idx.edge_users));
-    let hv = g.gather_rows(disturbed, Rc::clone(&idx.edge_items));
-    let feat = g.concat_cols(hu, hv);
+    let feat = g.gather_concat_pair(disturbed, Rc::clone(&idx.feat_plan));
     let z1 = g.matmul(feat, mlp.w1);
     let z1b = g.add_row_broadcast(z1, mlp.b1);
     let hidden = g.leaky_relu(z1b, settings.leaky_slope);

@@ -1,4 +1,15 @@
 //! Compressed sparse row matrices.
+//!
+//! The SpMM family (`spmm_into`, `spmm_ew_into`, and the `spmm_ew` gradient
+//! kernels) runs on the `graphaug-par` runtime: output rows are partitioned
+//! into fixed chunks, each chunk owns a disjoint slice of the output, and
+//! every output element is accumulated in the same (ascending-entry) order
+//! regardless of the thread count — so results are bit-identical under any
+//! `GRAPHAUG_THREADS`. The inner loops accumulate into stack arrays for the
+//! embedding widths the workspace actually uses (8/16/32/64 columns), which
+//! keeps the running row in registers instead of re-loading it per nonzero.
+
+use std::sync::OnceLock;
 
 /// An immutable sparse matrix in CSR layout over `f32` values.
 ///
@@ -7,13 +18,71 @@
 ///   non-decreasing and `indptr[n_rows] == indices.len() == data.len()`;
 /// * column indices within each row are strictly increasing (no duplicates);
 /// * every column index is `< n_cols`.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Csr {
     n_rows: usize,
     n_cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     data: Vec<f32>,
+    /// Lazily-built transposed traversal plan for the edge-weighted SpMM
+    /// backward pass (see [`TransposePlan`]). Excluded from equality; shared
+    /// by clones via [`Csr::with_data`]/[`Csr::map_data`], which preserve
+    /// the pattern.
+    tplan: OnceLock<TransposePlan>,
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.data == other.data
+    }
+}
+
+/// A transposed traversal order over a [`Csr`] pattern: for every *column*
+/// `c`, the original rows that store an entry in `c` and each entry's index
+/// into the CSR value array.
+///
+/// This is what makes the `spmm_ew` dense-gradient reduction deterministic
+/// and lock-free: `dH[c] = Σ_e w[entry(e)] · dY[src_row(e)]` walks entries
+/// of column `c` only, so each `dH` row is owned by exactly one parallel
+/// chunk and its accumulation order is fixed by the plan, not by the
+/// scheduler.
+#[derive(Clone, Debug)]
+pub struct TransposePlan {
+    /// Per column: span into `src_row`/`entry` (`len == n_cols + 1`).
+    indptr: Vec<usize>,
+    /// Original row of each transposed entry, grouped by column.
+    src_row: Vec<u32>,
+    /// Index of the entry in the original CSR `data`/`indices` arrays.
+    entry: Vec<u32>,
+}
+
+/// Unrolled dot product with four independent accumulators (fixed
+/// combination order — part of each kernel's deterministic reference
+/// semantics).
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0f32; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0f32;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 impl Csr {
@@ -58,6 +127,7 @@ impl Csr {
             indptr,
             indices,
             data,
+            tplan: OnceLock::new(),
         }
     }
 
@@ -69,6 +139,7 @@ impl Csr {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             data: vec![1.0; n],
+            tplan: OnceLock::new(),
         }
     }
 
@@ -180,24 +251,242 @@ impl Csr {
             indptr,
             indices,
             data,
+            tplan: OnceLock::new(),
         }
+    }
+
+    /// The transposed traversal plan of this pattern, built on first use and
+    /// cached for the lifetime of the matrix (patterns are shared via `Rc`
+    /// across training steps, so the counting sort is paid once, not per
+    /// backward pass).
+    pub fn transpose_plan(&self) -> &TransposePlan {
+        self.tplan.get_or_init(|| {
+            assert!(self.nnz() <= u32::MAX as usize, "pattern too large");
+            let mut counts = vec![0usize; self.n_cols + 1];
+            for &c in &self.indices {
+                counts[c as usize + 1] += 1;
+            }
+            for i in 1..=self.n_cols {
+                counts[i] += counts[i - 1];
+            }
+            let indptr = counts.clone();
+            let mut cursor = counts;
+            let mut src_row = vec![0u32; self.nnz()];
+            let mut entry = vec![0u32; self.nnz()];
+            for r in 0..self.n_rows {
+                for e in self.indptr[r]..self.indptr[r + 1] {
+                    let c = self.indices[e] as usize;
+                    let slot = cursor[c];
+                    src_row[slot] = r as u32;
+                    entry[slot] = e as u32;
+                    cursor[c] += 1;
+                }
+            }
+            TransposePlan {
+                indptr,
+                src_row,
+                entry,
+            }
+        })
     }
 
     /// Sparse × dense product: `out = self * dense`, where `dense` is a
     /// row-major `n_cols × d` buffer and `out` a row-major `n_rows × d`
-    /// buffer. `out` is overwritten.
+    /// buffer. `out` is overwritten. Parallel over fixed row chunks.
     pub fn spmm_into(&self, dense: &[f32], d: usize, out: &mut [f32]) {
         assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
         assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
-        out.fill(0.0);
-        for r in 0..self.n_rows {
-            let (cols, vals) = self.row(r);
-            let orow = &mut out[r * d..(r + 1) * d];
-            for (c, &v) in cols.iter().zip(vals) {
-                let drow = &dense[*c as usize * d..(*c as usize + 1) * d];
-                for (o, x) in orow.iter_mut().zip(drow) {
-                    *o += v * x;
+        graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
+            self.spmm_span::<false>(&self.data, dense, d, row0, rows);
+        });
+    }
+
+    /// Like [`Csr::spmm_into`] but accumulates (`out += self * dense`)
+    /// instead of overwriting — the gradient-accumulation path of the tape.
+    pub fn spmm_acc_into(&self, dense: &[f32], d: usize, out: &mut [f32]) {
+        assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
+        assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
+        graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
+            self.spmm_span::<true>(&self.data, dense, d, row0, rows);
+        });
+    }
+
+    /// Edge-weighted sparse × dense product: the stored values are replaced
+    /// by `w` (one weight per stored entry, CSR order). `out` is
+    /// overwritten.
+    pub fn spmm_ew_into(&self, w: &[f32], dense: &[f32], d: usize, out: &mut [f32]) {
+        assert_eq!(w.len(), self.nnz(), "one weight per stored entry");
+        assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
+        assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
+        graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
+            self.spmm_span::<false>(w, dense, d, row0, rows);
+        });
+    }
+
+    /// Edge-weight gradient of the edge-weighted product:
+    /// `dw[e] = dY[row(e)] · H[col(e)]` for every stored entry `e`.
+    /// Entries are partitioned by output row, so each chunk writes a
+    /// disjoint `dw` span and no merging is needed.
+    pub fn spmm_ew_dw_into(&self, h: &[f32], dy: &[f32], d: usize, dw: &mut [f32]) {
+        assert_eq!(h.len(), self.n_cols * d, "dense operand shape mismatch");
+        assert_eq!(
+            dy.len(),
+            self.n_rows * d,
+            "upstream gradient shape mismatch"
+        );
+        assert_eq!(dw.len(), self.nnz(), "one gradient per stored entry");
+        let base = graphaug_par::SendMutPtr::new(dw);
+        graphaug_par::parallel_spans(self.n_rows, |_, rr| {
+            let (s, e) = (self.indptr[rr.start], self.indptr[rr.end]);
+            // Safety: row spans are disjoint, so entry spans are disjoint.
+            let dws = unsafe { base.slice_mut(s, e - s) };
+            let mut k = 0usize;
+            for r in rr {
+                let (cols, _) = self.row(r);
+                let grow = &dy[r * d..r * d + d];
+                for &c in cols {
+                    let hrow = &h[c as usize * d..c as usize * d + d];
+                    dws[k] = dot4(grow, hrow);
+                    k += 1;
                 }
+            }
+        });
+    }
+
+    /// Dense-operand gradient of the edge-weighted product, accumulated:
+    /// `dh[c] += Σ_{e : col(e) = c} w[e] · dY[row(e)]`.
+    ///
+    /// Uses the cached [`TransposePlan`] so each `dh` row is owned by one
+    /// chunk and accumulated in plan order — deterministic for any thread
+    /// count, with no per-thread scratch buffers to merge.
+    pub fn spmm_ew_dh_acc_into(&self, w: &[f32], dy: &[f32], d: usize, dh: &mut [f32]) {
+        assert_eq!(w.len(), self.nnz(), "one weight per stored entry");
+        assert_eq!(
+            dy.len(),
+            self.n_rows * d,
+            "upstream gradient shape mismatch"
+        );
+        assert_eq!(dh.len(), self.n_cols * d, "dense gradient shape mismatch");
+        let plan = self.transpose_plan();
+        graphaug_par::parallel_rows(dh, d.max(1), |row0, rows| match d {
+            8 => plan.dh_span::<8>(w, dy, row0, rows),
+            16 => plan.dh_span::<16>(w, dy, row0, rows),
+            32 => plan.dh_span::<32>(w, dy, row0, rows),
+            64 => plan.dh_span::<64>(w, dy, row0, rows),
+            _ => plan.dh_span_generic(w, dy, d, row0, rows),
+        });
+    }
+
+    /// Computes a span of output rows, reading entry values from `vals`
+    /// (either `self.data` or an external per-entry weight vector).
+    fn spmm_span<const ACC: bool>(
+        &self,
+        vals: &[f32],
+        dense: &[f32],
+        d: usize,
+        row0: usize,
+        rows: &mut [f32],
+    ) {
+        match d {
+            8 => self.spmm_span_fixed::<8, ACC>(vals, dense, row0, rows),
+            16 => self.spmm_span_fixed::<16, ACC>(vals, dense, row0, rows),
+            32 => self.spmm_span_fixed::<32, ACC>(vals, dense, row0, rows),
+            64 => self.spmm_span_fixed::<64, ACC>(vals, dense, row0, rows),
+            _ => self.spmm_span_generic::<ACC>(vals, dense, d, row0, rows),
+        }
+    }
+
+    /// Width-specialized row kernel: the output row lives in a `[f32; D]`
+    /// register file across all nonzeros. Accumulation order per output
+    /// element is ascending entry order — identical to the generic path.
+    fn spmm_span_fixed<const D: usize, const ACC: bool>(
+        &self,
+        vals: &[f32],
+        dense: &[f32],
+        row0: usize,
+        rows: &mut [f32],
+    ) {
+        debug_assert!(dense.len() >= self.n_cols * D);
+        for (i, orow) in rows.chunks_exact_mut(D).enumerate() {
+            let r = row0 + i;
+            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+            // Two accumulator files over even/odd entries for instruction-
+            // level parallelism; the merge order (even file + odd file) is a
+            // fixed function of the row, so results stay thread-invariant.
+            let mut acc = [0f32; D];
+            let mut acc2 = [0f32; D];
+            let (cols, vs) = (&self.indices[s..e], &vals[s..e]);
+            let mut t = 0usize;
+            // Safety (both gathers): every stored column index is < n_cols
+            // (structural invariant enforced by `from_coo`) and the public
+            // entry points assert `dense.len() == n_cols * D`.
+            while t + 2 <= cols.len() {
+                let (c0, c1) = (cols[t] as usize, cols[t + 1] as usize);
+                let (v0, v1) = (vs[t], vs[t + 1]);
+                let d0 = unsafe { dense.get_unchecked(c0 * D..c0 * D + D) };
+                let d1 = unsafe { dense.get_unchecked(c1 * D..c1 * D + D) };
+                for j in 0..D {
+                    acc[j] += v0 * d0[j];
+                    acc2[j] += v1 * d1[j];
+                }
+                t += 2;
+            }
+            if t < cols.len() {
+                let c0 = cols[t] as usize;
+                let v0 = vs[t];
+                let d0 = unsafe { dense.get_unchecked(c0 * D..c0 * D + D) };
+                for j in 0..D {
+                    acc[j] += v0 * d0[j];
+                }
+            }
+            for j in 0..D {
+                acc[j] += acc2[j];
+            }
+            if ACC {
+                for (o, a) in orow.iter_mut().zip(&acc) {
+                    *o += a;
+                }
+            } else {
+                orow.copy_from_slice(&acc);
+            }
+        }
+    }
+
+    /// Generic-width row kernel: walks the row's nonzeros once per 64-lane
+    /// column block with a stack accumulator, preserving ascending entry
+    /// order per output element.
+    fn spmm_span_generic<const ACC: bool>(
+        &self,
+        vals: &[f32],
+        dense: &[f32],
+        d: usize,
+        row0: usize,
+        rows: &mut [f32],
+    ) {
+        if d == 0 {
+            return;
+        }
+        for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
+            let r = row0 + i;
+            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+            let mut j0 = 0usize;
+            while j0 < d {
+                let w = (d - j0).min(64);
+                let mut acc = [0f32; 64];
+                for (c, &v) in self.indices[s..e].iter().zip(&vals[s..e]) {
+                    let drow = &dense[*c as usize * d + j0..*c as usize * d + j0 + w];
+                    for (a, x) in acc[..w].iter_mut().zip(drow) {
+                        *a += v * x;
+                    }
+                }
+                if ACC {
+                    for (o, a) in orow[j0..j0 + w].iter_mut().zip(&acc[..w]) {
+                        *o += a;
+                    }
+                } else {
+                    orow[j0..j0 + w].copy_from_slice(&acc[..w]);
+                }
+                j0 += w;
             }
         }
     }
@@ -260,6 +549,46 @@ impl Csr {
             }
         }
         Ok(())
+    }
+}
+
+impl TransposePlan {
+    /// Width-specialized `dh` row kernel (see
+    /// [`Csr::spmm_ew_dh_acc_into`]).
+    fn dh_span<const D: usize>(&self, w: &[f32], dy: &[f32], row0: usize, rows: &mut [f32]) {
+        for (i, orow) in rows.chunks_exact_mut(D).enumerate() {
+            let c = row0 + i;
+            let (s, e) = (self.indptr[c], self.indptr[c + 1]);
+            let mut acc = [0f32; D];
+            for (sr, en) in self.src_row[s..e].iter().zip(&self.entry[s..e]) {
+                let wgt = w[*en as usize];
+                let grow = &dy[*sr as usize * D..*sr as usize * D + D];
+                for j in 0..D {
+                    acc[j] += wgt * grow[j];
+                }
+            }
+            for (o, a) in orow.iter_mut().zip(&acc) {
+                *o += a;
+            }
+        }
+    }
+
+    /// Generic-width `dh` row kernel.
+    fn dh_span_generic(&self, w: &[f32], dy: &[f32], d: usize, row0: usize, rows: &mut [f32]) {
+        if d == 0 {
+            return;
+        }
+        for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
+            let c = row0 + i;
+            let (s, e) = (self.indptr[c], self.indptr[c + 1]);
+            for (sr, en) in self.src_row[s..e].iter().zip(&self.entry[s..e]) {
+                let wgt = w[*en as usize];
+                let grow = &dy[*sr as usize * d..*sr as usize * d + d];
+                for (o, x) in orow.iter_mut().zip(grow) {
+                    *o += wgt * x;
+                }
+            }
+        }
     }
 }
 
@@ -331,6 +660,82 @@ mod tests {
                 let want: f32 = (0..4).map(|c| dm[r * 4 + c] * dense[c * d + k]).sum();
                 assert!((got[r * d + k] - want).abs() < 1e-6);
             }
+        }
+    }
+
+    #[test]
+    fn spmm_acc_into_accumulates() {
+        let m = sample();
+        let dense: Vec<f32> = (0..8).map(|x| x as f32 * 0.25).collect();
+        let once = m.spmm(&dense, 2);
+        let mut acc = once.clone();
+        m.spmm_acc_into(&dense, 2, &mut acc);
+        for (a, o) in acc.iter().zip(&once) {
+            assert!((a - 2.0 * o).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmm_ew_matches_with_data_spmm() {
+        let m = sample();
+        let w: Vec<f32> = (0..m.nnz()).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let dense: Vec<f32> = (0..8).map(|x| (x as f32) * 0.3 - 0.7).collect();
+        let mut out = vec![0f32; 3 * 2];
+        m.spmm_ew_into(&w, &dense, 2, &mut out);
+        let want = m.with_data(w).spmm(&dense, 2);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn transpose_plan_covers_every_entry_once() {
+        let m = sample();
+        let p = m.transpose_plan();
+        assert_eq!(p.indptr.len(), m.n_cols() + 1);
+        let mut seen = vec![0usize; m.nnz()];
+        for c in 0..m.n_cols() {
+            for e in p.indptr[c]..p.indptr[c + 1] {
+                let en = p.entry[e] as usize;
+                seen[en] += 1;
+                // The entry really lives in column c of row src_row.
+                let r = p.src_row[e] as usize;
+                let (cols, _) = m.row(r);
+                assert!(cols.contains(&(c as u32)));
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn spmm_ew_gradients_match_dense_reference() {
+        let m = sample();
+        let d = 2usize;
+        let w: Vec<f32> = (0..m.nnz()).map(|i| 0.3 + i as f32 * 0.2).collect();
+        let h: Vec<f32> = (0..m.n_cols() * d)
+            .map(|x| (x as f32) * 0.1 - 0.3)
+            .collect();
+        let dy: Vec<f32> = (0..m.n_rows() * d).map(|x| 1.0 - x as f32 * 0.15).collect();
+
+        let mut dw = vec![0f32; m.nnz()];
+        m.spmm_ew_dw_into(&h, &dy, d, &mut dw);
+        let mut dh = vec![0f32; m.n_cols() * d];
+        m.spmm_ew_dh_acc_into(&w, &dy, d, &mut dh);
+
+        // Dense reference: Y = (W ∘ P) H, dW_e = dY[r]·H[c], dH = (W∘P)ᵀ dY.
+        let coo = m.to_coo();
+        for (e, (r, c, _)) in coo.iter().enumerate() {
+            let want: f32 = (0..d)
+                .map(|j| dy[*r as usize * d + j] * h[*c as usize * d + j])
+                .sum();
+            assert!((dw[e] - want).abs() < 1e-5, "dw[{e}]");
+        }
+        let mut want_dh = vec![0f32; m.n_cols() * d];
+        for (e, (r, c, _)) in coo.iter().enumerate() {
+            for j in 0..d {
+                want_dh[*c as usize * d + j] += w[e] * dy[*r as usize * d + j];
+            }
+        }
+        for (a, b) in dh.iter().zip(&want_dh) {
+            assert!((a - b).abs() < 1e-5);
         }
     }
 

@@ -126,3 +126,85 @@ fn bipartite_adjacency_degree_matches_edge_multiset() {
         },
     );
 }
+
+#[test]
+fn spmm_ew_matches_with_data_spmm() {
+    check("spmm_ew_matches_with_data_spmm", DEFAULT_CASES, |g| {
+        let t = coo(g, 6, 5, 60);
+        let m = Csr::from_coo(6, 5, t);
+        let d = g.len_in(1, 9);
+        let w = g.vec_of(m.nnz(), |g| g.random_range(-2.0f32..2.0));
+        let dense = g.vec_of(5 * d, |g| g.random_range(-3.0f32..3.0));
+        let mut got = vec![0f32; 6 * d];
+        m.spmm_ew_into(&w, &dense, d, &mut got);
+        let want = m.with_data(w).spmm(&dense, d);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn spmm_ew_gradients_match_dense_reference() {
+    check(
+        "spmm_ew_gradients_match_dense_reference",
+        DEFAULT_CASES,
+        |g| {
+            let t = coo(g, 6, 5, 40);
+            let m = Csr::from_coo(6, 5, t);
+            let d = g.len_in(1, 9);
+            let w = g.vec_of(m.nnz(), |g| g.random_range(-2.0f32..2.0));
+            let h = g.vec_of(5 * d, |g| g.random_range(-2.0f32..2.0));
+            let dy = g.vec_of(6 * d, |g| g.random_range(-2.0f32..2.0));
+
+            let mut dw = vec![0f32; m.nnz()];
+            m.spmm_ew_dw_into(&h, &dy, d, &mut dw);
+            let mut dh = vec![0f32; 5 * d];
+            m.spmm_ew_dh_acc_into(&w, &dy, d, &mut dh);
+
+            // Serial references straight from the definitions.
+            let coo_entries = m.to_coo();
+            for (e, (r, c, _)) in coo_entries.iter().enumerate() {
+                let want: f32 = (0..d)
+                    .map(|j| dy[*r as usize * d + j] * h[*c as usize * d + j])
+                    .sum();
+                prop_assert!((dw[e] - want).abs() < 1e-3, "dw[{}]", e);
+            }
+            let mut want_dh = vec![0f32; 5 * d];
+            for (e, (r, c, _)) in coo_entries.iter().enumerate() {
+                for j in 0..d {
+                    want_dh[*c as usize * d + j] += w[e] * dy[*r as usize * d + j];
+                }
+            }
+            for (a, b) in dh.iter().zip(&want_dh) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn spmm_wide_operands_match_dense_reference() {
+    // Exercises both the width-specialized (8/16/32/64) and generic kernels
+    // against the dense definition on random shapes.
+    check("spmm_wide_operands_match_dense_reference", 32, |g| {
+        let rows = g.len_in(1, 12);
+        let cols = g.len_in(1, 10);
+        let t = coo(g, rows, cols, 50);
+        let m = Csr::from_coo(rows, cols, t);
+        for d in [3usize, 8, 16, 32, 64] {
+            let dense = g.vec_of(cols * d, |g| g.random_range(-2.0f32..2.0));
+            let got = m.spmm(&dense, d);
+            let dm = m.to_dense();
+            for r in 0..rows {
+                for k in 0..d {
+                    let want: f32 = (0..cols).map(|c| dm[r * cols + c] * dense[c * d + k]).sum();
+                    prop_assert!((got[r * d + k] - want).abs() < 1e-3);
+                }
+            }
+        }
+        Ok(())
+    });
+}

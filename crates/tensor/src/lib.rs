@@ -36,6 +36,6 @@ pub mod optim;
 pub mod tape;
 
 pub use mat::Mat;
-pub use ops::{sigmoid, softplus, SpPair};
+pub use ops::{sigmoid, softplus, PairGatherPlan, SpPair};
 pub use optim::{Optimizer, ParamId, ParamStore};
 pub use tape::{Graph, NodeId};

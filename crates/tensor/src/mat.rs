@@ -3,8 +3,15 @@
 //! `Mat` is the single dense container used by the autodiff tape, the
 //! optimizers, and every model in the workspace. It is deliberately simple —
 //! a shape plus a `Vec<f32>` — with the handful of BLAS-like kernels the
-//! GNN training loop needs (`matmul`, `matmul_nt`, `matmul_tn`) written as
-//! allocation-free ikj loops over row slices.
+//! GNN training loop needs (`matmul`, `matmul_nt`, `matmul_tn`).
+//!
+//! The matmul family runs on the `graphaug-par` runtime: output rows are
+//! split into fixed chunks (a function of the shape only, never the thread
+//! count) and each chunk is computed by one worker into its disjoint output
+//! slice, with the k-reduction order fixed inside the kernel — so results
+//! are bit-identical under any `GRAPHAUG_THREADS`. Inner loops process four
+//! k-steps per pass over the output row, quartering the store traffic of a
+//! naive ikj loop.
 
 /// A dense `rows × cols` matrix stored in row-major order.
 #[derive(Clone, Debug, PartialEq)]
@@ -161,24 +168,26 @@ impl Mat {
         }
     }
 
-    /// Dense matmul `self × other` with ikj loop ordering (cache-friendly,
-    /// branch-free inner loop over contiguous rows).
+    /// Dense matmul `self × other`, parallel over fixed chunks of output
+    /// rows. Within a row, four k-steps are folded into each pass over the
+    /// output row; the per-element summation order depends only on k.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
-        let (n, m) = (self.rows, other.cols);
+        let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0f32; n * m];
-        for i in 0..n {
-            let arow = self.row(i);
-            let orow = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if m > 0 {
+            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
+                for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+                    let arow = self.row(row0 + i);
+                    match m {
+                        8 => matmul_row_regs::<8>(arow, &other.data, k, orow),
+                        16 => matmul_row_regs::<16>(arow, &other.data, k, orow),
+                        32 => matmul_row_regs::<32>(arow, &other.data, k, orow),
+                        64 => matmul_row_regs::<64>(arow, &other.data, k, orow),
+                        _ => matmul_row_axpy4(arow, &other.data, k, m, orow),
+                    }
                 }
-                let brow = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+            });
         }
         Mat {
             rows: n,
@@ -188,21 +197,20 @@ impl Mat {
     }
 
     /// `self × otherᵀ` — rows of both operands are contiguous, so this is a
-    /// row-dot-row kernel.
+    /// row-dot-row kernel, parallel over fixed chunks of output rows.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
         let (n, m) = (self.rows, other.rows);
         let mut out = vec![0f32; n * m];
-        for i in 0..n {
-            let arow = self.row(i);
-            for j in 0..m {
-                let brow = other.row(j);
-                let mut acc = 0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
+        if m > 0 {
+            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
+                for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+                    let arow = self.row(row0 + i);
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = dot4(arow, other.row(j));
+                    }
                 }
-                out[i * m + j] = acc;
-            }
+            });
         }
         Mat {
             rows: n,
@@ -211,23 +219,52 @@ impl Mat {
         }
     }
 
-    /// `selfᵀ × other` without materializing the transpose.
+    /// `selfᵀ × other` without materializing the transpose, parallel over
+    /// fixed chunks of output rows (columns of `self`). The k-reduction for
+    /// every output element runs in ascending-k order inside one chunk, so
+    /// no cross-thread merging is needed.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "matmul_tn inner dimension mismatch");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = vec![0f32; n * m];
-        for kk in 0..k {
-            let arow = self.row(kk);
-            let brow = other.row(kk);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        if m > 0 {
+            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
+                // kk-outer outer-product accumulation over this chunk's
+                // column span of self: both operand reads are contiguous and
+                // the chunk's output block stays cache-resident. Per output
+                // element the reduction is ascending-k regardless of how the
+                // spans were chunked.
+                let span = rows.len() / m;
+                let mut kk = 0usize;
+                while kk + 4 <= k {
+                    let a0 = &self.data[kk * n + row0..kk * n + row0 + span];
+                    let a1 = &self.data[(kk + 1) * n + row0..(kk + 1) * n + row0 + span];
+                    let a2 = &self.data[(kk + 2) * n + row0..(kk + 2) * n + row0 + span];
+                    let a3 = &self.data[(kk + 3) * n + row0..(kk + 3) * n + row0 + span];
+                    let b0 = &other.data[kk * m..kk * m + m];
+                    let b1 = &other.data[(kk + 1) * m..(kk + 1) * m + m];
+                    let b2 = &other.data[(kk + 2) * m..(kk + 2) * m + m];
+                    let b3 = &other.data[(kk + 3) * m..(kk + 3) * m + m];
+                    for (ii, orow) in rows.chunks_exact_mut(m).enumerate() {
+                        let (x0, x1, x2, x3) = (a0[ii], a1[ii], a2[ii], a3[ii]);
+                        for j in 0..m {
+                            orow[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+                        }
+                    }
+                    kk += 4;
                 }
-                let orow = &mut out[i * m..(i + 1) * m];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+                while kk < k {
+                    let a = &self.data[kk * n + row0..kk * n + row0 + span];
+                    let brow = &other.data[kk * m..kk * m + m];
+                    for (ii, orow) in rows.chunks_exact_mut(m).enumerate() {
+                        let x = a[ii];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += x * b;
+                        }
+                    }
+                    kk += 1;
                 }
-            }
+            });
         }
         Mat {
             rows: n,
@@ -261,6 +298,71 @@ impl Mat {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+}
+
+/// One output row of `A × B` for a width known at compile time: the output
+/// row lives in a `[f32; M]` register file across the whole k-loop, so B
+/// streams through once with no intermediate stores. Ascending-k summation
+/// order, same as the generic path.
+#[inline]
+fn matmul_row_regs<const M: usize>(arow: &[f32], b: &[f32], k: usize, orow: &mut [f32]) {
+    let mut acc = [0f32; M];
+    for (kk, &a) in arow.iter().enumerate().take(k) {
+        let brow = &b[kk * M..kk * M + M];
+        for j in 0..M {
+            acc[j] += a * brow[j];
+        }
+    }
+    orow.copy_from_slice(&acc);
+}
+
+/// One output row of `A × B`: `orow = arow × B`, folding four k-steps into
+/// each pass over `orow`. The summation order for every output element is
+/// ascending k regardless of how rows were chunked across threads.
+#[inline]
+fn matmul_row_axpy4(arow: &[f32], b: &[f32], k: usize, m: usize, orow: &mut [f32]) {
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+        let b0 = &b[kk * m..kk * m + m];
+        let b1 = &b[(kk + 1) * m..(kk + 1) * m + m];
+        let b2 = &b[(kk + 2) * m..(kk + 2) * m + m];
+        let b3 = &b[(kk + 3) * m..(kk + 3) * m + m];
+        for j in 0..m {
+            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a = arow[kk];
+        let brow = &b[kk * m..kk * m + m];
+        for (o, &x) in orow.iter_mut().zip(brow) {
+            *o += a * x;
+        }
+        kk += 1;
+    }
+}
+
+/// Dot product with four independent accumulators combined in a fixed order.
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0f32; 4];
+    let mut i = 0usize;
+    while i + 4 <= n {
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut tail = 0f32;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 #[cfg(test)]

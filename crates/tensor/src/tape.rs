@@ -12,7 +12,7 @@ use std::rc::Rc;
 use graphaug_sparse::Csr;
 
 use crate::mat::Mat;
-use crate::ops::{sigmoid, softplus, Op, SpPair};
+use crate::ops::{sigmoid, softplus, Op, PairGatherPlan, SpPair};
 
 /// Identifier of a node on the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -145,9 +145,9 @@ impl Graph {
     pub fn spmm(&mut self, sp: &SpPair, h: NodeId) -> NodeId {
         let hv = self.value(h);
         let d = hv.cols();
-        let out = sp.m.spmm(hv.as_slice(), d);
-        let v = Mat::from_vec(sp.m.n_rows(), d, out);
-        self.push(Op::Spmm { sp: sp.clone(), h }, v)
+        let mut out = Mat::zeros(sp.m.n_rows(), d);
+        sp.m.spmm_into(hv.as_slice(), d, out.as_mut_slice());
+        self.push(Op::Spmm { sp: sp.clone(), h }, out)
     }
 
     /// Edge-weighted sparse × dense product: the values of `pattern` are
@@ -159,21 +159,21 @@ impl Graph {
         assert_eq!(hv.rows(), pattern.n_cols(), "dense operand height mismatch");
         let d = hv.cols();
         let mut out = Mat::zeros(pattern.n_rows(), d);
-        let ws = wv.as_slice();
-        let hs = hv.as_slice();
-        for r in 0..pattern.n_rows() {
-            let (cols, _) = pattern.row(r);
-            let base = pattern.indptr()[r];
-            let orow = out.row_mut(r);
-            for (k, &c) in cols.iter().enumerate() {
-                let wgt = ws[base + k];
-                let hrow = &hs[c as usize * d..(c as usize + 1) * d];
-                for (o, &x) in orow.iter_mut().zip(hrow) {
-                    *o += wgt * x;
-                }
-            }
-        }
+        pattern.spmm_ew_into(wv.as_slice(), hv.as_slice(), d, out.as_mut_slice());
         self.push(Op::SpmmEw { pattern, w, h }, out)
+    }
+
+    /// Fused endpoint-feature gather: `y[e] = [src[left[e]] | src[right[e]]]`
+    /// for a precomputed [`PairGatherPlan`]. Replaces the
+    /// `gather_rows + gather_rows + concat_cols` chain of the edge scorer
+    /// with one tape node and one indexed copy per call.
+    pub fn gather_concat_pair(&mut self, src: NodeId, plan: Rc<PairGatherPlan>) -> NodeId {
+        let sv = self.value(src);
+        assert_eq!(sv.rows(), plan.n_src(), "plan built for different source");
+        let d = sv.cols();
+        let mut v = Mat::zeros(plan.n_pairs(), 2 * d);
+        plan.gather_into(sv.as_slice(), d, v.as_mut_slice());
+        self.push(Op::GatherConcatPair { src, plan }, v)
     }
 
     /// Row gather: `y[i] = src[idx[i]]`. Backward scatter-adds.
@@ -392,38 +392,51 @@ impl Graph {
                 }
                 Op::Spmm { sp, h } => {
                     let d = g.cols();
-                    let dh = Mat::from_vec(sp.mt.n_rows(), d, sp.mt.spmm(g.as_slice(), d));
-                    Self::acc(&mut left[h.0].grad, dh);
+                    // Accumulate straight into the existing gradient buffer
+                    // (taken out of its slot to sidestep aliasing) instead of
+                    // materializing a temporary and adding it.
+                    let mut dh = left[h.0]
+                        .grad
+                        .take()
+                        .unwrap_or_else(|| Mat::zeros(sp.mt.n_rows(), d));
+                    sp.mt.spmm_acc_into(g.as_slice(), d, dh.as_mut_slice());
+                    left[h.0].grad = Some(dh);
                 }
                 Op::SpmmEw { pattern, w, h } => {
                     let d = g.cols();
-                    let hv = &left[h.0].value;
-                    let wv = &left[w.0].value;
+                    // dW_e = dY[r] · H[c]: disjoint per entry, overwrite.
                     let mut dw = Mat::zeros(pattern.nnz(), 1);
-                    let mut dh = Mat::zeros(hv.rows(), d);
-                    for r in 0..pattern.n_rows() {
-                        let (cols, _) = pattern.row(r);
-                        let base = pattern.indptr()[r];
-                        let grow = g.row(r);
-                        for (k, &c) in cols.iter().enumerate() {
-                            let ci = c as usize;
-                            let hrow = hv.row(ci);
-                            // dW_e = dY[r] · H[c]
-                            let mut acc = 0f32;
-                            for (&gx, &hx) in grow.iter().zip(hrow) {
-                                acc += gx * hx;
-                            }
-                            dw.as_mut_slice()[base + k] = acc;
-                            // dH[c] += w_e · dY[r]
-                            let wgt = wv.as_slice()[base + k];
-                            let drow = dh.row_mut(ci);
-                            for (o, &gx) in drow.iter_mut().zip(grow) {
-                                *o += wgt * gx;
-                            }
-                        }
-                    }
+                    pattern.spmm_ew_dw_into(
+                        left[h.0].value.as_slice(),
+                        g.as_slice(),
+                        d,
+                        dw.as_mut_slice(),
+                    );
                     Self::acc(&mut left[w.0].grad, dw);
-                    Self::acc(&mut left[h.0].grad, dh);
+                    // dH = (w ∘ pattern)ᵀ dY, accumulated in place via the
+                    // cached transpose plan.
+                    let h_rows = left[h.0].value.rows();
+                    let mut dh = left[h.0]
+                        .grad
+                        .take()
+                        .unwrap_or_else(|| Mat::zeros(h_rows, d));
+                    pattern.spmm_ew_dh_acc_into(
+                        left[w.0].value.as_slice(),
+                        g.as_slice(),
+                        d,
+                        dh.as_mut_slice(),
+                    );
+                    left[h.0].grad = Some(dh);
+                }
+                Op::GatherConcatPair { src, plan } => {
+                    let d = g.cols() / 2;
+                    let src_rows = left[src.0].value.rows();
+                    let mut ds = left[src.0]
+                        .grad
+                        .take()
+                        .unwrap_or_else(|| Mat::zeros(src_rows, d));
+                    plan.scatter_acc_into(g.as_slice(), d, ds.as_mut_slice());
+                    left[src.0].grad = Some(ds);
                 }
                 Op::GatherRows { src, idx } => {
                     let d = g.cols();

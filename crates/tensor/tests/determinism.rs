@@ -1,0 +1,158 @@
+//! Thread-count determinism suite.
+//!
+//! The parallel runtime's contract is that results are **bit-identical**
+//! under any `GRAPHAUG_THREADS`: chunking is a function of the problem shape
+//! only, every output element is owned by one chunk, and reduction orders
+//! are fixed inside the kernels. These tests run each kernel — and a full
+//! forward + backward pass over the tape — with the pool forced to 1 and to
+//! 4 workers and compare outputs and gradients with exact equality.
+
+use std::rc::Rc;
+use std::sync::{Mutex, MutexGuard};
+
+use graphaug_sparse::Csr;
+use graphaug_tensor::{Graph, Mat, PairGatherPlan, SpPair};
+
+/// `set_thread_count` is process-global; serialize the tests that flip it.
+/// (The determinism contract makes concurrent flips harmless for results,
+/// but serializing keeps each assertion about a specific count honest.)
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` with the pool at 1 worker and at 4 workers and asserts the
+/// returned buffers are bitwise identical.
+fn assert_thread_invariant(name: &str, f: impl Fn() -> Vec<Vec<f32>>) {
+    graphaug_par::set_thread_count(1);
+    let serial = f();
+    graphaug_par::set_thread_count(4);
+    let parallel = f();
+    graphaug_par::set_thread_count(1);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        let same = s.len() == p.len() && s.iter().zip(p).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "{name}: buffer {i} differs between 1 and 4 threads");
+    }
+}
+
+/// Deterministic pseudo-random fill (no RNG dependency needed).
+fn fill(n: usize, scale: f32) -> Vec<f32> {
+    (0..n)
+        .map(|i| (i as f32 * 0.7311 + 0.137).sin() * scale)
+        .collect()
+}
+
+/// A moderately irregular sparse pattern: ~6 entries per row.
+fn test_csr(n_rows: usize, n_cols: usize) -> Csr {
+    let mut triplets = Vec::new();
+    for r in 0..n_rows as u32 {
+        for k in 0..6u32 {
+            let c = (r * 7 + k * 13 + (r % 5)) % n_cols as u32;
+            triplets.push((r, c, ((r + k) as f32 * 0.31).cos()));
+        }
+    }
+    Csr::from_coo(n_rows, n_cols, triplets)
+}
+
+#[test]
+fn matmul_family_is_thread_invariant() {
+    let _g = lock();
+    let a = Mat::from_vec(193, 47, fill(193 * 47, 1.3));
+    let b = Mat::from_vec(47, 61, fill(47 * 61, 0.9));
+    let c = Mat::from_vec(193, 61, fill(193 * 61, 1.1));
+    assert_thread_invariant("matmul", || vec![a.matmul(&b).into_vec()]);
+    assert_thread_invariant("matmul_nt", || vec![c.matmul_nt(&b).into_vec()]);
+    assert_thread_invariant("matmul_tn", || vec![a.matmul_tn(&c).into_vec()]);
+}
+
+#[test]
+fn spmm_kernels_are_thread_invariant() {
+    let _g = lock();
+    let m = test_csr(517, 301);
+    // d = 32 exercises the width-specialized kernel, d = 7 the generic one.
+    for d in [32usize, 7] {
+        let dense = fill(301 * d, 1.7);
+        let w = fill(m.nnz(), 0.8);
+        let dy = fill(517 * d, 1.2);
+        assert_thread_invariant("spmm_into", || {
+            let mut out = vec![0f32; 517 * d];
+            m.spmm_into(&dense, d, &mut out);
+            let mut acc = out.clone();
+            m.spmm_acc_into(&dense, d, &mut acc);
+            vec![out, acc]
+        });
+        assert_thread_invariant("spmm_ew_into", || {
+            let mut out = vec![0f32; 517 * d];
+            m.spmm_ew_into(&w, &dense, d, &mut out);
+            vec![out]
+        });
+        assert_thread_invariant("spmm_ew_grads", || {
+            let mut dw = vec![0f32; m.nnz()];
+            m.spmm_ew_dw_into(&dense, &dy, d, &mut dw);
+            let mut dh = vec![0f32; 301 * d];
+            m.spmm_ew_dh_acc_into(&w, &dy, d, &mut dh);
+            vec![dw, dh]
+        });
+    }
+}
+
+#[test]
+fn pair_gather_is_thread_invariant() {
+    let _g = lock();
+    let n_src = 400usize;
+    let left: Vec<u32> = (0..900u32).map(|e| (e * 17) % n_src as u32).collect();
+    let right: Vec<u32> = (0..900u32).map(|e| (e * 29 + 3) % n_src as u32).collect();
+    let plan = PairGatherPlan::build(n_src, &left, &right);
+    let d = 16usize;
+    let src = fill(n_src * d, 1.0);
+    let dy = fill(900 * 2 * d, 0.6);
+    assert_thread_invariant("pair_gather", || {
+        let mut out = vec![0f32; 900 * 2 * d];
+        plan.gather_into(&src, d, &mut out);
+        let mut dsrc = vec![0f32; n_src * d];
+        plan.scatter_acc_into(&dy, d, &mut dsrc);
+        vec![out, dsrc]
+    });
+}
+
+/// End-to-end: a tape mixing dense matmuls, constant and edge-weighted SpMM,
+/// and the fused pair gather must produce bit-identical forward values *and*
+/// gradients under both thread counts.
+#[test]
+fn tape_forward_and_backward_are_thread_invariant() {
+    let _g = lock();
+    let n = 180usize;
+    let d = 32usize;
+    let m = test_csr(n, n);
+    let sp = SpPair::new(m.clone());
+    let pattern = Rc::new(m);
+    let left: Vec<u32> = (0..300u32).map(|e| (e * 7) % n as u32).collect();
+    let right: Vec<u32> = (0..300u32).map(|e| (e * 11 + 5) % n as u32).collect();
+    let plan = Rc::new(PairGatherPlan::build(n, &left, &right));
+
+    let run = || {
+        let mut g = Graph::new();
+        let h = g.constant(Mat::from_vec(n, d, fill(n * d, 1.0)));
+        let w_mlp = g.constant(Mat::from_vec(d, d, fill(d * d, 0.4)));
+        let ew = g.constant(Mat::from_vec(pattern.nnz(), 1, fill(pattern.nnz(), 0.5)));
+
+        let prop = g.spmm(&sp, h);
+        let mixed = g.spmm_ew(Rc::clone(&pattern), ew, prop);
+        let dense = g.matmul(mixed, w_mlp);
+        let feat = g.gather_concat_pair(dense, Rc::clone(&plan));
+        let sq = g.square(feat);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+
+        vec![
+            g.value(dense).as_slice().to_vec(),
+            g.value(feat).as_slice().to_vec(),
+            g.grad(h).expect("h grad").as_slice().to_vec(),
+            g.grad(ew).expect("ew grad").as_slice().to_vec(),
+            g.grad(w_mlp).expect("w grad").as_slice().to_vec(),
+        ]
+    };
+    assert_thread_invariant("tape_end_to_end", run);
+}

@@ -201,3 +201,48 @@ fn backward_leaves_untouched_inputs_without_gradients() {
         },
     );
 }
+
+/// Serial triple-loop reference for the parallel matmul family.
+fn naive_matmul(a: &Mat, b: &Mat) -> Vec<f32> {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let mut acc = 0f64;
+            for kk in 0..k {
+                acc += a.get(i, kk) as f64 * b.get(kk, j) as f64;
+            }
+            out[i * m + j] = acc as f32;
+        }
+    }
+    out
+}
+
+#[test]
+fn matmul_family_matches_serial_reference() {
+    check(
+        "matmul_family_matches_serial_reference",
+        DEFAULT_CASES,
+        |g| {
+            let n = g.len_in(1, 9);
+            let k = g.len_in(1, 11);
+            let m = g.len_in(1, 8);
+            let a = small_mat(g, n, k);
+            let b = small_mat(g, k, m);
+            let want = naive_matmul(&a, &b);
+            for (x, y) in a.matmul(&b).as_slice().iter().zip(&want) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+            // a × (bᵀ)ᵀ = a × b, via the nt kernel.
+            for (x, y) in a.matmul_nt(&b.transpose()).as_slice().iter().zip(&want) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+            // (aᵀ)ᵀ × b = a × b, via the tn kernel.
+            let at = a.transpose();
+            for (x, y) in at.matmul_tn(&b).as_slice().iter().zip(&want) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+            Ok(())
+        },
+    );
+}
