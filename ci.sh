@@ -27,10 +27,19 @@ cargo build --release --offline
 stage "cargo test -q --offline (GRAPHAUG_THREADS=1)"
 GRAPHAUG_THREADS=1 cargo test -q --offline
 
-stage "cargo test -q --offline (GRAPHAUG_THREADS=4)"
+stage "cargo test -q --offline (GRAPHAUG_THREADS=3)"
 # The parallel runtime must be bit-deterministic in the thread count; run
-# the whole suite again with a multi-worker pool to prove it.
+# the whole suite again with multi-worker pools (an odd and an even count —
+# uneven tail chunks land on different workers) to prove it.
+GRAPHAUG_THREADS=3 cargo test -q --offline
+
+stage "cargo test -q --offline (GRAPHAUG_THREADS=4)"
 GRAPHAUG_THREADS=4 cargo test -q --offline
+
+stage "cargo test -q --offline (GRAPHAUG_SIMD=0)"
+# The scalar fallback build must be bit-identical to the AVX2 lane build;
+# run the suite once more with the lanes force-disabled.
+GRAPHAUG_SIMD=0 cargo test -q --offline
 
 stage "bench smoke (tiny budget)"
 # Not a perf measurement — just proves the bench harness, the workloads,
@@ -41,6 +50,18 @@ GRAPHAUG_BENCH_ITERS=3 GRAPHAUG_BENCH_WARMUP_MS=10 GRAPHAUG_BENCH_MAX_MS=200 \
     cargo run --release --offline -q -p graphaug-bench --bin bench_baseline smoke
 cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
     /tmp/graphaug_bench_smoke.json /tmp/graphaug_bench_smoke.json
+
+stage "perf trajectory gate (BENCH_pr3 vs BENCH_pr2)"
+# The recorded PR 3 trajectory point must hold a ≤10% median regression
+# bound against the PR 2 baseline. This diffs the two *recorded* files —
+# deterministic and machine-independent — rather than re-benching on
+# whatever box CI runs on.
+if [[ -f BENCH_pr3.json && -f BENCH_pr2.json ]]; then
+    cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
+        BENCH_pr3.json BENCH_pr2.json --threshold 10
+else
+    echo "skip: BENCH_pr3.json / BENCH_pr2.json not both present"
+fi
 
 stage "dependency hermeticity check"
 # No crate manifest may declare a non-path external dependency.

@@ -8,7 +8,7 @@ use graphaug_eval::Recommender;
 use graphaug_graph::InteractionGraph;
 use graphaug_tensor::init::xavier_uniform;
 use graphaug_tensor::{Graph, Mat, Optimizer, ParamId, ParamStore};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::common::{interaction_rows, BaselineOpts, Trainable};
 
@@ -99,8 +99,8 @@ impl Trainable for AutoRec {
                 let rows = interaction_rows(&self.train, &users);
                 // Observed entries weigh 1, unobserved 0.05 (implicit
                 // negatives keep the decoder from saturating).
-                let mask = Rc::new(rows.map(|x| if x > 0.0 { 1.0 } else { 0.05 }));
-                let target = Rc::new(rows.map(|x| -x));
+                let mask = Arc::new(rows.map(|x| if x > 0.0 { 1.0 } else { 0.05 }));
+                let target = Arc::new(rows.map(|x| -x));
                 let mut g = Graph::new();
                 let w1 = self.store.node(&mut g, self.p_w1);
                 let b1 = self.store.node(&mut g, self.p_b1);
@@ -112,9 +112,9 @@ impl Trainable for AutoRec {
                 let hid = g.sigmoid(z1b);
                 let z2 = g.matmul(hid, w2);
                 let recon = g.add_row_broadcast(z2, b2);
-                let diff = g.add_const(recon, Rc::clone(&target));
+                let diff = g.add_const(recon, Arc::clone(&target));
                 let sq = g.square(diff);
-                let weighted = g.mul_const(sq, Rc::clone(&mask));
+                let weighted = g.mul_const(sq, Arc::clone(&mask));
                 let loss = g.mean_all(weighted);
                 g.backward(loss);
                 let pairs = [

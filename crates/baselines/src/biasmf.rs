@@ -5,7 +5,7 @@
 //! matrix as two extra columns (`[e, b, 1]` for users, `[e, 1, b]` for
 //! items) so the model stays a pure dot-product scorer.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{bpr_loss, BprBatch};
 use graphaug_graph::InteractionGraph;
@@ -22,8 +22,8 @@ pub struct BiasMf {
     p_emb: ParamId,
     p_bias: ParamId,
     /// Constant column masks selecting the user/item blocks.
-    user_mask: Rc<Mat>,
-    item_mask: Rc<Mat>,
+    user_mask: Arc<Mat>,
+    item_mask: Arc<Mat>,
 }
 
 impl BiasMf {
@@ -35,8 +35,8 @@ impl BiasMf {
         let p_emb = core.store.register(xavier_uniform(n, d, &mut core.rng));
         let p_bias = core.store.register(Mat::zeros(n, 1));
         let nu = train.n_users();
-        let user_mask = Rc::new(Mat::from_fn(n, 1, |r, _| if r < nu { 1.0 } else { 0.0 }));
-        let item_mask = Rc::new(Mat::from_fn(n, 1, |r, _| if r >= nu { 1.0 } else { 0.0 }));
+        let user_mask = Arc::new(Mat::from_fn(n, 1, |r, _| if r < nu { 1.0 } else { 0.0 }));
+        let item_mask = Arc::new(Mat::from_fn(n, 1, |r, _| if r >= nu { 1.0 } else { 0.0 }));
         let mut m = BiasMf {
             core,
             p_emb,
@@ -52,11 +52,11 @@ impl BiasMf {
     /// of a user row and an item row equals `e·e + b_u + b_v`.
     fn biased_embedding(&self, g: &mut Graph, emb: NodeId, bias: NodeId) -> NodeId {
         // colA: users carry b_u, items carry 1.
-        let bu = g.mul_const(bias, Rc::clone(&self.user_mask));
-        let col_a = g.add_const(bu, Rc::clone(&self.item_mask));
+        let bu = g.mul_const(bias, Arc::clone(&self.user_mask));
+        let col_a = g.add_const(bu, Arc::clone(&self.item_mask));
         // colB: users carry 1, items carry b_v.
-        let bv = g.mul_const(bias, Rc::clone(&self.item_mask));
-        let col_b = g.add_const(bv, Rc::clone(&self.user_mask));
+        let bv = g.mul_const(bias, Arc::clone(&self.item_mask));
+        let col_b = g.add_const(bv, Arc::clone(&self.user_mask));
         let with_a = g.concat_cols(emb, col_a);
         g.concat_cols(with_a, col_b)
     }

@@ -8,7 +8,7 @@
 //! sparsity pressure on the keep probabilities (pushing views to discard
 //! uninformative edges).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{
     bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch,
@@ -77,12 +77,12 @@ impl Cgi {
     fn sampled_view(&mut self, g: &mut Graph, logits: NodeId, emb: NodeId) -> NodeId {
         let e = self.edge_index.n_edges();
         let rng = &mut self.core.rng;
-        let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| rng.logistic_f32()));
+        let gumbel = Arc::new(Mat::from_fn(e, 1, |_, _| rng.logistic_f32()));
         let noisy = g.add_const(logits, gumbel);
         let sharp = g.scale(noisy, 1.0 / self.gumbel_temperature);
         let soft = g.sigmoid(sharp);
-        let directed = g.gather_rows(soft, Rc::clone(&self.edge_index.dir_to_undir));
-        let weights = g.mul_const(directed, Rc::clone(&self.edge_index.norm));
+        let directed = g.gather_rows(soft, Arc::clone(&self.edge_index.dir_to_undir));
+        let weights = g.mul_const(directed, Arc::clone(&self.edge_index.norm));
         lightgcn_propagate_ew(
             g,
             &self.edge_index.pattern,
@@ -115,10 +115,10 @@ impl CfModel for Cgi {
         let view = self.sampled_view(g, logits, emb);
         let n_cl = self.core.opts.cl_batch;
         let mut sampler = TripletSampler::new(&self.core.train, self.core.rng.random());
-        let users = Rc::new(sampler.sample_active_users(n_cl));
+        let users = Arc::new(sampler.sample_active_users(n_cl));
         let off = self.core.train.n_users() as u32;
         let n_items = self.core.train.n_items() as u32;
-        let items: Rc<Vec<u32>> = Rc::new(
+        let items: Arc<Vec<u32>> = Arc::new(
             (0..n_cl.min(n_items as usize))
                 .map(|_| off + self.core.rng.random_range(0..n_items))
                 .collect(),

@@ -1,6 +1,6 @@
 //! Shared infrastructure for the baseline recommenders.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_rng::StdRng;
 
@@ -134,12 +134,12 @@ pub fn edge_dropout_weights(
     norm: &Mat,
     keep_prob: f32,
     rng: &mut StdRng,
-) -> Rc<Mat> {
+) -> Arc<Mat> {
     let keep: Vec<bool> = (0..n_undirected)
         .map(|_| rng.random_range(0.0f32..1.0) < keep_prob)
         .collect();
     let scale = 1.0 / keep_prob.max(1e-6);
-    Rc::new(Mat::from_fn(dir_to_undir.len(), 1, |r, _| {
+    Arc::new(Mat::from_fn(dir_to_undir.len(), 1, |r, _| {
         if keep[dir_to_undir[r] as usize] {
             norm.get(r, 0) * scale
         } else {

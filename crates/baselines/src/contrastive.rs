@@ -9,7 +9,7 @@
 //!   four factors and each factor chunk is contrasted independently across
 //!   the two edge-dropout views.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{
     bpr_loss, infonce_loss, lightgcn_propagate, lightgcn_propagate_ew, BprBatch,
@@ -26,15 +26,15 @@ use crate::common::{
 
 /// Draws `n` random contrastive user indices and `n` random (offset) item
 /// indices from the core's RNG.
-fn contrastive_indices(core: &mut CfCore, n: usize) -> (Rc<Vec<u32>>, Rc<Vec<u32>>) {
+fn contrastive_indices(core: &mut CfCore, n: usize) -> (Arc<Vec<u32>>, Arc<Vec<u32>>) {
     let mut sampler = TripletSampler::new(&core.train, core.rng.random());
-    let users = Rc::new(sampler.sample_active_users(n));
+    let users = Arc::new(sampler.sample_active_users(n));
     let n_items = core.train.n_items() as u32;
     let off = core.train.n_users() as u32;
     let items: Vec<u32> = (0..n.min(n_items as usize))
         .map(|_| off + core.rng.random_range(0..n_items))
         .collect();
-    (users, Rc::new(items))
+    (users, Arc::new(items))
 }
 
 // ---------------------------------------------------------------------------
@@ -65,7 +65,7 @@ impl SlRec {
         let (n, d) = g.value(emb).shape();
         let scale = 1.0 / keep;
         let rng = &mut self.core.rng;
-        let mask = Rc::new(Mat::from_fn(n, d, |_, _| {
+        let mask = Arc::new(Mat::from_fn(n, d, |_, _| {
             if rng.random_range(0.0f32..1.0) < keep {
                 scale
             } else {

@@ -8,7 +8,7 @@
 //! a second iteration computed from the propagated chunks (its iterative
 //! intent-aware update); DisenGCN uses a single routing pass.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{bpr_loss, BprBatch};
 use graphaug_core::EdgeIndex;
@@ -80,8 +80,8 @@ impl DisenCf {
         let mut scores: Option<NodeId> = None;
         for &chunk in chunks {
             let normed = g.l2_normalize_rows(chunk);
-            let hu = g.gather_rows(normed, Rc::clone(&idx.edge_users));
-            let hv = g.gather_rows(normed, Rc::clone(&idx.edge_items));
+            let hu = g.gather_rows(normed, Arc::clone(&idx.edge_users));
+            let hv = g.gather_rows(normed, Arc::clone(&idx.edge_items));
             let s = g.rowwise_dot(hu, hv);
             scores = Some(match scores {
                 Some(prev) => g.concat_cols(prev, s),
@@ -93,8 +93,8 @@ impl DisenCf {
         factor_weights
             .into_iter()
             .map(|w| {
-                let directed = g.gather_rows(w, Rc::clone(&idx.dir_to_undir));
-                g.mul_const(directed, Rc::clone(&idx.norm))
+                let directed = g.gather_rows(w, Arc::clone(&idx.dir_to_undir));
+                g.mul_const(directed, Arc::clone(&idx.norm))
             })
             .collect()
     }
@@ -119,7 +119,7 @@ impl DisenCf {
                     let mut z = chunk;
                     let mut acc = chunk;
                     for _ in 0..self.core.opts.layers {
-                        z = g.spmm_ew(Rc::clone(&self.edge_index.pattern), w, z);
+                        z = g.spmm_ew(Arc::clone(&self.edge_index.pattern), w, z);
                         acc = g.add(acc, z);
                     }
                     g.scale(acc, 1.0 / (self.core.opts.layers as f32 + 1.0))

@@ -11,7 +11,7 @@
 //!   pretext task: a linear decoder must recover the initial embeddings from
 //!   the propagated ones.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{bpr_loss, lightgcn_propagate, BprBatch};
 use graphaug_graph::InteractionGraph;
@@ -91,18 +91,18 @@ impl CfModel for Mhcn {
         // DGI-style MI maximization over users: positive score h_u · s,
         // negative score from row-shuffled embeddings.
         let n_users = self.core.train.n_users();
-        let users: Rc<Vec<u32>> = Rc::new((0..n_users as u32).collect());
+        let users: Arc<Vec<u32>> = Arc::new((0..n_users as u32).collect());
         let mut perm: Vec<u32> = (0..n_users as u32).collect();
         for i in (1..perm.len()).rev() {
             let j = self.core.rng.random_range(0..=i);
             perm.swap(i, j);
         }
-        let perm = Rc::new(perm);
-        let hu = g.gather_rows(h, Rc::clone(&users));
+        let perm = Arc::new(perm);
+        let hu = g.gather_rows(h, Arc::clone(&users));
         let ones = g.constant(Mat::filled(1, n_users, 1.0 / n_users as f32));
         let summary = g.matmul(ones, hu); // 1 × d global readout
         let pos = g.matmul_nt(hu, summary); // n × 1
-        let hcorrupt = g.gather_rows(hu, Rc::clone(&perm));
+        let hcorrupt = g.gather_rows(hu, Arc::clone(&perm));
         let neg = g.matmul_nt(hcorrupt, summary);
         let neg_pos = g.scale(pos, -1.0);
         let sp_pos = g.softplus(neg_pos); // −log σ(pos)

@@ -6,7 +6,7 @@
 //! bottleneck). Local and global views are aligned with InfoNCE over users
 //! and items, on top of BPR.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{bpr_loss, infonce_loss, lightgcn_propagate, BprBatch};
 use graphaug_graph::{InteractionGraph, TripletSampler};
@@ -83,10 +83,10 @@ impl CfModel for Hccf {
         // Local–global alignment (users and items).
         let n_cl = self.core.opts.cl_batch;
         let mut sampler = TripletSampler::new(&self.core.train, self.core.rng.random());
-        let users = Rc::new(sampler.sample_active_users(n_cl));
+        let users = Arc::new(sampler.sample_active_users(n_cl));
         let off = self.core.train.n_users() as u32;
         let n_items = self.core.train.n_items() as u32;
-        let items: Rc<Vec<u32>> = Rc::new(
+        let items: Arc<Vec<u32>> = Arc::new(
             (0..n_cl.min(n_items as usize))
                 .map(|_| off + self.core.rng.random_range(0..n_items))
                 .collect(),

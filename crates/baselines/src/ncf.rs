@@ -3,7 +3,7 @@
 //! over the concatenated embeddings, fused by a linear output head. Trained
 //! with BPR over the fused scores.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_eval::Recommender;
 use graphaug_graph::{InteractionGraph, TripletSampler};
@@ -62,14 +62,14 @@ impl Ncf {
         w2: NodeId,
         b2: NodeId,
         out: NodeId,
-        users: &Rc<Vec<u32>>,
-        items: &Rc<Vec<u32>>,
+        users: &Arc<Vec<u32>>,
+        items: &Arc<Vec<u32>>,
     ) -> NodeId {
-        let gu = g.gather_rows(gmf, Rc::clone(users));
-        let gi = g.gather_rows(gmf, Rc::clone(items));
+        let gu = g.gather_rows(gmf, Arc::clone(users));
+        let gi = g.gather_rows(gmf, Arc::clone(items));
         let gmf_feat = g.mul(gu, gi);
-        let mu = g.gather_rows(mlp, Rc::clone(users));
-        let mi = g.gather_rows(mlp, Rc::clone(items));
+        let mu = g.gather_rows(mlp, Arc::clone(users));
+        let mi = g.gather_rows(mlp, Arc::clone(items));
         let cat = g.concat_cols(mu, mi);
         let z1 = g.matmul(cat, w1);
         let z1b = g.add_row_broadcast(z1, b1);
@@ -154,9 +154,9 @@ impl Trainable for Ncf {
             for _ in 0..self.opts.steps_per_epoch {
                 let (users, pos, neg) = sampler.sample_batch(self.opts.bpr_batch);
                 let off = self.train.n_users() as u32;
-                let users = Rc::new(users);
-                let pos = Rc::new(pos.into_iter().map(|v| v + off).collect::<Vec<_>>());
-                let neg = Rc::new(neg.into_iter().map(|v| v + off).collect::<Vec<_>>());
+                let users = Arc::new(users);
+                let pos = Arc::new(pos.into_iter().map(|v| v + off).collect::<Vec<_>>());
+                let neg = Arc::new(neg.into_iter().map(|v| v + off).collect::<Vec<_>>());
                 let mut g = Graph::new();
                 let gmf = self.store.node(&mut g, self.p_gmf);
                 let mlp = self.store.node(&mut g, self.p_mlp_emb);

@@ -10,7 +10,7 @@
 //!   embeddings, re-run every epoch) assigns each node a cluster, and the
 //!   node is pulled towards its prototype against all other prototypes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_core::nn::{bpr_loss, infonce_loss, BprBatch};
 use graphaug_graph::{InteractionGraph, TripletSampler};
@@ -66,13 +66,13 @@ impl Ncl {
         &self,
         g: &mut Graph,
         emb: NodeId,
-        rows: &Rc<Vec<u32>>,
+        rows: &Arc<Vec<u32>>,
         assign: &[usize],
         row_offset: usize,
         centroids: &Mat,
     ) -> NodeId {
         let k = centroids.rows();
-        let batch = g.gather_rows(emb, Rc::clone(rows));
+        let batch = g.gather_rows(emb, Arc::clone(rows));
         let nb = g.l2_normalize_rows(batch);
         let cents = g.constant(centroids.clone());
         let nc = g.l2_normalize_rows(cents);
@@ -80,7 +80,7 @@ impl Ncl {
         let scaled = g.scale(sim, 1.0 / self.core.opts.temperature);
         let lse = g.logsumexp_rows(scaled);
         // Positive logit: one-hot mask × similarity, row-summed.
-        let onehot = Rc::new(Mat::from_fn(rows.len(), k, |r, c| {
+        let onehot = Arc::new(Mat::from_fn(rows.len(), k, |r, c| {
             let node = rows[r] as usize - row_offset;
             if assign[node] == c {
                 1.0
@@ -122,10 +122,10 @@ impl CfModel for Ncl {
 
         let n_cl = self.core.opts.cl_batch;
         let mut sampler = TripletSampler::new(&self.core.train, self.core.rng.random());
-        let users = Rc::new(sampler.sample_active_users(n_cl));
+        let users = Arc::new(sampler.sample_active_users(n_cl));
         let off = self.core.train.n_users();
         let n_items = self.core.train.n_items() as u32;
-        let items: Rc<Vec<u32>> = Rc::new(
+        let items: Arc<Vec<u32>> = Arc::new(
             (0..n_cl.min(n_items as usize))
                 .map(|_| off as u32 + self.core.rng.random_range(0..n_items))
                 .collect(),

@@ -1,6 +1,7 @@
-//! Records the perf-trajectory baseline: the spmm, mixhop_forward, and
-//! augmentor workloads in one process, written as `BENCH_seed.json` so
-//! future PRs have a stable comparison point (run from the repo root:
+//! Records the perf-trajectory baseline: the spmm, matmul, mixhop_forward,
+//! sampling, top-K evaluation, and augmentor workloads in one process,
+//! written as `BENCH_seed.json` so future PRs have a stable comparison
+//! point (run from the repo root:
 //! `cargo run --release --offline -p graphaug-bench --bin bench_baseline`).
 
 use graphaug_bench::harness::Harness;
@@ -14,6 +15,8 @@ fn main() {
     perf::spmm(&mut h);
     perf::matmul(&mut h);
     perf::mixhop_forward(&mut h);
+    perf::sampling(&mut h);
+    perf::topk_eval(&mut h);
     perf::augmentor(&mut h);
     h.finish();
 }

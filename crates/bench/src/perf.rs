@@ -186,7 +186,12 @@ pub fn augmentor(h: &mut Harness) {
     };
     let mut r = seeded_rng(3);
     let logits = edge_logits(&mut g, hb, &idx, &mlp, &settings, &mut r);
+    // Rewind the tape each draw — otherwise the warmup window alone grows
+    // the tape by hundreds of live view buffers and the bench measures
+    // allocator pressure instead of sampling cost.
+    let base_len = g.len();
     h.bench("sample_view_8k_edges", || {
+        g.truncate(base_len);
         let v = sample_view(&mut g, logits, &idx, &settings, &mut r);
         black_box(v.kept_fraction);
     });

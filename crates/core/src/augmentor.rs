@@ -8,13 +8,13 @@
 //! of the bipartite adjacency, producing a *differentiable* sampled view —
 //! gradients reach the MLP and the encoder through `spmm_ew`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_rng::StdRng;
 
 use graphaug_graph::InteractionGraph;
 use graphaug_sparse::{sym_norm_weights, Csr};
-use graphaug_tensor::{Graph, Mat, NodeId, PairGatherPlan};
+use graphaug_tensor::{init, Graph, Mat, NodeId, PairGatherPlan};
 
 /// Precomputed structure of the augmentable bipartite adjacency: the CSR
 /// pattern, the map from stored (directed) entries back to undirected edge
@@ -22,20 +22,20 @@ use graphaug_tensor::{Graph, Mat, NodeId, PairGatherPlan};
 /// undirected edge.
 pub struct EdgeIndex {
     /// Symmetric `(I+J) × (I+J)` bipartite pattern (values unused).
-    pub pattern: Rc<Csr>,
+    pub pattern: Arc<Csr>,
     /// For each stored entry (CSR order): the undirected edge id in
     /// `0..n_edges`.
-    pub dir_to_undir: Rc<Vec<u32>>,
+    pub dir_to_undir: Arc<Vec<u32>>,
     /// Per stored entry: `1/sqrt(deg(r)·deg(c))` of the clean adjacency.
-    pub norm: Rc<Mat>,
+    pub norm: Arc<Mat>,
     /// Per undirected edge: user endpoint (bipartite node id).
-    pub edge_users: Rc<Vec<u32>>,
+    pub edge_users: Arc<Vec<u32>>,
     /// Per undirected edge: item endpoint (bipartite node id, offset by I).
-    pub edge_items: Rc<Vec<u32>>,
+    pub edge_items: Arc<Vec<u32>>,
     /// Fused endpoint gather plan: `feat[e] = [h[u_e] | h[v_e]]` in one tape
     /// op. Precomputed here so every `edge_logits` call is a single indexed
     /// copy instead of two gathers plus a concat.
-    pub feat_plan: Rc<PairGatherPlan>,
+    pub feat_plan: Arc<PairGatherPlan>,
 }
 
 impl EdgeIndex {
@@ -59,12 +59,12 @@ impl EdgeIndex {
         let edge_users: Vec<u32> = edges.iter().map(|&(u, _)| u).collect();
         let edge_items: Vec<u32> = edges.iter().map(|&(_, v)| n_users as u32 + v).collect();
         EdgeIndex {
-            norm: Rc::new(Mat::from_vec(norm_vals.len(), 1, norm_vals)),
-            pattern: Rc::new(pattern),
-            dir_to_undir: Rc::new(dir_to_undir),
-            feat_plan: Rc::new(PairGatherPlan::build(n, &edge_users, &edge_items)),
-            edge_users: Rc::new(edge_users),
-            edge_items: Rc::new(edge_items),
+            norm: Arc::new(Mat::from_vec(norm_vals.len(), 1, norm_vals)),
+            pattern: Arc::new(pattern),
+            dir_to_undir: Arc::new(dir_to_undir),
+            feat_plan: Arc::new(PairGatherPlan::build(n, &edge_users, &edge_items)),
+            edge_users: Arc::new(edge_users),
+            edge_items: Arc::new(edge_items),
         }
     }
 
@@ -125,22 +125,25 @@ pub fn edge_logits(
 ) -> NodeId {
     let (n, d) = g.value(h_bar).shape();
     // Eq. 4: h̃ = (h̄ − ε) ⊙ m + ε with Bernoulli mask m and Gaussian ε.
+    // Both constants are drawn through the parallel bulk fills (per-chunk
+    // derived streams keyed off this sampler's rng), which replaces ~2·n·d
+    // serial Box–Muller/uniform calls with the faster polar method and
+    // scales across threads; only the two `next_u64` seed draws touch the
+    // caller's stream.
     let keep = settings.feature_keep_prob;
-    let mask = Rc::new(Mat::from_fn(n, d, |_, _| {
-        if rng.random_range(0.0f32..1.0) < keep {
-            1.0
-        } else {
-            0.0
-        }
-    }));
+    let mut mask_m = Mat::zeros(n, d);
+    init::par_fill_bernoulli(mask_m.as_mut_slice(), keep, rng.next_u64());
+    let mask = Arc::new(mask_m);
     let std = settings.feature_noise_std;
-    let noise = Rc::new(Mat::from_fn(n, d, |_, _| rng.normal_f32() * std));
-    let neg_noise = Rc::new(noise.map(|x| -x));
+    let mut noise_m = Mat::zeros(n, d);
+    init::par_fill_normal(noise_m.as_mut_slice(), std, rng.next_u64());
+    let neg_noise = Arc::new(noise_m.map(|x| -x));
+    let noise = Arc::new(noise_m);
     let shifted = g.add_const(h_bar, neg_noise);
     let masked = g.mul_const(shifted, mask);
     let disturbed = g.add_const(masked, noise);
 
-    let feat = g.gather_concat_pair(disturbed, Rc::clone(&idx.feat_plan));
+    let feat = g.gather_concat_pair(disturbed, Arc::clone(&idx.feat_plan));
     let z1 = g.matmul(feat, mlp.w1);
     let z1b = g.add_row_broadcast(z1, mlp.b1);
     let hidden = g.leaky_relu(z1b, settings.leaky_slope);
@@ -169,8 +172,11 @@ pub fn sample_view(
     let edge_probs = g.sigmoid(logits);
 
     // logit(p) + logit(ε′), ε′ ~ U(0,1): the logistic-noise (Gumbel
-    // difference) form of the binary concrete distribution.
-    let gumbel = Rc::new(Mat::from_fn(e, 1, |_, _| rng.logistic_f32()));
+    // difference) form of the binary concrete distribution, drawn through
+    // the parallel bulk fill (per-chunk derived streams).
+    let mut gumbel_m = Mat::zeros(e, 1);
+    init::par_fill_logistic(gumbel_m.as_mut_slice(), rng.next_u64());
+    let gumbel = Arc::new(gumbel_m);
     let noisy = g.add_const(logits, gumbel);
     let sharpened = g.scale(noisy, 1.0 / settings.gumbel_temperature);
     let soft = g.sigmoid(sharpened);
@@ -180,7 +186,7 @@ pub fn sample_view(
     let xi = settings.edge_threshold;
     let soft_vals = g.value(soft);
     let mut kept = 0usize;
-    let mask = Rc::new(Mat::from_fn(e, 1, |r, _| {
+    let mask = Arc::new(Mat::from_fn(e, 1, |r, _| {
         if soft_vals.get(r, 0) > xi {
             kept += 1;
             1.0
@@ -192,8 +198,8 @@ pub fn sample_view(
 
     // Broadcast undirected weights to both stored directions, then apply
     // the constant symmetric normalization.
-    let directed = g.gather_rows(hard, Rc::clone(&idx.dir_to_undir));
-    let weights = g.mul_const(directed, Rc::clone(&idx.norm));
+    let directed = g.gather_rows(hard, Arc::clone(&idx.dir_to_undir));
+    let weights = g.mul_const(directed, Arc::clone(&idx.norm));
     SampledView {
         weights,
         edge_probs,

@@ -17,7 +17,7 @@
 //! The "w/o Mixhop" ablation ([`encode_vanilla`]) degenerates to single-hop
 //! propagation with a mean readout — exactly LightGCN-style message passing.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_sparse::Csr;
 use graphaug_tensor::{Graph, NodeId, SpPair};
@@ -70,7 +70,7 @@ fn mixhop_layer(g: &mut Graph, adj: &SpPair, h: NodeId, alpha: NodeId, hops: &[u
 /// One mixhop layer over an edge-weighted view (sampled augmentation).
 fn mixhop_layer_ew(
     g: &mut Graph,
-    pattern: &Rc<Csr>,
+    pattern: &Arc<Csr>,
     weights: NodeId,
     h: NodeId,
     alpha: NodeId,
@@ -91,7 +91,7 @@ fn mixhop_layer_ew(
             slot += 1;
         }
         if m < max_hop {
-            power = g.spmm_ew(Rc::clone(pattern), weights, power);
+            power = g.spmm_ew(Arc::clone(pattern), weights, power);
         }
     }
     out.expect("non-empty hops")
@@ -134,7 +134,7 @@ pub fn encode_mixhop(
 /// convention as [`encode_mixhop`]).
 pub fn encode_mixhop_ew(
     g: &mut Graph,
-    pattern: &Rc<Csr>,
+    pattern: &Arc<Csr>,
     weights: NodeId,
     h0: NodeId,
     mixing_rows: &[NodeId],
@@ -171,7 +171,7 @@ pub fn encode_vanilla(g: &mut Graph, adj: &SpPair, h0: NodeId, layers: usize) ->
 /// Vanilla propagation over an edge-weighted view.
 pub fn encode_vanilla_ew(
     g: &mut Graph,
-    pattern: &Rc<Csr>,
+    pattern: &Arc<Csr>,
     weights: NodeId,
     h0: NodeId,
     layers: usize,
@@ -179,7 +179,7 @@ pub fn encode_vanilla_ew(
     let mut h = h0;
     let mut acc = h0;
     for _ in 0..layers {
-        h = g.spmm_ew(Rc::clone(pattern), weights, h);
+        h = g.spmm_ew(Arc::clone(pattern), weights, h);
         acc = g.add(acc, h);
     }
     g.scale(acc, 1.0 / (layers as f32 + 1.0))
@@ -240,7 +240,7 @@ mod tests {
             3,
             vec![(0, 1, 0.5), (1, 0, 0.5), (1, 2, 0.5), (2, 1, 0.5)],
         );
-        let pattern = Rc::new(csr.clone());
+        let pattern = Arc::new(csr.clone());
         let mut g = Graph::new();
         let adj = SpPair::symmetric(csr.clone());
         let h0 = g.constant(Mat::from_fn(3, 2, |r, c| (r + c) as f32 * 0.3));

@@ -1,7 +1,7 @@
 //! The GraphAug model: GIB-regularized learnable augmentation + mixhop
 //! contrastive encoding, trained jointly per Algorithm 1 / Eq. 16.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_rng::StdRng;
 
@@ -234,11 +234,11 @@ impl GraphAug {
                 loss = g.add(loss, klw);
             }
             if self.cfg.use_cl {
-                let user_idx = Rc::new(
+                let user_idx = Arc::new(
                     TripletSampler::new(&self.train_graph, self.rng.random())
                         .sample_active_users(self.cfg.cl_batch),
                 );
-                let item_idx = Rc::new(self.sample_items(self.cfg.cl_batch));
+                let item_idx = Arc::new(self.sample_items(self.cfg.cl_batch));
                 let cu = infonce_loss(&mut g, z1, z2, &user_idx, self.cfg.temperature);
                 let ci = infonce_loss(&mut g, z1, z2, &item_idx, self.cfg.temperature);
                 let c = g.add(cu, ci);

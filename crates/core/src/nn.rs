@@ -5,7 +5,7 @@
 //! contrastive alignment (Eq. 14), the standard-normal KL term of the GIB
 //! bound (Eq. 9), LightGCN-style propagation, and weight decay.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_tensor::{Graph, NodeId, SpPair};
 
@@ -14,11 +14,11 @@ use graphaug_tensor::{Graph, NodeId, SpPair};
 #[derive(Clone, Debug)]
 pub struct BprBatch {
     /// Anchor users (bipartite node ids — equal to raw user ids).
-    pub users: Rc<Vec<u32>>,
+    pub users: Arc<Vec<u32>>,
     /// Positive items, offset by `n_users`.
-    pub pos: Rc<Vec<u32>>,
+    pub pos: Arc<Vec<u32>>,
     /// Negative items, offset by `n_users`.
-    pub neg: Rc<Vec<u32>>,
+    pub neg: Arc<Vec<u32>>,
 }
 
 impl BprBatch {
@@ -26,9 +26,9 @@ impl BprBatch {
     pub fn from_raw(users: Vec<u32>, pos: Vec<u32>, neg: Vec<u32>, n_users: usize) -> Self {
         let off = n_users as u32;
         BprBatch {
-            users: Rc::new(users),
-            pos: Rc::new(pos.into_iter().map(|v| v + off).collect()),
-            neg: Rc::new(neg.into_iter().map(|v| v + off).collect()),
+            users: Arc::new(users),
+            pos: Arc::new(pos.into_iter().map(|v| v + off).collect()),
+            neg: Arc::new(neg.into_iter().map(|v| v + off).collect()),
         }
     }
 
@@ -46,9 +46,9 @@ impl BprBatch {
 /// BPR loss `mean softplus(score_neg − score_pos)` (≡ `−log σ(pos − neg)`),
 /// computed on rows of the node-embedding matrix `emb` (`(I+J) × d`).
 pub fn bpr_loss(g: &mut Graph, emb: NodeId, batch: &BprBatch) -> NodeId {
-    let eu = g.gather_rows(emb, Rc::clone(&batch.users));
-    let ep = g.gather_rows(emb, Rc::clone(&batch.pos));
-    let en = g.gather_rows(emb, Rc::clone(&batch.neg));
+    let eu = g.gather_rows(emb, Arc::clone(&batch.users));
+    let ep = g.gather_rows(emb, Arc::clone(&batch.pos));
+    let en = g.gather_rows(emb, Arc::clone(&batch.neg));
     let pos = g.rowwise_dot(eu, ep);
     let neg = g.rowwise_dot(eu, en);
     let margin = g.sub(neg, pos);
@@ -63,12 +63,12 @@ pub fn infonce_loss(
     g: &mut Graph,
     view_a: NodeId,
     view_b: NodeId,
-    idx: &Rc<Vec<u32>>,
+    idx: &Arc<Vec<u32>>,
     temperature: f32,
 ) -> NodeId {
     debug_assert!(temperature > 0.0);
-    let a = g.gather_rows(view_a, Rc::clone(idx));
-    let b = g.gather_rows(view_b, Rc::clone(idx));
+    let a = g.gather_rows(view_a, Arc::clone(idx));
+    let b = g.gather_rows(view_b, Arc::clone(idx));
     let na = g.l2_normalize_rows(a);
     let nb = g.l2_normalize_rows(b);
     let sim = g.matmul_nt(na, nb);
@@ -128,7 +128,7 @@ pub fn lightgcn_propagate(g: &mut Graph, adj: &SpPair, h0: NodeId, layers: usize
 /// used for sampled/corrupted graph views.
 pub fn lightgcn_propagate_ew(
     g: &mut Graph,
-    pattern: &Rc<graphaug_sparse::Csr>,
+    pattern: &Arc<graphaug_sparse::Csr>,
     weights: NodeId,
     h0: NodeId,
     layers: usize,
@@ -136,7 +136,7 @@ pub fn lightgcn_propagate_ew(
     let mut h = h0;
     let mut acc = h0;
     for _ in 0..layers {
-        h = g.spmm_ew(Rc::clone(pattern), weights, h);
+        h = g.spmm_ew(Arc::clone(pattern), weights, h);
         acc = g.add(acc, h);
     }
     g.scale(acc, 1.0 / (layers as f32 + 1.0))
@@ -154,9 +154,9 @@ mod tests {
         let emb_good = Mat::from_vec(3, 2, vec![1.0, 0.0, 1.0, 0.0, -1.0, 0.0]);
         let emb_bad = Mat::from_vec(3, 2, vec![1.0, 0.0, -1.0, 0.0, 1.0, 0.0]);
         let batch = BprBatch {
-            users: Rc::new(vec![0]),
-            pos: Rc::new(vec![1]),
-            neg: Rc::new(vec![2]),
+            users: Arc::new(vec![0]),
+            pos: Arc::new(vec![1]),
+            neg: Arc::new(vec![2]),
         };
         let mut g = Graph::new();
         let e1 = g.constant(emb_good);
@@ -168,7 +168,7 @@ mod tests {
 
     #[test]
     fn infonce_is_low_when_views_match() {
-        let idx = Rc::new(vec![0u32, 1, 2]);
+        let idx = Arc::new(vec![0u32, 1, 2]);
         let aligned = Mat::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 1.3).sin());
         let shuffled = Mat::from_fn(3, 4, |r, c| (((2 - r) * 4 + c) as f32 * 1.3).sin());
         let mut g = Graph::new();
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn edge_weighted_propagation_matches_constant_weights() {
         let csr = Csr::from_coo(3, 3, vec![(0, 1, 0.5), (1, 0, 0.5), (2, 2, 1.0)]);
-        let pattern = Rc::new(csr.clone());
+        let pattern = Arc::new(csr.clone());
         let mut g = Graph::new();
         let adj = SpPair::symmetric(csr.clone());
         let h0 = g.constant(Mat::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.3));

@@ -3,6 +3,13 @@
 //! Evaluation follows the paper's protocol: for each user with held-out
 //! interactions, score *all* items, mask the user's training items, rank,
 //! and average Recall@K / NDCG@K over users (K ∈ {20, 40} in Table II).
+//!
+//! Users are embarrassingly parallel, so the per-user scoring, masking, and
+//! top-K selection fan out over `graphaug-par::parallel_spans`: the
+//! eligible-user list is pre-filtered once (users without held-out items
+//! never reach the model), each fixed span accumulates its own metric
+//! partial sums, and the partials are reduced in ascending span order —
+//! making the result bit-identical for any `GRAPHAUG_THREADS`.
 
 use graphaug_graph::TrainTestSplit;
 
@@ -55,52 +62,26 @@ pub fn evaluate(model: &dyn Recommender, split: &TrainTestSplit, ks: &[usize]) -
 }
 
 /// Evaluates `model` on a specific user population (used by the Table V
-/// degree-bucket study). Users without held-out items are skipped.
+/// degree-bucket study). Users without held-out items are filtered out
+/// up front and never reach the model's `score_items`.
 pub fn evaluate_users(
     model: &dyn Recommender,
     split: &TrainTestSplit,
     users: &[u32],
     ks: &[usize],
 ) -> EvalResult {
-    let kmax = ks.iter().copied().max().unwrap_or(0);
-    let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); ks.len()];
-    let mut n_eval = 0usize;
-    for &u in users {
-        let relevant = split.test.items_of(u as usize);
-        if relevant.is_empty() {
-            continue;
-        }
-        let mut scores = model.score_items(u as usize);
-        // Mask training items so the model is not rewarded for reproducing
-        // observed interactions.
-        for &v in split.train.items_of(u as usize) {
-            scores[v as usize] = f32::NEG_INFINITY;
-        }
-        let ranked = topk_indices(&scores, kmax);
-        for (i, &k) in ks.iter().enumerate() {
-            sums[i].0 += recall_at_k(&ranked, relevant, k);
-            sums[i].1 += ndcg_at_k(&ranked, relevant, k);
-        }
-        n_eval += 1;
-    }
-    let denom = n_eval.max(1) as f64;
-    EvalResult {
-        at: ks
-            .iter()
-            .zip(&sums)
-            .map(|(&k, &(r, n))| AtK {
-                k,
-                recall: r / denom,
-                ndcg: n / denom,
-            })
-            .collect(),
-        n_users: n_eval,
-    }
+    let eligible: Vec<(u32, &[u32])> = users
+        .iter()
+        .map(|&u| (u, split.test.items_of(u as usize)))
+        .filter(|(_, relevant)| !relevant.is_empty())
+        .collect();
+    evaluate_eligible(model, split, &eligible, ks)
 }
 
 /// Evaluates `model` counting only held-out items inside `items` as
 /// relevant — the item-side half of the Table V popularity-skew study.
-/// Users with no held-out items in the group are skipped.
+/// Users with no held-out items in the group are skipped (and, like in
+/// [`evaluate_users`], never scored).
 pub fn evaluate_item_group(
     model: &dyn Recommender,
     split: &TrainTestSplit,
@@ -108,31 +89,72 @@ pub fn evaluate_item_group(
     ks: &[usize],
 ) -> EvalResult {
     let member: std::collections::HashSet<u32> = items.iter().copied().collect();
+    let relevant_lists: Vec<(u32, Vec<u32>)> = split
+        .test_users()
+        .iter()
+        .map(|&u| {
+            (
+                u,
+                split
+                    .test
+                    .items_of(u as usize)
+                    .iter()
+                    .copied()
+                    .filter(|v| member.contains(v))
+                    .collect::<Vec<u32>>(),
+            )
+        })
+        .filter(|(_, relevant)| !relevant.is_empty())
+        .collect();
+    let eligible: Vec<(u32, &[u32])> = relevant_lists
+        .iter()
+        .map(|(u, r)| (*u, r.as_slice()))
+        .collect();
+    evaluate_eligible(model, split, &eligible, ks)
+}
+
+/// Shared parallel core: scores, masks, and ranks every `(user, relevant)`
+/// pair over fixed spans, each span owning one metric-partial slot, and
+/// reduces the per-span partials in ascending span order. The span grid
+/// ([`graphaug_par::fixed_chunks`]) and the within-span order are fixed, so
+/// the sums — and therefore the reported metrics — are bit-identical for
+/// any thread count.
+fn evaluate_eligible(
+    model: &dyn Recommender,
+    split: &TrainTestSplit,
+    eligible: &[(u32, &[u32])],
+    ks: &[usize],
+) -> EvalResult {
     let kmax = ks.iter().copied().max().unwrap_or(0);
+    let (_, n_spans) = graphaug_par::fixed_chunks(eligible.len());
+    let mut partials: Vec<Vec<(f64, f64)>> = vec![vec![(0.0, 0.0); ks.len()]; n_spans];
+    let base = graphaug_par::SendMutPtr::new(&mut partials);
+    graphaug_par::parallel_spans(eligible.len(), |span_idx, range| {
+        // Safety: each span index is claimed exactly once, so each partial
+        // slot has a single writer.
+        let sums = &mut unsafe { base.slice_mut(span_idx, 1) }[0];
+        for &(u, relevant) in &eligible[range] {
+            let mut scores = model.score_items(u as usize);
+            // Mask training items so the model is not rewarded for
+            // reproducing observed interactions.
+            for &v in split.train.items_of(u as usize) {
+                scores[v as usize] = f32::NEG_INFINITY;
+            }
+            let ranked = topk_indices(&scores, kmax);
+            for (i, &k) in ks.iter().enumerate() {
+                sums[i].0 += recall_at_k(&ranked, relevant, k);
+                sums[i].1 += ndcg_at_k(&ranked, relevant, k);
+            }
+        }
+    });
     let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); ks.len()];
-    let mut n_eval = 0usize;
-    for u in split.test_users() {
-        let relevant: Vec<u32> = split
-            .test
-            .items_of(u as usize)
-            .iter()
-            .copied()
-            .filter(|v| member.contains(v))
-            .collect();
-        if relevant.is_empty() {
-            continue;
+    for span in &partials {
+        for (acc, &(r, n)) in sums.iter_mut().zip(span) {
+            acc.0 += r;
+            acc.1 += n;
         }
-        let mut scores = model.score_items(u as usize);
-        for &v in split.train.items_of(u as usize) {
-            scores[v as usize] = f32::NEG_INFINITY;
-        }
-        let ranked = topk_indices(&scores, kmax);
-        for (i, &k) in ks.iter().enumerate() {
-            sums[i].0 += recall_at_k(&ranked, &relevant, k);
-            sums[i].1 += ndcg_at_k(&ranked, &relevant, k);
-        }
-        n_eval += 1;
     }
+    let n_eval = eligible.len();
     let denom = n_eval.max(1) as f64;
     EvalResult {
         at: ks
@@ -303,6 +325,68 @@ mod tests {
         // Empty group: nothing evaluable.
         let none = evaluate_item_group(&oracle, &split, &[], &[20]);
         assert_eq!(none.n_users, 0);
+    }
+
+    /// A scorer that panics when asked about a user with no held-out items
+    /// — the harness must pre-filter those users away.
+    struct EmptyTestTripwire {
+        split: TrainTestSplit,
+        n_items: usize,
+    }
+
+    impl Recommender for EmptyTestTripwire {
+        fn name(&self) -> &str {
+            "tripwire"
+        }
+        fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+            None
+        }
+        fn score_items(&self, user: usize) -> Vec<f32> {
+            assert!(
+                !self.split.test.items_of(user).is_empty(),
+                "user {user} has no held-out items and must not be scored"
+            );
+            vec![0f32; self.n_items]
+        }
+    }
+
+    #[test]
+    fn users_without_test_items_never_reach_the_model() {
+        let split = toy_split();
+        let tripwire = EmptyTestTripwire {
+            split: split.clone(),
+            n_items: 20,
+        };
+        // Every user id, including ones the split holds nothing out for.
+        let all_users: Vec<u32> = (0..10).collect();
+        let res = evaluate_users(&tripwire, &split, &all_users, &[5, 20]);
+        assert_eq!(res.n_users, split.test_users().len());
+        // Same guarantee on the item-group path: an item group that leaves
+        // some users without relevant held-out items must skip them too.
+        let empty_group = evaluate_item_group(&tripwire, &split, &[], &[5]);
+        assert_eq!(empty_group.n_users, 0);
+    }
+
+    #[test]
+    fn evaluation_is_thread_count_invariant() {
+        let split = toy_split();
+        let oracle = Oracle {
+            split: split.clone(),
+            n_items: 20,
+        };
+        let run = |threads: usize| {
+            let was = graphaug_par::thread_count();
+            graphaug_par::set_thread_count(threads);
+            let res = evaluate(&oracle, &split, &[5, 20]);
+            graphaug_par::set_thread_count(was);
+            res
+        };
+        let (r1, r3, r4) = (run(1), run(3), run(4));
+        for (a, b) in r1.at.iter().zip(&r3.at).chain(r1.at.iter().zip(&r4.at)) {
+            assert_eq!(a.recall.to_bits(), b.recall.to_bits());
+            assert_eq!(a.ndcg.to_bits(), b.ndcg.to_bits());
+        }
+        assert_eq!(r1.n_users, r4.n_users);
     }
 
     #[test]

@@ -1,28 +1,57 @@
 //! Top-K ranking metrics: Recall@K and NDCG@K (the paper's Table II
 //! metrics), plus the partial top-K selection they share.
 
-/// Returns the indices of the `k` largest scores, ordered descending.
-/// `O(n)` selection followed by an `O(k log k)` sort of the prefix.
+/// `(score, index)` with the ranking order as `Ord`: an entry is *greater*
+/// when it ranks **worse** (lower score, or equal score and larger index).
+/// A max-heap of these keeps the worst kept candidate on top. Panics on
+/// NaN, like the comparator it replaces.
+#[derive(Clone, Copy)]
+struct Worst(f32, u32);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .expect("scores must not be NaN")
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+/// Returns the indices of the `k` largest scores, ordered descending (ties
+/// broken by smaller index). One pass over the scores with a bounded
+/// min-heap of size `k` — after warm-up almost every element is rejected by
+/// a single comparison against the current `k`-th best — then an
+/// `O(k log k)` sort of the survivors.
 pub fn topk_indices(scores: &[f32], k: usize) -> Vec<u32> {
     let k = k.min(scores.len());
     if k == 0 {
         return Vec::new();
     }
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx.sort_unstable_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
-    idx
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in scores.iter().enumerate() {
+        let cand = Worst(s, i as u32);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("heap holds k entries") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut kept = heap.into_vec();
+    kept.sort_unstable();
+    kept.into_iter().map(|w| w.1).collect()
 }
 
 /// Recall@K: fraction of this user's held-out items appearing in the top-K

@@ -9,7 +9,11 @@ use graphaug_tensor::Mat;
 /// [`Recommender::embeddings`], inheriting the default `score_items`; models
 /// with non-factored scoring functions (NCF's MLP head, AutoRec's decoder)
 /// override `score_items` directly.
-pub trait Recommender {
+///
+/// `Sync` is a supertrait because the evaluation harness scores users in
+/// parallel — `score_items` must be callable from worker threads through a
+/// shared reference.
+pub trait Recommender: Sync {
     /// Human-readable model name (used in experiment tables).
     fn name(&self) -> &str;
 

@@ -1,4 +1,16 @@
 //! Pairwise (BPR) triplet sampling and negative sampling.
+//!
+//! Batch sampling is parallel and reproducible: the batch is split into the
+//! fixed chunk grid of `graphaug-par` and every chunk draws from its own
+//! xoshiro256++ stream, seeded as `SplitMix64(seed ⊕ stream_index)` with a
+//! monotonically increasing per-sampler stream counter. The chunk grid and
+//! the seed derivation depend only on the batch size and on how many chunks
+//! the sampler has issued before — never on `GRAPHAUG_THREADS` — so a batch
+//! is bit-identical for any thread count. The serial entry points
+//! ([`TripletSampler::sample`], [`TripletSampler::sample_active_users`])
+//! keep their own single stream; chunked batches are *statistically*
+//! equivalent to a loop of serial draws, not stream-identical (see
+//! DESIGN.md, "SIMD lanes and RNG stream splitting").
 
 use graphaug_rng::StdRng;
 
@@ -19,11 +31,26 @@ pub struct Triplet {
 /// Samples BPR triplets and uniform negatives from a training graph.
 ///
 /// Positive edges are drawn uniformly from the observed interactions; the
-/// negative item is rejection-sampled until it is unobserved for the user
-/// (bounded retries protect against pathological near-complete users).
+/// negative item is drawn *exactly* uniformly from the user's complement
+/// item set by rank-mapping a draw from `[0, n_items − deg(u))` through the
+/// user's sorted item list — no rejection loop, constant draw count per
+/// triplet (which is what keeps the per-chunk streams aligned).
 pub struct TripletSampler<'g> {
     graph: &'g InteractionGraph,
+    /// The serial stream: `sample`, `sample_negative`,
+    /// `sample_active_users`.
     rng: StdRng,
+    /// Base seed for deriving per-chunk batch streams.
+    seed: u64,
+    /// Next unused chunk-stream index; bumped by every `sample_batch`.
+    next_stream: u64,
+    /// Users with ≥ 1 interaction, cached at construction (the list was
+    /// previously rebuilt and re-filtered on every call).
+    active_users: Vec<u32>,
+    /// Per-user complement-set size `n_items − deg(u)`, the only per-user
+    /// quantity the chunked negative sampler needs besides the graph's own
+    /// sorted item lists (whose `indptr` is the edge CDF).
+    comp_counts: Vec<u32>,
 }
 
 impl<'g> TripletSampler<'g> {
@@ -34,13 +61,27 @@ impl<'g> TripletSampler<'g> {
             "cannot sample from an empty graph"
         );
         assert!(graph.n_items() > 1, "need at least two items for negatives");
+        let n_items = graph.n_items() as u32;
+        let mut active_users = Vec::new();
+        let mut comp_counts = Vec::with_capacity(graph.n_users());
+        for u in 0..graph.n_users() {
+            let deg = graph.items_of(u).len() as u32;
+            if deg > 0 {
+                active_users.push(u as u32);
+            }
+            comp_counts.push(n_items - deg.min(n_items));
+        }
         TripletSampler {
             graph,
             rng: StdRng::seed_from_u64(seed),
+            seed,
+            next_stream: 0,
+            active_users,
+            comp_counts,
         }
     }
 
-    /// Draws one triplet.
+    /// Draws one triplet from the serial stream.
     pub fn sample(&mut self) -> Triplet {
         let edges = self.graph.edges();
         let (user, pos) = edges[self.rng.random_range(0..edges.len())];
@@ -51,41 +92,65 @@ impl<'g> TripletSampler<'g> {
     /// Draws a batch of triplets as parallel index vectors
     /// `(users, positives, negatives)` — the layout the tape's `gather_rows`
     /// wants.
+    ///
+    /// The batch fans out over [`graphaug_par::parallel_chunks`] with one
+    /// derived stream per chunk; output is bit-identical for any
+    /// `GRAPHAUG_THREADS` and changes from batch to batch (the stream
+    /// counter advances by the number of chunks issued).
     pub fn sample_batch(&mut self, n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
-        let mut users = Vec::with_capacity(n);
-        let mut pos = Vec::with_capacity(n);
-        let mut neg = Vec::with_capacity(n);
-        for _ in 0..n {
-            let t = self.sample();
-            users.push(t.user);
-            pos.push(t.pos);
-            neg.push(t.neg);
-        }
+        let mut users = vec![0u32; n];
+        let mut pos = vec![0u32; n];
+        let mut neg = vec![0u32; n];
+        let (chunk_len, n_chunks) = graphaug_par::fixed_chunks(n);
+        let base = self.next_stream;
+        self.next_stream += n_chunks as u64;
+        let seed = self.seed;
+        let graph = self.graph;
+        let comp_counts = &self.comp_counts;
+        let edges = graph.edges();
+        let pos_ptr = graphaug_par::SendMutPtr::new(&mut pos);
+        let neg_ptr = graphaug_par::SendMutPtr::new(&mut neg);
+        graphaug_par::parallel_chunks(&mut users, chunk_len, |ci, uchunk| {
+            let start = ci * chunk_len;
+            // Safety: chunk `ci` covers exactly `start..start + uchunk.len()`
+            // of every output vector, and chunks are disjoint.
+            let pchunk = unsafe { pos_ptr.slice_mut(start, uchunk.len()) };
+            let nchunk = unsafe { neg_ptr.slice_mut(start, uchunk.len()) };
+            let mut rng = StdRng::stream(seed, base + ci as u64);
+            for i in 0..uchunk.len() {
+                let (u, p) = edges[rng.random_range(0..edges.len())];
+                uchunk[i] = u;
+                pchunk[i] = p;
+                nchunk[i] = complement_draw(
+                    &mut rng,
+                    graph.items_of(u as usize),
+                    comp_counts[u as usize],
+                    graph.n_items() as u32,
+                );
+            }
+        });
         (users, pos, neg)
     }
 
-    /// Uniformly samples an item the user has not interacted with. Falls
-    /// back to a uniform item after 100 rejections (only relevant for users
-    /// interacting with nearly every item).
+    /// Uniformly samples an item the user has not interacted with, from the
+    /// serial stream. Exact complement draw; falls back to a uniform item
+    /// only when the user has interacted with *every* item.
     pub fn sample_negative(&mut self, user: u32) -> u32 {
-        for _ in 0..100 {
-            let cand = self.rng.random_range(0..self.graph.n_items() as u32);
-            if !self.graph.has_edge(user, cand) {
-                return cand;
-            }
-        }
-        self.rng.random_range(0..self.graph.n_items() as u32)
+        complement_draw(
+            &mut self.rng,
+            self.graph.items_of(user as usize),
+            self.comp_counts[user as usize],
+            self.graph.n_items() as u32,
+        )
     }
 
     /// Uniformly samples `n` distinct users that have at least one
-    /// interaction (for per-epoch contrastive batches).
+    /// interaction (for per-epoch contrastive batches). The active-user list
+    /// is cached at construction.
     pub fn sample_active_users(&mut self, n: usize) -> Vec<u32> {
-        let active: Vec<u32> = (0..self.graph.n_users() as u32)
-            .filter(|&u| !self.graph.items_of(u as usize).is_empty())
-            .collect();
-        let n = n.min(active.len());
+        let n = n.min(self.active_users.len());
         // Partial Fisher–Yates over a copy.
-        let mut pool = active;
+        let mut pool = self.active_users.clone();
         for i in 0..n {
             let j = self.rng.random_range(i..pool.len());
             pool.swap(i, j);
@@ -93,6 +158,29 @@ impl<'g> TripletSampler<'g> {
         pool.truncate(n);
         pool
     }
+}
+
+/// Draws uniformly from `{0..n_items} \ items` by rank-mapping `r ∈
+/// [0, comp)` through the sorted `items` list: the result is `r + j` where
+/// `j` counts the user's items that precede it. `items[i] − i` is
+/// non-decreasing for a strictly sorted list, so `j` is a binary search.
+#[inline]
+fn complement_draw(rng: &mut StdRng, items: &[u32], comp: u32, n_items: u32) -> u32 {
+    if comp == 0 {
+        // The user interacted with every item; no valid negative exists.
+        return rng.random_range(0..n_items);
+    }
+    let r = rng.random_range(0..comp);
+    let (mut lo, mut hi) = (0usize, items.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if items[mid] - mid as u32 <= r {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    r + lo as u32
 }
 
 #[cfg(test)]
@@ -137,6 +225,15 @@ mod tests {
     }
 
     #[test]
+    fn successive_batches_differ() {
+        let g = g();
+        let mut s = TripletSampler::new(&g, 5);
+        let a = s.sample_batch(64);
+        let b = s.sample_batch(64);
+        assert_ne!(a, b, "stream counter must advance between batches");
+    }
+
+    #[test]
     fn active_user_sampling_excludes_cold_users() {
         let g = InteractionGraph::new(5, 3, vec![(0, 0), (2, 1), (4, 2)]);
         let mut s = TripletSampler::new(&g, 1);
@@ -152,12 +249,28 @@ mod tests {
         // User 0 interacts with every item except item 4.
         let g = InteractionGraph::new(1, 5, vec![(0, 0), (0, 1), (0, 2), (0, 3)]);
         let mut s = TripletSampler::new(&g, 3);
-        let mut saw_valid = false;
         for _ in 0..50 {
-            if s.sample_negative(0) == 4 {
-                saw_valid = true;
-            }
+            assert_eq!(s.sample_negative(0), 4, "only valid negative is item 4");
         }
-        assert!(saw_valid);
+    }
+
+    #[test]
+    fn complement_draw_is_exactly_uniform_over_the_complement() {
+        // Items {1, 3, 4} of 7 → complement {0, 2, 5, 6}.
+        let items = [1u32, 3, 4];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 7];
+        for _ in 0..4000 {
+            let v = complement_draw(&mut rng, &items, 4, 7);
+            counts[v as usize] += 1;
+        }
+        assert_eq!(counts[1] + counts[3] + counts[4], 0, "never draws an item");
+        for &c in &[counts[0], counts[2], counts[5], counts[6]] {
+            let expected = 1000.0f64;
+            assert!(
+                ((c as f64) - expected).abs() < 5.0 * expected.sqrt(),
+                "counts {counts:?}"
+            );
+        }
     }
 }

@@ -88,6 +88,135 @@ fn sampled_triplets_always_valid() {
     });
 }
 
+/// The chunked batch sampler's contract: the chunk grid and per-chunk
+/// stream seeds depend only on the batch size and the sampler's stream
+/// counter, never on `GRAPHAUG_THREADS` — so batches are bit-identical at
+/// any worker count (here 1 vs 3 vs 4), including across *successive*
+/// batches where the stream counter has advanced.
+#[test]
+fn sample_batch_is_thread_count_invariant() {
+    check("sample_batch_is_thread_count_invariant", 16, |gen| {
+        let e = edges(gen, 25, 30);
+        let seed = gen.random_range(0u64..1000);
+        let n = gen.len_in(1, 600);
+        let g = InteractionGraph::new(25, 30, e);
+        let run = |threads: usize| {
+            graphaug_par::set_thread_count(threads);
+            let mut s = TripletSampler::new(&g, seed);
+            let batches = vec![s.sample_batch(n), s.sample_batch(n / 2 + 1)];
+            graphaug_par::set_thread_count(1);
+            batches
+        };
+        let serial = run(1);
+        for threads in [3usize, 4] {
+            prop_assert_eq!(&serial, &run(threads));
+        }
+        Ok(())
+    });
+}
+
+/// Chunked `sample_batch` uses per-chunk derived streams, so it is only
+/// *statistically* equivalent to a loop of serial `sample()` draws. Check
+/// both paths against the exact target distributions: positives uniform
+/// over the observed edges (χ² test) and negatives uniform over each
+/// user's complement item set (first-moment test), with the two paths'
+/// statistics also required to agree with each other.
+#[test]
+fn chunked_batches_match_serial_sampler_statistically() {
+    // A deterministic, moderately skewed bipartite graph.
+    let mut e = Vec::new();
+    for u in 0..30u32 {
+        for k in 0..(2 + u % 7) {
+            e.push((u, (u * 11 + k * 17) % 40));
+        }
+    }
+    let g = InteractionGraph::new(30, 40, e);
+    let n_edges = g.n_interactions();
+    let draws = 60_000usize;
+
+    // χ² statistic of observed edge counts against the uniform expectation.
+    let chi_sq = |counts: &[usize]| -> f64 {
+        let expected = draws as f64 / n_edges as f64;
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum()
+    };
+    let edge_rank =
+        |u: u32, p: u32| -> usize { g.edges().iter().position(|&ep| ep == (u, p)).unwrap() };
+
+    // Serial path: a loop of `sample()` draws.
+    let mut serial_counts = vec![0usize; n_edges];
+    let mut serial_neg_sum = 0f64;
+    let mut s = TripletSampler::new(&g, 12345);
+    for _ in 0..draws {
+        let t = s.sample();
+        serial_counts[edge_rank(t.user, t.pos)] += 1;
+        serial_neg_sum += t.neg as f64;
+    }
+
+    // Chunked path: batches through the per-chunk derived streams.
+    let mut batch_counts = vec![0usize; n_edges];
+    let mut batch_neg_sum = 0f64;
+    let mut s = TripletSampler::new(&g, 12345);
+    for _ in 0..draws / 1000 {
+        let (users, pos, neg) = s.sample_batch(1000);
+        for i in 0..users.len() {
+            batch_counts[edge_rank(users[i], pos[i])] += 1;
+            batch_neg_sum += neg[i] as f64;
+        }
+    }
+
+    // Both paths must pass a generous χ² bound (dof = n_edges − 1; the
+    // bound is mean + 6σ of the χ² distribution).
+    let dof = (n_edges - 1) as f64;
+    let bound = dof + 6.0 * (2.0 * dof).sqrt();
+    for (label, counts) in [("serial", &serial_counts), ("batch", &batch_counts)] {
+        let x = chi_sq(counts);
+        assert!(
+            x < bound,
+            "{label} positives χ² = {x:.1} ≥ bound {bound:.1}"
+        );
+    }
+
+    // Exact expected mean of the negative item index: positives are uniform
+    // over edges, so user u is the anchor with probability deg(u)/|E|, and
+    // the negative is then uniform over u's complement item set.
+    let mut expected_neg = 0f64;
+    for u in 0..g.n_users() {
+        let items = g.items_of(u);
+        if items.is_empty() {
+            continue;
+        }
+        let comp_sum: f64 = (0..40u32)
+            .filter(|i| !items.contains(i))
+            .map(f64::from)
+            .sum();
+        let comp_mean = comp_sum / (40 - items.len()) as f64;
+        expected_neg += items.len() as f64 / n_edges as f64 * comp_mean;
+    }
+    let serial_mean = serial_neg_sum / draws as f64;
+    let batch_mean = batch_neg_sum / draws as f64;
+    // The item universe spans [0, 40); σ of one draw is < 12, so the mean
+    // of 60k draws has σ < 0.05. Allow ±0.3 (6σ) against the exact value
+    // and require the two paths to agree to the same precision.
+    assert!(
+        (serial_mean - expected_neg).abs() < 0.3,
+        "serial negative mean {serial_mean:.3} vs expected {expected_neg:.3}"
+    );
+    assert!(
+        (batch_mean - expected_neg).abs() < 0.3,
+        "batch negative mean {batch_mean:.3} vs expected {expected_neg:.3}"
+    );
+    assert!(
+        (serial_mean - batch_mean).abs() < 0.3,
+        "serial {serial_mean:.3} and batch {batch_mean:.3} negative means diverge"
+    );
+}
+
 #[test]
 fn noise_injection_only_adds() {
     check("noise_injection_only_adds", DEFAULT_CASES, |gen| {

@@ -39,6 +39,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+pub mod simd;
+
+pub use simd::{dot8, set_simd_enabled, simd_available, simd_enabled, F32x8};
+
 /// Hard cap on the worker budget (also the maximum chunk fan-out produced by
 /// [`fixed_chunks`], so more threads than this could never be fed anyway).
 pub const MAX_THREADS: usize = 16;

@@ -1,0 +1,286 @@
+//! Explicit 8-lane `f32` SIMD support for the kernel crates.
+//!
+//! [`F32x8`] is a plain `[f32; 8]` wrapper whose per-lane operations are
+//! written as fixed-order scalar Rust. That makes the semantics *identical*
+//! in every build: inside an `#[target_feature(enable = "avx2")]` context
+//! the compiler lowers each op to one 256-bit instruction, elsewhere to
+//! SSE2/scalar code — and because per-lane IEEE arithmetic and the
+//! [`F32x8::hsum`] reduction tree are fixed in source (no fused
+//! multiply-add, no reassociation), the results are bit-identical between
+//! the lane path and the scalar fallback. The kernel crates exploit this by
+//! compiling each span kernel twice (once under AVX2, once under the
+//! baseline target) from one `#[inline(always)]` body and dispatching at
+//! runtime — see [`simd_dispatch!`](crate::simd_dispatch).
+//!
+//! # Configuration
+//!
+//! * `GRAPHAUG_SIMD=0` — force the scalar builds even when AVX2 is
+//!   available (escape hatch / determinism-audit knob). Read once at first
+//!   use.
+//! * [`set_simd_enabled`] — runtime override, used by the determinism suite
+//!   to compare the lane and scalar builds within one process.
+//!
+//! On non-x86_64 targets everything compiles to the portable scalar path
+//! and [`simd_enabled`] is always `false`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane width of [`F32x8`].
+pub const LANES: usize = 8;
+
+/// Eight `f32` lanes with fixed per-lane semantics (no FMA contraction, no
+/// reassociation), aligned so the AVX2 builds can use aligned spills.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(32))]
+pub struct F32x8(pub [f32; 8]);
+
+// `add`/`mul` shadow the `std::ops` trait names on purpose: kernels call
+// them as explicit named lane ops (`acc.mul_acc(a, b)`, `x.add(y)`), and
+// keeping them inherent (not trait impls) guarantees they inline into
+// `#[target_feature]` clones without a trait-dispatch layer in MIR.
+#[allow(clippy::should_implement_trait)]
+impl F32x8 {
+    /// All-zero lanes.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        F32x8([0.0; 8])
+    }
+
+    /// Broadcasts one value to every lane.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        F32x8([v; 8])
+    }
+
+    /// Loads the first 8 elements of `s`.
+    #[inline(always)]
+    pub fn load(s: &[f32]) -> Self {
+        let mut out = [0f32; 8];
+        out.copy_from_slice(&s[..8]);
+        F32x8(out)
+    }
+
+    /// Stores the lanes into the first 8 elements of `out`.
+    #[inline(always)]
+    pub fn store(self, out: &mut [f32]) {
+        out[..8].copy_from_slice(&self.0);
+    }
+
+    /// Lane-wise sum.
+    #[inline(always)]
+    pub fn add(self, o: Self) -> Self {
+        let (a, b) = (self.0, o.0);
+        F32x8([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+            a[5] + b[5],
+            a[6] + b[6],
+            a[7] + b[7],
+        ])
+    }
+
+    /// Lane-wise product.
+    #[inline(always)]
+    pub fn mul(self, o: Self) -> Self {
+        let (a, b) = (self.0, o.0);
+        F32x8([
+            a[0] * b[0],
+            a[1] * b[1],
+            a[2] * b[2],
+            a[3] * b[3],
+            a[4] * b[4],
+            a[5] * b[5],
+            a[6] * b[6],
+            a[7] * b[7],
+        ])
+    }
+
+    /// `self + a ⊙ b` lane-wise, as separate multiply and add (never fused,
+    /// so lane and scalar builds agree bitwise).
+    #[inline(always)]
+    pub fn mul_acc(self, a: Self, b: Self) -> Self {
+        self.add(a.mul(b))
+    }
+
+    /// Horizontal sum with a fixed reduction tree:
+    /// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+    ///
+    /// Every kernel that collapses lanes to a scalar uses this order, which
+    /// is what makes dot-product results identical between the AVX2 and
+    /// scalar builds.
+    #[inline(always)]
+    pub fn hsum(self) -> f32 {
+        let l = self.0;
+        ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+    }
+}
+
+/// Dot product over 8-wide lanes with two independent accumulator vectors
+/// (even/odd 16-blocks) merged in a fixed order, then the [`F32x8::hsum`]
+/// tree, then an ascending scalar tail. This is the single reduction order
+/// shared by `matmul_nt` and the `spmm_ew` weight gradient — deterministic
+/// for any thread count and identical between lane and scalar builds.
+#[inline(always)]
+pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc0 = F32x8::zero();
+    let mut acc1 = F32x8::zero();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = acc0.mul_acc(F32x8::load(&a[i..]), F32x8::load(&b[i..]));
+        acc1 = acc1.mul_acc(F32x8::load(&a[i + 8..]), F32x8::load(&b[i + 8..]));
+        i += 16;
+    }
+    if i + 8 <= n {
+        acc0 = acc0.mul_acc(F32x8::load(&a[i..]), F32x8::load(&b[i..]));
+        i += 8;
+    }
+    let mut tail = 0f32;
+    while i < n {
+        tail += a[i] * b[i];
+        i += 1;
+    }
+    acc0.add(acc1).hsum() + tail
+}
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch control
+// ---------------------------------------------------------------------------
+
+/// 0 = uninitialized, 1 = lane builds active, 2 = scalar builds forced.
+static SIMD: AtomicU8 = AtomicU8::new(0);
+
+/// True when the running CPU supports the AVX2 lane builds.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn init_simd() -> bool {
+    let env_on = std::env::var("GRAPHAUG_SIMD")
+        .map(|v| v.trim() != "0")
+        .unwrap_or(true);
+    env_on && simd_available()
+}
+
+/// True when kernels should take their AVX2 lane build. Purely a
+/// performance knob: the determinism contract guarantees results never
+/// depend on it (the scalar builds execute the same fixed-order source).
+pub fn simd_enabled() -> bool {
+    match SIMD.load(Ordering::Relaxed) {
+        0 => {
+            let on = init_simd();
+            SIMD.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+        1 => true,
+        _ => false,
+    }
+}
+
+/// Overrides the lane/scalar choice at runtime (clamped to hardware
+/// availability). Returns the effective setting. The determinism suite uses
+/// this to compare the two builds in-process.
+pub fn set_simd_enabled(on: bool) -> bool {
+    let effective = on && simd_available();
+    SIMD.store(if effective { 1 } else { 2 }, Ordering::Relaxed);
+    effective
+}
+
+/// Compiles a span kernel twice — once under `#[target_feature(enable =
+/// "avx2")]` and once under the crate's baseline target — from a single
+/// `#[inline(always)]` body, and dispatches on [`simd_enabled`] at runtime.
+///
+/// Because the body is ordinary fixed-order Rust (typically built on
+/// [`F32x8`]/[`dot8`]), the two builds are bit-identical; the AVX2 one is
+/// just faster. Use on the *span*-level entry points the parallel runtime
+/// calls, so the dispatch branch is paid once per chunk, not per row.
+#[macro_export]
+macro_rules! simd_dispatch {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident: $ty:ty),* $(,)?) $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $ty),*) {
+            #[inline(always)]
+            fn body($($arg: $ty),*) $body
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx2")]
+                unsafe fn lanes($($arg: $ty),*) {
+                    body($($arg),*)
+                }
+                if $crate::simd::simd_enabled() {
+                    // Safety: `simd_enabled` is true only when AVX2 was
+                    // detected on the running CPU.
+                    return unsafe { lanes($($arg),*) };
+                }
+            }
+            body($($arg),*)
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsum_uses_the_documented_tree() {
+        let v = F32x8([1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]);
+        assert_eq!(v.hsum(), 255.0);
+        // The tree order is part of the contract: spell it out.
+        let l = v.0;
+        let want = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+        assert_eq!(v.hsum().to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn dot8_matches_reference_on_all_tail_lengths() {
+        for n in 0..40usize {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let got = dot8(&a, &b);
+            let want: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+            assert!((got as f64 - want).abs() < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn set_simd_enabled_round_trips() {
+        let was = simd_enabled();
+        assert!(!set_simd_enabled(false));
+        assert!(!simd_enabled());
+        let on = set_simd_enabled(true);
+        assert_eq!(on, simd_available());
+        assert_eq!(simd_enabled(), on);
+        set_simd_enabled(was);
+    }
+
+    #[test]
+    fn dot8_is_identical_between_lane_and_scalar_builds() {
+        let a: Vec<f32> = (0..137).map(|i| (i as f32 * 0.11).sin() * 1.7).collect();
+        let b: Vec<f32> = (0..137).map(|i| (i as f32 * 0.23).cos() * 0.9).collect();
+        let mut out = [0f32; 2];
+        crate::simd_dispatch! {
+            fn probe(a: &[f32], b: &[f32], out: &mut [f32]) {
+                out[0] = dot8(a, b);
+            }
+        }
+        let was = simd_enabled();
+        set_simd_enabled(true);
+        probe(&a, &b, std::slice::from_mut(&mut out[0]));
+        set_simd_enabled(false);
+        probe(&a, &b, std::slice::from_mut(&mut out[1]));
+        set_simd_enabled(was);
+        assert_eq!(out[0].to_bits(), out[1].to_bits());
+    }
+}

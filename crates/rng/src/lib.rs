@@ -206,6 +206,67 @@ impl Xoshiro256PlusPlus {
     pub fn fork(&mut self) -> Self {
         Xoshiro256PlusPlus::seed_from_u64(self.next_u64())
     }
+
+    /// Derived stream `index` of logical generator `seed`: seeds from
+    /// `splitmix64_mix(seed ^ index)`. This is the workspace-wide convention
+    /// for handing one independent stream to each parallel chunk so results
+    /// do not depend on the thread count — the sampler and the bulk tensor
+    /// fills both use it.
+    #[inline]
+    pub fn stream(seed: u64, index: u64) -> Self {
+        Xoshiro256PlusPlus::seed_from_u64(splitmix64_mix(seed ^ index))
+    }
+
+    /// One `N(0, 1)` pair via the Marsaglia polar method: rejection-sample a
+    /// point in the unit disc (acceptance ≈ π/4), then scale by
+    /// `sqrt(−2 ln s / s)`. Exact like Box–Muller but with no trig calls,
+    /// which makes it roughly twice as fast in bulk.
+    #[inline]
+    fn polar_pair(&mut self) -> (f32, f32) {
+        loop {
+            let x = 2.0 * self.f32_unit() - 1.0;
+            let y = 2.0 * self.f32_unit() - 1.0;
+            let s = x * x + y * y;
+            if s < 1.0 && s > 0.0 {
+                let f = ((-2.0 * s.ln()) / s).sqrt();
+                return (x * f, y * f);
+            }
+        }
+    }
+
+    /// Fills `out` with independent `N(0, std²)` draws using the polar
+    /// method ([`polar_pair`](Self::polar_pair)). The stream is *not*
+    /// interchangeable with repeated [`normal_f32`](Self::normal_f32) calls
+    /// (different method, different draw count) — use one or the other for a
+    /// given seeded quantity, not a mix.
+    pub fn fill_normal_f32(&mut self, out: &mut [f32], std: f32) {
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let (a, b) = self.polar_pair();
+            pair[0] = a * std;
+            pair[1] = b * std;
+        }
+        if let [last] = chunks.into_remainder() {
+            *last = self.polar_pair().0 * std;
+        }
+    }
+
+    /// Fills `out` with `1.0` (probability `p`) or `0.0` indicator draws —
+    /// one uniform per element, the same per-element recipe as
+    /// `random_range(0.0f32..1.0) < p`.
+    pub fn fill_bernoulli_f32(&mut self, out: &mut [f32], p: f32) {
+        for slot in out {
+            *slot = if self.f32_unit() < p { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Fills `out` with standard logistic draws — one
+    /// [`logistic_f32`](Self::logistic_f32) per element, identical stream.
+    pub fn fill_logistic_f32(&mut self, out: &mut [f32]) {
+        for slot in out {
+            *slot = self.logistic_f32();
+        }
+    }
 }
 
 /// Types drawable uniformly by [`Xoshiro256PlusPlus::random`].
@@ -430,6 +491,42 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn polar_fill_has_correct_moments_and_tail() {
+        let mut r = seeded_rng(23);
+        let n = 100_001; // odd length exercises the remainder path
+        let mut buf = vec![0.0f32; n];
+        r.fill_normal_f32(&mut buf, 2.0);
+        let xs: Vec<f64> = buf.iter().map(|&x| x as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.04, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        // N(0, 2²): |x| > 6 ≈ 3σ should be rare but |x| < 2 common.
+        let in_one_sigma = xs.iter().filter(|x| x.abs() < 2.0).count() as f64 / n as f64;
+        assert!(
+            (in_one_sigma - 0.6827).abs() < 0.02,
+            "1σ mass {in_one_sigma}"
+        );
+    }
+
+    #[test]
+    fn derived_streams_differ_from_each_other_and_the_parent() {
+        let mut parent = seeded_rng(29);
+        let mut s0 = StdRng::stream(29, 0);
+        let mut s1 = StdRng::stream(29, 1);
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| s0.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        // Deterministic: the same (seed, index) reproduces the stream.
+        let mut again = StdRng::stream(29, 1);
+        let c2: Vec<u64> = (0..8).map(|_| again.next_u64()).collect();
+        assert_eq!(c, c2);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! into fixed chunks, each chunk owns a disjoint slice of the output, and
 //! every output element is accumulated in the same (ascending-entry) order
 //! regardless of the thread count — so results are bit-identical under any
-//! `GRAPHAUG_THREADS`. The inner loops accumulate into stack arrays for the
-//! embedding widths the workspace actually uses (8/16/32/64 columns), which
-//! keeps the running row in registers instead of re-loading it per nonzero.
+//! `GRAPHAUG_THREADS`. The inner loops run on explicit [`F32x8`] lanes for
+//! the embedding widths the workspace actually uses (8/16/32/64 columns),
+//! compiled through `simd_dispatch!` into an AVX2 build and a scalar build
+//! of the same fixed-order source — the two are bit-identical, so
+//! `GRAPHAUG_SIMD` is purely a performance knob. The `spmm_ew` weight
+//! gradient reduces per-entry dot products through [`dot8`]'s fixed lane
+//! tree (shared with `matmul_nt`).
 
+use graphaug_par::{dot8, simd_dispatch, F32x8};
 use std::sync::OnceLock;
 
 /// An immutable sparse matrix in CSR layout over `f32` values.
@@ -59,30 +64,6 @@ pub struct TransposePlan {
     src_row: Vec<u32>,
     /// Index of the entry in the original CSR `data`/`indices` arrays.
     entry: Vec<u32>,
-}
-
-/// Unrolled dot product with four independent accumulators (fixed
-/// combination order — part of each kernel's deterministic reference
-/// semantics).
-#[inline]
-fn dot4(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0f32; 4];
-    let mut i = 0;
-    while i + 4 <= n {
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
-        i += 4;
-    }
-    let mut tail = 0f32;
-    while i < n {
-        tail += a[i] * b[i];
-        i += 1;
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 impl Csr {
@@ -256,7 +237,7 @@ impl Csr {
     }
 
     /// The transposed traversal plan of this pattern, built on first use and
-    /// cached for the lifetime of the matrix (patterns are shared via `Rc`
+    /// cached for the lifetime of the matrix (patterns are shared via `Arc`
     /// across training steps, so the counting sort is paid once, not per
     /// backward pass).
     pub fn transpose_plan(&self) -> &TransposePlan {
@@ -297,7 +278,16 @@ impl Csr {
         assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
         assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
         graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
-            self.spmm_span::<false>(&self.data, dense, d, row0, rows);
+            spmm_span(
+                &self.indptr,
+                &self.indices,
+                &self.data,
+                dense,
+                d,
+                false,
+                row0,
+                rows,
+            );
         });
     }
 
@@ -307,7 +297,16 @@ impl Csr {
         assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
         assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
         graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
-            self.spmm_span::<true>(&self.data, dense, d, row0, rows);
+            spmm_span(
+                &self.indptr,
+                &self.indices,
+                &self.data,
+                dense,
+                d,
+                true,
+                row0,
+                rows,
+            );
         });
     }
 
@@ -319,7 +318,7 @@ impl Csr {
         assert_eq!(dense.len(), self.n_cols * d, "dense operand shape mismatch");
         assert_eq!(out.len(), self.n_rows * d, "output shape mismatch");
         graphaug_par::parallel_rows(out, d.max(1), |row0, rows| {
-            self.spmm_span::<false>(w, dense, d, row0, rows);
+            spmm_span(&self.indptr, &self.indices, w, dense, d, false, row0, rows);
         });
     }
 
@@ -340,16 +339,7 @@ impl Csr {
             let (s, e) = (self.indptr[rr.start], self.indptr[rr.end]);
             // Safety: row spans are disjoint, so entry spans are disjoint.
             let dws = unsafe { base.slice_mut(s, e - s) };
-            let mut k = 0usize;
-            for r in rr {
-                let (cols, _) = self.row(r);
-                let grow = &dy[r * d..r * d + d];
-                for &c in cols {
-                    let hrow = &h[c as usize * d..c as usize * d + d];
-                    dws[k] = dot4(grow, hrow);
-                    k += 1;
-                }
-            }
+            spmm_dw_span(&self.indptr, &self.indices, h, dy, d, rr.start, rr.end, dws);
         });
     }
 
@@ -368,127 +358,18 @@ impl Csr {
         );
         assert_eq!(dh.len(), self.n_cols * d, "dense gradient shape mismatch");
         let plan = self.transpose_plan();
-        graphaug_par::parallel_rows(dh, d.max(1), |row0, rows| match d {
-            8 => plan.dh_span::<8>(w, dy, row0, rows),
-            16 => plan.dh_span::<16>(w, dy, row0, rows),
-            32 => plan.dh_span::<32>(w, dy, row0, rows),
-            64 => plan.dh_span::<64>(w, dy, row0, rows),
-            _ => plan.dh_span_generic(w, dy, d, row0, rows),
+        graphaug_par::parallel_rows(dh, d.max(1), |row0, rows| {
+            dh_span(
+                &plan.indptr,
+                &plan.src_row,
+                &plan.entry,
+                w,
+                dy,
+                d,
+                row0,
+                rows,
+            );
         });
-    }
-
-    /// Computes a span of output rows, reading entry values from `vals`
-    /// (either `self.data` or an external per-entry weight vector).
-    fn spmm_span<const ACC: bool>(
-        &self,
-        vals: &[f32],
-        dense: &[f32],
-        d: usize,
-        row0: usize,
-        rows: &mut [f32],
-    ) {
-        match d {
-            8 => self.spmm_span_fixed::<8, ACC>(vals, dense, row0, rows),
-            16 => self.spmm_span_fixed::<16, ACC>(vals, dense, row0, rows),
-            32 => self.spmm_span_fixed::<32, ACC>(vals, dense, row0, rows),
-            64 => self.spmm_span_fixed::<64, ACC>(vals, dense, row0, rows),
-            _ => self.spmm_span_generic::<ACC>(vals, dense, d, row0, rows),
-        }
-    }
-
-    /// Width-specialized row kernel: the output row lives in a `[f32; D]`
-    /// register file across all nonzeros. Accumulation order per output
-    /// element is ascending entry order — identical to the generic path.
-    fn spmm_span_fixed<const D: usize, const ACC: bool>(
-        &self,
-        vals: &[f32],
-        dense: &[f32],
-        row0: usize,
-        rows: &mut [f32],
-    ) {
-        debug_assert!(dense.len() >= self.n_cols * D);
-        for (i, orow) in rows.chunks_exact_mut(D).enumerate() {
-            let r = row0 + i;
-            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
-            // Two accumulator files over even/odd entries for instruction-
-            // level parallelism; the merge order (even file + odd file) is a
-            // fixed function of the row, so results stay thread-invariant.
-            let mut acc = [0f32; D];
-            let mut acc2 = [0f32; D];
-            let (cols, vs) = (&self.indices[s..e], &vals[s..e]);
-            let mut t = 0usize;
-            // Safety (both gathers): every stored column index is < n_cols
-            // (structural invariant enforced by `from_coo`) and the public
-            // entry points assert `dense.len() == n_cols * D`.
-            while t + 2 <= cols.len() {
-                let (c0, c1) = (cols[t] as usize, cols[t + 1] as usize);
-                let (v0, v1) = (vs[t], vs[t + 1]);
-                let d0 = unsafe { dense.get_unchecked(c0 * D..c0 * D + D) };
-                let d1 = unsafe { dense.get_unchecked(c1 * D..c1 * D + D) };
-                for j in 0..D {
-                    acc[j] += v0 * d0[j];
-                    acc2[j] += v1 * d1[j];
-                }
-                t += 2;
-            }
-            if t < cols.len() {
-                let c0 = cols[t] as usize;
-                let v0 = vs[t];
-                let d0 = unsafe { dense.get_unchecked(c0 * D..c0 * D + D) };
-                for j in 0..D {
-                    acc[j] += v0 * d0[j];
-                }
-            }
-            for j in 0..D {
-                acc[j] += acc2[j];
-            }
-            if ACC {
-                for (o, a) in orow.iter_mut().zip(&acc) {
-                    *o += a;
-                }
-            } else {
-                orow.copy_from_slice(&acc);
-            }
-        }
-    }
-
-    /// Generic-width row kernel: walks the row's nonzeros once per 64-lane
-    /// column block with a stack accumulator, preserving ascending entry
-    /// order per output element.
-    fn spmm_span_generic<const ACC: bool>(
-        &self,
-        vals: &[f32],
-        dense: &[f32],
-        d: usize,
-        row0: usize,
-        rows: &mut [f32],
-    ) {
-        if d == 0 {
-            return;
-        }
-        for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
-            let r = row0 + i;
-            let (s, e) = (self.indptr[r], self.indptr[r + 1]);
-            let mut j0 = 0usize;
-            while j0 < d {
-                let w = (d - j0).min(64);
-                let mut acc = [0f32; 64];
-                for (c, &v) in self.indices[s..e].iter().zip(&vals[s..e]) {
-                    let drow = &dense[*c as usize * d + j0..*c as usize * d + j0 + w];
-                    for (a, x) in acc[..w].iter_mut().zip(drow) {
-                        *a += v * x;
-                    }
-                }
-                if ACC {
-                    for (o, a) in orow[j0..j0 + w].iter_mut().zip(&acc[..w]) {
-                        *o += a;
-                    }
-                } else {
-                    orow[j0..j0 + w].copy_from_slice(&acc[..w]);
-                }
-                j0 += w;
-            }
-        }
     }
 
     /// Sparse × dense product returning a fresh buffer.
@@ -552,41 +433,217 @@ impl Csr {
     }
 }
 
-impl TransposePlan {
-    /// Width-specialized `dh` row kernel (see
-    /// [`Csr::spmm_ew_dh_acc_into`]).
-    fn dh_span<const D: usize>(&self, w: &[f32], dy: &[f32], row0: usize, rows: &mut [f32]) {
-        for (i, orow) in rows.chunks_exact_mut(D).enumerate() {
-            let c = row0 + i;
-            let (s, e) = (self.indptr[c], self.indptr[c + 1]);
-            let mut acc = [0f32; D];
-            for (sr, en) in self.src_row[s..e].iter().zip(&self.entry[s..e]) {
-                let wgt = w[*en as usize];
-                let grow = &dy[*sr as usize * D..*sr as usize * D + D];
-                for j in 0..D {
-                    acc[j] += wgt * grow[j];
-                }
+simd_dispatch! {
+    /// Span kernel of sparse × dense, reading entry values from `vals`
+    /// (either the CSR's own data or an external per-entry weight vector).
+    /// `acc` selects accumulate-into vs overwrite semantics at the final
+    /// write-out only; the reduction itself is unaffected.
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_span(indptr: &[usize], indices: &[u32], vals: &[f32], dense: &[f32], d: usize, acc: bool, row0: usize, rows: &mut [f32]) {
+        match d {
+            8 => spmm_span_lanes::<1>(indptr, indices, vals, dense, acc, row0, rows),
+            16 => spmm_span_lanes::<2>(indptr, indices, vals, dense, acc, row0, rows),
+            32 => spmm_span_lanes::<4>(indptr, indices, vals, dense, acc, row0, rows),
+            64 => spmm_span_lanes::<8>(indptr, indices, vals, dense, acc, row0, rows),
+            _ => spmm_span_generic(indptr, indices, vals, dense, d, acc, row0, rows),
+        }
+    }
+}
+
+/// Width-specialized SpMM row kernel over `NL` 8-wide lanes: the output row
+/// lives in two `[F32x8; NL]` accumulator files (even/odd entries) across
+/// all nonzeros, merged even-file + odd-file at the end. That is exactly
+/// the scalar even/odd semantics the kernel has always had, so per output
+/// element the value is a fixed function of the row — thread-invariant and
+/// identical between the lane and scalar builds.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn spmm_span_lanes<const NL: usize>(
+    indptr: &[usize],
+    indices: &[u32],
+    vals: &[f32],
+    dense: &[f32],
+    accumulate: bool,
+    row0: usize,
+    rows: &mut [f32],
+) {
+    let m = NL * 8;
+    for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+        let r = row0 + i;
+        let (s, e) = (indptr[r], indptr[r + 1]);
+        let mut acc = [F32x8::zero(); NL];
+        let mut acc2 = [F32x8::zero(); NL];
+        let (cols, vs) = (&indices[s..e], &vals[s..e]);
+        let mut t = 0usize;
+        // Safety (all gathers): every stored column index is < n_cols
+        // (structural invariant enforced by `from_coo`) and the public
+        // entry points assert `dense.len() == n_cols * d`.
+        while t + 2 <= cols.len() {
+            let (c0, c1) = (cols[t] as usize, cols[t + 1] as usize);
+            let (v0, v1) = (F32x8::splat(vs[t]), F32x8::splat(vs[t + 1]));
+            let d0 = unsafe { dense.get_unchecked(c0 * m..c0 * m + m) };
+            let d1 = unsafe { dense.get_unchecked(c1 * m..c1 * m + m) };
+            for l in 0..NL {
+                acc[l] = acc[l].mul_acc(v0, F32x8::load(&d0[l * 8..]));
+                acc2[l] = acc2[l].mul_acc(v1, F32x8::load(&d1[l * 8..]));
             }
-            for (o, a) in orow.iter_mut().zip(&acc) {
-                *o += a;
+            t += 2;
+        }
+        if t < cols.len() {
+            let c0 = cols[t] as usize;
+            let v0 = F32x8::splat(vs[t]);
+            let d0 = unsafe { dense.get_unchecked(c0 * m..c0 * m + m) };
+            for l in 0..NL {
+                acc[l] = acc[l].mul_acc(v0, F32x8::load(&d0[l * 8..]));
+            }
+        }
+        for (l, a) in acc.iter().enumerate() {
+            let merged = a.add(acc2[l]);
+            if accumulate {
+                F32x8::load(&orow[l * 8..])
+                    .add(merged)
+                    .store(&mut orow[l * 8..]);
+            } else {
+                merged.store(&mut orow[l * 8..]);
             }
         }
     }
+}
 
-    /// Generic-width `dh` row kernel.
-    fn dh_span_generic(&self, w: &[f32], dy: &[f32], d: usize, row0: usize, rows: &mut [f32]) {
-        if d == 0 {
-            return;
-        }
-        for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
-            let c = row0 + i;
-            let (s, e) = (self.indptr[c], self.indptr[c + 1]);
-            for (sr, en) in self.src_row[s..e].iter().zip(&self.entry[s..e]) {
-                let wgt = w[*en as usize];
-                let grow = &dy[*sr as usize * d..*sr as usize * d + d];
-                for (o, x) in orow.iter_mut().zip(grow) {
-                    *o += wgt * x;
+/// Generic-width SpMM row kernel: walks the row's nonzeros once per 64-lane
+/// column block with a stack accumulator, preserving ascending entry order
+/// per output element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn spmm_span_generic(
+    indptr: &[usize],
+    indices: &[u32],
+    vals: &[f32],
+    dense: &[f32],
+    d: usize,
+    accumulate: bool,
+    row0: usize,
+    rows: &mut [f32],
+) {
+    if d == 0 {
+        return;
+    }
+    for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
+        let r = row0 + i;
+        let (s, e) = (indptr[r], indptr[r + 1]);
+        let mut j0 = 0usize;
+        while j0 < d {
+            let w = (d - j0).min(64);
+            let mut acc = [0f32; 64];
+            for (c, &v) in indices[s..e].iter().zip(&vals[s..e]) {
+                let drow = &dense[*c as usize * d + j0..*c as usize * d + j0 + w];
+                for (a, x) in acc[..w].iter_mut().zip(drow) {
+                    *a += v * x;
                 }
+            }
+            if accumulate {
+                for (o, a) in orow[j0..j0 + w].iter_mut().zip(&acc[..w]) {
+                    *o += a;
+                }
+            } else {
+                orow[j0..j0 + w].copy_from_slice(&acc[..w]);
+            }
+            j0 += w;
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Span kernel of the `spmm_ew` weight gradient: one [`dot8`] per
+    /// stored entry of the rows in `rr_start..rr_end`, written to the
+    /// chunk's disjoint `dw` span.
+    #[allow(clippy::too_many_arguments)]
+    fn spmm_dw_span(indptr: &[usize], indices: &[u32], h: &[f32], dy: &[f32], d: usize, rr_start: usize, rr_end: usize, dws: &mut [f32]) {
+        let mut k = 0usize;
+        for r in rr_start..rr_end {
+            let cols = &indices[indptr[r]..indptr[r + 1]];
+            let grow = &dy[r * d..r * d + d];
+            for &c in cols {
+                let hrow = &h[c as usize * d..c as usize * d + d];
+                dws[k] = dot8(grow, hrow);
+                k += 1;
+            }
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Span kernel of the `spmm_ew` dense gradient over the transposed
+    /// traversal plan (see [`Csr::spmm_ew_dh_acc_into`]).
+    #[allow(clippy::too_many_arguments)]
+    fn dh_span(indptr: &[usize], src_row: &[u32], entry: &[u32], w: &[f32], dy: &[f32], d: usize, row0: usize, rows: &mut [f32]) {
+        match d {
+            8 => dh_span_lanes::<1>(indptr, src_row, entry, w, dy, row0, rows),
+            16 => dh_span_lanes::<2>(indptr, src_row, entry, w, dy, row0, rows),
+            32 => dh_span_lanes::<4>(indptr, src_row, entry, w, dy, row0, rows),
+            64 => dh_span_lanes::<8>(indptr, src_row, entry, w, dy, row0, rows),
+            _ => dh_span_generic(indptr, src_row, entry, w, dy, d, row0, rows),
+        }
+    }
+}
+
+/// Width-specialized `dh` row kernel over `NL` 8-wide lanes: one
+/// accumulator file per row, ascending plan-entry order (unchanged from the
+/// scalar kernel), added into the output once at row end.
+#[inline(always)]
+fn dh_span_lanes<const NL: usize>(
+    indptr: &[usize],
+    src_row: &[u32],
+    entry: &[u32],
+    w: &[f32],
+    dy: &[f32],
+    row0: usize,
+    rows: &mut [f32],
+) {
+    let m = NL * 8;
+    for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+        let c = row0 + i;
+        let (s, e) = (indptr[c], indptr[c + 1]);
+        let mut acc = [F32x8::zero(); NL];
+        for (sr, en) in src_row[s..e].iter().zip(&entry[s..e]) {
+            let wgt = F32x8::splat(w[*en as usize]);
+            let grow = &dy[*sr as usize * m..*sr as usize * m + m];
+            for (l, lane) in acc.iter_mut().enumerate() {
+                *lane = lane.mul_acc(wgt, F32x8::load(&grow[l * 8..]));
+            }
+        }
+        for (l, a) in acc.iter().enumerate() {
+            F32x8::load(&orow[l * 8..])
+                .add(*a)
+                .store(&mut orow[l * 8..]);
+        }
+    }
+}
+
+/// Generic-width `dh` row kernel.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dh_span_generic(
+    indptr: &[usize],
+    src_row: &[u32],
+    entry: &[u32],
+    w: &[f32],
+    dy: &[f32],
+    d: usize,
+    row0: usize,
+    rows: &mut [f32],
+) {
+    if d == 0 {
+        return;
+    }
+    for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
+        let c = row0 + i;
+        let (s, e) = (indptr[c], indptr[c + 1]);
+        for (sr, en) in src_row[s..e].iter().zip(&entry[s..e]) {
+            let wgt = w[*en as usize];
+            let grow = &dy[*sr as usize * d..*sr as usize * d + d];
+            for (o, x) in orow.iter_mut().zip(grow) {
+                *o += wgt * x;
             }
         }
     }

@@ -33,9 +33,16 @@ pub mod init;
 pub mod mat;
 pub mod ops;
 pub mod optim;
+mod pool;
 pub mod tape;
 
 pub use mat::Mat;
 pub use ops::{sigmoid, softplus, PairGatherPlan, SpPair};
 pub use optim::{Optimizer, ParamId, ParamStore};
 pub use tape::{Graph, NodeId};
+
+/// The 8-lane SIMD layer the kernel crates build on (`F32x8`, `dot8`, the
+/// `GRAPHAUG_SIMD` dispatch switches). Lives in `graphaug-par` so the sparse
+/// kernels can share it; re-exported here as the public surface.
+pub use graphaug_par::simd;
+pub use graphaug_par::{dot8, set_simd_enabled, simd_available, simd_enabled, F32x8};

@@ -9,35 +9,63 @@
 //! split into fixed chunks (a function of the shape only, never the thread
 //! count) and each chunk is computed by one worker into its disjoint output
 //! slice, with the k-reduction order fixed inside the kernel — so results
-//! are bit-identical under any `GRAPHAUG_THREADS`. Inner loops process four
-//! k-steps per pass over the output row, quartering the store traffic of a
-//! naive ikj loop.
+//! are bit-identical under any `GRAPHAUG_THREADS`. Each span kernel is
+//! compiled twice from one fixed-order body — an AVX2 lane build and a
+//! scalar fallback — and dispatched at runtime (`graphaug_par::simd`);
+//! because the lane ops are explicit [`F32x8`] arithmetic with fixed
+//! reduction trees and no FMA, the two builds are bit-identical too.
+//! `matmul` (widths > 1) and `matmul_tn` keep the pre-lane ascending-k
+//! per-element order; `matmul_nt` and the width-1 `matmul` column reduce
+//! through [`graphaug_par::dot8`]'s fixed lane tree.
+
+use graphaug_par::{dot8, simd_dispatch, F32x8};
 
 /// A dense `rows × cols` matrix stored in row-major order.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Backing buffers of tape-sized matrices are recycled through a bounded
+/// thread-local pool ([`crate::pool`]): dropping a `Mat` offers its buffer
+/// back, and every constructor takes (and fully initializes) a pooled buffer
+/// before allocating fresh memory.
+#[derive(Debug, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
 
+impl Clone for Mat {
+    fn clone(&self) -> Self {
+        let mut data = crate::pool::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Drop for Mat {
+    fn drop(&mut self) {
+        crate::pool::put(std::mem::take(&mut self.data));
+    }
+}
+
 impl Mat {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        let n = rows * cols;
+        let mut data = crate::pool::take(n);
+        data.resize(n, 0.0);
+        Mat { rows, cols, data }
     }
 
     /// All-`v` matrix.
     pub fn filled(rows: usize, cols: usize, v: f32) -> Self {
-        Mat {
-            rows,
-            cols,
-            data: vec![v; rows * cols],
-        }
+        let n = rows * cols;
+        let mut data = crate::pool::take(n);
+        data.resize(n, v);
+        Mat { rows, cols, data }
     }
 
     /// Wraps an existing row-major buffer.
@@ -48,7 +76,7 @@ impl Mat {
 
     /// Builds a matrix element-wise from a function of `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = crate::pool::take(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -98,8 +126,8 @@ impl Mat {
     }
 
     /// Consumes the matrix, returning the backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element accessor.
@@ -134,25 +162,24 @@ impl Mat {
 
     /// Element-wise map into a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
+        let mut data = crate::pool::take(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
     /// Element-wise combination of two equal-shaped matrices.
     pub fn zip_map(&self, other: &Mat, f: impl Fn(f32, f32) -> f32) -> Mat {
         assert_eq!(self.shape(), other.shape(), "zip_map shape mismatch");
+        let mut data = crate::pool::take(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -174,49 +201,27 @@ impl Mat {
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
         let (n, k, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0f32; n * m];
+        let mut out = Mat::zeros(n, m);
         if m > 0 {
-            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
-                for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
-                    let arow = self.row(row0 + i);
-                    match m {
-                        8 => matmul_row_regs::<8>(arow, &other.data, k, orow),
-                        16 => matmul_row_regs::<16>(arow, &other.data, k, orow),
-                        32 => matmul_row_regs::<32>(arow, &other.data, k, orow),
-                        64 => matmul_row_regs::<64>(arow, &other.data, k, orow),
-                        _ => matmul_row_axpy4(arow, &other.data, k, m, orow),
-                    }
-                }
+            graphaug_par::parallel_rows(out.as_mut_slice(), m, |row0, rows| {
+                matmul_span(&self.data, &other.data, k, m, row0, rows);
             });
         }
-        Mat {
-            rows: n,
-            cols: m,
-            data: out,
-        }
+        out
     }
 
     /// `self × otherᵀ` — rows of both operands are contiguous, so this is a
     /// row-dot-row kernel, parallel over fixed chunks of output rows.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt inner dimension mismatch");
-        let (n, m) = (self.rows, other.rows);
-        let mut out = vec![0f32; n * m];
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Mat::zeros(n, m);
         if m > 0 {
-            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
-                for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
-                    let arow = self.row(row0 + i);
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = dot4(arow, other.row(j));
-                    }
-                }
+            graphaug_par::parallel_rows(out.as_mut_slice(), m, |row0, rows| {
+                matmul_nt_span(&self.data, &other.data, k, m, row0, rows);
             });
         }
-        Mat {
-            rows: n,
-            cols: m,
-            data: out,
-        }
+        out
     }
 
     /// `selfᵀ × other` without materializing the transpose, parallel over
@@ -226,51 +231,13 @@ impl Mat {
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "matmul_tn inner dimension mismatch");
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0f32; n * m];
+        let mut out = Mat::zeros(n, m);
         if m > 0 {
-            graphaug_par::parallel_rows(&mut out, m, |row0, rows| {
-                // kk-outer outer-product accumulation over this chunk's
-                // column span of self: both operand reads are contiguous and
-                // the chunk's output block stays cache-resident. Per output
-                // element the reduction is ascending-k regardless of how the
-                // spans were chunked.
-                let span = rows.len() / m;
-                let mut kk = 0usize;
-                while kk + 4 <= k {
-                    let a0 = &self.data[kk * n + row0..kk * n + row0 + span];
-                    let a1 = &self.data[(kk + 1) * n + row0..(kk + 1) * n + row0 + span];
-                    let a2 = &self.data[(kk + 2) * n + row0..(kk + 2) * n + row0 + span];
-                    let a3 = &self.data[(kk + 3) * n + row0..(kk + 3) * n + row0 + span];
-                    let b0 = &other.data[kk * m..kk * m + m];
-                    let b1 = &other.data[(kk + 1) * m..(kk + 1) * m + m];
-                    let b2 = &other.data[(kk + 2) * m..(kk + 2) * m + m];
-                    let b3 = &other.data[(kk + 3) * m..(kk + 3) * m + m];
-                    for (ii, orow) in rows.chunks_exact_mut(m).enumerate() {
-                        let (x0, x1, x2, x3) = (a0[ii], a1[ii], a2[ii], a3[ii]);
-                        for j in 0..m {
-                            orow[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
-                        }
-                    }
-                    kk += 4;
-                }
-                while kk < k {
-                    let a = &self.data[kk * n + row0..kk * n + row0 + span];
-                    let brow = &other.data[kk * m..kk * m + m];
-                    for (ii, orow) in rows.chunks_exact_mut(m).enumerate() {
-                        let x = a[ii];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += x * b;
-                        }
-                    }
-                    kk += 1;
-                }
+            graphaug_par::parallel_rows(out.as_mut_slice(), m, |row0, rows| {
+                matmul_tn_span(&self.data, &other.data, k, n, m, row0, rows);
             });
         }
-        Mat {
-            rows: n,
-            cols: m,
-            data: out,
-        }
+        out
     }
 
     /// Transposed copy.
@@ -300,26 +267,198 @@ impl Mat {
     }
 }
 
-/// One output row of `A × B` for a width known at compile time: the output
-/// row lives in a `[f32; M]` register file across the whole k-loop, so B
-/// streams through once with no intermediate stores. Ascending-k summation
-/// order, same as the generic path.
-#[inline]
-fn matmul_row_regs<const M: usize>(arow: &[f32], b: &[f32], k: usize, orow: &mut [f32]) {
-    let mut acc = [0f32; M];
-    for (kk, &a) in arow.iter().enumerate().take(k) {
-        let brow = &b[kk * M..kk * M + M];
-        for j in 0..M {
-            acc[j] += a * brow[j];
+simd_dispatch! {
+    /// Span kernel of `A × B`: rows `row0..` of the output, each computed by
+    /// a width-specialized lane kernel (8/16/32/64 columns — the embedding
+    /// widths the workspace uses) or the 4-step axpy fallback. Per output
+    /// element the summation order is ascending k in every variant except
+    /// `m == 1` (which reduces through `dot8`'s fixed lane tree); each
+    /// width's order is still fixed, so results are bit-identical across
+    /// thread counts and the lane/scalar builds.
+    fn matmul_span(a: &[f32], b: &[f32], k: usize, m: usize, row0: usize, rows: &mut [f32]) {
+        for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+            let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+            match m {
+                // m == 1: `b` is one contiguous column, so the row is a
+                // plain dot product. Reduced through `dot8`'s lane tree —
+                // the one matmul width whose summation order is *not*
+                // ascending-k (a serial chain would cost k add-latencies
+                // per row; the MLP output layer hits this shape hard).
+                1 => orow[0] = dot8(arow, b),
+                8 => matmul_row_lanes::<1, 4>(arow, b, k, orow),
+                16 => matmul_row_lanes::<2, 4>(arow, b, k, orow),
+                32 => matmul_row_lanes::<4, 2>(arow, b, k, orow),
+                64 => matmul_row_lanes::<8, 1>(arow, b, k, orow),
+                _ => matmul_row_axpy4(arow, b, k, m, orow),
+            }
         }
     }
-    orow.copy_from_slice(&acc);
+}
+
+simd_dispatch! {
+    /// Span kernel of `A × Bᵀ`: every output element is a row-dot-row
+    /// reduced through [`dot8`]'s fixed lane tree.
+    fn matmul_nt_span(a: &[f32], b: &[f32], k: usize, m: usize, row0: usize, rows: &mut [f32]) {
+        for (i, orow) in rows.chunks_exact_mut(m).enumerate() {
+            let arow = &a[(row0 + i) * k..(row0 + i) * k + k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot8(arow, &b[j * k..j * k + k]);
+            }
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Span kernel of `Aᵀ × B`. `matmul_tn`'s workloads are tall-`k` with
+    /// tiny outputs (weight gradients), so the kernel blocks the reduction
+    /// dimension: for each kk-block, row groups of the output accumulate in
+    /// registers across the whole block (see [`matmul_tn_rows_lanes`]) and
+    /// flush to memory once, keeping both operand streams cache-resident and
+    /// the output traffic negligible. Per output element the reduction is
+    /// pure ascending-k for every width path, thread count, and the
+    /// lane/scalar builds.
+    fn matmul_tn_span(a: &[f32], b: &[f32], k: usize, n: usize, m: usize, row0: usize, rows: &mut [f32]) {
+        let span = rows.len() / m;
+        // 256 k-steps × span columns of `A` stay L1/L2-resident across the
+        // row-group passes of one block.
+        let mut kkb = 0usize;
+        while kkb < k {
+            let kb = (k - kkb).min(256);
+            let mut i0 = 0usize;
+            match m {
+                8 => {
+                    while i0 + 8 <= span {
+                        matmul_tn_rows_lanes::<1, 8>(a, b, n, row0 + i0, kkb, kb, rows, i0);
+                        i0 += 8;
+                    }
+                }
+                16 => {
+                    while i0 + 4 <= span {
+                        matmul_tn_rows_lanes::<2, 4>(a, b, n, row0 + i0, kkb, kb, rows, i0);
+                        i0 += 4;
+                    }
+                }
+                32 => {
+                    while i0 + 2 <= span {
+                        matmul_tn_rows_lanes::<4, 2>(a, b, n, row0 + i0, kkb, kb, rows, i0);
+                        i0 += 2;
+                    }
+                }
+                64 => {
+                    while i0 < span {
+                        matmul_tn_rows_lanes::<8, 1>(a, b, n, row0 + i0, kkb, kb, rows, i0);
+                        i0 += 1;
+                    }
+                }
+                _ => {}
+            }
+            // Leftover rows of a lane width, and every row of a generic
+            // width: one row at a time, scalar, same ascending-k order.
+            for ii in i0..span {
+                let orow = &mut rows[ii * m..ii * m + m];
+                for kk in kkb..kkb + kb {
+                    let x = a[kk * n + row0 + ii];
+                    let brow = &b[kk * m..kk * m + m];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += x * bv;
+                    }
+                }
+            }
+            kkb += kb;
+        }
+    }
+}
+
+/// One kk-block of `Aᵀ × B` for `RB` output rows of `NL` 8-wide lanes:
+/// the `RB × NL` accumulator file lives in registers for the whole block
+/// (`RB·NL ≤ 8` by construction), each k-step broadcasting `RB` elements of
+/// the `A` column span against one contiguous `B` row, and the file is
+/// added into the output once at block end. Accumulation per element is a
+/// single chain in ascending k, so the overall order is plain sequential-k.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn matmul_tn_rows_lanes<const NL: usize, const RB: usize>(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    col0: usize,
+    kk0: usize,
+    kb: usize,
+    rows: &mut [f32],
+    i0: usize,
+) {
+    let m = NL * 8;
+    let mut accs = [[F32x8::zero(); NL]; RB];
+    for kk in kk0..kk0 + kb {
+        let arow = &a[kk * n + col0..kk * n + col0 + RB];
+        let brow = &b[kk * m..kk * m + m];
+        for (r, acc) in accs.iter_mut().enumerate() {
+            let x = F32x8::splat(arow[r]);
+            for (l, lane) in acc.iter_mut().enumerate() {
+                *lane = lane.mul_acc(x, F32x8::load(&brow[l * 8..]));
+            }
+        }
+    }
+    for (r, acc) in accs.iter().enumerate() {
+        let orow = &mut rows[(i0 + r) * m..(i0 + r) * m + m];
+        for (l, lane) in acc.iter().enumerate() {
+            F32x8::load(&orow[l * 8..])
+                .add(*lane)
+                .store(&mut orow[l * 8..]);
+        }
+    }
+}
+
+/// One output row of `A × B` for a width of `NL` 8-wide lanes known at
+/// compile time: the output row lives in `U` `[F32x8; NL]` accumulator
+/// files across the whole k-loop (so B streams through once with no
+/// intermediate stores), with file `u` taking the k-steps `≡ u (mod U)`,
+/// remainder steps folded into file 0, and the files merged in ascending
+/// file order. `U` is picked per width so `NL·U ≤ 8` accumulator registers
+/// break the addition latency chain without spilling. The reduction order
+/// is a fixed function of `(k, U)` — identical across thread counts and
+/// between the lane and scalar builds.
+#[inline(always)]
+fn matmul_row_lanes<const NL: usize, const U: usize>(
+    arow: &[f32],
+    b: &[f32],
+    k: usize,
+    orow: &mut [f32],
+) {
+    let m = NL * 8;
+    let mut files = [[F32x8::zero(); NL]; U];
+    let mut kk = 0usize;
+    while kk + U <= k {
+        for (u, file) in files.iter_mut().enumerate() {
+            let av = F32x8::splat(arow[kk + u]);
+            let brow = &b[(kk + u) * m..(kk + u) * m + m];
+            for (l, lane) in file.iter_mut().enumerate() {
+                *lane = lane.mul_acc(av, F32x8::load(&brow[l * 8..]));
+            }
+        }
+        kk += U;
+    }
+    while kk < k {
+        let av = F32x8::splat(arow[kk]);
+        let brow = &b[kk * m..kk * m + m];
+        for (l, lane) in files[0].iter_mut().enumerate() {
+            *lane = lane.mul_acc(av, F32x8::load(&brow[l * 8..]));
+        }
+        kk += 1;
+    }
+    for l in 0..NL {
+        let mut acc = files[0][l];
+        for file in files.iter().skip(1) {
+            acc = acc.add(file[l]);
+        }
+        acc.store(&mut orow[l * 8..]);
+    }
 }
 
 /// One output row of `A × B`: `orow = arow × B`, folding four k-steps into
-/// each pass over `orow`. The summation order for every output element is
-/// ascending k regardless of how rows were chunked across threads.
-#[inline]
+/// each pass over `orow` in 8-wide lanes. The summation order for every
+/// output element is ascending k regardless of how rows were chunked.
+#[inline(always)]
 fn matmul_row_axpy4(arow: &[f32], b: &[f32], k: usize, m: usize, orow: &mut [f32]) {
     let mut kk = 0usize;
     while kk + 4 <= k {
@@ -328,8 +467,25 @@ fn matmul_row_axpy4(arow: &[f32], b: &[f32], k: usize, m: usize, orow: &mut [f32
         let b1 = &b[(kk + 1) * m..(kk + 1) * m + m];
         let b2 = &b[(kk + 2) * m..(kk + 2) * m + m];
         let b3 = &b[(kk + 3) * m..(kk + 3) * m + m];
-        for j in 0..m {
+        let (v0, v1, v2, v3) = (
+            F32x8::splat(a0),
+            F32x8::splat(a1),
+            F32x8::splat(a2),
+            F32x8::splat(a3),
+        );
+        let mut j = 0usize;
+        while j + 8 <= m {
+            let t = v0
+                .mul(F32x8::load(&b0[j..]))
+                .add(v1.mul(F32x8::load(&b1[j..])))
+                .add(v2.mul(F32x8::load(&b2[j..])))
+                .add(v3.mul(F32x8::load(&b3[j..])));
+            F32x8::load(&orow[j..]).add(t).store(&mut orow[j..]);
+            j += 8;
+        }
+        while j < m {
             orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+            j += 1;
         }
         kk += 4;
     }
@@ -341,28 +497,6 @@ fn matmul_row_axpy4(arow: &[f32], b: &[f32], k: usize, m: usize, orow: &mut [f32
         }
         kk += 1;
     }
-}
-
-/// Dot product with four independent accumulators combined in a fixed order.
-#[inline]
-fn dot4(a: &[f32], b: &[f32]) -> f32 {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0f32; 4];
-    let mut i = 0usize;
-    while i + 4 <= n {
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
-        i += 4;
-    }
-    let mut tail = 0f32;
-    while i < n {
-        tail += a[i] * b[i];
-        i += 1;
-    }
-    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 #[cfg(test)]

@@ -1,11 +1,12 @@
 //! Operation records for the reverse-mode tape.
 //!
 //! Every [`Op`] stores the ids of its operands plus whatever auxiliary data
-//! the backward pass needs (sparse operands are shared via `Rc` so rebuilding
+//! the backward pass needs (sparse operands are shared via `Arc` so rebuilding
 //! the tape each step never copies the graph structure).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
+use graphaug_par::{simd_dispatch, F32x8};
 use graphaug_sparse::Csr;
 
 use crate::mat::Mat;
@@ -17,23 +18,23 @@ use crate::tape::NodeId;
 #[derive(Clone)]
 pub struct SpPair {
     /// The forward operand.
-    pub m: Rc<Csr>,
+    pub m: Arc<Csr>,
     /// Its transpose (possibly the same allocation when symmetric).
-    pub mt: Rc<Csr>,
+    pub mt: Arc<Csr>,
 }
 
 impl SpPair {
     /// Builds a pair, computing the transpose once.
     pub fn new(m: Csr) -> Self {
-        let mt = Rc::new(m.transpose());
-        SpPair { m: Rc::new(m), mt }
+        let mt = Arc::new(m.transpose());
+        SpPair { m: Arc::new(m), mt }
     }
 
     /// Wraps a symmetric matrix without computing a transpose.
     pub fn symmetric(m: Csr) -> Self {
-        let m = Rc::new(m);
+        let m = Arc::new(m);
         SpPair {
-            mt: Rc::clone(&m),
+            mt: Arc::clone(&m),
             m,
         }
     }
@@ -112,13 +113,7 @@ impl PairGatherPlan {
             return;
         }
         graphaug_par::parallel_rows(out, 2 * d, |row0, rows| {
-            for (i, orow) in rows.chunks_exact_mut(2 * d).enumerate() {
-                let e = row0 + i;
-                let l = self.fwd[2 * e] as usize;
-                let r = self.fwd[2 * e + 1] as usize;
-                orow[..d].copy_from_slice(&src[l * d..l * d + d]);
-                orow[d..].copy_from_slice(&src[r * d..r * d + d]);
-            }
+            gather_pair_span(&self.fwd, src, d, row0, rows);
         });
     }
 
@@ -132,16 +127,79 @@ impl PairGatherPlan {
             return;
         }
         graphaug_par::parallel_rows(dsrc, d, |row0, rows| {
+            scatter_pair_span(&self.inv_ptr, &self.inv_pos, dy, d, row0, rows);
+        });
+    }
+}
+
+simd_dispatch! {
+    /// Span kernel of [`PairGatherPlan::gather_into`]. Lane-width row copies
+    /// when `d` is a multiple of 8 sidestep the per-row dynamic-size
+    /// `memcpy` dispatch, which dominates at the 128-byte rows of the edge
+    /// scorer. Copies are exact, so lane and scalar paths are bit-identical.
+    fn gather_pair_span(fwd: &[u32], src: &[f32], d: usize, row0: usize, rows: &mut [f32]) {
+        let w = 2 * d;
+        if d.is_multiple_of(graphaug_par::simd::LANES) {
+            let nl = d / graphaug_par::simd::LANES;
+            for (i, orow) in rows.chunks_exact_mut(w).enumerate() {
+                let e = row0 + i;
+                let l = fwd[2 * e] as usize * d;
+                let r = fwd[2 * e + 1] as usize * d;
+                let (lo, hi) = orow.split_at_mut(d);
+                for b in 0..nl {
+                    F32x8::load(&src[l + b * 8..]).store(&mut lo[b * 8..]);
+                    F32x8::load(&src[r + b * 8..]).store(&mut hi[b * 8..]);
+                }
+            }
+        } else {
+            for (i, orow) in rows.chunks_exact_mut(w).enumerate() {
+                let e = row0 + i;
+                let l = fwd[2 * e] as usize;
+                let r = fwd[2 * e + 1] as usize;
+                orow[..d].copy_from_slice(&src[l * d..l * d + d]);
+                orow[d..].copy_from_slice(&src[r * d..r * d + d]);
+            }
+        }
+    }
+}
+
+simd_dispatch! {
+    /// Span kernel of [`PairGatherPlan::scatter_acc_into`]. Additions run in
+    /// the same per-row ascending slot order as the scalar loop (lane blocks
+    /// only split the row *across* elements, never the per-element sum), so
+    /// lane and scalar paths are bit-identical.
+    fn scatter_pair_span(
+        inv_ptr: &[usize],
+        inv_pos: &[u32],
+        dy: &[f32],
+        d: usize,
+        row0: usize,
+        rows: &mut [f32],
+    ) {
+        if d.is_multiple_of(graphaug_par::simd::LANES) {
+            let nl = d / graphaug_par::simd::LANES;
             for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
                 let s = row0 + i;
-                for &pos in &self.inv_pos[self.inv_ptr[s]..self.inv_ptr[s + 1]] {
+                for &pos in &inv_pos[inv_ptr[s]..inv_ptr[s + 1]] {
+                    let grow = &dy[pos as usize * d..pos as usize * d + d];
+                    for b in 0..nl {
+                        F32x8::load(&orow[b * 8..])
+                            .add(F32x8::load(&grow[b * 8..]))
+                            .store(&mut orow[b * 8..]);
+                    }
+                }
+            }
+        } else {
+            for (i, orow) in rows.chunks_exact_mut(d).enumerate() {
+                let s = row0 + i;
+                for &pos in &inv_pos[inv_ptr[s]..inv_ptr[s + 1]] {
                     let grow = &dy[pos as usize * d..pos as usize * d + d];
                     for (o, &x) in orow.iter_mut().zip(grow) {
                         *o += x;
                     }
                 }
             }
-        });
+        }
     }
 }
 
@@ -160,9 +218,9 @@ pub enum Op {
     /// `y = a + c`
     AddScalar(NodeId, f32),
     /// `y = a ⊙ k` for a constant matrix `k` (masks, noise)
-    MulConst(NodeId, Rc<Mat>),
+    MulConst(NodeId, Arc<Mat>),
     /// `y = a + k` for a constant matrix `k`
-    AddConst(NodeId, Rc<Mat>),
+    AddConst(NodeId, Arc<Mat>),
     /// `y = a × b`
     MatMul(NodeId, NodeId),
     /// `y = a × bᵀ`
@@ -174,17 +232,17 @@ pub enum Op {
     /// `y = csr(pattern, w) × h` — edge-weighted SpMM, differentiable in both
     /// the `nnz × 1` weight node `w` and the dense node `h`
     SpmmEw {
-        pattern: Rc<Csr>,
+        pattern: Arc<Csr>,
         w: NodeId,
         h: NodeId,
     },
     /// `y[i] = src[idx[i]]`
-    GatherRows { src: NodeId, idx: Rc<Vec<u32>> },
+    GatherRows { src: NodeId, idx: Arc<Vec<u32>> },
     /// `y[e] = [src[left[e]] | src[right[e]]]` via a precomputed
     /// [`PairGatherPlan`] — the fused endpoint-feature op of the edge scorer
     GatherConcatPair {
         src: NodeId,
-        plan: Rc<PairGatherPlan>,
+        plan: Arc<PairGatherPlan>,
     },
     /// `y = [a | b]` column-wise
     ConcatCols(NodeId, NodeId),
@@ -296,7 +354,7 @@ mod tests {
     fn sp_pair_symmetric_shares_allocation() {
         let c = Csr::identity(3);
         let p = SpPair::symmetric(c);
-        assert!(Rc::ptr_eq(&p.m, &p.mt));
+        assert!(Arc::ptr_eq(&p.m, &p.mt));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Thread-local recycling of large [`Mat`](crate::Mat) buffers.
+//!
+//! Tape workloads allocate the same handful of large buffers every training
+//! step (edge features, activations, gradients) and free them all when the
+//! tape is dropped. Multi-megabyte blocks round-tripped through the global
+//! allocator are typically returned to the OS, so every step pays first-touch
+//! page faults that on small machines cost several times the arithmetic on
+//! the buffer. A bounded per-thread free list keeps the hottest buffers warm
+//! instead.
+//!
+//! Correctness notes:
+//! - Recycled buffers are handed out *cleared* (`len == 0`); every `Mat`
+//!   constructor then writes all `rows × cols` elements (zero-fill, clone
+//!   copy, or element-wise fill) before the buffer is readable, so stale
+//!   contents can never leak into results.
+//! - The pool is `thread_local`, so no locking and no cross-thread traffic.
+//!   Worker threads of the parallel runtime are scoped per call; anything
+//!   they pool dies with them, which is harmless.
+//! - Determinism is unaffected: pooling only changes *where* a buffer's
+//!   pages live, never the values written to them.
+
+use std::cell::RefCell;
+
+/// Buffers below this element count are cheap to allocate fresh; pooling
+/// them would just churn the free list.
+const MIN_ELEMS: usize = 4096;
+/// At most this many buffers are cached per thread.
+const MAX_BUFS: usize = 32;
+/// Total cached capacity per thread is bounded to 16 Mi elements (64 MiB).
+const MAX_TOTAL_ELEMS: usize = 16 << 20;
+
+struct Pool {
+    bufs: Vec<Vec<f32>>,
+    total: usize,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = const {
+        RefCell::new(Pool {
+            bufs: Vec::new(),
+            total: 0,
+        })
+    };
+}
+
+/// Returns a cleared buffer with `capacity >= n` — the smallest adequate
+/// cached one, or a fresh allocation when none fits.
+pub(crate) fn take(n: usize) -> Vec<f32> {
+    if n < MIN_ELEMS {
+        return Vec::with_capacity(n);
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let mut best: Option<(usize, usize)> = None; // (slot, capacity)
+        for (i, b) in p.bufs.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= n && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, cap)) => {
+                let mut b = p.bufs.swap_remove(i);
+                p.total -= cap;
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(n),
+        }
+    })
+}
+
+/// Offers a dropped buffer back to this thread's pool. Small buffers and
+/// overflow beyond the pool bounds fall through to the global allocator.
+pub(crate) fn put(buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap < MIN_ELEMS {
+        return;
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.bufs.len() >= MAX_BUFS || p.total + cap > MAX_TOTAL_ELEMS {
+            return;
+        }
+        p.total += cap;
+        p.bufs.push(buf);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_and_cleared() {
+        // Use an unusual capacity so other tests on this thread don't race
+        // for the same buffer.
+        let n = MIN_ELEMS + 12_345;
+        let mut first = take(n);
+        first.resize(n, 7.0);
+        let ptr = first.as_ptr();
+        put(first);
+        let again = take(n);
+        assert_eq!(again.as_ptr(), ptr, "expected the pooled buffer back");
+        assert!(again.is_empty(), "pooled buffers must come back cleared");
+        assert!(again.capacity() >= n);
+    }
+
+    #[test]
+    fn small_buffers_bypass_the_pool() {
+        let buf = take(8);
+        assert!(buf.capacity() < MIN_ELEMS || buf.capacity() >= 8);
+        put(vec![0.0; 8]); // must not panic or pollute
+        let buf2 = take(8);
+        assert!(buf2.is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! on the tape, the backward pass is a single reverse sweep with
 //! `split_at_mut` providing disjoint access to a node and its operands.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_sparse::Csr;
 
@@ -68,6 +68,16 @@ impl Graph {
         NodeId(self.nodes.len() - 1)
     }
 
+    /// Truncates the tape back to its first `len` nodes, dropping every
+    /// later node together with its value and gradient (freed buffers go
+    /// back to the thread-local pool). Lets a stepper record a static
+    /// prefix once and rewind before re-recording the per-step suffix,
+    /// instead of growing one tape without bound. Gradients already stored
+    /// on surviving prefix nodes are left untouched.
+    pub fn truncate(&mut self, len: usize) {
+        self.nodes.truncate(len);
+    }
+
     /// Leaf node holding a constant (or a parameter snapshot).
     pub fn constant(&mut self, value: Mat) -> NodeId {
         self.push(Op::Leaf, value)
@@ -104,13 +114,13 @@ impl Graph {
     }
 
     /// Element-wise product with a constant matrix (mask / noise injection).
-    pub fn mul_const(&mut self, a: NodeId, k: Rc<Mat>) -> NodeId {
+    pub fn mul_const(&mut self, a: NodeId, k: Arc<Mat>) -> NodeId {
         let v = self.value(a).zip_map(&k, |x, y| x * y);
         self.push(Op::MulConst(a, k), v)
     }
 
     /// Element-wise sum with a constant matrix.
-    pub fn add_const(&mut self, a: NodeId, k: Rc<Mat>) -> NodeId {
+    pub fn add_const(&mut self, a: NodeId, k: Arc<Mat>) -> NodeId {
         let v = self.value(a).zip_map(&k, |x, y| x + y);
         self.push(Op::AddConst(a, k), v)
     }
@@ -153,7 +163,7 @@ impl Graph {
     /// Edge-weighted sparse × dense product: the values of `pattern` are
     /// replaced by the `nnz × 1` node `w`, and gradients flow into both `w`
     /// and `h`. This is what makes GraphAug's sampled views differentiable.
-    pub fn spmm_ew(&mut self, pattern: Rc<Csr>, w: NodeId, h: NodeId) -> NodeId {
+    pub fn spmm_ew(&mut self, pattern: Arc<Csr>, w: NodeId, h: NodeId) -> NodeId {
         let (wv, hv) = (self.value(w), self.value(h));
         assert_eq!(wv.shape(), (pattern.nnz(), 1), "weights must be nnz x 1");
         assert_eq!(hv.rows(), pattern.n_cols(), "dense operand height mismatch");
@@ -167,7 +177,7 @@ impl Graph {
     /// for a precomputed [`PairGatherPlan`]. Replaces the
     /// `gather_rows + gather_rows + concat_cols` chain of the edge scorer
     /// with one tape node and one indexed copy per call.
-    pub fn gather_concat_pair(&mut self, src: NodeId, plan: Rc<PairGatherPlan>) -> NodeId {
+    pub fn gather_concat_pair(&mut self, src: NodeId, plan: Arc<PairGatherPlan>) -> NodeId {
         let sv = self.value(src);
         assert_eq!(sv.rows(), plan.n_src(), "plan built for different source");
         let d = sv.cols();
@@ -177,7 +187,7 @@ impl Graph {
     }
 
     /// Row gather: `y[i] = src[idx[i]]`. Backward scatter-adds.
-    pub fn gather_rows(&mut self, src: NodeId, idx: Rc<Vec<u32>>) -> NodeId {
+    pub fn gather_rows(&mut self, src: NodeId, idx: Arc<Vec<u32>>) -> NodeId {
         let sv = self.value(src);
         let d = sv.cols();
         let mut v = Mat::zeros(idx.len(), d);

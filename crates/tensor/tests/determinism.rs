@@ -1,40 +1,61 @@
-//! Thread-count determinism suite.
+//! Thread-count and SIMD determinism suite.
 //!
 //! The parallel runtime's contract is that results are **bit-identical**
-//! under any `GRAPHAUG_THREADS`: chunking is a function of the problem shape
-//! only, every output element is owned by one chunk, and reduction orders
-//! are fixed inside the kernels. These tests run each kernel — and a full
-//! forward + backward pass over the tape — with the pool forced to 1 and to
-//! 4 workers and compare outputs and gradients with exact equality.
+//! under any `GRAPHAUG_THREADS` *and* under either kernel build: chunking is
+//! a function of the problem shape only, every output element is owned by
+//! one chunk, and reduction orders are fixed inside the kernels — the AVX2
+//! lane build and the scalar fallback execute the same fixed-order
+//! arithmetic (explicit `F32x8` ops, no FMA). These tests run each rewritten
+//! kernel — and a full forward + backward pass over the tape — at 1, 3, and
+//! 4 workers and with SIMD force-disabled, comparing outputs and gradients
+//! with exact equality.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::{Mutex, MutexGuard};
 
 use graphaug_sparse::Csr;
 use graphaug_tensor::{Graph, Mat, PairGatherPlan, SpPair};
 
-/// `set_thread_count` is process-global; serialize the tests that flip it.
-/// (The determinism contract makes concurrent flips harmless for results,
-/// but serializing keeps each assertion about a specific count honest.)
+/// `set_thread_count`/`set_simd_enabled` are process-global; serialize the
+/// tests that flip them. (The determinism contract makes concurrent flips
+/// harmless for results, but serializing keeps each assertion about a
+/// specific configuration honest.)
 static THREAD_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> MutexGuard<'static, ()> {
     THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Runs `f` with the pool at 1 worker and at 4 workers and asserts the
-/// returned buffers are bitwise identical.
-fn assert_thread_invariant(name: &str, f: impl Fn() -> Vec<Vec<f32>>) {
-    graphaug_par::set_thread_count(1);
-    let serial = f();
-    graphaug_par::set_thread_count(4);
-    let parallel = f();
-    graphaug_par::set_thread_count(1);
-    assert_eq!(serial.len(), parallel.len());
-    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+fn assert_same(name: &str, what: &str, base: &[Vec<f32>], got: &[Vec<f32>]) {
+    assert_eq!(base.len(), got.len());
+    for (i, (s, p)) in base.iter().zip(got).enumerate() {
         let same = s.len() == p.len() && s.iter().zip(p).all(|(a, b)| a.to_bits() == b.to_bits());
-        assert!(same, "{name}: buffer {i} differs between 1 and 4 threads");
+        assert!(same, "{name}: buffer {i} differs {what}");
     }
+}
+
+/// Runs `f` at 1, 3, and 4 workers and with the SIMD build force-disabled,
+/// asserting every returned buffer is bitwise identical to the 1-worker
+/// baseline in all configurations.
+fn assert_config_invariant(name: &str, f: impl Fn() -> Vec<Vec<f32>>) {
+    graphaug_par::set_thread_count(1);
+    let baseline = f();
+    for threads in [3usize, 4] {
+        graphaug_par::set_thread_count(threads);
+        assert_same(
+            name,
+            &format!("between 1 and {threads} threads"),
+            &baseline,
+            &f(),
+        );
+    }
+    // Scalar fallback (SIMD off) at both serial and parallel thread counts.
+    let was_on = graphaug_par::simd_enabled();
+    graphaug_par::set_simd_enabled(false);
+    assert_same(name, "between SIMD and scalar (4 threads)", &baseline, &f());
+    graphaug_par::set_thread_count(1);
+    assert_same(name, "between SIMD and scalar (1 thread)", &baseline, &f());
+    graphaug_par::set_simd_enabled(was_on);
 }
 
 /// Deterministic pseudo-random fill (no RNG dependency needed).
@@ -56,39 +77,52 @@ fn test_csr(n_rows: usize, n_cols: usize) -> Csr {
     Csr::from_coo(n_rows, n_cols, triplets)
 }
 
+/// Every output width class of the dense kernels: the dot8 column (m = 1),
+/// each lane-specialized width (8/16/32/64), and the generic fallback (61).
+/// `k = 300 > 256` additionally exercises `matmul_tn`'s kk-blocking.
 #[test]
-fn matmul_family_is_thread_invariant() {
+fn matmul_family_is_config_invariant() {
     let _g = lock();
-    let a = Mat::from_vec(193, 47, fill(193 * 47, 1.3));
-    let b = Mat::from_vec(47, 61, fill(47 * 61, 0.9));
-    let c = Mat::from_vec(193, 61, fill(193 * 61, 1.1));
-    assert_thread_invariant("matmul", || vec![a.matmul(&b).into_vec()]);
-    assert_thread_invariant("matmul_nt", || vec![c.matmul_nt(&b).into_vec()]);
-    assert_thread_invariant("matmul_tn", || vec![a.matmul_tn(&c).into_vec()]);
+    let k = 300usize;
+    let n = 193usize;
+    let a = Mat::from_vec(n, k, fill(n * k, 1.3));
+    let tall = Mat::from_vec(k, n, fill(k * n, 0.7));
+    for m in [1usize, 8, 16, 32, 64, 61] {
+        let b = Mat::from_vec(k, m, fill(k * m, 0.9));
+        let bt = Mat::from_vec(m, k, fill(m * k, 1.1));
+        assert_config_invariant(&format!("matmul m={m}"), || vec![a.matmul(&b).into_vec()]);
+        assert_config_invariant(&format!("matmul_nt m={m}"), || {
+            vec![a.matmul_nt(&bt).into_vec()]
+        });
+        assert_config_invariant(&format!("matmul_tn m={m}"), || {
+            vec![tall.matmul_tn(&b).into_vec()]
+        });
+    }
 }
 
 #[test]
-fn spmm_kernels_are_thread_invariant() {
+fn spmm_kernels_are_config_invariant() {
     let _g = lock();
     let m = test_csr(517, 301);
-    // d = 32 exercises the width-specialized kernel, d = 7 the generic one.
-    for d in [32usize, 7] {
+    // d = 8/16/32/64 exercise the width-specialized kernels, d = 7 the
+    // generic one.
+    for d in [8usize, 16, 32, 64, 7] {
         let dense = fill(301 * d, 1.7);
         let w = fill(m.nnz(), 0.8);
         let dy = fill(517 * d, 1.2);
-        assert_thread_invariant("spmm_into", || {
+        assert_config_invariant(&format!("spmm_into d={d}"), || {
             let mut out = vec![0f32; 517 * d];
             m.spmm_into(&dense, d, &mut out);
             let mut acc = out.clone();
             m.spmm_acc_into(&dense, d, &mut acc);
             vec![out, acc]
         });
-        assert_thread_invariant("spmm_ew_into", || {
+        assert_config_invariant(&format!("spmm_ew_into d={d}"), || {
             let mut out = vec![0f32; 517 * d];
             m.spmm_ew_into(&w, &dense, d, &mut out);
             vec![out]
         });
-        assert_thread_invariant("spmm_ew_grads", || {
+        assert_config_invariant(&format!("spmm_ew_grads d={d}"), || {
             let mut dw = vec![0f32; m.nnz()];
             m.spmm_ew_dw_into(&dense, &dy, d, &mut dw);
             let mut dh = vec![0f32; 301 * d];
@@ -99,38 +133,40 @@ fn spmm_kernels_are_thread_invariant() {
 }
 
 #[test]
-fn pair_gather_is_thread_invariant() {
+fn pair_gather_is_config_invariant() {
     let _g = lock();
     let n_src = 400usize;
     let left: Vec<u32> = (0..900u32).map(|e| (e * 17) % n_src as u32).collect();
     let right: Vec<u32> = (0..900u32).map(|e| (e * 29 + 3) % n_src as u32).collect();
     let plan = PairGatherPlan::build(n_src, &left, &right);
-    let d = 16usize;
-    let src = fill(n_src * d, 1.0);
-    let dy = fill(900 * 2 * d, 0.6);
-    assert_thread_invariant("pair_gather", || {
-        let mut out = vec![0f32; 900 * 2 * d];
-        plan.gather_into(&src, d, &mut out);
-        let mut dsrc = vec![0f32; n_src * d];
-        plan.scatter_acc_into(&dy, d, &mut dsrc);
-        vec![out, dsrc]
-    });
+    // d = 16 exercises the lane row copies, d = 10 the memcpy fallback.
+    for d in [16usize, 10] {
+        let src = fill(n_src * d, 1.0);
+        let dy = fill(900 * 2 * d, 0.6);
+        assert_config_invariant(&format!("pair_gather d={d}"), || {
+            let mut out = vec![0f32; 900 * 2 * d];
+            plan.gather_into(&src, d, &mut out);
+            let mut dsrc = vec![0f32; n_src * d];
+            plan.scatter_acc_into(&dy, d, &mut dsrc);
+            vec![out, dsrc]
+        });
+    }
 }
 
 /// End-to-end: a tape mixing dense matmuls, constant and edge-weighted SpMM,
 /// and the fused pair gather must produce bit-identical forward values *and*
-/// gradients under both thread counts.
+/// gradients under every thread count and kernel build.
 #[test]
-fn tape_forward_and_backward_are_thread_invariant() {
+fn tape_forward_and_backward_are_config_invariant() {
     let _g = lock();
     let n = 180usize;
     let d = 32usize;
     let m = test_csr(n, n);
     let sp = SpPair::new(m.clone());
-    let pattern = Rc::new(m);
+    let pattern = Arc::new(m);
     let left: Vec<u32> = (0..300u32).map(|e| (e * 7) % n as u32).collect();
     let right: Vec<u32> = (0..300u32).map(|e| (e * 11 + 5) % n as u32).collect();
-    let plan = Rc::new(PairGatherPlan::build(n, &left, &right));
+    let plan = Arc::new(PairGatherPlan::build(n, &left, &right));
 
     let run = || {
         let mut g = Graph::new();
@@ -139,9 +175,9 @@ fn tape_forward_and_backward_are_thread_invariant() {
         let ew = g.constant(Mat::from_vec(pattern.nnz(), 1, fill(pattern.nnz(), 0.5)));
 
         let prop = g.spmm(&sp, h);
-        let mixed = g.spmm_ew(Rc::clone(&pattern), ew, prop);
+        let mixed = g.spmm_ew(Arc::clone(&pattern), ew, prop);
         let dense = g.matmul(mixed, w_mlp);
-        let feat = g.gather_concat_pair(dense, Rc::clone(&plan));
+        let feat = g.gather_concat_pair(dense, Arc::clone(&plan));
         let sq = g.square(feat);
         let loss = g.mean_all(sq);
         g.backward(loss);
@@ -154,5 +190,23 @@ fn tape_forward_and_backward_are_thread_invariant() {
             g.grad(w_mlp).expect("w grad").as_slice().to_vec(),
         ]
     };
-    assert_thread_invariant("tape_end_to_end", run);
+    assert_config_invariant("tape_end_to_end", run);
+}
+
+/// The tape can be rewound and re-recorded: the suffix after `truncate` is
+/// dropped and recording the same ops again reproduces identical values.
+#[test]
+fn tape_truncate_rewinds_cleanly() {
+    let mut g = Graph::new();
+    let a = g.constant(Mat::from_vec(5, 8, fill(40, 1.0)));
+    let w = g.constant(Mat::from_vec(8, 8, fill(64, 0.5)));
+    let base_len = g.len();
+
+    let y1 = g.matmul(a, w);
+    let first = g.value(y1).clone();
+    g.truncate(base_len);
+    assert_eq!(g.len(), base_len);
+
+    let y2 = g.matmul(a, w);
+    assert_eq!(&first, g.value(y2));
 }

@@ -6,7 +6,7 @@
 //! limits precision, so inputs are kept well-scaled and the tolerance is
 //! `abs 2e-2 + rel 5%`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use graphaug_sparse::Csr;
 use graphaug_tensor::{Graph, Mat, NodeId, SpPair};
@@ -85,11 +85,11 @@ fn grad_scale_and_add_scalar() {
 
 #[test]
 fn grad_mul_add_const() {
-    let mask = Rc::new(Mat::from_fn(3, 4, |r, c| ((r + c) % 2) as f32));
-    let shift = Rc::new(Mat::filled(3, 4, 0.25));
+    let mask = Arc::new(Mat::from_fn(3, 4, |r, c| ((r + c) % 2) as f32));
+    let shift = Arc::new(Mat::filled(3, 4, 0.25));
     let f: Box<LossFn> = Box::new(move |g, ids| {
-        let m = g.mul_const(ids[0], Rc::clone(&mask));
-        let a = g.add_const(m, Rc::clone(&shift));
+        let m = g.mul_const(ids[0], Arc::clone(&mask));
+        let a = g.add_const(m, Arc::clone(&shift));
         let sq = g.square(a);
         g.sum_all(sq)
     });
@@ -157,7 +157,7 @@ fn grad_spmm() {
 
 #[test]
 fn grad_spmm_ew_both_operands() {
-    let pattern = Rc::new(Csr::from_coo(
+    let pattern = Arc::new(Csr::from_coo(
         4,
         3,
         vec![
@@ -170,9 +170,9 @@ fn grad_spmm_ew_both_operands() {
     ));
     let w = Mat::from_fn(5, 1, |r, _| 0.2 + r as f32 * 0.1);
     let h = Mat::from_fn(3, 2, |r, c| (r as f32 * 0.3) - (c as f32 * 0.2) + 0.1);
-    let p = Rc::clone(&pattern);
+    let p = Arc::clone(&pattern);
     let f: Box<LossFn> = Box::new(move |g, ids| {
-        let y = g.spmm_ew(Rc::clone(&p), ids[0], ids[1]);
+        let y = g.spmm_ew(Arc::clone(&p), ids[0], ids[1]);
         let t = g.tanh(y);
         let sq = g.square(t);
         g.sum_all(sq)
@@ -182,10 +182,10 @@ fn grad_spmm_ew_both_operands() {
 
 #[test]
 fn grad_gather_rows() {
-    let idx = Rc::new(vec![2u32, 0, 2, 1]);
+    let idx = Arc::new(vec![2u32, 0, 2, 1]);
     let src = mat_a();
     let f: Box<LossFn> = Box::new(move |g, ids| {
-        let y = g.gather_rows(ids[0], Rc::clone(&idx));
+        let y = g.gather_rows(ids[0], Arc::clone(&idx));
         let sq = g.square(y);
         g.sum_all(sq)
     });
