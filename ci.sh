@@ -51,16 +51,55 @@ GRAPHAUG_BENCH_ITERS=3 GRAPHAUG_BENCH_WARMUP_MS=10 GRAPHAUG_BENCH_MAX_MS=200 \
 cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
     /tmp/graphaug_bench_smoke.json /tmp/graphaug_bench_smoke.json
 
-stage "perf trajectory gate (BENCH_pr3 vs BENCH_pr2)"
-# The recorded PR 3 trajectory point must hold a ≤10% median regression
-# bound against the PR 2 baseline. This diffs the two *recorded* files —
+stage "kill/resume smoke test (GRAPHAUG_THREADS=1 and 4)"
+# Crash-safety end to end, across real process boundaries: train with
+# checkpoint-every-epoch, SIGKILL the victim mid-run, resume from the
+# surviving checkpoint, and require the FINAL line (bit-exact embedding
+# fingerprint + Recall@20/NDCG@20 bit patterns) to equal an uninterrupted
+# reference run. Determinism makes this an equality check, not a tolerance.
+# The binary is invoked directly (not through `cargo run`) so the kill hits
+# the trainer itself rather than orphaning it behind a cargo wrapper.
+KILL_RESUME=target/release/kill_resume
+for threads in 1 4; do
+    ckdir="$(mktemp -d /tmp/graphaug_kill_resume.XXXXXX)"
+    reference=$(GRAPHAUG_THREADS=$threads "$KILL_RESUME" reference "$ckdir/ref")
+
+    victim_log="$ckdir/victim.log"
+    GRAPHAUG_THREADS=$threads "$KILL_RESUME" victim "$ckdir/ck" >"$victim_log" &
+    victim_pid=$!
+    # Wait for training to be mid-run (a few epochs in), then kill -9.
+    for _ in $(seq 1 200); do
+        grep -q "EPOCH 3" "$victim_log" 2>/dev/null && break
+        sleep 0.05
+    done
+    kill -9 "$victim_pid" 2>/dev/null || true
+    wait "$victim_pid" 2>/dev/null || true
+    if grep -q "FINAL" "$victim_log"; then
+        echo "ERROR: victim finished before the kill landed" >&2
+        exit 1
+    fi
+
+    resumed=$(GRAPHAUG_THREADS=$threads "$KILL_RESUME" resume "$ckdir/ck")
+    if [[ "$reference" != "$resumed" ]]; then
+        echo "ERROR: kill/resume mismatch at GRAPHAUG_THREADS=$threads" >&2
+        echo "  reference: $reference" >&2
+        echo "  resumed:   $resumed" >&2
+        exit 1
+    fi
+    echo "ok: threads=$threads resumed run bit-identical to reference"
+    rm -rf "$ckdir"
+done
+
+stage "perf trajectory gate (BENCH_pr4 vs BENCH_pr3)"
+# The recorded PR 4 trajectory point must hold a ≤10% median regression
+# bound against the PR 3 baseline. This diffs the two *recorded* files —
 # deterministic and machine-independent — rather than re-benching on
 # whatever box CI runs on.
-if [[ -f BENCH_pr3.json && -f BENCH_pr2.json ]]; then
+if [[ -f BENCH_pr4.json && -f BENCH_pr3.json ]]; then
     cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-        BENCH_pr3.json BENCH_pr2.json --threshold 10
+        BENCH_pr4.json BENCH_pr3.json --threshold 10
 else
-    echo "skip: BENCH_pr3.json / BENCH_pr2.json not both present"
+    echo "skip: BENCH_pr4.json / BENCH_pr3.json not both present"
 fi
 
 stage "dependency hermeticity check"

@@ -1,0 +1,15 @@
+//! Checkpoint encode/decode/write benchmarks — the per-epoch crash-safety
+//! overhead of the fault-tolerant runtime.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("checkpoint");
+    perf::checkpoint(&mut h);
+    h.finish();
+}

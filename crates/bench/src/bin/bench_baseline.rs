@@ -18,5 +18,6 @@ fn main() {
     perf::sampling(&mut h);
     perf::topk_eval(&mut h);
     perf::augmentor(&mut h);
+    perf::checkpoint(&mut h);
     h.finish();
 }

@@ -13,6 +13,7 @@ use graphaug_core::{GraphAug, GraphAugConfig};
 use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
+use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
 use graphaug_tensor::init::{seeded_rng, xavier_uniform};
 use graphaug_tensor::{Graph, Mat, SpPair};
 
@@ -139,6 +140,48 @@ pub fn topk_eval(h: &mut Harness) {
     h.bench("full_ranking_eval_300users", || {
         black_box(evaluate(&model, &split, &[20, 40]).n_users);
     });
+}
+
+/// Checkpoint path benchmarks: full training-state encode, decode, and the
+/// atomic on-disk write+prune cycle — the per-epoch overhead a
+/// `graphaug-runtime` run pays for crash safety, at the same model scale as
+/// the `autodiff_epoch` training-step bench so the two are directly
+/// comparable.
+pub fn checkpoint(h: &mut Harness) {
+    let train = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
+    let model = GraphAug::new(GraphAugConfig::new().seed(3), &train);
+    let state = TrainState {
+        compat: RunCompat {
+            n_users: train.n_users() as u64,
+            n_items: train.n_items() as u64,
+            n_edges: train.n_interactions() as u64,
+            seed: 3,
+            embed_dim: 32,
+        },
+        epoch: 4,
+        lr_scale: 1.0,
+        consecutive_bad: 0,
+        attempt: 24,
+        loss_window: vec![0.45; 8],
+        model: model.training_state(),
+        sampler: TripletSampler::new(&train, 7).state(),
+    };
+
+    let bytes = state.to_bytes();
+    let mb = bytes.len() as f64 / 1e6;
+    h.bench_throughput("checkpoint_encode_300x250_d32", mb, "MB/s", || {
+        black_box(state.to_bytes().len());
+    });
+    h.bench_throughput("checkpoint_decode_300x250_d32", mb, "MB/s", || {
+        black_box(TrainState::from_bytes(black_box(&bytes)).unwrap().epoch);
+    });
+
+    let dir = std::env::temp_dir().join(format!("graphaug-bench-ckpt-{}", std::process::id()));
+    let mut ckpt = Checkpointer::new(&dir).expect("temp checkpoint dir");
+    h.bench_throughput("checkpoint_atomic_write_300x250_d32", mb, "MB/s", || {
+        black_box(ckpt.write(&state).unwrap());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Learnable-augmentor benchmarks: edge scoring (MLP over all train edges)

@@ -41,4 +41,4 @@ pub mod nn;
 
 pub use augmentor::{AugmentorSettings, EdgeIndex, SampledView};
 pub use config::{EncoderKind, GraphAugConfig};
-pub use model::{GraphAug, StepStats};
+pub use model::{GraphAug, ModelState, StepOptions, StepStats};

@@ -8,7 +8,9 @@ use graphaug_rng::StdRng;
 use graphaug_eval::Recommender;
 use graphaug_graph::{InteractionGraph, TripletSampler};
 use graphaug_tensor::init::{seeded_rng, xavier_uniform};
-use graphaug_tensor::{Graph, Mat, NodeId, Optimizer, ParamId, ParamStore, SpPair};
+use graphaug_tensor::{
+    Graph, Mat, NodeId, Optimizer, ParamId, ParamStore, ParamStoreState, RestoreError, SpPair,
+};
 
 use crate::augmentor::{edge_logits, sample_view, AugmentorNodes, AugmentorSettings, EdgeIndex};
 use crate::config::{EncoderKind, GraphAugConfig};
@@ -31,6 +33,65 @@ pub struct StepStats {
     pub cl: f32,
     /// Mean fraction of edges kept by the two sampled views.
     pub kept_fraction: f32,
+    /// Global L2 norm over the finite gradient entries of every parameter.
+    pub grad_norm: f32,
+    /// Number of non-finite (NaN/±∞) gradient entries this step. When this
+    /// is non-zero — or the loss itself is non-finite — the Adam update is
+    /// withheld entirely instead of poisoning the parameters and moments.
+    pub bad_grads: usize,
+}
+
+impl StepStats {
+    /// True when the loss and every gradient entry were finite, i.e. the
+    /// optimizer update for this step was actually applied.
+    pub fn update_applied(&self) -> bool {
+        self.loss.is_finite() && self.bad_grads == 0
+    }
+}
+
+/// Supervisor knobs for a single optimization step
+/// ([`GraphAug::train_step_with`]). The defaults reproduce the historical
+/// [`GraphAug::train_step`] behavior (modulo the always-on finite guard).
+#[derive(Clone, Copy, Debug)]
+pub struct StepOptions {
+    /// Clip the global gradient L2 norm to this value before the update
+    /// (the `RecoveryPolicy::ClipAndContinue` path of the runtime).
+    pub clip_norm: Option<f32>,
+    /// Multiplier on the configured learning rate — the runtime's
+    /// rollback-with-LR-backoff recovery shrinks this after repeated
+    /// divergence.
+    pub lr_scale: f32,
+    /// Fault-injection hook: poison the first gradient entry with NaN
+    /// *after* backward and *before* the guard, so recovery paths can be
+    /// exercised deterministically in tests.
+    pub inject_nan_grad: bool,
+}
+
+impl Default for StepOptions {
+    fn default() -> Self {
+        StepOptions {
+            clip_norm: None,
+            lr_scale: 1.0,
+            inject_nan_grad: false,
+        }
+    }
+}
+
+/// Complete serializable training state of a [`GraphAug`] model: parameter
+/// values, Adam moments and step counter, the model's own RNG stream, and
+/// the step cursor driving the contrastive warm-up ramp. Together with a
+/// [`graphaug_graph::SamplerState`] this is sufficient to resume training
+/// with a bit-identical loss trajectory (see `graphaug-runtime`).
+#[derive(Clone, Debug)]
+pub struct ModelState {
+    /// Parameter values plus optimizer state.
+    pub params: ParamStoreState,
+    /// Raw xoshiro256++ state of the model's augmentation/CL stream.
+    pub rng: [u64; 4],
+    /// Number of optimization steps taken (CL warm-up cursor).
+    pub steps_taken: u64,
+    /// Whether a full `fit` has completed.
+    pub trained: bool,
 }
 
 /// The GraphAug recommender (paper Sec. III). Construct with
@@ -188,8 +249,25 @@ impl GraphAug {
         pool
     }
 
-    /// Runs one optimization step (one tape build/backward/Adam update).
+    /// Runs one optimization step (one tape build/backward/Adam update)
+    /// with default [`StepOptions`].
     pub fn train_step(&mut self, sampler: &mut TripletSampler<'_>) -> StepStats {
+        self.train_step_with(sampler, &StepOptions::default())
+    }
+
+    /// Runs one optimization step under supervisor control. After backward,
+    /// gradients are materialized and checked: any non-finite loss or
+    /// gradient entry withholds the Adam update entirely (the parameters,
+    /// moments, and step counter are untouched) and is reported through
+    /// [`StepStats::bad_grads`] / [`StepStats::grad_norm`] so a recovery
+    /// policy can decide what to do next. Finite gradients are optionally
+    /// clipped to `opts.clip_norm` and applied at
+    /// `learning_rate × opts.lr_scale`.
+    pub fn train_step_with(
+        &mut self,
+        sampler: &mut TripletSampler<'_>,
+        opts: &StepOptions,
+    ) -> StepStats {
         let mut g = Graph::new();
         let (h0, enc, mlp, pairs) = self.param_nodes(&mut g);
         let h_main = self.encode_main(&mut g, h0, &enc);
@@ -262,10 +340,84 @@ impl GraphAug {
 
         stats.loss = g.value(loss).item();
         g.backward(loss);
-        self.store
-            .apply_grads(&g, &pairs, Optimizer::adam(self.cfg.learning_rate));
+
+        let mut grads: Vec<(ParamId, Mat)> = Vec::with_capacity(pairs.len());
+        for &(pid, nid) in &pairs {
+            if let Some(gm) = g.grad(nid) {
+                grads.push((pid, gm.clone()));
+            }
+        }
+        if opts.inject_nan_grad {
+            if let Some((_, gm)) = grads.first_mut() {
+                gm.as_mut_slice()[0] = f32::NAN;
+            }
+        }
+        // Serial fixed-order reduction: the norm is bit-identical for any
+        // thread count, like everything else in the step.
+        let mut sq_sum = 0f64;
+        for (_, gm) in &grads {
+            for &x in gm.as_slice() {
+                if x.is_finite() {
+                    sq_sum += (x as f64) * (x as f64);
+                } else {
+                    stats.bad_grads += 1;
+                }
+            }
+        }
+        stats.grad_norm = sq_sum.sqrt() as f32;
+
         self.steps_taken += 1;
+        if !stats.update_applied() {
+            return stats;
+        }
+        let mut scale = 1.0f32;
+        if let Some(max) = opts.clip_norm {
+            if stats.grad_norm > max && stats.grad_norm > 0.0 {
+                scale = max / stats.grad_norm;
+            }
+        }
+        self.store.apply_step(
+            &grads,
+            Optimizer::adam(self.cfg.learning_rate * opts.lr_scale),
+            scale,
+        );
         stats
+    }
+
+    /// Captures the model's complete training state for checkpointing.
+    pub fn training_state(&self) -> ModelState {
+        ModelState {
+            params: self.store.snapshot(),
+            rng: self.rng.state(),
+            steps_taken: self.steps_taken as u64,
+            trained: self.trained,
+        }
+    }
+
+    /// Restores a state captured by [`GraphAug::training_state`] into a
+    /// model built with the *same configuration and training graph* — shape
+    /// mismatches are rejected and leave the model untouched. On success the
+    /// cached embeddings are refreshed, and subsequent training continues
+    /// the snapshotted run bit-identically.
+    pub fn restore_training_state(&mut self, state: &ModelState) -> Result<(), RestoreError> {
+        self.store.restore(&state.params)?;
+        self.rng = StdRng::from_state(state.rng);
+        self.steps_taken = state.steps_taken as usize;
+        self.trained = state.trained;
+        self.refresh_embeddings();
+        Ok(())
+    }
+
+    /// Marks the model as fully trained — called by external training
+    /// drivers (e.g. `graphaug-runtime`) that run the epoch loop themselves
+    /// through [`GraphAug::train_step_with`] instead of [`GraphAug::fit`].
+    pub fn mark_trained(&mut self) {
+        self.trained = true;
+    }
+
+    /// The training graph this model was constructed over.
+    pub fn train_graph(&self) -> &InteractionGraph {
+        &self.train_graph
     }
 
     /// Trains for `cfg.epochs` epochs.
@@ -458,6 +610,123 @@ mod tests {
         assert_eq!(stats.cl, 0.0);
         assert_eq!(stats.kept_fraction, 0.0);
         assert!(stats.loss.is_finite());
+    }
+
+    #[test]
+    fn train_step_reports_finite_grad_norm() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        let stats = m.train_step(&mut sampler);
+        assert_eq!(stats.bad_grads, 0);
+        assert!(stats.update_applied());
+        assert!(stats.grad_norm.is_finite() && stats.grad_norm > 0.0);
+    }
+
+    #[test]
+    fn nan_injection_withholds_the_update_and_training_recovers() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        m.train_step(&mut sampler);
+        let before = m.training_state();
+        let poisoned = m.train_step_with(
+            &mut sampler,
+            &StepOptions {
+                inject_nan_grad: true,
+                ..Default::default()
+            },
+        );
+        assert!(poisoned.bad_grads > 0);
+        assert!(!poisoned.update_applied());
+        // Parameters and Adam state must be exactly as before the bad step.
+        let after = m.training_state();
+        assert_eq!(after.params.t, before.params.t, "Adam step not advanced");
+        for (a, b) in after.params.slots.iter().zip(&before.params.slots) {
+            assert_eq!(a.value, b.value, "poisoned update must not be applied");
+            assert_eq!(a.m, b.m);
+            assert_eq!(a.v, b.v);
+        }
+        // The next clean step applies normally.
+        let clean = m.train_step(&mut sampler);
+        assert!(clean.update_applied());
+        assert!(m.embeddings().unwrap().0.all_finite());
+    }
+
+    #[test]
+    fn clip_norm_shrinks_the_applied_update() {
+        let train = toy_train();
+        let mut m = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        let start = m.training_state();
+        let unclipped = m.train_step(&mut sampler);
+        assert!(unclipped.grad_norm > 1e-3, "need a non-trivial gradient");
+        let after_unclipped = m.training_state();
+        // Replay the identical step with an aggressive clip.
+        m.restore_training_state(&start).unwrap();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        let clipped = m.train_step_with(
+            &mut sampler,
+            &StepOptions {
+                clip_norm: Some(unclipped.grad_norm / 100.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(clipped.grad_norm.to_bits(), unclipped.grad_norm.to_bits());
+        let after_clipped = m.training_state();
+        // Both applied an update, but they differ (the clip rescaled it).
+        assert_ne!(
+            after_clipped.params.slots[0].value.as_slice(),
+            after_unclipped.params.slots[0].value.as_slice()
+        );
+        assert_ne!(
+            after_clipped.params.slots[0].value.as_slice(),
+            start.params.slots[0].value.as_slice()
+        );
+    }
+
+    #[test]
+    fn training_state_round_trip_resumes_bit_identically() {
+        let train = toy_train();
+        let cfg = GraphAugConfig::fast_test();
+        let mut m = GraphAug::new(cfg.clone(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        for _ in 0..4 {
+            m.train_step(&mut sampler);
+        }
+        let model_state = m.training_state();
+        let sampler_state = sampler.state();
+        let expect: Vec<u32> = (0..5)
+            .map(|_| m.train_step(&mut sampler).loss.to_bits())
+            .collect();
+
+        let mut resumed = GraphAug::new(cfg, &train);
+        resumed.restore_training_state(&model_state).unwrap();
+        let mut resumed_sampler = TripletSampler::from_state(&graph, sampler_state);
+        let got: Vec<u32> = (0..5)
+            .map(|_| resumed.train_step_with(&mut resumed_sampler, &StepOptions::default()))
+            .map(|s| s.loss.to_bits())
+            .collect();
+        assert_eq!(expect, got, "resumed loss trajectory must be bit-identical");
+        // `embeddings()` serves a cache; recompute both from current params.
+        m.refresh_embeddings();
+        resumed.refresh_embeddings();
+        let (u_a, i_a) = m.embeddings().unwrap();
+        let (u_b, i_b) = resumed.embeddings().unwrap();
+        assert_eq!(u_a, u_b);
+        assert_eq!(i_a, i_b);
+    }
+
+    #[test]
+    fn restore_rejects_a_differently_shaped_model() {
+        let train = toy_train();
+        let m8 = GraphAug::new(GraphAugConfig::fast_test().embed_dim(8), &train);
+        let mut m16 = GraphAug::new(GraphAugConfig::fast_test(), &train);
+        assert!(m16.restore_training_state(&m8.training_state()).is_err());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Typed errors for dataset loading, parsing, and generation.
+//!
+//! Every fallible entry point of this crate returns [`DataError`] instead
+//! of panicking, so the fault-tolerant training runtime (and any serving
+//! stack above it) can reject a malformed dataset gracefully at startup
+//! rather than aborting the process. `*_or_panic` shims keep the examples
+//! one-liners.
+
+use graphaug_graph::GraphInvariantError;
+
+/// Why a dataset could not be loaded, parsed, or generated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// The file could not be read.
+    Io(String),
+    /// A line did not contain the two `user item` tokens.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The same `(user, item)` interaction appeared twice (strict parsing).
+    DuplicateEdge {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The raw user token.
+        user: String,
+        /// The raw item token.
+        item: String,
+    },
+    /// A numeric id fell outside the declared bounds (strict parsing).
+    OutOfRangeId {
+        /// 1-based line number.
+        line: usize,
+        /// The raw offending token.
+        token: String,
+        /// The exclusive upper bound the id must stay below.
+        bound: u64,
+    },
+    /// The input produced no users, no items, or no interactions.
+    Empty,
+    /// A generator configuration was unusable (zero users/items, bad noise
+    /// fraction, no clusters).
+    BadConfig(String),
+    /// A constructed graph failed its structural invariant check.
+    Invalid(GraphInvariantError),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::RaggedRow { line, content } => {
+                write!(f, "line {line}: expected `user item`, got {content:?}")
+            }
+            DataError::DuplicateEdge { line, user, item } => {
+                write!(f, "line {line}: duplicate interaction ({user}, {item})")
+            }
+            DataError::OutOfRangeId { line, token, bound } => {
+                write!(f, "line {line}: id {token:?} not in 0..{bound}")
+            }
+            DataError::Empty => write!(f, "dataset has no users, items, or interactions"),
+            DataError::BadConfig(msg) => write!(f, "bad generator config: {msg}"),
+            DataError::Invalid(e) => write!(f, "graph invariant violated: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<GraphInvariantError> for DataError {
+    fn from(e: GraphInvariantError) -> Self {
+        DataError::Invalid(e)
+    }
+}

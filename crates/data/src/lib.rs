@@ -10,14 +10,22 @@
 //!   statistics, see [`Dataset`];
 //! * [`loader`] — plain-text edge-list parsing for users who want to run the
 //!   models on the real datasets;
-//! * [`stats`] — the Table I statistics calculator.
+//! * [`stats`] — the Table I statistics calculator;
+//! * [`error`] — the typed [`DataError`] every fallible entry point returns,
+//!   so malformed datasets are rejected gracefully at startup instead of
+//!   panicking mid-pipeline.
 
+pub mod error;
 pub mod loader;
 pub mod presets;
 pub mod stats;
 pub mod synth;
 
-pub use loader::{load_edge_list, parse_edge_list, to_edge_list, LoadError};
+pub use error::DataError;
+pub use loader::{
+    load_edge_list, load_or_panic, parse_edge_list, parse_numeric_edge_list, to_edge_list,
+    LoadError,
+};
 pub use presets::Dataset;
 pub use stats::{gini, DatasetStats};
-pub use synth::{generate, SyntheticConfig};
+pub use synth::{generate, try_generate, SyntheticConfig};

@@ -1,4 +1,14 @@
 //! Loading interaction data from whitespace-separated edge-list text.
+//!
+//! Two parsing modes are offered:
+//!
+//! * [`parse_edge_list`] — lenient: raw ids are arbitrary tokens densely
+//!   re-mapped in first-seen order, duplicate interactions are silently
+//!   deduplicated (the historical behavior, right for ad-hoc logs);
+//! * [`parse_numeric_edge_list`] — strict: ids must be integers below the
+//!   declared bounds, duplicates and empty inputs are typed errors — the
+//!   mode a production ingestion path wants, where a malformed dataset
+//!   should fail loudly *before* a training run burns hours on it.
 
 use std::collections::HashMap;
 use std::fs;
@@ -6,37 +16,17 @@ use std::path::Path;
 
 use graphaug_graph::InteractionGraph;
 
-/// Errors raised while parsing an edge-list file.
-#[derive(Debug, PartialEq, Eq)]
-pub enum LoadError {
-    /// The file could not be read.
-    Io(String),
-    /// A line did not contain two tokens.
-    BadLine {
-        /// 1-based line number.
-        line: usize,
-        /// The offending content.
-        content: String,
-    },
-}
+use crate::error::DataError;
 
-impl std::fmt::Display for LoadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            LoadError::Io(e) => write!(f, "io error: {e}"),
-            LoadError::BadLine { line, content } => {
-                write!(f, "line {line}: expected `user item`, got {content:?}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for LoadError {}
+/// Backwards-compatible alias for the crate-wide error type this module
+/// used to own.
+pub type LoadError = DataError;
 
 /// Parses `user item` pairs (whitespace separated, `#`-comment and blank
 /// lines skipped) from a string. Raw ids are arbitrary tokens; they are
-/// densely re-mapped in first-seen order.
-pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, LoadError> {
+/// densely re-mapped in first-seen order. Duplicate interactions are
+/// deduplicated by [`InteractionGraph::new`].
+pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, DataError> {
     let mut user_ids: HashMap<&str, u32> = HashMap::new();
     let mut item_ids: HashMap<&str, u32> = HashMap::new();
     let mut edges = Vec::new();
@@ -47,7 +37,7 @@ pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, LoadError> {
         }
         let mut it = line.split_whitespace();
         let (Some(u), Some(v)) = (it.next(), it.next()) else {
-            return Err(LoadError::BadLine {
+            return Err(DataError::RaggedRow {
                 line: i + 1,
                 content: line.to_string(),
             });
@@ -61,10 +51,75 @@ pub fn parse_edge_list(text: &str) -> Result<InteractionGraph, LoadError> {
     Ok(InteractionGraph::new(user_ids.len(), item_ids.len(), edges))
 }
 
-/// Loads an edge-list file from disk.
-pub fn load_edge_list(path: &Path) -> Result<InteractionGraph, LoadError> {
-    let text = fs::read_to_string(path).map_err(|e| LoadError::Io(e.to_string()))?;
+/// Strictly parses numeric `user item` pairs against declared bounds:
+/// every id must be an integer in `0..n_users` / `0..n_items`, repeated
+/// interactions are rejected as [`DataError::DuplicateEdge`], and an input
+/// with no interactions is [`DataError::Empty`]. Comment (`#`) and blank
+/// lines are still skipped.
+pub fn parse_numeric_edge_list(
+    text: &str,
+    n_users: usize,
+    n_items: usize,
+) -> Result<InteractionGraph, DataError> {
+    if n_users == 0 || n_items == 0 {
+        return Err(DataError::Empty);
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(u_tok), Some(v_tok)) = (it.next(), it.next()) else {
+            return Err(DataError::RaggedRow {
+                line: i + 1,
+                content: line.to_string(),
+            });
+        };
+        let u = parse_bounded(u_tok, n_users as u64, i + 1)?;
+        let v = parse_bounded(v_tok, n_items as u64, i + 1)?;
+        if !seen.insert((u, v)) {
+            return Err(DataError::DuplicateEdge {
+                line: i + 1,
+                user: u_tok.to_string(),
+                item: v_tok.to_string(),
+            });
+        }
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let graph = InteractionGraph::new(n_users, n_items, edges);
+    graph.validate()?;
+    Ok(graph)
+}
+
+fn parse_bounded(token: &str, bound: u64, line: usize) -> Result<u32, DataError> {
+    let out_of_range = || DataError::OutOfRangeId {
+        line,
+        token: token.to_string(),
+        bound,
+    };
+    let id: u64 = token.parse().map_err(|_| out_of_range())?;
+    if id >= bound {
+        return Err(out_of_range());
+    }
+    Ok(id as u32)
+}
+
+/// Loads an edge-list file from disk (lenient token mode).
+pub fn load_edge_list(path: &Path) -> Result<InteractionGraph, DataError> {
+    let text = fs::read_to_string(path).map_err(|e| DataError::Io(e.to_string()))?;
     parse_edge_list(&text)
+}
+
+/// [`load_edge_list`] that panics with the formatted error — keeps example
+/// code a one-liner while real pipelines match on [`DataError`].
+pub fn load_or_panic(path: &Path) -> InteractionGraph {
+    load_edge_list(path).unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()))
 }
 
 /// Writes a graph back out as a `user item` edge list (round-trip format).
@@ -101,7 +156,7 @@ mod tests {
         let err = parse_edge_list("u0 v0\njusttoken\n").unwrap_err();
         assert_eq!(
             err,
-            LoadError::BadLine {
+            DataError::RaggedRow {
                 line: 2,
                 content: "justtoken".into()
             }
@@ -122,5 +177,60 @@ mod tests {
         let g2 = parse_edge_list(&text).unwrap();
         assert_eq!(g.n_interactions(), g2.n_interactions());
         assert_eq!(g.n_users(), g2.n_users());
+    }
+
+    #[test]
+    fn strict_mode_accepts_valid_numeric_input() {
+        let g = parse_numeric_edge_list("0 0\n0 1\n1 2\n", 2, 3).unwrap();
+        assert_eq!(g.n_users(), 2);
+        assert_eq!(g.n_items(), 3);
+        assert_eq!(g.n_interactions(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn strict_mode_rejects_duplicates_with_the_line_number() {
+        let err = parse_numeric_edge_list("0 0\n1 1\n0 0\n", 2, 2).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::DuplicateEdge {
+                line: 3,
+                user: "0".into(),
+                item: "0".into()
+            }
+        );
+    }
+
+    #[test]
+    fn strict_mode_rejects_out_of_range_and_non_numeric_ids() {
+        let err = parse_numeric_edge_list("0 5\n", 2, 3).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::OutOfRangeId {
+                line: 1,
+                token: "5".into(),
+                bound: 3
+            }
+        );
+        let err = parse_numeric_edge_list("0 0\nalice 1\n", 2, 3).unwrap_err();
+        assert!(matches!(err, DataError::OutOfRangeId { line: 2, .. }));
+    }
+
+    #[test]
+    fn strict_mode_rejects_empty_inputs() {
+        assert_eq!(
+            parse_numeric_edge_list("# only comments\n", 2, 3).unwrap_err(),
+            DataError::Empty
+        );
+        assert_eq!(
+            parse_numeric_edge_list("0 0\n", 0, 0).unwrap_err(),
+            DataError::Empty
+        );
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error_not_a_panic() {
+        let err = load_edge_list(Path::new("/nonexistent/graphaug.txt")).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
     }
 }

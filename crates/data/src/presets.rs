@@ -16,7 +16,8 @@
 
 use graphaug_graph::InteractionGraph;
 
-use crate::synth::{generate, SyntheticConfig};
+use crate::error::DataError;
+use crate::synth::{try_generate, SyntheticConfig};
 
 /// Identifier for one of the three paper-shaped datasets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -67,9 +68,22 @@ impl Dataset {
         }
     }
 
+    /// Generates the preset graph, surfacing generator or invariant
+    /// failures as typed errors instead of aborting the process.
+    pub fn try_load(self) -> Result<InteractionGraph, DataError> {
+        let graph = try_generate(&self.config())?;
+        graph.validate()?;
+        Ok(graph)
+    }
+
     /// Generates the preset graph.
+    ///
+    /// # Panics
+    /// If generation or the structural invariant check fails — impossible
+    /// for the built-in configs; use [`Dataset::try_load`] to handle it.
     pub fn load(self) -> InteractionGraph {
-        generate(&self.config())
+        self.try_load()
+            .unwrap_or_else(|e| panic!("preset {} failed to load: {e}", self.name()))
     }
 
     /// A miniature variant for fast tests (≈1/10 of the preset scale).
@@ -81,7 +95,12 @@ impl Dataset {
             target_interactions: (cfg.target_interactions / 8).max(300),
             ..cfg
         };
-        generate(&mini)
+        let graph = try_generate(&mini)
+            .unwrap_or_else(|e| panic!("mini preset {} failed to load: {e}", self.name()));
+        graph
+            .validate()
+            .unwrap_or_else(|e| panic!("mini preset {} invalid: {e}", self.name()));
+        graph
     }
 }
 
@@ -101,6 +120,13 @@ mod tests {
         // Retail Rocket and Amazon are item-poorer than user-rich.
         assert!(rr.n_items() < rr.n_users());
         assert!(amz.n_items() < amz.n_users());
+    }
+
+    #[test]
+    fn try_load_yields_validated_graphs() {
+        for ds in Dataset::ALL {
+            ds.try_load().unwrap().validate().unwrap();
+        }
     }
 
     #[test]

@@ -18,6 +18,8 @@ use graphaug_rng::StdRng;
 
 use graphaug_graph::InteractionGraph;
 
+use crate::error::DataError;
+
 /// Configuration for [`generate`]. Construct with [`SyntheticConfig::new`]
 /// and customize through the builder methods.
 #[derive(Clone, Debug)]
@@ -111,12 +113,36 @@ impl PrefixSampler {
     }
 }
 
-/// Generates an [`InteractionGraph`] according to `cfg`. Deterministic for a
-/// fixed config.
+/// Generates an [`InteractionGraph`] according to `cfg`, panicking on an
+/// unusable configuration — the one-liner shim over [`try_generate`].
 pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
-    assert!(cfg.n_clusters >= 1, "need at least one cluster");
-    assert!(cfg.n_users > 0 && cfg.n_items > 0);
-    assert!((0.0..=1.0).contains(&cfg.noise_fraction));
+    try_generate(cfg).unwrap_or_else(|e| panic!("synthetic generation failed: {e}"))
+}
+
+/// Generates an [`InteractionGraph`] according to `cfg`. Deterministic for a
+/// fixed config; configuration problems are reported as
+/// [`DataError::BadConfig`] instead of panicking.
+pub fn try_generate(cfg: &SyntheticConfig) -> Result<InteractionGraph, DataError> {
+    if cfg.n_clusters < 1 {
+        return Err(DataError::BadConfig("need at least one cluster".into()));
+    }
+    if cfg.n_users == 0 || cfg.n_items == 0 {
+        return Err(DataError::BadConfig(
+            "need at least one user and one item".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.noise_fraction) {
+        return Err(DataError::BadConfig(format!(
+            "noise fraction {} not in [0, 1]",
+            cfg.noise_fraction
+        )));
+    }
+    let shape_ok = cfg.activity_shape.is_finite() && cfg.activity_shape > 0.0;
+    if !shape_ok || !cfg.popularity_exponent.is_finite() {
+        return Err(DataError::BadConfig(
+            "activity shape must be positive and popularity exponent finite".into(),
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Cluster assignments.
@@ -224,7 +250,7 @@ pub fn generate(cfg: &SyntheticConfig) -> InteractionGraph {
             }
         }
     }
-    InteractionGraph::new(cfg.n_users, cfg.n_items, edges)
+    Ok(InteractionGraph::new(cfg.n_users, cfg.n_items, edges))
 }
 
 #[cfg(test)]
@@ -243,6 +269,36 @@ mod tests {
             (n - 3000.0).abs() < 3000.0 * 0.25,
             "interactions {n} too far from target"
         );
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors_not_panics() {
+        let no_clusters = SyntheticConfig::new(10, 10, 50).clusters(0);
+        assert!(matches!(
+            try_generate(&no_clusters),
+            Err(DataError::BadConfig(_))
+        ));
+        let no_users = SyntheticConfig::new(0, 10, 50);
+        assert!(matches!(
+            try_generate(&no_users),
+            Err(DataError::BadConfig(_))
+        ));
+        let bad_noise = SyntheticConfig::new(10, 10, 50).noise(1.5);
+        assert!(matches!(
+            try_generate(&bad_noise),
+            Err(DataError::BadConfig(_))
+        ));
+        let mut bad_shape = SyntheticConfig::new(10, 10, 50);
+        bad_shape.activity_shape = 0.0;
+        assert!(matches!(
+            try_generate(&bad_shape),
+            Err(DataError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn generated_graphs_satisfy_the_structural_invariants() {
+        try_generate(&cfg()).unwrap().validate().unwrap();
     }
 
     #[test]

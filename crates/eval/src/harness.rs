@@ -54,6 +54,25 @@ impl EvalResult {
             .expect("cutoff not evaluated")
             .ndcg
     }
+
+    /// Bit-exact single-line rendering: every metric is printed as the hex
+    /// of its `f64` bit pattern, so two lines compare equal *iff* the
+    /// underlying values are bit-identical. The kill/resume smoke harness
+    /// compares these lines across process boundaries, where a decimal
+    /// rendering could mask a real (sub-print-precision) divergence.
+    pub fn bitline(&self) -> String {
+        let mut out = format!("users={}", self.n_users);
+        for a in &self.at {
+            out.push_str(&format!(
+                " recall@{}={:016x} ndcg@{}={:016x}",
+                a.k,
+                a.recall.to_bits(),
+                a.k,
+                a.ndcg.to_bits()
+            ));
+        }
+        out
+    }
 }
 
 /// Evaluates `model` on every test user of `split` at cutoffs `ks`.
@@ -217,6 +236,23 @@ mod tests {
     use super::*;
     use graphaug_graph::InteractionGraph;
     use graphaug_tensor::Mat;
+
+    #[test]
+    fn bitline_distinguishes_sub_print_precision_differences() {
+        let a = EvalResult {
+            at: vec![AtK {
+                k: 20,
+                recall: 0.25,
+                ndcg: 0.125,
+            }],
+            n_users: 10,
+        };
+        let mut b = a.clone();
+        assert_eq!(a.bitline(), b.bitline());
+        // One ULP apart — invisible at print precision, caught by bitline.
+        b.at[0].recall = f64::from_bits(0.25f64.to_bits() + 1);
+        assert_ne!(a.bitline(), b.bitline());
+    }
 
     /// An oracle that scores the user's held-out items highest.
     struct Oracle {

@@ -12,6 +12,83 @@ pub struct UserId(pub u32);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ItemId(pub u32);
 
+/// A violated [`InteractionGraph`] structural invariant, reported by
+/// [`InteractionGraph::validate`].
+///
+/// The constructor establishes these invariants, so a violation means the
+/// graph bytes were produced elsewhere (a deserialized checkpoint, a future
+/// zero-copy loader) or memory was corrupted — exactly the situations a
+/// fault-tolerant runtime wants to catch before training on garbage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphInvariantError {
+    /// An edge references a user id `≥ n_users`.
+    UserOutOfRange {
+        /// The offending user id.
+        user: u32,
+        /// The graph's user count.
+        n_users: usize,
+    },
+    /// An edge references an item id `≥ n_items`.
+    ItemOutOfRange {
+        /// The offending item id.
+        item: u32,
+        /// The graph's item count.
+        n_items: usize,
+    },
+    /// The edge list is not strictly sorted `(user, item)` ascending.
+    UnsortedEdges {
+        /// Index of the first out-of-order edge.
+        index: usize,
+    },
+    /// The same `(user, item)` pair appears twice.
+    DuplicateEdge {
+        /// The duplicated edge's user.
+        user: u32,
+        /// The duplicated edge's item.
+        item: u32,
+    },
+    /// A CSR row disagrees with the edge list (unsorted columns, wrong
+    /// degree, or differing items).
+    CsrRowMismatch {
+        /// The user whose CSR row is inconsistent.
+        user: u32,
+    },
+    /// Total CSR entries differ from the edge count.
+    CountMismatch {
+        /// Edges in the edge list.
+        edges: usize,
+        /// Entries across all CSR rows.
+        csr: usize,
+    },
+}
+
+impl std::fmt::Display for GraphInvariantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphInvariantError::UserOutOfRange { user, n_users } => {
+                write!(f, "user id {user} out of range (n_users = {n_users})")
+            }
+            GraphInvariantError::ItemOutOfRange { item, n_items } => {
+                write!(f, "item id {item} out of range (n_items = {n_items})")
+            }
+            GraphInvariantError::UnsortedEdges { index } => {
+                write!(f, "edge list unsorted at index {index}")
+            }
+            GraphInvariantError::DuplicateEdge { user, item } => {
+                write!(f, "duplicate edge ({user}, {item})")
+            }
+            GraphInvariantError::CsrRowMismatch { user } => {
+                write!(f, "CSR row for user {user} disagrees with the edge list")
+            }
+            GraphInvariantError::CountMismatch { edges, csr } => {
+                write!(f, "edge count {edges} != CSR entry count {csr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphInvariantError {}
+
 /// An observed implicit-feedback interaction set between users and items.
 ///
 /// Edges are stored deduplicated and sorted `(user, item)`. All downstream
@@ -120,6 +197,65 @@ impl InteractionGraph {
         sym_norm(&self.adjacency(), false)
     }
 
+    /// Checks every structural invariant the rest of the workspace assumes:
+    /// ids in range, a strictly sorted deduplicated edge list, and CSR rows
+    /// that agree with the edge list in both membership and degree. Dataset
+    /// presets and the training runtime call this at startup so a malformed
+    /// graph fails loudly before any compute is spent on it.
+    pub fn validate(&self) -> Result<(), GraphInvariantError> {
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            if (u as usize) >= self.n_users {
+                return Err(GraphInvariantError::UserOutOfRange {
+                    user: u,
+                    n_users: self.n_users,
+                });
+            }
+            if (v as usize) >= self.n_items {
+                return Err(GraphInvariantError::ItemOutOfRange {
+                    item: v,
+                    n_items: self.n_items,
+                });
+            }
+            if i > 0 {
+                let prev = self.edges[i - 1];
+                if prev == (u, v) {
+                    return Err(GraphInvariantError::DuplicateEdge { user: u, item: v });
+                }
+                if prev > (u, v) {
+                    return Err(GraphInvariantError::UnsortedEdges { index: i });
+                }
+            }
+        }
+        // CSR rows must mirror the edge list exactly: same per-user degree,
+        // same (sorted) items, same total count.
+        let mut cursor = 0usize;
+        let mut csr_total = 0usize;
+        for u in 0..self.n_users {
+            let row = self.user_items.row(u).0;
+            csr_total += row.len();
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(GraphInvariantError::CsrRowMismatch { user: u as u32 });
+            }
+            let end = cursor
+                + self.edges[cursor..]
+                    .iter()
+                    .take_while(|&&(eu, _)| eu as usize == u)
+                    .count();
+            let from_edges: Vec<u32> = self.edges[cursor..end].iter().map(|&(_, v)| v).collect();
+            if row != from_edges.as_slice() {
+                return Err(GraphInvariantError::CsrRowMismatch { user: u as u32 });
+            }
+            cursor = end;
+        }
+        if csr_total != self.edges.len() || cursor != self.edges.len() {
+            return Err(GraphInvariantError::CountMismatch {
+                edges: self.edges.len(),
+                csr: csr_total,
+            });
+        }
+        Ok(())
+    }
+
     /// Returns a new graph keeping only edges accepted by `keep`.
     pub fn filter_edges(&self, keep: impl Fn(u32, u32) -> bool) -> InteractionGraph {
         InteractionGraph::new(
@@ -205,5 +341,46 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_bounds_edges() {
         InteractionGraph::new(1, 1, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn validate_accepts_constructor_built_graphs() {
+        g().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corrupted_edge_lists() {
+        // The constructor upholds the invariants, so corrupt the private
+        // fields directly — emulating a graph deserialized from bad bytes.
+        let mut bad = g();
+        bad.edges[0].1 = 99; // item out of range, CSR now also disagrees
+        assert_eq!(
+            bad.validate(),
+            Err(GraphInvariantError::ItemOutOfRange {
+                item: 99,
+                n_items: 4
+            })
+        );
+
+        let mut dup = g();
+        dup.edges[1] = dup.edges[0];
+        assert!(matches!(
+            dup.validate(),
+            Err(GraphInvariantError::DuplicateEdge { .. })
+        ));
+
+        let mut unsorted = g();
+        unsorted.edges.swap(0, 4);
+        assert!(matches!(
+            unsorted.validate(),
+            Err(GraphInvariantError::UnsortedEdges { .. })
+        ));
+
+        let mut missing = g();
+        missing.edges.pop(); // CSR still holds the removed edge
+        assert!(matches!(
+            missing.validate(),
+            Err(GraphInvariantError::CsrRowMismatch { .. })
+        ));
     }
 }

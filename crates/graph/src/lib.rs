@@ -22,7 +22,7 @@ pub use groups::{
     group_items_by_degree, group_users_by_degree, paper_degree_groups, paper_item_degree_groups,
     DegreeGroup,
 };
-pub use interaction::{InteractionGraph, ItemId, UserId};
+pub use interaction::{GraphInvariantError, InteractionGraph, ItemId, UserId};
 pub use noise::inject_fake_edges;
-pub use sampler::{Triplet, TripletSampler};
+pub use sampler::{SamplerState, Triplet, TripletSampler};
 pub use split::TrainTestSplit;

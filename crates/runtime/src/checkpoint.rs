@@ -1,0 +1,302 @@
+//! Training-state serialization and the on-disk checkpoint store.
+//!
+//! A [`TrainState`] is everything needed to resume a [`crate::Runtime`] run
+//! with a bit-identical loss trajectory: a compatibility header tying the
+//! checkpoint to its run, the epoch cursor and recovery bookkeeping, the
+//! model's [`ModelState`] (parameters + Adam moments + RNG stream + step
+//! counter), and the triplet sampler's [`SamplerState`].
+//!
+//! The [`Checkpointer`] writes atomically (temp file + rename, never
+//! overwriting in place), keeps the last two generations, and on load walks
+//! generations newest-first, falling back past any corrupt file — a torn
+//! write of generation N must never cost you generation N−1.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use graphaug_core::ModelState;
+use graphaug_graph::SamplerState;
+use graphaug_tensor::{Mat, ParamState, ParamStoreState};
+
+use crate::snapshot::{frame, unframe, ByteReader, ByteWriter, SnapshotError};
+
+/// Identity of a training run. A checkpoint written for one run must not be
+/// restored into another: the graph shape decides every parameter shape, and
+/// the seed decides every RNG stream, so a mismatch can only produce silent
+/// nonsense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunCompat {
+    /// Users in the training graph.
+    pub n_users: u64,
+    /// Items in the training graph.
+    pub n_items: u64,
+    /// Interactions in the training graph.
+    pub n_edges: u64,
+    /// The model's RNG seed.
+    pub seed: u64,
+    /// Embedding dimensionality.
+    pub embed_dim: u64,
+}
+
+impl RunCompat {
+    /// Checks this header against the run attempting to restore it.
+    pub fn check(&self, other: &RunCompat) -> Result<(), SnapshotError> {
+        if self == other {
+            return Ok(());
+        }
+        Err(SnapshotError::Incompatible(format!(
+            "checkpoint {self:?} vs run {other:?}"
+        )))
+    }
+}
+
+/// Complete resumable state of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainState {
+    /// Which run this checkpoint belongs to.
+    pub compat: RunCompat,
+    /// Epochs fully completed (the next epoch to execute).
+    pub epoch: u64,
+    /// Current learning-rate multiplier (shrunk by rollback backoff).
+    pub lr_scale: f32,
+    /// Consecutive diverged steps seen so far (rollback trigger counter).
+    pub consecutive_bad: u32,
+    /// Monotonic step-attempt counter (drives fault injection; unlike the
+    /// model's `steps_taken` it also counts withheld/rolled-back steps and
+    /// never rewinds).
+    pub attempt: u64,
+    /// Rolling window of recent finite losses (spike detection context).
+    pub loss_window: Vec<f32>,
+    /// Model parameters, Adam moments, RNG stream, step counter.
+    pub model: ModelState,
+    /// Triplet sampler stream state.
+    pub sampler: SamplerState,
+}
+
+fn put_mat(w: &mut ByteWriter, m: &Mat) {
+    w.put_u64(m.rows() as u64);
+    w.put_u64(m.cols() as u64);
+    for &x in m.as_slice() {
+        w.put_f32(x);
+    }
+}
+
+fn get_mat(r: &mut ByteReader<'_>) -> Result<Mat, SnapshotError> {
+    let rows = r.get_u64()? as usize;
+    let cols = r.get_u64()? as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| SnapshotError::Malformed(format!("matrix shape {rows}x{cols} overflows")))?;
+    if r.remaining() < n.saturating_mul(4) {
+        return Err(SnapshotError::Malformed(format!(
+            "matrix claims {rows}x{cols} but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.get_f32()?);
+    }
+    Ok(Mat::from_vec(rows, cols, data))
+}
+
+impl TrainState {
+    /// Encodes into a framed, checksummed snapshot (see [`crate::snapshot`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.compat.n_users);
+        w.put_u64(self.compat.n_items);
+        w.put_u64(self.compat.n_edges);
+        w.put_u64(self.compat.seed);
+        w.put_u64(self.compat.embed_dim);
+        w.put_u64(self.epoch);
+        w.put_f32(self.lr_scale);
+        w.put_u32(self.consecutive_bad);
+        w.put_u64(self.attempt);
+        w.put_f32_slice(&self.loss_window);
+        // Model.
+        w.put_u64(self.model.params.t);
+        w.put_u64(self.model.params.slots.len() as u64);
+        for slot in &self.model.params.slots {
+            put_mat(&mut w, &slot.value);
+            put_mat(&mut w, &slot.m);
+            put_mat(&mut w, &slot.v);
+        }
+        w.put_rng(self.model.rng);
+        w.put_u64(self.model.steps_taken);
+        w.put_u8(self.model.trained as u8);
+        // Sampler.
+        w.put_u64(self.sampler.seed);
+        w.put_u64(self.sampler.next_stream);
+        w.put_rng(self.sampler.rng);
+        frame(&w.into_bytes())
+    }
+
+    /// Decodes a framed snapshot, validating the checksum and structure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainState, SnapshotError> {
+        let payload = unframe(bytes)?;
+        let mut r = ByteReader::new(payload);
+        let compat = RunCompat {
+            n_users: r.get_u64()?,
+            n_items: r.get_u64()?,
+            n_edges: r.get_u64()?,
+            seed: r.get_u64()?,
+            embed_dim: r.get_u64()?,
+        };
+        let epoch = r.get_u64()?;
+        let lr_scale = r.get_f32()?;
+        let consecutive_bad = r.get_u32()?;
+        let attempt = r.get_u64()?;
+        let loss_window = r.get_f32_vec()?;
+        let t = r.get_u64()?;
+        let n_slots = r.get_u64()? as usize;
+        if n_slots > 1 << 20 {
+            return Err(SnapshotError::Malformed(format!(
+                "implausible slot count {n_slots}"
+            )));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let value = get_mat(&mut r)?;
+            let m = get_mat(&mut r)?;
+            let v = get_mat(&mut r)?;
+            slots.push(ParamState { value, m, v });
+        }
+        let model = ModelState {
+            params: ParamStoreState { t, slots },
+            rng: r.get_rng()?,
+            steps_taken: r.get_u64()?,
+            trained: r.get_u8()? != 0,
+        };
+        let sampler = SamplerState {
+            seed: r.get_u64()?,
+            next_stream: r.get_u64()?,
+            rng: r.get_rng()?,
+        };
+        r.finish()?;
+        Ok(TrainState {
+            compat,
+            epoch,
+            lr_scale,
+            consecutive_bad,
+            attempt,
+            loss_window,
+            model,
+            sampler,
+        })
+    }
+}
+
+/// Generational checkpoint store over one directory.
+///
+/// Files are named `ckpt-<generation>.bin`; writes go through
+/// `ckpt-<generation>.bin.tmp` and a rename so a crash mid-write leaves at
+/// worst a stale `.tmp` (swept on the next startup) and never a truncated
+/// live checkpoint under the real name.
+pub struct Checkpointer {
+    dir: PathBuf,
+    next_gen: u64,
+    /// How many generations to retain (at least 1; default 2 so one corrupt
+    /// write can always fall back).
+    keep: usize,
+}
+
+impl Checkpointer {
+    /// Opens (creating if needed) a checkpoint directory, sweeps stray
+    /// `.tmp` files from interrupted writes, and positions the next
+    /// generation after the newest existing checkpoint.
+    pub fn new(dir: &Path) -> Result<Checkpointer, SnapshotError> {
+        fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let mut max_gen = None;
+        for entry in fs::read_dir(dir).map_err(|e| SnapshotError::Io(e.to_string()))? {
+            let entry = entry.map_err(|e| SnapshotError::Io(e.to_string()))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // Torn write from a killed process: unfinished by definition.
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(g) = parse_generation(&name) {
+                max_gen = Some(max_gen.map_or(g, |m: u64| m.max(g)));
+            }
+        }
+        Ok(Checkpointer {
+            dir: dir.to_path_buf(),
+            next_gen: max_gen.map_or(0, |g| g + 1),
+            keep: 2,
+        })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a specific generation's checkpoint file.
+    pub fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{generation:08}.bin"))
+    }
+
+    /// Atomically writes a checkpoint as the next generation and prunes
+    /// generations beyond the retention count. Returns the live path.
+    pub fn write(&mut self, state: &TrainState) -> Result<PathBuf, SnapshotError> {
+        let generation = self.next_gen;
+        let live = self.path_for(generation);
+        let tmp = live.with_extension("bin.tmp");
+        fs::write(&tmp, state.to_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        fs::rename(&tmp, &live).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        self.next_gen += 1;
+        self.prune();
+        Ok(live)
+    }
+
+    fn prune(&self) {
+        let mut gens = self.generations();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        for &g in gens.iter().skip(self.keep) {
+            let _ = fs::remove_file(self.path_for(g));
+        }
+    }
+
+    /// Existing checkpoint generations, unsorted.
+    pub fn generations(&self) -> Vec<u64> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        entries
+            .flatten()
+            .filter_map(|e| parse_generation(&e.file_name().to_string_lossy()))
+            .collect()
+    }
+
+    /// Loads the newest checkpoint that decodes cleanly, walking past any
+    /// corrupt generations. Returns the generation alongside the state, or
+    /// `None` when no valid checkpoint exists.
+    pub fn latest_valid(&self) -> Option<(u64, TrainState)> {
+        let mut gens = self.generations();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        for g in gens {
+            if let Ok(bytes) = fs::read(self.path_for(g)) {
+                if let Ok(state) = TrainState::from_bytes(&bytes) {
+                    return Some((g, state));
+                }
+            }
+        }
+        None
+    }
+
+    /// Loads one checkpoint file strictly — every corruption mode surfaces
+    /// as its typed [`SnapshotError`].
+    pub fn load(path: &Path) -> Result<TrainState, SnapshotError> {
+        let bytes = fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        TrainState::from_bytes(&bytes)
+    }
+}
+
+fn parse_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
+}

@@ -1,0 +1,123 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! A [`FaultPlan`] is keyed on the runtime's monotonic *attempt* counter —
+//! not the model's applied-step counter — so an injection fires exactly once
+//! even when recovery (skip, rollback) replays the surrounding steps. The
+//! file helpers damage checkpoints on disk the way real incidents do: torn
+//! writes (truncation) and bit rot (a flipped byte).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A scripted schedule of faults for one training run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    nan_grad_at: BTreeSet<u64>,
+    halt_before_attempt: Option<u64>,
+    halt_after_epoch: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Poisons the first gradient entry with NaN on the given step attempt
+    /// (0-based, counted across the whole run including recovered steps).
+    pub fn nan_grad_at(mut self, attempt: u64) -> Self {
+        self.nan_grad_at.insert(attempt);
+        self
+    }
+
+    /// Simulates a crash *between batches*: the runtime returns before
+    /// executing the given attempt, leaving whatever checkpoints exist on
+    /// disk — exactly the state a `kill -9` at that moment would leave.
+    pub fn halt_before_attempt(mut self, attempt: u64) -> Self {
+        self.halt_before_attempt = Some(attempt);
+        self
+    }
+
+    /// Simulates a crash *between epochs*: the runtime returns right after
+    /// the given epoch's checkpoint is written.
+    pub fn halt_after_epoch(mut self, epoch: u64) -> Self {
+        self.halt_after_epoch = Some(epoch);
+        self
+    }
+
+    /// Whether to poison gradients on this attempt.
+    pub fn inject_nan(&self, attempt: u64) -> bool {
+        self.nan_grad_at.contains(&attempt)
+    }
+
+    /// Whether to simulate a kill before this attempt.
+    pub fn should_halt_before(&self, attempt: u64) -> bool {
+        self.halt_before_attempt == Some(attempt)
+    }
+
+    /// Whether to simulate a kill after this epoch.
+    pub fn should_halt_after_epoch(&self, epoch: u64) -> bool {
+        self.halt_after_epoch == Some(epoch)
+    }
+}
+
+/// Flips one byte of a checkpoint file in place (simulated bit rot). The
+/// index is taken modulo the file length so tests can aim at "somewhere in
+/// the payload" without knowing the exact size.
+pub fn corrupt_checkpoint(path: &Path, byte_index: usize) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let i = byte_index % bytes.len();
+    bytes[i] ^= 0xFF;
+    fs::write(path, bytes)
+}
+
+/// Truncates a checkpoint file to its first `keep_bytes` bytes (simulated
+/// torn write / disk-full).
+pub fn truncate_checkpoint(path: &Path, keep_bytes: usize) -> io::Result<()> {
+    let bytes = fs::read(path)?;
+    let keep = keep_bytes.min(bytes.len());
+    fs::write(path, &bytes[..keep])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_exactly_on_the_scheduled_attempts() {
+        let plan = FaultPlan::none().nan_grad_at(3).nan_grad_at(7);
+        let fired: Vec<u64> = (0..10).filter(|&a| plan.inject_nan(a)).collect();
+        assert_eq!(fired, vec![3, 7]);
+        assert!(!plan.should_halt_before(3));
+    }
+
+    #[test]
+    fn halts_are_single_points() {
+        let plan = FaultPlan::none().halt_before_attempt(5).halt_after_epoch(2);
+        assert!(plan.should_halt_before(5));
+        assert!(!plan.should_halt_before(4));
+        assert!(plan.should_halt_after_epoch(2));
+        assert!(!plan.should_halt_after_epoch(1));
+    }
+
+    #[test]
+    fn file_damage_helpers_change_the_bytes() {
+        let dir = std::env::temp_dir().join(format!("graphaug-fault-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        corrupt_checkpoint(&path, 1).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), vec![1, 2 ^ 0xFF, 3, 4, 5]);
+        truncate_checkpoint(&path, 2).unwrap();
+        assert_eq!(fs::read(&path).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,169 @@
+//! Divergence guards: per-step verdicts over loss/gradient health and the
+//! recovery policies the runtime applies when a step goes bad.
+
+use graphaug_core::StepStats;
+
+/// What the runtime does when a step diverges (non-finite loss or gradient,
+/// or a loss spike flagged by the [`SpikeDetector`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Drop the offending batch on the floor and move on. The guard inside
+    /// `train_step_with` already withheld the poisoned update, so "skip" is
+    /// purely bookkeeping — the cheapest possible recovery.
+    SkipBatch,
+    /// Clip the global gradient norm to `max_norm` on every step. Spikes
+    /// shrink to bounded updates instead of being dropped; non-finite
+    /// gradients are still withheld (clipping NaN is still NaN).
+    ClipAndContinue {
+        /// Global L2 norm ceiling applied before the Adam update.
+        max_norm: f32,
+    },
+    /// After `after` consecutive bad steps, restore the last good state
+    /// (in-memory or from the newest valid checkpoint) and multiply the
+    /// learning rate by `lr_factor` — the classic divergence escape hatch.
+    RollbackWithBackoff {
+        /// Consecutive bad steps tolerated before rolling back.
+        after: u32,
+        /// Learning-rate multiplier applied at each rollback (in `(0, 1)`).
+        lr_factor: f32,
+    },
+}
+
+/// Health verdict for one optimization step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepVerdict {
+    /// Finite loss and gradients, no spike.
+    Healthy,
+    /// The loss jumped far above the recent rolling median.
+    Spike,
+    /// Non-finite loss or gradient entries — the update was withheld.
+    Diverged,
+}
+
+/// Rolling-window loss-spike detector. A step whose (finite) loss exceeds
+/// `spike_factor ×` the median of the last `window` finite losses is flagged
+/// as a [`StepVerdict::Spike`]; non-finite losses are never admitted to the
+/// window. The median (not the mean) keeps a single earlier spike from
+/// masking the next one.
+#[derive(Clone, Debug)]
+pub struct SpikeDetector {
+    window: usize,
+    spike_factor: f32,
+    recent: Vec<f32>,
+}
+
+impl SpikeDetector {
+    /// A detector over the last `window` losses with the given trip factor.
+    pub fn new(window: usize, spike_factor: f32) -> Self {
+        assert!(window >= 1, "spike window must hold at least one loss");
+        assert!(spike_factor > 1.0, "spike factor must exceed 1");
+        SpikeDetector {
+            window,
+            spike_factor,
+            recent: Vec::with_capacity(window),
+        }
+    }
+
+    /// Restores the window contents from a checkpoint.
+    pub fn restore(&mut self, losses: &[f32]) {
+        self.recent = losses.iter().copied().filter(|l| l.is_finite()).collect();
+        let excess = self.recent.len().saturating_sub(self.window);
+        self.recent.drain(..excess);
+    }
+
+    /// Current window contents (for checkpointing).
+    pub fn window(&self) -> &[f32] {
+        &self.recent
+    }
+
+    /// Judges one step and, when the loss is healthy, admits it to the
+    /// window. Spiking losses are *not* admitted: a divergence plateau
+    /// should keep tripping the detector, not re-baseline it.
+    pub fn observe(&mut self, stats: &StepStats) -> StepVerdict {
+        if !stats.update_applied() {
+            return StepVerdict::Diverged;
+        }
+        let spike =
+            self.recent.len() == self.window && stats.loss > self.spike_factor * self.median();
+        if spike {
+            return StepVerdict::Spike;
+        }
+        if self.recent.len() == self.window {
+            self.recent.remove(0);
+        }
+        self.recent.push(stats.loss);
+        StepVerdict::Healthy
+    }
+
+    fn median(&self) -> f32 {
+        let mut sorted = self.recent.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(loss: f32) -> StepStats {
+        StepStats {
+            loss,
+            grad_norm: 1.0,
+            ..Default::default()
+        }
+    }
+
+    fn bad_stats() -> StepStats {
+        StepStats {
+            loss: f32::NAN,
+            bad_grads: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_losses_are_healthy() {
+        let mut d = SpikeDetector::new(4, 3.0);
+        for l in [1.0, 1.1, 0.9, 1.0, 1.05, 0.95] {
+            assert_eq!(d.observe(&stats(l)), StepVerdict::Healthy);
+        }
+    }
+
+    #[test]
+    fn a_jump_over_the_median_trips_the_detector() {
+        let mut d = SpikeDetector::new(4, 3.0);
+        for l in [1.0, 1.0, 1.0, 1.0] {
+            d.observe(&stats(l));
+        }
+        assert_eq!(d.observe(&stats(10.0)), StepVerdict::Spike);
+        // The spike was not admitted: a second one still trips.
+        assert_eq!(d.observe(&stats(10.0)), StepVerdict::Spike);
+        // Normal losses keep flowing.
+        assert_eq!(d.observe(&stats(1.1)), StepVerdict::Healthy);
+    }
+
+    #[test]
+    fn no_spike_before_the_window_fills() {
+        let mut d = SpikeDetector::new(8, 2.0);
+        assert_eq!(d.observe(&stats(1.0)), StepVerdict::Healthy);
+        // Early training losses legitimately swing; don't trip on them.
+        assert_eq!(d.observe(&stats(50.0)), StepVerdict::Healthy);
+    }
+
+    #[test]
+    fn non_finite_steps_are_diverged_and_not_admitted() {
+        let mut d = SpikeDetector::new(2, 3.0);
+        d.observe(&stats(1.0));
+        assert_eq!(d.observe(&bad_stats()), StepVerdict::Diverged);
+        assert_eq!(d.window(), &[1.0]);
+    }
+
+    #[test]
+    fn restore_round_trips_and_truncates() {
+        let mut d = SpikeDetector::new(3, 3.0);
+        d.restore(&[1.0, 2.0, f32::NAN, 3.0, 4.0]);
+        // NaN filtered, then truncated to the newest `window` entries.
+        assert_eq!(d.window(), &[2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,403 @@
+//! Integration tests for the fault-tolerant runtime: bit-identical
+//! checkpoint/resume at multiple thread counts, all three recovery
+//! policies surviving injected faults without a process abort, and
+//! checkpoint robustness against on-disk damage.
+
+use std::fs;
+use std::path::PathBuf;
+
+use graphaug_core::GraphAugConfig;
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_eval::Recommender;
+use graphaug_graph::InteractionGraph;
+use graphaug_runtime::{
+    corrupt_checkpoint, truncate_checkpoint, Checkpointer, FaultPlan, RecoveryAction,
+    RecoveryPolicy, Runtime, RuntimeConfig, RuntimeError, SnapshotError, StepVerdict,
+};
+
+fn toy_graph() -> InteractionGraph {
+    generate(&SyntheticConfig::new(70, 55, 800).clusters(4).seed(13))
+}
+
+fn toy_model() -> GraphAugConfig {
+    GraphAugConfig::fast_test()
+        .seed(3)
+        .epochs(6)
+        .steps_per_epoch(3)
+}
+
+/// A unique, self-cleaning checkpoint directory per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("graphaug-runtime-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn embeddings_bits(rt: &Runtime) -> (Vec<u32>, Vec<u32>) {
+    let (u, i) = rt.model().embeddings().unwrap();
+    (
+        u.as_slice().iter().map(|x| x.to_bits()).collect(),
+        i.as_slice().iter().map(|x| x.to_bits()).collect(),
+    )
+}
+
+fn loss_bits(losses: &[f32]) -> Vec<u32> {
+    losses.iter().map(|l| l.to_bits()).collect()
+}
+
+#[test]
+fn resume_reproduces_the_uninterrupted_run_bit_identically_at_1_and_4_threads() {
+    let graph = toy_graph();
+    for threads in [1usize, 4] {
+        graphaug_par::set_thread_count(threads);
+
+        let ref_dir = TempDir::new(&format!("ref-{threads}"));
+        let mut reference = Runtime::new(
+            RuntimeConfig::new(toy_model()).checkpoint_dir(ref_dir.path()),
+            &graph,
+        )
+        .unwrap();
+        let ref_report = reference.run().unwrap();
+        assert_eq!(ref_report.epochs_completed, 6);
+        assert!(reference.model().is_trained());
+
+        // Crash after epoch 2 (simulated kill), then resume from disk.
+        let dir = TempDir::new(&format!("crash-{threads}"));
+        let crash_cfg = RuntimeConfig::new(toy_model())
+            .checkpoint_dir(dir.path())
+            .fault(FaultPlan::none().halt_after_epoch(2));
+        let mut victim = Runtime::new(crash_cfg, &graph).unwrap();
+        let victim_report = victim.run().unwrap();
+        assert!(victim_report.halted_by_fault);
+        assert_eq!(victim_report.epochs_completed, 3);
+        drop(victim); // the "process" dies here
+
+        let mut resumed = Runtime::resume(
+            RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+            &graph,
+        )
+        .unwrap();
+        assert_eq!(resumed.epochs_completed(), 3);
+        let resumed_report = resumed.run().unwrap();
+        assert_eq!(resumed_report.epochs_completed, 6);
+        assert!(resumed.model().is_trained());
+
+        // The loss trajectory concatenates exactly …
+        let mut stitched = victim_report.step_losses.clone();
+        stitched.extend_from_slice(&resumed_report.step_losses);
+        assert_eq!(
+            loss_bits(&ref_report.step_losses),
+            loss_bits(&stitched),
+            "threads={threads}: resumed loss trajectory must be bit-identical"
+        );
+        // … and the final embeddings are bit-identical.
+        assert_eq!(
+            embeddings_bits(&reference),
+            embeddings_bits(&resumed),
+            "threads={threads}: final embeddings must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn mid_epoch_kill_resumes_bit_identically() {
+    let graph = toy_graph();
+    let mut reference = Runtime::new(RuntimeConfig::new(toy_model()), &graph).unwrap();
+    reference.run().unwrap();
+
+    // Kill between batches, mid-epoch (attempt 7 is step 1 of epoch 2).
+    let dir = TempDir::new("midepoch");
+    let mut victim = Runtime::new(
+        RuntimeConfig::new(toy_model())
+            .checkpoint_dir(dir.path())
+            .fault(FaultPlan::none().halt_before_attempt(7)),
+        &graph,
+    )
+    .unwrap();
+    let report = victim.run().unwrap();
+    assert!(report.halted_by_fault);
+    drop(victim);
+
+    let mut resumed = Runtime::resume(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    resumed.run().unwrap();
+    assert_eq!(embeddings_bits(&reference), embeddings_bits(&resumed));
+}
+
+#[test]
+fn skip_batch_policy_rides_out_injected_nans() {
+    let graph = toy_graph();
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model())
+            .policy(RecoveryPolicy::SkipBatch)
+            .fault(FaultPlan::none().nan_grad_at(4).nan_grad_at(9)),
+        &graph,
+    )
+    .unwrap();
+    let report = rt.run().unwrap();
+    assert_eq!(report.epochs_completed, 6);
+    assert_eq!(report.recoveries.len(), 2);
+    for r in &report.recoveries {
+        assert_eq!(r.verdict, StepVerdict::Diverged);
+        assert_eq!(r.action, RecoveryAction::SkippedBatch);
+    }
+    assert!([4, 9].contains(&report.recoveries[0].attempt));
+    // Two batches were dropped, the rest trained normally.
+    assert_eq!(report.step_losses.len(), 6 * 3 - 2);
+    let (u, _) = rt.model().embeddings().unwrap();
+    assert!(u.all_finite());
+}
+
+#[test]
+fn clip_and_continue_policy_survives_nans_and_clips_every_step() {
+    let graph = toy_graph();
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model())
+            .policy(RecoveryPolicy::ClipAndContinue { max_norm: 0.5 })
+            .fault(FaultPlan::none().nan_grad_at(5)),
+        &graph,
+    )
+    .unwrap();
+    let report = rt.run().unwrap();
+    assert_eq!(report.epochs_completed, 6);
+    let clipped: Vec<_> = report
+        .recoveries
+        .iter()
+        .filter(|r| r.action == RecoveryAction::ClippedContinue)
+        .collect();
+    assert_eq!(clipped.len(), 1);
+    assert_eq!(clipped[0].attempt, 5);
+    assert_eq!(clipped[0].verdict, StepVerdict::Diverged);
+    let (u, _) = rt.model().embeddings().unwrap();
+    assert!(u.all_finite());
+}
+
+#[test]
+fn rollback_policy_restores_last_good_state_and_backs_off_the_lr() {
+    let graph = toy_graph();
+    // Two consecutive poisoned steps trip the `after: 2` threshold.
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model())
+            .policy(RecoveryPolicy::RollbackWithBackoff {
+                after: 2,
+                lr_factor: 0.5,
+            })
+            .fault(FaultPlan::none().nan_grad_at(7).nan_grad_at(8)),
+        &graph,
+    )
+    .unwrap();
+    let report = rt.run().unwrap();
+    assert_eq!(report.epochs_completed, 6, "run must still complete");
+    let rolled: Vec<_> = report
+        .recoveries
+        .iter()
+        .filter(|r| matches!(r.action, RecoveryAction::RolledBack { .. }))
+        .collect();
+    assert_eq!(rolled.len(), 1, "exactly one rollback");
+    let RecoveryAction::RolledBack { lr_scale } = rolled[0].action else {
+        unreachable!()
+    };
+    assert_eq!(lr_scale, 0.5);
+    assert_eq!(rt.lr_scale(), 0.5);
+    // The first bad step was tolerated while the counter climbed.
+    assert!(report
+        .recoveries
+        .iter()
+        .any(|r| r.action == RecoveryAction::Tolerated));
+    let (u, _) = rt.model().embeddings().unwrap();
+    assert!(u.all_finite());
+}
+
+#[test]
+fn truncated_checkpoint_is_a_typed_error() {
+    let graph = toy_graph();
+    let dir = TempDir::new("trunc");
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    rt.run().unwrap();
+    let ckpt = Checkpointer::new(dir.path()).unwrap();
+    let mut gens = ckpt.generations();
+    gens.sort_unstable();
+    let newest = ckpt.path_for(*gens.last().unwrap());
+
+    truncate_checkpoint(&newest, 40).unwrap();
+    assert!(matches!(
+        Checkpointer::load(&newest).unwrap_err(),
+        SnapshotError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn flipped_byte_is_a_checksum_mismatch() {
+    let graph = toy_graph();
+    let dir = TempDir::new("flip");
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    rt.run().unwrap();
+    let ckpt = Checkpointer::new(dir.path()).unwrap();
+    let mut gens = ckpt.generations();
+    gens.sort_unstable();
+    let newest = ckpt.path_for(*gens.last().unwrap());
+
+    corrupt_checkpoint(&newest, 1000).unwrap();
+    assert_eq!(
+        Checkpointer::load(&newest).unwrap_err(),
+        SnapshotError::ChecksumMismatch
+    );
+}
+
+#[test]
+fn wrong_format_version_is_rejected() {
+    let graph = toy_graph();
+    let dir = TempDir::new("version");
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    rt.run().unwrap();
+    let ckpt = Checkpointer::new(dir.path()).unwrap();
+    let mut gens = ckpt.generations();
+    gens.sort_unstable();
+    let newest = ckpt.path_for(*gens.last().unwrap());
+
+    // Bytes 8..12 hold the format version.
+    let mut bytes = fs::read(&newest).unwrap();
+    bytes[8] = 0xFE;
+    fs::write(&newest, bytes).unwrap();
+    assert!(matches!(
+        Checkpointer::load(&newest).unwrap_err(),
+        SnapshotError::BadVersion { found, .. } if found != 1
+    ));
+}
+
+#[test]
+fn resume_falls_back_past_a_corrupt_newest_generation() {
+    let graph = toy_graph();
+    let dir = TempDir::new("fallback");
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    rt.run().unwrap();
+    drop(rt);
+
+    let ckpt = Checkpointer::new(dir.path()).unwrap();
+    let mut gens = ckpt.generations();
+    gens.sort_unstable();
+    assert_eq!(gens.len(), 2, "two generations retained");
+    corrupt_checkpoint(&ckpt.path_for(*gens.last().unwrap()), 500).unwrap();
+
+    // latest_valid walks past the damaged newest generation …
+    let (gen, state) = ckpt.latest_valid().unwrap();
+    assert_eq!(gen, gens[0]);
+    assert_eq!(
+        state.epoch, 5,
+        "previous generation is the epoch-5 snapshot"
+    );
+
+    // … and Runtime::resume restores it and finishes the last epoch.
+    let mut resumed = Runtime::resume(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    assert_eq!(resumed.epochs_completed(), 5);
+    let report = resumed.run().unwrap();
+    assert_eq!(report.epochs_completed, 6);
+}
+
+#[test]
+fn startup_sweeps_stale_tmp_files_and_ignores_foreign_files() {
+    let dir = TempDir::new("tmp-sweep");
+    fs::write(dir.path().join("ckpt-00000009.bin.tmp"), b"torn write").unwrap();
+    fs::write(dir.path().join("notes.txt"), b"unrelated").unwrap();
+    let ckpt = Checkpointer::new(dir.path()).unwrap();
+    assert!(!dir.path().join("ckpt-00000009.bin.tmp").exists());
+    assert!(dir.path().join("notes.txt").exists());
+    assert!(ckpt.generations().is_empty());
+    assert!(ckpt.latest_valid().is_none());
+}
+
+#[test]
+fn resume_requires_a_checkpoint_and_resume_or_new_falls_back() {
+    let graph = toy_graph();
+    let dir = TempDir::new("nockpt");
+    let cfg = RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path());
+    assert!(matches!(
+        Runtime::resume(cfg.clone(), &graph),
+        Err(RuntimeError::NoCheckpoint(_))
+    ));
+    let rt = Runtime::resume_or_new(cfg, &graph).unwrap();
+    assert_eq!(rt.epochs_completed(), 0);
+}
+
+#[test]
+fn checkpoints_from_a_different_run_are_rejected_as_incompatible() {
+    let graph = toy_graph();
+    let dir = TempDir::new("incompat");
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    rt.run().unwrap();
+    drop(rt);
+
+    // Same graph, different seed → different run identity.
+    let other = RuntimeConfig::new(toy_model().seed(99)).checkpoint_dir(dir.path());
+    assert!(matches!(
+        Runtime::resume(other, &graph),
+        Err(RuntimeError::Snapshot(SnapshotError::Incompatible(_)))
+    ));
+}
+
+#[test]
+fn runtime_overhead_checkpointing_does_not_change_the_trajectory() {
+    // Checkpointing must be observationally free: the same run with and
+    // without a checkpoint directory produces bit-identical models.
+    let graph = toy_graph();
+    let mut plain = Runtime::new(RuntimeConfig::new(toy_model()), &graph).unwrap();
+    let plain_report = plain.run().unwrap();
+
+    let dir = TempDir::new("overhead");
+    let mut ckpt = Runtime::new(
+        RuntimeConfig::new(toy_model()).checkpoint_dir(dir.path()),
+        &graph,
+    )
+    .unwrap();
+    let ckpt_report = ckpt.run().unwrap();
+
+    assert_eq!(
+        loss_bits(&plain_report.step_losses),
+        loss_bits(&ckpt_report.step_losses)
+    );
+    assert_eq!(embeddings_bits(&plain), embeddings_bits(&ckpt));
+    assert!(ckpt_report.checkpoints_written >= 2);
+}

@@ -38,7 +38,7 @@ pub mod tape;
 
 pub use mat::Mat;
 pub use ops::{sigmoid, softplus, PairGatherPlan, SpPair};
-pub use optim::{Optimizer, ParamId, ParamStore};
+pub use optim::{Optimizer, ParamId, ParamState, ParamStore, ParamStoreState, RestoreError};
 pub use tape::{Graph, NodeId};
 
 /// The 8-lane SIMD layer the kernel crates build on (`F32x8`, `dot8`, the

@@ -66,6 +66,69 @@ pub struct ParamStore {
     t: u64,
 }
 
+/// Snapshot of one parameter slot: value plus both Adam moments.
+#[derive(Clone, Debug)]
+pub struct ParamState {
+    /// Parameter value.
+    pub value: Mat,
+    /// Adam first moment.
+    pub m: Mat,
+    /// Adam second moment.
+    pub v: Mat,
+}
+
+/// Full optimizer-state snapshot of a [`ParamStore`] — everything needed to
+/// resume training bit-identically: values, Adam moments, and the shared
+/// step counter behind the bias correction.
+#[derive(Clone, Debug)]
+pub struct ParamStoreState {
+    /// The shared Adam step counter.
+    pub t: u64,
+    /// One entry per registered parameter, in registration order.
+    pub slots: Vec<ParamState>,
+}
+
+/// Why a [`ParamStore::restore`] was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot holds a different number of parameters than the store.
+    SlotCount {
+        /// Parameters registered in the store.
+        expected: usize,
+        /// Parameters present in the snapshot.
+        got: usize,
+    },
+    /// A snapshot slot's shape does not match the registered parameter.
+    Shape {
+        /// Index of the mismatched slot.
+        slot: usize,
+        /// Registered `(rows, cols)`.
+        expected: (usize, usize),
+        /// Snapshot `(rows, cols)`.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::SlotCount { expected, got } => {
+                write!(f, "snapshot has {got} parameters, store has {expected}")
+            }
+            RestoreError::Shape {
+                slot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "snapshot slot {slot} has shape {got:?}, store expects {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
@@ -121,6 +184,72 @@ impl ParamStore {
         self.slots.iter().map(|s| s.value.frob_sq()).sum()
     }
 
+    /// The shared Adam step counter (number of optimizer steps applied).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Snapshots every parameter value, both Adam moments, and the step
+    /// counter — the optimizer half of a training checkpoint.
+    pub fn snapshot(&self) -> ParamStoreState {
+        ParamStoreState {
+            t: self.t,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| ParamState {
+                    value: s.value.clone(),
+                    m: s.m.clone(),
+                    v: s.v.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`ParamStore::snapshot`]. The snapshot
+    /// must cover exactly the registered parameters with matching shapes;
+    /// on error the store is left untouched.
+    pub fn restore(&mut self, state: &ParamStoreState) -> Result<(), RestoreError> {
+        if state.slots.len() != self.slots.len() {
+            return Err(RestoreError::SlotCount {
+                expected: self.slots.len(),
+                got: state.slots.len(),
+            });
+        }
+        for (i, (slot, snap)) in self.slots.iter().zip(&state.slots).enumerate() {
+            if slot.value.shape() != snap.value.shape()
+                || slot.m.shape() != snap.m.shape()
+                || slot.v.shape() != snap.v.shape()
+            {
+                return Err(RestoreError::Shape {
+                    slot: i,
+                    expected: slot.value.shape(),
+                    got: snap.value.shape(),
+                });
+            }
+        }
+        self.t = state.t;
+        for (slot, snap) in self.slots.iter_mut().zip(&state.slots) {
+            slot.value = snap.value.clone();
+            slot.m = snap.m.clone();
+            slot.v = snap.v.clone();
+        }
+        Ok(())
+    }
+
+    /// Applies one optimizer step from explicit `(param, gradient)` pairs,
+    /// each gradient multiplied by `scale` (the global gradient-clipping
+    /// factor — `1.0` for no clipping). Advances the shared step counter
+    /// once. Unlike [`ParamStore::apply_grads`] the caller owns the
+    /// gradients, which lets a training supervisor inspect them (finiteness,
+    /// norms) *before* committing the update.
+    pub fn apply_step(&mut self, grads: &[(ParamId, Mat)], opt: Optimizer, scale: f32) {
+        self.t += 1;
+        for (pid, grad) in grads {
+            self.step_one_scaled(*pid, grad, opt, scale);
+        }
+    }
+
     /// Applies one optimizer step for the given `(param, tape-node)` pairs,
     /// reading gradients from `graph`. Parameters whose node received no
     /// gradient are left untouched. Advances the shared step counter once.
@@ -137,11 +266,17 @@ impl ParamStore {
     /// Applies one optimizer update to a single parameter from an explicit
     /// gradient matrix.
     pub fn step_one(&mut self, id: ParamId, grad: &Mat, opt: Optimizer) {
+        self.step_one_scaled(id, grad, opt, 1.0);
+    }
+
+    /// [`ParamStore::step_one`] with the gradient multiplied by `scale`
+    /// (global-norm clipping) without materializing a scaled copy.
+    fn step_one_scaled(&mut self, id: ParamId, grad: &Mat, opt: Optimizer, scale: f32) {
         let slot = &mut self.slots[id.0];
         assert_eq!(slot.value.shape(), grad.shape(), "gradient shape mismatch");
         match opt {
             Optimizer::Sgd { lr } => {
-                slot.value.add_assign_scaled(grad, -lr);
+                slot.value.add_assign_scaled(grad, -lr * scale);
             }
             Optimizer::Adam {
                 lr,
@@ -156,7 +291,7 @@ impl ParamStore {
                 let m = slot.m.as_mut_slice();
                 let v = slot.v.as_mut_slice();
                 for i in 0..val.len() {
-                    let gi = grad.as_slice()[i];
+                    let gi = grad.as_slice()[i] * scale;
                     m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
                     v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
                     let mhat = m[i] / bc1;
@@ -218,6 +353,73 @@ mod tests {
         store.apply_grads(&g, &[(p, node)], Optimizer::sgd(0.25));
         // d(x^2)/dx = 4 at x = 2; new x = 2 - 0.25*4 = 1.
         assert!((store.value(p).item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_values_moments_and_step() {
+        let mut store = ParamStore::new();
+        let p = store.register(Mat::scalar(0.0));
+        for _ in 0..5 {
+            store.t += 1;
+            let x = store.value(p).item();
+            store.step_one(p, &Mat::scalar(2.0 * (x - 3.0)), Optimizer::adam(0.05));
+        }
+        let snap = store.snapshot();
+        assert_eq!(snap.t, 5);
+        // Diverge, then restore: continuing from the snapshot must replay
+        // the exact trajectory of a store that never diverged.
+        let mut twin = ParamStore::new();
+        let q = twin.register(Mat::scalar(0.0));
+        twin.restore(&snap).unwrap();
+        for _ in 0..3 {
+            store.t += 1;
+            twin.t += 1;
+            let gx = Mat::scalar(2.0 * (store.value(p).item() - 3.0));
+            let gy = Mat::scalar(2.0 * (twin.value(q).item() - 3.0));
+            store.step_one(p, &gx, Optimizer::adam(0.05));
+            twin.step_one(q, &gy, Optimizer::adam(0.05));
+        }
+        assert_eq!(
+            store.value(p).item().to_bits(),
+            twin.value(q).item().to_bits(),
+            "restored store must continue bit-identically"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let mut store = ParamStore::new();
+        store.register(Mat::filled(2, 3, 1.0));
+        let mut other = ParamStore::new();
+        other.register(Mat::filled(2, 3, 0.0));
+        other.register(Mat::filled(1, 1, 0.0));
+        assert_eq!(
+            store.restore(&other.snapshot()),
+            Err(RestoreError::SlotCount {
+                expected: 1,
+                got: 2
+            })
+        );
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register(Mat::filled(3, 2, 0.0));
+        assert!(matches!(
+            store.restore(&wrong_shape.snapshot()),
+            Err(RestoreError::Shape { slot: 0, .. })
+        ));
+        // The failed restores must not have touched the store.
+        assert_eq!(store.value(ParamId(0)).as_slice(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn apply_step_scales_the_gradient() {
+        let mut a = ParamStore::new();
+        let pa = a.register(Mat::scalar(1.0));
+        let mut b = ParamStore::new();
+        let pb = b.register(Mat::scalar(1.0));
+        a.apply_step(&[(pa, Mat::scalar(4.0))], Optimizer::sgd(0.1), 0.5);
+        b.apply_step(&[(pb, Mat::scalar(2.0))], Optimizer::sgd(0.1), 1.0);
+        assert_eq!(a.value(pa).item().to_bits(), b.value(pb).item().to_bits());
+        assert_eq!(a.step_count(), 1);
     }
 
     #[test]
