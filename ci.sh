@@ -90,16 +90,49 @@ for threads in 1 4; do
     rm -rf "$ckdir"
 done
 
-stage "perf trajectory gate (BENCH_pr4 vs BENCH_pr3)"
-# The recorded PR 4 trajectory point must hold a ≤10% median regression
-# bound against the PR 3 baseline. This diffs the two *recorded* files —
+stage "serving smoke test (serve_main + loadgen parity over TCP)"
+# Boot the demo service on an ephemeral loopback port (training the demo
+# model into a temp checkpoint dir on first run), require its offline-vs-
+# served parity self-check to pass, then drive it with the seeded load
+# generator — any ERR or malformed response fails the run.
+serve_dir="$(mktemp -d /tmp/graphaug_serve_smoke.XXXXXX)"
+serve_log="$serve_dir/serve.log"
+target/release/serve_main "$serve_dir/ck" >"$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 600); do
+    grep -q "READY addr=" "$serve_log" 2>/dev/null && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+done
+if ! grep -q "PARITY ok" "$serve_log"; then
+    echo "ERROR: serve_main parity self-check did not pass" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+serve_addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$serve_log")
+if ! target/release/loadgen "$serve_addr" --requests 1000 --conns 4; then
+    echo "ERROR: loadgen reported errors against $serve_addr" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+grep "PARITY ok" "$serve_log"
+echo "ok: served rankings bit-identical to offline eval, loadgen clean"
+rm -rf "$serve_dir"
+
+stage "perf trajectory gate (BENCH_pr5 vs BENCH_pr4)"
+# The recorded PR 5 trajectory point must hold a ≤10% median regression
+# bound against the PR 4 baseline. This diffs the two *recorded* files —
 # deterministic and machine-independent — rather than re-benching on
 # whatever box CI runs on.
-if [[ -f BENCH_pr4.json && -f BENCH_pr3.json ]]; then
+if [[ -f BENCH_pr5.json && -f BENCH_pr4.json ]]; then
     cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-        BENCH_pr4.json BENCH_pr3.json --threshold 10
+        BENCH_pr5.json BENCH_pr4.json --threshold 10
 else
-    echo "skip: BENCH_pr4.json / BENCH_pr3.json not both present"
+    echo "skip: BENCH_pr5.json / BENCH_pr4.json not both present"
 fi
 
 stage "dependency hermeticity check"

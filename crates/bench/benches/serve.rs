@@ -1,0 +1,15 @@
+//! Online-serving benchmarks — uncached/cached/batched top-K serving and
+//! the table-rebuild cost that bounds hot-reload latency.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("serve");
+    perf::serving(&mut h);
+    h.finish();
+}

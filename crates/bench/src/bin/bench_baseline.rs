@@ -19,5 +19,6 @@ fn main() {
     perf::topk_eval(&mut h);
     perf::augmentor(&mut h);
     perf::checkpoint(&mut h);
+    perf::serving(&mut h);
     h.finish();
 }

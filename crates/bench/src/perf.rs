@@ -14,6 +14,7 @@ use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
 use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
+use graphaug_serve::{Engine, ModelSource, ModelTables};
 use graphaug_tensor::init::{seeded_rng, xavier_uniform};
 use graphaug_tensor::{Graph, Mat, SpPair};
 
@@ -238,4 +239,74 @@ pub fn augmentor(h: &mut Harness) {
         let v = sample_view(&mut g, logits, &idx, &settings, &mut r);
         black_box(v.kept_fraction);
     });
+}
+
+/// Online-serving benchmarks: uncached top-K scoring, the cache-hit fast
+/// path, batched fan-out through the engine, and the full table rebuild a
+/// hot reload pays (checkpoint decode + one encoder forward) — the latency
+/// ceiling of a generation swap. Same 300×250 model scale as the
+/// `checkpoint` suite so rebuild cost reads against encode/decode cost.
+pub fn serving(h: &mut Harness) {
+    let train = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
+    let cfg = GraphAugConfig::new().seed(3);
+    let model = GraphAug::new(cfg.clone(), &train);
+    let state = TrainState {
+        compat: RunCompat {
+            n_users: train.n_users() as u64,
+            n_items: train.n_items() as u64,
+            n_edges: train.n_interactions() as u64,
+            seed: 3,
+            embed_dim: 32,
+        },
+        epoch: 4,
+        lr_scale: 1.0,
+        consecutive_bad: 0,
+        attempt: 24,
+        loss_window: vec![0.45; 8],
+        model: model.training_state(),
+        sampler: TripletSampler::new(&train, 7).state(),
+    };
+
+    let dir = std::env::temp_dir().join(format!("graphaug-bench-serve-{}", std::process::id()));
+    let mut ckpt = Checkpointer::new(&dir).expect("temp checkpoint dir");
+    ckpt.write(&state).expect("write bench checkpoint");
+    let source = ModelSource::new(cfg, train.clone(), &dir);
+
+    // Hot-reload latency: decode-independent part of a generation swap —
+    // restore the state and run the encoder forward once.
+    h.bench("serving_table_rebuild_300x250_d32", || {
+        black_box(ModelTables::build(&source, 1, &state).unwrap().n_users());
+    });
+
+    // Uncached scoring path: score all items, mask seen, bounded-heap
+    // top-20 — one list per call, cycling through every user.
+    let tables = ModelTables::build(&source, 1, &state).unwrap();
+    let n_users = train.n_users() as u32;
+    let mut user = 0u32;
+    h.bench("serving_topk20_uncached_300x250", || {
+        black_box(tables.top_k(user, 20).unwrap().len());
+        user = (user + 1) % n_users;
+    });
+
+    // Cache-hit fast path: same request every call.
+    let engine = Engine::open(source.clone()).expect("open bench engine");
+    engine.recommend(0, 20).expect("prime the cache");
+    h.bench("serving_recommend_cached", || {
+        black_box(engine.recommend(0, 20).unwrap().items.len());
+    });
+
+    // Batched fan-out with a capacity-1 cache, so every request in every
+    // batch takes the parallel compute path.
+    let cold = Engine::open_with_cache(source, 1).expect("open uncached engine");
+    let requests: Vec<(u32, usize)> = (0..n_users).map(|u| (u, 20)).collect();
+    h.bench_throughput(
+        "serving_batch_300users_uncached",
+        n_users as f64,
+        "lists/s",
+        || {
+            black_box(cold.recommend_batch(black_box(&requests)).len());
+        },
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -117,6 +117,36 @@ impl GraphAug {
     /// Initializes a model for the given training graph (parameters are
     /// Xavier-initialized from `cfg.seed`).
     pub fn new(cfg: GraphAugConfig, train: &InteractionGraph) -> Self {
+        let mut model = GraphAug::construct(cfg, train);
+        model.refresh_embeddings();
+        model
+    }
+
+    /// Builds a model for **inference only**: the parameter store is
+    /// constructed, `state` is restored into it, and the encoder forward
+    /// runs exactly once to materialize the final user/item embedding
+    /// tables. Unlike `GraphAug::new` followed by
+    /// [`GraphAug::restore_training_state`], the throwaway
+    /// Xavier-initialized parameters are never encoded, so a checkpoint
+    /// load costs one forward pass instead of two — this is the path the
+    /// serving engine rebuilds its tables through on every hot reload.
+    pub fn for_inference(
+        cfg: GraphAugConfig,
+        train: &InteractionGraph,
+        state: &ModelState,
+    ) -> Result<Self, RestoreError> {
+        let mut model = GraphAug::construct(cfg, train);
+        // `restore_training_state` refreshes the embeddings on success —
+        // that refresh is the single forward pass of this constructor.
+        model.restore_training_state(state)?;
+        Ok(model)
+    }
+
+    /// Shared constructor: registers every parameter (in the fixed order
+    /// the snapshot codec relies on) but does *not* run the encoder — the
+    /// cached embedding tables start zeroed until the caller refreshes or
+    /// restores.
+    fn construct(cfg: GraphAugConfig, train: &InteractionGraph) -> Self {
         let d = cfg.embed_dim;
         let n = train.n_nodes();
         let mut rng = seeded_rng(cfg.seed);
@@ -144,7 +174,7 @@ impl GraphAug {
         ];
         let adj = SpPair::symmetric(train.normalized_adjacency_plain());
         let edge_index = EdgeIndex::build(train);
-        let mut model = GraphAug {
+        GraphAug {
             cfg,
             train_graph: train.clone(),
             adj,
@@ -158,9 +188,7 @@ impl GraphAug {
             item_emb: Mat::zeros(train.n_items(), d),
             trained: false,
             steps_taken: 0,
-        };
-        model.refresh_embeddings();
-        model
+        }
     }
 
     /// The configuration this model was built with.
@@ -719,6 +747,33 @@ mod tests {
         let (u_b, i_b) = resumed.embeddings().unwrap();
         assert_eq!(u_a, u_b);
         assert_eq!(i_a, i_b);
+    }
+
+    #[test]
+    fn for_inference_matches_the_training_model_bit_exactly() {
+        let train = toy_train();
+        let cfg = GraphAugConfig::fast_test();
+        let mut m = GraphAug::new(cfg.clone(), &train);
+        let graph = m.train_graph.clone();
+        let mut sampler = TripletSampler::new(&graph, 5);
+        for _ in 0..6 {
+            m.train_step(&mut sampler);
+        }
+        m.refresh_embeddings();
+        let served = GraphAug::for_inference(cfg, &train, &m.training_state()).unwrap();
+        let (u_a, i_a) = m.embeddings().unwrap();
+        let (u_b, i_b) = served.embeddings().unwrap();
+        assert_eq!(u_a, u_b, "inference-only forward must match training");
+        assert_eq!(i_a, i_b);
+    }
+
+    #[test]
+    fn for_inference_rejects_a_differently_shaped_state() {
+        let train = toy_train();
+        let m8 = GraphAug::new(GraphAugConfig::fast_test().embed_dim(8), &train);
+        let err =
+            GraphAug::for_inference(GraphAugConfig::fast_test(), &train, &m8.training_state());
+        assert!(err.is_err());
     }
 
     #[test]

@@ -29,8 +29,18 @@ impl Ord for Worst {
     }
 }
 
-/// Returns the indices of the `k` largest scores, ordered descending (ties
-/// broken by smaller index). One pass over the scores with a bounded
+/// Returns the indices of the `k` largest scores, ordered descending.
+///
+/// **Tie-breaking is part of the contract**: equal scores rank the lower
+/// index first, both within the returned order and when deciding which of
+/// two equal-scored candidates survives the `k` cutoff. Offline evaluation
+/// and the online serving engine (`graphaug-serve`) both rank through this
+/// function, and the serving parity tests compare their outputs hex-exactly
+/// — any tie-break drift would surface as a cross-process mismatch, so the
+/// rule is locked by a regression proptest over duplicate-heavy score
+/// vectors.
+///
+/// One pass over the scores with a bounded
 /// min-heap of size `k` — after warm-up almost every element is rejected by
 /// a single comparison against the current `k`-th best — then an
 /// `O(k log k)` sort of the survivors.

@@ -38,6 +38,33 @@ fn topk_returns_descending_scores() {
 }
 
 #[test]
+fn topk_ties_break_toward_lower_index() {
+    // Regression lock for the serving-parity tie-break contract: scores are
+    // drawn from a tiny palette so almost every vector is duplicate-heavy,
+    // and the bounded-heap result must equal a naive reference that sorts
+    // by (score desc, index asc) — including which equal-scored candidate
+    // survives the k cutoff.
+    check("topk_ties_break_toward_lower_index", DEFAULT_CASES, |g| {
+        let n = g.len_in(1, 80);
+        let palette = [-1.5f32, 0.0, 0.25, 0.25, 3.0];
+        let scores = g.vec_of(n, |g| palette[g.random_range(0..palette.len())]);
+        let k = g.random_range(1usize..30);
+
+        let mut reference: Vec<u32> = (0..n as u32).collect();
+        reference.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("palette has no NaN")
+                .then(a.cmp(&b))
+        });
+        reference.truncate(k.min(n));
+
+        prop_assert_eq!(topk_indices(&scores, k), reference);
+        Ok(())
+    });
+}
+
+#[test]
 fn recall_and_ndcg_are_bounded() {
     check("recall_and_ndcg_are_bounded", DEFAULT_CASES, |g| {
         let ranked_raw = vec_u32(g, 50, 1, 30);

@@ -1,0 +1,81 @@
+//! Checkpoint-directory inspector: prints what a serving process or a
+//! resume would actually see, so misconfigurations ("why won't it load?")
+//! are debuggable without attaching a debugger.
+//!
+//! ```text
+//! ckpt_inspect <checkpoint-dir>
+//! ```
+//!
+//! For every `ckpt-*.bin` generation (newest first) it prints the format
+//! version, payload/checksum status, the [`RunCompat`] identity (users /
+//! items / edges / seed / embedding dim), and the training progress the
+//! file captures. Exits non-zero when no generation decodes cleanly — the
+//! same condition under which `Runtime::resume` or a serving engine would
+//! refuse to start.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use graphaug_runtime::{inspect_dir, load_latest_valid, RunCompat};
+
+fn compat_line(c: &RunCompat) -> String {
+    format!(
+        "users={} items={} edges={} seed={} embed_dim={}",
+        c.n_users, c.n_items, c.n_edges, c.seed, c.embed_dim
+    )
+}
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: ckpt_inspect <checkpoint-dir>");
+        return ExitCode::from(2);
+    };
+    let dir = Path::new(&dir);
+    if !dir.is_dir() {
+        eprintln!("ckpt_inspect: {} is not a directory", dir.display());
+        return ExitCode::from(2);
+    }
+
+    let infos = inspect_dir(dir);
+    if infos.is_empty() {
+        println!("no checkpoint generations under {}", dir.display());
+        return ExitCode::from(1);
+    }
+    println!("checkpoint directory: {}", dir.display());
+    for info in &infos {
+        match &info.status {
+            Ok(s) => {
+                println!(
+                    "gen {:>8}  {:>10} bytes  v{}  checksum OK   epoch={} steps={}  {}",
+                    info.generation,
+                    info.bytes,
+                    s.format_version,
+                    s.epoch,
+                    s.steps_taken,
+                    compat_line(&s.compat)
+                );
+            }
+            Err(e) => {
+                println!(
+                    "gen {:>8}  {:>10} bytes  UNUSABLE: {e}",
+                    info.generation, info.bytes
+                );
+            }
+        }
+    }
+    match load_latest_valid(dir) {
+        Some((g, state)) => {
+            println!(
+                "newest valid generation: {} (epoch {}, {})",
+                g,
+                state.epoch,
+                compat_line(&state.compat)
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("no valid generation: a resume or serving start here would fail");
+            ExitCode::from(1)
+        }
+    }
+}

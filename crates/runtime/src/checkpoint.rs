@@ -235,7 +235,7 @@ impl Checkpointer {
 
     /// Path of a specific generation's checkpoint file.
     pub fn path_for(&self, generation: u64) -> PathBuf {
-        self.dir.join(format!("ckpt-{generation:08}.bin"))
+        generation_path(&self.dir, generation)
     }
 
     /// Atomically writes a checkpoint as the next generation and prunes
@@ -259,31 +259,16 @@ impl Checkpointer {
         }
     }
 
-    /// Existing checkpoint generations, unsorted.
+    /// Existing checkpoint generations, sorted ascending.
     pub fn generations(&self) -> Vec<u64> {
-        let Ok(entries) = fs::read_dir(&self.dir) else {
-            return Vec::new();
-        };
-        entries
-            .flatten()
-            .filter_map(|e| parse_generation(&e.file_name().to_string_lossy()))
-            .collect()
+        list_generations(&self.dir)
     }
 
     /// Loads the newest checkpoint that decodes cleanly, walking past any
     /// corrupt generations. Returns the generation alongside the state, or
     /// `None` when no valid checkpoint exists.
     pub fn latest_valid(&self) -> Option<(u64, TrainState)> {
-        let mut gens = self.generations();
-        gens.sort_unstable_by(|a, b| b.cmp(a));
-        for g in gens {
-            if let Ok(bytes) = fs::read(self.path_for(g)) {
-                if let Ok(state) = TrainState::from_bytes(&bytes) {
-                    return Some((g, state));
-                }
-            }
-        }
-        None
+        load_latest_valid(&self.dir)
     }
 
     /// Loads one checkpoint file strictly — every corruption mode surfaces
@@ -299,4 +284,116 @@ fn parse_generation(name: &str) -> Option<u64> {
         .strip_suffix(".bin")?
         .parse()
         .ok()
+}
+
+// ---------------------------------------------------------------------------
+// Read-only checkpoint access
+// ---------------------------------------------------------------------------
+//
+// The [`Checkpointer`] is the *writer's* handle: opening one creates the
+// directory and sweeps stray `.tmp` files — exactly wrong for a consumer
+// (the serving engine, an inspector) watching a directory that a live
+// trainer may be writing into at the same moment. These free functions
+// never create, sweep, or delete anything.
+
+/// Path of a specific generation's checkpoint file under `dir`.
+pub fn generation_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("ckpt-{generation:08}.bin"))
+}
+
+/// Checkpoint generations present in `dir`, sorted ascending. Purely a
+/// directory listing — no file contents are touched, so this is cheap
+/// enough for a reload watcher to poll.
+pub fn list_generations(dir: &Path) -> Vec<u64> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut gens: Vec<u64> = entries
+        .flatten()
+        .filter_map(|e| parse_generation(&e.file_name().to_string_lossy()))
+        .collect();
+    gens.sort_unstable();
+    gens
+}
+
+/// Newest generation number present in `dir` (validity not checked) —
+/// the cheap poll a hot-reload watcher uses to decide whether a full
+/// decode is worth attempting.
+pub fn newest_generation(dir: &Path) -> Option<u64> {
+    list_generations(dir).into_iter().next_back()
+}
+
+/// Loads the newest checkpoint in `dir` that decodes cleanly, walking past
+/// corrupt generations — the read-only counterpart of
+/// [`Checkpointer::latest_valid`].
+pub fn load_latest_valid(dir: &Path) -> Option<(u64, TrainState)> {
+    for g in list_generations(dir).into_iter().rev() {
+        if let Ok(bytes) = fs::read(generation_path(dir, g)) {
+            if let Ok(state) = TrainState::from_bytes(&bytes) {
+                return Some((g, state));
+            }
+        }
+    }
+    None
+}
+
+/// Decoded header facts of one valid checkpoint (see [`inspect_dir`]).
+#[derive(Clone, Debug)]
+pub struct CheckpointSummary {
+    /// Snapshot format version from the frame header.
+    pub format_version: u32,
+    /// Which run the checkpoint belongs to.
+    pub compat: RunCompat,
+    /// Epochs completed when it was written.
+    pub epoch: u64,
+    /// Optimization steps taken by the model when it was written.
+    pub steps_taken: u64,
+}
+
+/// One checkpoint file's inspection record.
+#[derive(Debug)]
+pub struct CheckpointInfo {
+    /// Generation parsed from the file name.
+    pub generation: u64,
+    /// Full path of the file.
+    pub path: PathBuf,
+    /// File size in bytes (0 when unreadable).
+    pub bytes: u64,
+    /// Decoded summary, or the typed error explaining why the file is
+    /// unusable (bad magic, truncation, checksum mismatch, …).
+    pub status: Result<CheckpointSummary, SnapshotError>,
+}
+
+/// Inspects every checkpoint generation in `dir`, newest first — the
+/// debugging view behind the `ckpt_inspect` binary. Each file is fully
+/// decoded, so checksum and structural problems surface as their typed
+/// [`SnapshotError`] instead of being silently skipped.
+pub fn inspect_dir(dir: &Path) -> Vec<CheckpointInfo> {
+    let mut out = Vec::new();
+    for g in list_generations(dir).into_iter().rev() {
+        let path = generation_path(dir, g);
+        let (bytes, status) = match fs::read(&path) {
+            Ok(raw) => {
+                let status = TrainState::from_bytes(&raw).map(|state| CheckpointSummary {
+                    // `from_bytes` only accepts the current version, so the
+                    // header bytes it validated are authoritative here.
+                    format_version: u32::from_le_bytes(
+                        raw[8..12].try_into().expect("frame validated"),
+                    ),
+                    compat: state.compat,
+                    epoch: state.epoch,
+                    steps_taken: state.model.steps_taken,
+                });
+                (raw.len() as u64, status)
+            }
+            Err(e) => (0, Err(SnapshotError::Io(e.to_string()))),
+        };
+        out.push(CheckpointInfo {
+            generation: g,
+            path,
+            bytes,
+            status,
+        });
+    }
+    out
 }

@@ -53,7 +53,10 @@ pub mod guards;
 pub mod runtime;
 pub mod snapshot;
 
-pub use checkpoint::{Checkpointer, RunCompat, TrainState};
+pub use checkpoint::{
+    generation_path, inspect_dir, list_generations, load_latest_valid, newest_generation,
+    CheckpointInfo, CheckpointSummary, Checkpointer, RunCompat, TrainState,
+};
 pub use fault::{corrupt_checkpoint, truncate_checkpoint, FaultPlan};
 pub use guards::{RecoveryPolicy, SpikeDetector, StepVerdict};
 pub use runtime::{RecoveryAction, RecoveryEvent, RunReport, Runtime, RuntimeConfig, RuntimeError};

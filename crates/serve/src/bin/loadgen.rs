@@ -1,0 +1,211 @@
+//! A seeded closed-loop load generator for `serve_main`.
+//!
+//! ```text
+//! loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]
+//! ```
+//!
+//! Opens `--conns` connections, each driving a deterministic request
+//! stream (`StdRng::stream(seed, conn)`), and reports latency percentiles
+//! and throughput:
+//!
+//! ```text
+//! loadgen: requests=2000 conns=4 errors=0 elapsed_ms=312 qps=6410.3 p50_us=140 p95_us=309 p99_us=481
+//! ```
+//!
+//! Every response is parsed and validated (user echo, list length ≤ k,
+//! strictly valid hex score bits); any `ERR` or malformed line counts as
+//! an error and fails the run (non-zero exit), so this doubles as a
+//! protocol conformance check under concurrency.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use graphaug_rng::StdRng;
+use graphaug_serve::parse_ok_line;
+
+struct Args {
+    addr: String,
+    requests: usize,
+    conns: usize,
+    seed: u64,
+    kmax: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().ok_or("missing <addr>")?;
+    let mut out = Args {
+        addr,
+        requests: 2000,
+        conns: 4,
+        seed: 1,
+        kmax: 20,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or(format!("{name} needs a value"))
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        };
+        match flag.as_str() {
+            "--requests" => out.requests = value("--requests")? as usize,
+            "--conns" => out.conns = (value("--conns")? as usize).max(1),
+            "--seed" => out.seed = value("--seed")?,
+            "--kmax" => out.kmax = (value("--kmax")? as usize).max(1),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Asks the server for its table shape so the request stream stays
+/// in-range.
+fn fetch_user_count(addr: &str) -> Result<u32, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "STATS").map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let users = line
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix("users="))
+        .ok_or_else(|| format!("bad STATS response: {}", line.trim()))?;
+    users
+        .parse::<u32>()
+        .map_err(|_| format!("bad user count in: {}", line.trim()))
+}
+
+struct ConnReport {
+    latencies_us: Vec<u64>,
+    errors: usize,
+}
+
+fn drive_connection(
+    addr: &str,
+    requests: usize,
+    n_users: u32,
+    kmax: usize,
+    mut rng: StdRng,
+) -> Result<ConnReport, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = BufWriter::new(stream);
+    let mut latencies_us = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+    let mut line = String::new();
+    for _ in 0..requests {
+        let user = rng.bounded_u64(n_users as u64) as u32;
+        let k = 1 + rng.bounded_u64(kmax as u64) as usize;
+        let start = Instant::now();
+        writeln!(writer, "REC {user} {k}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        latencies_us.push(start.elapsed().as_micros() as u64);
+        match parse_ok_line(line.trim_end()) {
+            Some(ok) if ok.user == user && ok.k == k && ok.items.len() <= k => {}
+            _ => {
+                errors += 1;
+                eprintln!("loadgen: bad response for REC {user} {k}: {}", line.trim());
+            }
+        }
+    }
+    writeln!(writer, "QUIT").ok();
+    writer.flush().ok();
+    Ok(ConnReport {
+        latencies_us,
+        errors,
+    })
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            eprintln!("usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let n_users = match fetch_user_count(&args.addr) {
+        Ok(n) if n > 0 => n,
+        Ok(_) => {
+            eprintln!("loadgen: server reports zero users");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let per_conn = args.requests.div_ceil(args.conns);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for conn in 0..args.conns {
+        let addr = args.addr.clone();
+        let rng = StdRng::stream(args.seed, conn as u64);
+        let kmax = args.kmax;
+        handles.push(std::thread::spawn(move || {
+            drive_connection(&addr, per_conn, n_users, kmax, rng)
+        }));
+    }
+
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(report)) => {
+                latencies.extend(report.latencies_us);
+                errors += report.errors;
+            }
+            Ok(Err(e)) => {
+                eprintln!("loadgen: connection failed: {e}");
+                errors += 1;
+            }
+            Err(_) => {
+                eprintln!("loadgen: worker panicked");
+                errors += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: requests={} conns={} errors={} elapsed_ms={} qps={:.1} p50_us={} p95_us={} p99_us={}",
+        total,
+        args.conns,
+        errors,
+        elapsed.as_millis(),
+        qps,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,247 @@
+//! The serving demo binary driven by `ci.sh` and the README quickstart.
+//!
+//! ```text
+//! serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]
+//! ```
+//!
+//! Runs a self-contained service over the standard demo workload (the same
+//! deterministic synthetic graph the kill/resume harness trains):
+//!
+//! 1. if `<checkpoint-dir>` holds no valid checkpoint, trains the demo
+//!    model there first (checkpoint every epoch);
+//! 2. opens the serving [`Engine`] from the newest valid checkpoint;
+//! 3. runs a **parity self-check**: the offline `graphaug-eval` ranking
+//!    (computed through the independent training-restore path) must match
+//!    the served lists hex-exactly, and the `EvalResult::bitline()`s of
+//!    both sides must be byte-identical — printed as `PARITY ok …`;
+//! 4. starts the TCP server (printing `READY addr=… gen=…`) with a hot
+//!    reload watcher, then serves until killed.
+//!
+//! `--addr 127.0.0.1:0` (the default) binds an ephemeral loopback port so
+//! smoke tests can run concurrently.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphaug_core::{GraphAug, GraphAugConfig};
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_eval::{evaluate, topk_indices, Recommender};
+use graphaug_graph::TrainTestSplit;
+use graphaug_runtime::{checkpoint, Runtime, RuntimeConfig};
+use graphaug_serve::{serve, spawn_watcher, Engine, ModelSource};
+
+/// The deterministic demo workload (same shape as the kill/resume smoke
+/// harness, so its cost is already CI-calibrated).
+fn demo_split() -> TrainTestSplit {
+    let graph = generate(&SyntheticConfig::new(150, 120, 2200).clusters(6).seed(42));
+    TrainTestSplit::per_user(&graph, 0.2, 7)
+}
+
+fn demo_config() -> GraphAugConfig {
+    GraphAugConfig::fast_test()
+        .seed(9)
+        .epochs(8)
+        .steps_per_epoch(4)
+}
+
+/// Offline top-K for one user, computed exactly as the eval harness does:
+/// score every item, mask train items to `-inf`, bounded-heap top-K.
+fn offline_topk(model: &dyn Recommender, source: &ModelSource, user: u32, k: usize) -> String {
+    let mut scores = model.score_items(user as usize);
+    for &v in source.graph.items_of(user as usize) {
+        scores[v as usize] = f32::NEG_INFINITY;
+    }
+    let ranked = topk_indices(&scores, k);
+    hex_list(
+        &ranked
+            .iter()
+            .map(|&i| (i, scores[i as usize]))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Bit-exact rendering of a ranked list (item ids + f32 score bit
+/// patterns), mirroring the `EvalResult::bitline()` idea.
+fn hex_list(items: &[(u32, f32)]) -> String {
+    let mut out = String::new();
+    for (i, &(item, score)) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{item}:{:08x}", score.to_bits()));
+    }
+    out
+}
+
+fn parity_check(engine: &Engine, split: &TrainTestSplit, users: usize) -> Result<String, String> {
+    let source = engine.source();
+    let dir = &source.checkpoint_dir;
+    let (generation, state) = checkpoint::load_latest_valid(dir)
+        .ok_or_else(|| format!("no valid checkpoint under {}", dir.display()))?;
+    // Independent offline path: training-style construct + restore.
+    let mut offline = GraphAug::new(source.config.clone(), &source.graph);
+    offline
+        .restore_training_state(&state.model)
+        .map_err(|e| format!("offline restore failed: {e}"))?;
+
+    // Per-user ranked-list parity at several cutoffs, hex-exact.
+    let tables = engine.tables();
+    if tables.generation() != generation {
+        return Err(format!(
+            "engine serves gen {} but newest valid is {generation}",
+            tables.generation()
+        ));
+    }
+    let n_users = source.graph.n_users().min(users);
+    let mut compared = 0usize;
+    for user in 0..n_users as u32 {
+        for k in [1usize, 5, 20] {
+            let served = engine
+                .recommend(user, k)
+                .map_err(|e| format!("serve failed for user {user}: {e}"))?;
+            let served_hex = hex_list(
+                &served
+                    .items
+                    .iter()
+                    .map(|s| (s.item, s.score))
+                    .collect::<Vec<_>>(),
+            );
+            let offline_hex = offline_topk(&offline, source, user, k);
+            if served_hex != offline_hex {
+                return Err(format!(
+                    "top-{k} mismatch for user {user}:\n  served:  {served_hex}\n  offline: {offline_hex}"
+                ));
+            }
+            compared += 1;
+        }
+    }
+
+    // Aggregate-metric parity: the served tables, evaluated as a
+    // Recommender, must reproduce the offline model's bitline exactly.
+    let served_bitline = evaluate(tables.as_ref(), split, &[20]).bitline();
+    let offline_bitline = evaluate(&offline, split, &[20]).bitline();
+    if served_bitline != offline_bitline {
+        return Err(format!(
+            "bitline mismatch:\n  served:  {served_bitline}\n  offline: {offline_bitline}"
+        ));
+    }
+    Ok(format!(
+        "PARITY ok gen={generation} lists={compared} {served_bitline}"
+    ))
+}
+
+struct Args {
+    dir: String,
+    addr: String,
+    watch_ms: u64,
+    parity_users: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().ok_or("missing <checkpoint-dir>")?;
+    let mut out = Args {
+        dir,
+        addr: "127.0.0.1:0".into(),
+        watch_ms: 100,
+        parity_users: 16,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--watch-ms" => {
+                out.watch_ms = value("--watch-ms")?
+                    .parse()
+                    .map_err(|_| "bad --watch-ms".to_string())?
+            }
+            "--parity-users" => {
+                out.parity_users = value("--parity-users")?
+                    .parse()
+                    .map_err(|_| "bad --parity-users".to_string())?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_main: {e}");
+            eprintln!(
+                "usage: serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let split = demo_split();
+    let cfg = demo_config();
+    let dir = Path::new(&args.dir);
+
+    if checkpoint::load_latest_valid(dir).is_none() {
+        println!(
+            "no valid checkpoint under {} — training demo model",
+            dir.display()
+        );
+        let rt_cfg = RuntimeConfig::new(cfg.clone()).checkpoint_dir(dir);
+        let mut rt = match Runtime::new(rt_cfg, &split.train) {
+            Ok(rt) => rt,
+            Err(e) => {
+                eprintln!("serve_main: training setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match rt.run() {
+            Ok(report) => println!(
+                "trained {} epochs, {} checkpoints written",
+                report.epochs_completed, report.checkpoints_written
+            ),
+            Err(e) => {
+                eprintln!("serve_main: training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let source = ModelSource::new(cfg, split.train.clone(), dir);
+    let engine = match Engine::open(source) {
+        Ok(e) => Arc::new(e),
+        Err(e) => {
+            eprintln!("serve_main: cannot open engine: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match parity_check(&engine, &split, args.parity_users) {
+        Ok(line) => println!("{line}"),
+        Err(e) => {
+            eprintln!("PARITY FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handle = match serve(engine.clone(), &args.addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve_main: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let _watcher = spawn_watcher(engine.clone(), Duration::from_millis(args.watch_ms));
+    println!(
+        "READY addr={} gen={}",
+        handle.addr(),
+        engine.stats().generation
+    );
+
+    // Serve until killed (the accept loop runs on its own thread).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

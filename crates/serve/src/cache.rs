@@ -1,0 +1,232 @@
+//! A hand-rolled, dependency-free LRU cache for serving responses.
+//!
+//! Entries live in a slab of doubly-linked nodes (indices, not pointers —
+//! no unsafe) with a `HashMap` from key to slot. `get` promotes to the
+//! front; `insert` evicts the back slot once the capacity is reached and
+//! reuses it, so a warmed cache performs zero allocation per operation
+//! (beyond the values themselves).
+//!
+//! The engine keys this by `(user, k, model generation)`: a hot model
+//! swap changes the generation and thereby *implicitly* invalidates every
+//! cached response from the old tables — stale entries simply stop being
+//! addressable and age out of the LRU list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NONE: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Node<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            head: NONE,
+            tail: NONE,
+            capacity,
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NONE => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NONE => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NONE => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Looks up `key`, promoting a hit to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used entry
+    /// when the cache is full. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            let old = std::mem::replace(&mut self.slots[slot].value, value);
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return Some((key, old));
+        }
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push(Node {
+                key: key.clone(),
+                value,
+                prev: NONE,
+                next: NONE,
+            });
+            self.map.insert(key, slot);
+            self.push_front(slot);
+            return None;
+        }
+        // Full: reuse the LRU slot in place.
+        let victim = self.tail;
+        self.unlink(victim);
+        let evicted_key = self.slots[victim].key.clone();
+        self.map.remove(&evicted_key);
+        let evicted_value = std::mem::replace(&mut self.slots[victim].value, value);
+        self.slots[victim].key = key.clone();
+        self.map.insert(key, victim);
+        self.push_front(victim);
+        Some((evicted_key, evicted_value))
+    }
+
+    /// Drops every entry (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NONE;
+        self.tail = NONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_promotes_and_insert_evicts_lru() {
+        let mut c = LruCache::new(3);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.insert(3, "c");
+        assert_eq!(c.len(), 3);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(c.get(&1), Some(&"a"));
+        let evicted = c.insert(4, "d");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.get(&4), Some(&"d"));
+    }
+
+    #[test]
+    fn reinsert_replaces_value_and_promotes() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        let old = c.insert(1, 11);
+        assert_eq!(old, Some((1, 10)));
+        // 2 is now LRU.
+        let evicted = c.insert(3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_newest() {
+        let mut c = LruCache::new(1);
+        for i in 0..10 {
+            c.insert(i, i * 2);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(c.get(&8), None);
+    }
+
+    #[test]
+    fn eviction_order_follows_access_pattern() {
+        // Exhaustively compare against a naive reference model.
+        let mut c = LruCache::new(4);
+        let mut reference: Vec<(u32, u32)> = Vec::new(); // front = MRU
+        let ops: Vec<(bool, u32)> = (0..200)
+            .map(|i| ((i * 7 + 3) % 3 == 0, (i * 13 + 5) % 9))
+            .map(|(g, k)| (g, k as u32))
+            .collect();
+        for (is_get, key) in ops {
+            if is_get {
+                let hit = c.get(&key).copied();
+                let ref_hit = reference.iter().position(|&(k, _)| k == key);
+                match ref_hit {
+                    Some(pos) => {
+                        let entry = reference.remove(pos);
+                        assert_eq!(hit, Some(entry.1));
+                        reference.insert(0, entry);
+                    }
+                    None => assert_eq!(hit, None),
+                }
+            } else {
+                c.insert(key, key * 100);
+                if let Some(pos) = reference.iter().position(|&(k, _)| k == key) {
+                    reference.remove(pos);
+                }
+                reference.insert(0, (key, key * 100));
+                reference.truncate(4);
+            }
+            assert_eq!(c.len(), reference.len());
+            for &(k, v) in &reference {
+                assert!(c.map.contains_key(&k), "missing key {k}");
+                let slot = c.map[&k];
+                assert_eq!(c.slots[slot].value, v);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert("x", 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        c.insert("y", 2);
+        assert_eq!(c.get(&"y"), Some(&2));
+    }
+}

@@ -1,0 +1,355 @@
+//! The serving engine: swap-in-place tables, request batching, response
+//! cache, and hot checkpoint reload.
+//!
+//! # Swap protocol (hand-rolled arc-swap)
+//!
+//! The live tables sit behind `Mutex<Arc<ModelTables>>`. Readers take the
+//! lock only long enough to clone the `Arc` (a refcount bump); a reload
+//! builds the replacement tables entirely **outside** the lock (checkpoint
+//! decode + one encoder forward — the expensive part) and then swaps the
+//! `Arc` in one short critical section. Consequences:
+//!
+//! * a request observes exactly one generation end to end — it keeps its
+//!   cloned `Arc` for its whole lifetime, so a swap can never hand it a
+//!   half-old/half-new ("torn") table;
+//! * no request is ever dropped or blocked behind a rebuild — the swap
+//!   critical section is two pointer moves;
+//! * the old tables are freed when the last in-flight request holding
+//!   them finishes (standard `Arc` reclamation — no hazard pointers
+//!   needed because the `Mutex` serializes the swap itself).
+//!
+//! # Cache keying
+//!
+//! Responses are cached in an [`LruCache`] keyed by
+//! `(user, k, generation)`. A hot swap bumps the generation, so every old
+//! entry becomes unaddressable immediately — stale responses cannot be
+//! served after a reload, without any explicit invalidation pass.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use graphaug_runtime::checkpoint;
+
+use crate::cache::LruCache;
+use crate::tables::{ModelSource, ModelTables, ScoredItem, ServeError};
+
+/// Default response-cache capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    user: u32,
+    k: u32,
+    generation: u64,
+}
+
+/// One served recommendation list.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The user the list is for.
+    pub user: u32,
+    /// Requested cutoff.
+    pub k: usize,
+    /// Checkpoint generation of the tables that produced the list.
+    pub generation: u64,
+    /// Ranked items, best first (shared with the response cache).
+    pub items: Arc<Vec<ScoredItem>>,
+    /// True when the list came from the response cache.
+    pub from_cache: bool,
+}
+
+/// Monotonic serving counters (all relaxed atomics — diagnostics, not
+/// synchronization).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Checkpoint generation currently serving.
+    pub generation: u64,
+    /// Total user-lists served (one batch of `n` users counts `n`).
+    pub requests: u64,
+    /// Lists answered from the response cache.
+    pub cache_hits: u64,
+    /// Lists computed from the tables.
+    pub cache_misses: u64,
+    /// Completed hot reloads.
+    pub reloads: u64,
+    /// Reload attempts that failed (old tables kept serving).
+    pub reload_errors: u64,
+}
+
+/// The online serving engine. Cheap to share (`Arc<Engine>`); all methods
+/// take `&self`.
+pub struct Engine {
+    source: ModelSource,
+    current: Mutex<Arc<ModelTables>>,
+    cache: Mutex<LruCache<CacheKey, Arc<Vec<ScoredItem>>>>,
+    generation: AtomicU64,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    reloads: AtomicU64,
+    reload_errors: AtomicU64,
+    /// Serializes reloads so two watchers (or a watcher plus an explicit
+    /// reload call) never build the same generation twice concurrently.
+    reload_lock: Mutex<()>,
+}
+
+impl Engine {
+    /// Opens an engine over `source`, building tables from the newest
+    /// valid checkpoint in its directory. Fails with
+    /// [`ServeError::NoCheckpoint`] when nothing decodes cleanly.
+    pub fn open(source: ModelSource) -> Result<Engine, ServeError> {
+        Engine::open_with_cache(source, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// [`Engine::open`] with an explicit response-cache capacity.
+    pub fn open_with_cache(
+        source: ModelSource,
+        cache_capacity: usize,
+    ) -> Result<Engine, ServeError> {
+        let (generation, state) = checkpoint::load_latest_valid(&source.checkpoint_dir)
+            .ok_or_else(|| ServeError::NoCheckpoint(source.checkpoint_dir.clone()))?;
+        let tables = Arc::new(ModelTables::build(&source, generation, &state)?);
+        Ok(Engine {
+            source,
+            generation: AtomicU64::new(tables.generation()),
+            current: Mutex::new(tables),
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            reload_errors: AtomicU64::new(0),
+            reload_lock: Mutex::new(()),
+        })
+    }
+
+    /// The source this engine serves from.
+    pub fn source(&self) -> &ModelSource {
+        &self.source
+    }
+
+    /// Snapshots the live tables for one request (or one batch): a
+    /// refcount bump under a momentary lock. The returned `Arc` pins the
+    /// generation for as long as the caller holds it.
+    pub fn tables(&self) -> Arc<ModelTables> {
+        self.current.lock().expect("tables lock").clone()
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            generation: self.generation.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reload_errors: self.reload_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves one user's top-`k` list (see [`Engine::recommend_batch`]).
+    pub fn recommend(&self, user: u32, k: usize) -> Result<Recommendation, ServeError> {
+        self.recommend_batch(&[(user, k)])
+            .pop()
+            .expect("one request in, one response out")
+    }
+
+    /// Serves a batch of `(user, k)` requests against **one** table
+    /// snapshot, so every response in the batch carries the same
+    /// generation even if a hot swap lands mid-batch.
+    ///
+    /// The cache is probed serially up front (it is a mutex-guarded LRU —
+    /// keeping it out of the parallel section keeps workers lock-free);
+    /// misses fan out over `graphaug-par` spans, each worker writing its
+    /// own disjoint slot; results are inserted back serially. Scoring is
+    /// read-only over immutable tables, so the fan-out is trivially
+    /// bit-deterministic for any thread count.
+    pub fn recommend_batch(
+        &self,
+        requests: &[(u32, usize)],
+    ) -> Vec<Result<Recommendation, ServeError>> {
+        let tables = self.tables();
+        let generation = tables.generation();
+        self.requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+
+        let mut out: Vec<Option<Result<Recommendation, ServeError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, &(user, k)) in requests.iter().enumerate() {
+                let key = CacheKey {
+                    user,
+                    k: k.min(u32::MAX as usize) as u32,
+                    generation,
+                };
+                if let Some(items) = cache.get(&key) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = Some(Ok(Recommendation {
+                        user,
+                        k,
+                        generation,
+                        items: items.clone(),
+                        from_cache: true,
+                    }));
+                } else {
+                    misses.push(i);
+                }
+            }
+        }
+        self.cache_misses
+            .fetch_add(misses.len() as u64, Ordering::Relaxed);
+
+        let mut computed: Vec<Option<Result<Vec<ScoredItem>, ServeError>>> =
+            (0..misses.len()).map(|_| None).collect();
+        {
+            let tables = &tables;
+            let misses = &misses;
+            let base = graphaug_par::SendMutPtr::new(&mut computed);
+            graphaug_par::parallel_spans(misses.len(), |_, range| {
+                // Safety: spans tile `0..misses.len()` disjointly, so each
+                // slot has exactly one writer.
+                let slice = unsafe { base.slice_mut(range.start, range.end - range.start) };
+                for (slot, &req_idx) in slice.iter_mut().zip(&misses[range]) {
+                    let (user, k) = requests[req_idx];
+                    *slot = Some(tables.top_k(user, k));
+                }
+            });
+        }
+
+        let mut cache = self.cache.lock().expect("cache lock");
+        for (&req_idx, result) in misses.iter().zip(computed) {
+            let (user, k) = requests[req_idx];
+            let result = result.expect("every miss slot is filled");
+            out[req_idx] = Some(match result {
+                Ok(items) => {
+                    let items = Arc::new(items);
+                    cache.insert(
+                        CacheKey {
+                            user,
+                            k: k.min(u32::MAX as usize) as u32,
+                            generation,
+                        },
+                        items.clone(),
+                    );
+                    Ok(Recommendation {
+                        user,
+                        k,
+                        generation,
+                        items,
+                        from_cache: false,
+                    })
+                }
+                Err(e) => Err(e),
+            });
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request slot is filled"))
+            .collect()
+    }
+
+    /// Checks the checkpoint directory for a generation newer than the one
+    /// serving; if found (and it decodes to a valid, compatible state),
+    /// rebuilds the tables **off the request path** and swaps them in.
+    /// Returns `Ok(Some(new_generation))` after a swap, `Ok(None)` when
+    /// already current. On error the old tables keep serving untouched.
+    ///
+    /// Note the newest-*valid* semantics inherited from
+    /// `checkpoint::load_latest_valid`: a torn newest file is walked past,
+    /// and if the newest valid generation is not newer than the serving
+    /// one, the reload is a no-op rather than a downgrade.
+    pub fn reload_if_newer(&self) -> Result<Option<u64>, ServeError> {
+        let serving = self.generation.load(Ordering::Relaxed);
+        // Cheap poll: directory listing only.
+        match checkpoint::newest_generation(&self.source.checkpoint_dir) {
+            Some(newest) if newest > serving => {}
+            _ => return Ok(None),
+        }
+        let _guard = self.reload_lock.lock().expect("reload lock");
+        // Re-check under the reload lock — another reloader may have won.
+        let serving = self.generation.load(Ordering::Relaxed);
+        let Some((generation, state)) = checkpoint::load_latest_valid(&self.source.checkpoint_dir)
+        else {
+            return Ok(None);
+        };
+        if generation <= serving {
+            return Ok(None);
+        }
+        let built = ModelTables::build(&self.source, generation, &state);
+        let tables = match built {
+            Ok(t) => Arc::new(t),
+            Err(e) => {
+                self.reload_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        // The swap itself: two pointer moves under a momentary lock.
+        *self.current.lock().expect("tables lock") = tables;
+        self.generation.store(generation, Ordering::Relaxed);
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(generation))
+    }
+}
+
+/// Handle of a background reload watcher; stops (and joins) the thread on
+/// [`Watcher::stop`] or drop.
+pub struct Watcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watcher {
+    /// Signals the watcher thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Watcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns a background thread that polls the checkpoint directory every
+/// `period` and hot-swaps newer generations in. Reload errors are counted
+/// in [`EngineStats::reload_errors`] and the previous tables keep serving
+/// — a bad checkpoint must never take the service down.
+pub fn spawn_watcher(engine: Arc<Engine>, period: Duration) -> Watcher {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("graphaug-serve-watcher".into())
+        .spawn(move || {
+            let tick = Duration::from_millis(5).min(period);
+            let mut elapsed = period; // fire one check immediately
+            while !stop_flag.load(Ordering::Relaxed) {
+                if elapsed >= period {
+                    elapsed = Duration::ZERO;
+                    let _ = engine.reload_if_newer();
+                }
+                std::thread::sleep(tick);
+                elapsed += tick;
+            }
+        })
+        .expect("spawn reload watcher");
+    Watcher {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+/// Convenience: does `dir` currently hold any checkpoint generations?
+pub fn has_checkpoints(dir: &Path) -> bool {
+    checkpoint::newest_generation(dir).is_some()
+}

@@ -1,0 +1,64 @@
+//! Online recommendation serving for the GraphAug reproduction.
+//!
+//! Every prior layer of the workspace stops at offline training and
+//! evaluation; this crate answers the actual production question — *"what
+//! should user `u` see right now?"* — on top of the `graphaug-runtime`
+//! checkpoint store:
+//!
+//! 1. **Tables** ([`tables`]) — load the newest valid checkpoint, run the
+//!    mixhop encoder forward **once** (via `GraphAug::for_inference`), and
+//!    freeze the resulting user/item embedding matrices plus the seen-item
+//!    lists into an immutable [`ModelTables`]. `ModelTables` implements the
+//!    evaluation stack's `Recommender` trait, so a served ranking is
+//!    *bit-identical* to the offline `graphaug-eval` ranking for the same
+//!    checkpoint — the integration tests assert this with hex-exact
+//!    comparisons.
+//! 2. **Engine** ([`engine`]) — top-K queries with seen-item filtering over
+//!    the bounded-heap `topk_indices`, batched requests fanned out over
+//!    `graphaug-par`, an LRU response cache keyed by
+//!    `(user, k, model generation)`, and **hot reload**: a background
+//!    watcher notices a newer checkpoint generation on disk, rebuilds the
+//!    tables off the request path, and atomically swaps them in without
+//!    dropping or tearing any in-flight request.
+//! 3. **Server** ([`proto`], [`server`]) — a dependency-free blocking TCP
+//!    server speaking a one-line-per-request text protocol, plus the
+//!    `serve_main` and `loadgen` binaries (demo service and latency/QPS
+//!    load generator).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use graphaug_core::GraphAugConfig;
+//! use graphaug_data::{generate, SyntheticConfig};
+//! use graphaug_runtime::{Runtime, RuntimeConfig};
+//! use graphaug_serve::{Engine, ModelSource};
+//!
+//! // Train two epochs, checkpointing every epoch.
+//! let graph = generate(&SyntheticConfig::new(40, 30, 400).seed(1));
+//! let dir = std::env::temp_dir().join("graphaug-serve-quickstart");
+//! let model = GraphAugConfig::fast_test().epochs(2);
+//! let mut rt = Runtime::new(
+//!     RuntimeConfig::new(model.clone()).checkpoint_dir(&dir),
+//!     &graph,
+//! )
+//! .unwrap();
+//! rt.run().unwrap();
+//!
+//! // Serve top-10 recommendations from the newest checkpoint.
+//! let engine = Engine::open(ModelSource::new(model, graph, &dir)).unwrap();
+//! let rec = engine.recommend(3, 10).unwrap();
+//! assert_eq!(rec.items.len(), 10);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod proto;
+pub mod server;
+pub mod tables;
+
+pub use cache::LruCache;
+pub use engine::{spawn_watcher, Engine, EngineStats, Recommendation, Watcher};
+pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request};
+pub use server::{serve, ServerHandle};
+pub use tables::{ModelSource, ModelTables, ScoredItem, ServeError};

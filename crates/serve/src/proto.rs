@@ -1,0 +1,240 @@
+//! The serving wire protocol: one line per request, one line per response,
+//! ASCII only, no external dependencies on either side.
+//!
+//! Requests:
+//!
+//! ```text
+//! REC <user>[,<user>...] <k>    top-K lists for one or more users
+//! STATS                         serving counters + table shape
+//! PING                          liveness probe
+//! QUIT                          close the connection
+//! ```
+//!
+//! Responses (one line per requested user, in request order):
+//!
+//! ```text
+//! OK gen=<g> user=<u> k=<k> items=<i1,i2,...> bits=<hex32,hex32,...>
+//! ERR <message>
+//! STATS gen=<g> users=<n> items=<n> requests=<n> cache_hits=<n> cache_misses=<n> reloads=<n> reload_errors=<n>
+//! PONG
+//! BYE
+//! ```
+//!
+//! `bits` carries each score's **f32 bit pattern** in hex — the same
+//! bit-exact rendering idea as `EvalResult::bitline()` — so a client (or
+//! the parity harness) can assert served scores equal offline scores
+//! exactly, with no decimal round-trip in between.
+
+use crate::engine::Recommendation;
+use crate::tables::ScoredItem;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Top-`k` lists for each listed user.
+    Rec {
+        /// Requested users, served in order.
+        users: Vec<u32>,
+        /// Cutoff shared by the batch.
+        k: usize,
+    },
+    /// Serving counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses one request line. Errors are human-readable fragments suitable
+/// for an `ERR` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_ascii_whitespace();
+    match parts.next() {
+        Some("REC") => {
+            let users_part = parts.next().ok_or("REC needs <users> <k>")?;
+            let k_part = parts.next().ok_or("REC needs <users> <k>")?;
+            if parts.next().is_some() {
+                return Err("REC takes exactly two arguments".into());
+            }
+            let users = users_part
+                .split(',')
+                .map(|u| u.parse::<u32>().map_err(|_| format!("bad user id {u:?}")))
+                .collect::<Result<Vec<u32>, String>>()?;
+            if users.is_empty() {
+                return Err("REC needs at least one user".into());
+            }
+            let k = k_part
+                .parse::<usize>()
+                .map_err(|_| format!("bad k {k_part:?}"))?;
+            Ok(Request::Rec { users, k })
+        }
+        Some("STATS") => Ok(Request::Stats),
+        Some("PING") => Ok(Request::Ping),
+        Some("QUIT") => Ok(Request::Quit),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("empty request".into()),
+    }
+}
+
+/// Renders a served recommendation as its `OK` line.
+pub fn ok_line(rec: &Recommendation) -> String {
+    let mut items = String::new();
+    let mut bits = String::new();
+    for (i, s) in rec.items.iter().enumerate() {
+        if i > 0 {
+            items.push(',');
+            bits.push(',');
+        }
+        items.push_str(&s.item.to_string());
+        bits.push_str(&format!("{:08x}", s.score.to_bits()));
+    }
+    format!(
+        "OK gen={} user={} k={} items={} bits={}",
+        rec.generation, rec.user, rec.k, items, bits
+    )
+}
+
+/// A parsed `OK` response line (client side: loadgen and the parity
+/// harness).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OkLine {
+    /// Serving generation.
+    pub gen: u64,
+    /// User the list is for.
+    pub user: u32,
+    /// Requested cutoff.
+    pub k: usize,
+    /// Ranked items with scores reconstructed from their bit patterns.
+    pub items: Vec<ScoredItem>,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+}
+
+/// Parses an `OK` line produced by [`ok_line`]. Returns `None` on any
+/// malformed field (clients treat that as a protocol error).
+pub fn parse_ok_line(line: &str) -> Option<OkLine> {
+    if !line.starts_with("OK ") {
+        return None;
+    }
+    let gen = field(line, "gen=")?.parse().ok()?;
+    let user = field(line, "user=")?.parse().ok()?;
+    let k = field(line, "k=")?.parse().ok()?;
+    let items_s = field(line, "items=")?;
+    let bits_s = field(line, "bits=")?;
+    let mut items = Vec::new();
+    if !items_s.is_empty() {
+        let ids = items_s.split(',');
+        let mut bits = bits_s.split(',');
+        for id in ids {
+            let item = id.parse().ok()?;
+            let b = u32::from_str_radix(bits.next()?, 16).ok()?;
+            items.push(ScoredItem {
+                item,
+                score: f32::from_bits(b),
+            });
+        }
+        if bits.next().is_some() {
+            return None; // more scores than items
+        }
+    } else if !bits_s.is_empty() {
+        return None;
+    }
+    Some(OkLine {
+        gen,
+        user,
+        k,
+        items,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn request_parsing_round_trips() {
+        assert_eq!(
+            parse_request("REC 4 10"),
+            Ok(Request::Rec {
+                users: vec![4],
+                k: 10
+            })
+        );
+        assert_eq!(
+            parse_request("REC 1,2,3 20"),
+            Ok(Request::Rec {
+                users: vec![1, 2, 3],
+                k: 20
+            })
+        );
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+        assert_eq!(parse_request("QUIT"), Ok(Request::Quit));
+        assert!(parse_request("").is_err());
+        assert!(parse_request("REC").is_err());
+        assert!(parse_request("REC x 5").is_err());
+        assert!(parse_request("REC 1 x").is_err());
+        assert!(parse_request("REC 1 2 3").is_err());
+        assert!(parse_request("NOPE 1 2").is_err());
+    }
+
+    #[test]
+    fn ok_line_round_trips_bit_exactly() {
+        let rec = Recommendation {
+            user: 7,
+            k: 3,
+            generation: 42,
+            items: Arc::new(vec![
+                ScoredItem {
+                    item: 5,
+                    score: 1.25,
+                },
+                ScoredItem {
+                    item: 0,
+                    score: f32::from_bits(0x3f80_0001), // 1.0 + 1 ULP
+                },
+                ScoredItem {
+                    item: 9,
+                    score: -0.0,
+                },
+            ]),
+            from_cache: false,
+        };
+        let line = ok_line(&rec);
+        let parsed = parse_ok_line(&line).expect("parses");
+        assert_eq!(parsed.gen, 42);
+        assert_eq!(parsed.user, 7);
+        assert_eq!(parsed.k, 3);
+        assert_eq!(parsed.items.len(), 3);
+        for (a, b) in parsed.items.iter().zip(rec.items.iter()) {
+            assert_eq!(a.item, b.item);
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "bit-exact scores");
+        }
+    }
+
+    #[test]
+    fn empty_recommendation_round_trips() {
+        let rec = Recommendation {
+            user: 1,
+            k: 0,
+            generation: 0,
+            items: Arc::new(Vec::new()),
+            from_cache: false,
+        };
+        let parsed = parse_ok_line(&ok_line(&rec)).expect("parses");
+        assert!(parsed.items.is_empty());
+    }
+
+    #[test]
+    fn malformed_ok_lines_are_rejected() {
+        assert!(parse_ok_line("ERR nope").is_none());
+        assert!(parse_ok_line("OK gen=1 user=2").is_none());
+        assert!(parse_ok_line("OK gen=1 user=2 k=3 items=1,2 bits=3f800000").is_none());
+        assert!(parse_ok_line("OK gen=1 user=2 k=3 items= bits=3f800000").is_none());
+    }
+}

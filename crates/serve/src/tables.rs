@@ -1,0 +1,302 @@
+//! Immutable serving tables materialized from one training checkpoint.
+//!
+//! A [`ModelTables`] is everything a request needs, frozen at build time:
+//! the final user/item embedding matrices (one inference forward pass over
+//! the clean graph), the per-user seen-item lists for filtering, and the
+//! checkpoint generation the tables came from. Instances are immutable
+//! after construction and shared behind an `Arc`, which is what makes the
+//! engine's hot swap safe: a request that started on generation N keeps
+//! its `Arc<ModelTables>` alive until it finishes, no matter how many
+//! swaps land meanwhile.
+
+use std::path::{Path, PathBuf};
+
+use graphaug_core::{GraphAug, GraphAugConfig};
+use graphaug_eval::{topk_indices, Recommender};
+use graphaug_graph::InteractionGraph;
+use graphaug_runtime::{RunCompat, SnapshotError, TrainState};
+use graphaug_tensor::{Mat, RestoreError};
+
+/// Why a serving operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No valid checkpoint exists under the source directory.
+    NoCheckpoint(PathBuf),
+    /// A checkpoint could not be read or decoded.
+    Snapshot(SnapshotError),
+    /// A decoded checkpoint did not fit the configured model shape.
+    Restore(RestoreError),
+    /// The requested user id is outside the model's user range.
+    UnknownUser {
+        /// The offending user id.
+        user: u32,
+        /// Number of users the model knows.
+        n_users: usize,
+    },
+    /// Network/socket failure in the server layer.
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoCheckpoint(dir) => {
+                write!(f, "no valid checkpoint under {}", dir.display())
+            }
+            ServeError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            ServeError::Restore(e) => write!(f, "checkpoint does not fit this model: {e}"),
+            ServeError::UnknownUser { user, n_users } => {
+                write!(f, "unknown user {user} (model has users 0..{n_users})")
+            }
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+impl From<RestoreError> for ServeError {
+    fn from(e: RestoreError) -> Self {
+        ServeError::Restore(e)
+    }
+}
+
+/// One ranked item with its preference score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredItem {
+    /// Item id.
+    pub item: u32,
+    /// Dot-product preference score (bit-identical to offline eval).
+    pub score: f32,
+}
+
+/// Where serving tables come from: the model configuration and training
+/// graph that define the run, plus the checkpoint directory a trainer
+/// writes into. The config/graph pair must match the training run — the
+/// checkpoint's [`RunCompat`] header is checked on every load, so serving
+/// a checkpoint against the wrong graph fails loudly instead of returning
+/// silent nonsense.
+#[derive(Clone)]
+pub struct ModelSource {
+    /// Model hyperparameters of the training run.
+    pub config: GraphAugConfig,
+    /// The training interaction graph (defines embedding shapes and the
+    /// seen-item lists used for filtering).
+    pub graph: InteractionGraph,
+    /// Directory the trainer checkpoints into.
+    pub checkpoint_dir: PathBuf,
+}
+
+impl ModelSource {
+    /// Bundles a source description.
+    pub fn new(config: GraphAugConfig, graph: InteractionGraph, checkpoint_dir: &Path) -> Self {
+        ModelSource {
+            config,
+            graph,
+            checkpoint_dir: checkpoint_dir.to_path_buf(),
+        }
+    }
+
+    /// The [`RunCompat`] identity this source expects checkpoints to carry.
+    pub fn compat(&self) -> RunCompat {
+        RunCompat {
+            n_users: self.graph.n_users() as u64,
+            n_items: self.graph.n_items() as u64,
+            n_edges: self.graph.n_interactions() as u64,
+            seed: self.config.seed,
+            embed_dim: self.config.embed_dim as u64,
+        }
+    }
+}
+
+/// Immutable, checkpoint-pinned serving state: embedding tables plus
+/// seen-item lists.
+pub struct ModelTables {
+    generation: u64,
+    epoch: u64,
+    user_emb: Mat,
+    item_emb: Mat,
+    graph: InteractionGraph,
+}
+
+impl ModelTables {
+    /// Builds tables from a decoded checkpoint: verifies the [`RunCompat`]
+    /// header against the source, restores the model state, and runs the
+    /// encoder forward exactly once ([`GraphAug::for_inference`]).
+    pub fn build(
+        source: &ModelSource,
+        generation: u64,
+        state: &TrainState,
+    ) -> Result<ModelTables, ServeError> {
+        state.compat.check(&source.compat())?;
+        let model = GraphAug::for_inference(source.config.clone(), &source.graph, &state.model)?;
+        let (user_emb, item_emb) = model.embeddings().expect("GraphAug always has embeddings");
+        Ok(ModelTables {
+            generation,
+            epoch: state.epoch,
+            user_emb: user_emb.clone(),
+            item_emb: item_emb.clone(),
+            graph: source.graph.clone(),
+        })
+    }
+
+    /// Checkpoint generation these tables were built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Training epochs completed when the source checkpoint was written.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of users the tables cover.
+    pub fn n_users(&self) -> usize {
+        self.user_emb.rows()
+    }
+
+    /// Number of items the tables cover.
+    pub fn n_items(&self) -> usize {
+        self.item_emb.rows()
+    }
+
+    /// Items `user` already interacted with in the training graph (these
+    /// are filtered out of every recommendation, mirroring the eval
+    /// harness's train-item masking).
+    pub fn seen(&self, user: u32) -> &[u32] {
+        self.graph.items_of(user as usize)
+    }
+
+    /// Top-`k` unseen items for `user`, ranked by dot-product score with
+    /// ties broken toward the lower item id.
+    ///
+    /// This is, step for step, the offline evaluation ranking: the scores
+    /// come from the `Recommender::score_items` default implementation
+    /// (the same summation order the eval harness uses), seen items are
+    /// masked to `-inf` exactly like train-item masking, and the selection
+    /// is the shared bounded-heap [`topk_indices`]. Served output is
+    /// therefore bit-identical to `graphaug-eval` for the same checkpoint.
+    pub fn top_k(&self, user: u32, k: usize) -> Result<Vec<ScoredItem>, ServeError> {
+        if (user as usize) >= self.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.n_users(),
+            });
+        }
+        let mut scores = self.score_items(user as usize);
+        for &v in self.seen(user) {
+            scores[v as usize] = f32::NEG_INFINITY;
+        }
+        Ok(topk_indices(&scores, k)
+            .into_iter()
+            .map(|item| ScoredItem {
+                item,
+                score: scores[item as usize],
+            })
+            .collect())
+    }
+}
+
+impl Recommender for ModelTables {
+    fn name(&self) -> &str {
+        "graphaug-serve"
+    }
+
+    fn embeddings(&self) -> Option<(&Mat, &Mat)> {
+        Some((&self.user_emb, &self.item_emb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_data::{generate, SyntheticConfig};
+    use graphaug_graph::TripletSampler;
+
+    fn source_with_state() -> (ModelSource, TrainState) {
+        let graph = generate(&SyntheticConfig::new(50, 40, 500).clusters(3).seed(4));
+        let cfg = GraphAugConfig::fast_test();
+        let mut model = GraphAug::new(cfg.clone(), &graph);
+        let mut sampler = TripletSampler::new(&graph, cfg.seed.wrapping_add(101));
+        for _ in 0..4 {
+            model.train_step(&mut sampler);
+        }
+        model.refresh_embeddings();
+        let compat = ModelSource::new(cfg.clone(), graph.clone(), Path::new("/unused")).compat();
+        let state = TrainState {
+            compat,
+            epoch: 1,
+            lr_scale: 1.0,
+            consecutive_bad: 0,
+            attempt: 4,
+            loss_window: Vec::new(),
+            model: model.training_state(),
+            sampler: sampler.state(),
+        };
+        (ModelSource::new(cfg, graph, Path::new("/unused")), state)
+    }
+
+    #[test]
+    fn build_verifies_compat() {
+        let (source, state) = source_with_state();
+        let tables = ModelTables::build(&source, 7, &state).unwrap();
+        assert_eq!(tables.generation(), 7);
+        assert_eq!(tables.n_users(), 50);
+        assert_eq!(tables.n_items(), 40);
+
+        let mut wrong = source.clone();
+        wrong.config.seed += 1;
+        match ModelTables::build(&wrong, 7, &state) {
+            Err(ServeError::Snapshot(SnapshotError::Incompatible(_))) => {}
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("expected Incompatible, got Ok"),
+        }
+    }
+
+    #[test]
+    fn top_k_filters_seen_items_and_ranks_descending() {
+        let (source, state) = source_with_state();
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        for user in [0u32, 7, 49] {
+            let top = tables.top_k(user, 10).unwrap();
+            assert_eq!(top.len(), 10);
+            for w in top.windows(2) {
+                assert!(w[0].score >= w[1].score, "ranked descending");
+            }
+            for s in &top {
+                assert!(
+                    tables.seen(user).binary_search(&s.item).is_err(),
+                    "seen item {} served to user {user}",
+                    s.item
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_rejects_out_of_range_users() {
+        let (source, state) = source_with_state();
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        assert!(matches!(
+            tables.top_k(50, 5),
+            Err(ServeError::UnknownUser { user: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn top_k_clamps_k_to_unseen_catalog() {
+        let (source, state) = source_with_state();
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let top = tables.top_k(0, 10_000).unwrap();
+        // All items come back, seen ones last (masked to -inf) — but never
+        // more than the catalog.
+        assert_eq!(top.len(), tables.n_items());
+        assert!(tables.top_k(0, 0).unwrap().is_empty());
+    }
+}
