@@ -6,7 +6,21 @@
 # reintroduction of a registry dependency fails loudly at resolution time
 # instead of silently fetching.
 #
-# Usage: ./ci.sh
+# Usage: ./ci.sh [GROUP]
+#
+# GROUP selects a stage group so the GitHub workflow can run (and time out)
+# each one as its own step; the default runs everything in order:
+#
+#   static   cargo fmt --check, clippy -D warnings
+#   build    cargo build --release
+#   tests    full test suite at GRAPHAUG_THREADS={1,3,4} and GRAPHAUG_SIMD=0
+#   bench    bench harness smoke run (tiny budget)
+#   process  process-level smokes: kill/resume, serving parity + loadgen,
+#            shard router + chaos loadgen (all boot real binaries)
+#   gates    recorded perf-trajectory gate, dependency hermeticity
+#
+# The `tests`/`bench`/`process` groups expect `build` to have run first in
+# the same workspace (they use target/release binaries).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,132 +29,298 @@ export CARGO_NET_OFFLINE=true
 
 stage() { printf '\n==> %s\n' "$*"; }
 
-stage "cargo fmt --check"
-cargo fmt --all -- --check
+# ---------------------------------------------------------------------------
+# Shared process-stage helpers: every background binary is registered for
+# trap cleanup, so a failing stage can `exit 1` from anywhere without
+# leaking processes or temp dirs, and all logs land in one directory the
+# workflow uploads as an artifact on failure.
+# ---------------------------------------------------------------------------
 
-stage "cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+LOG_DIR="${GRAPHAUG_CI_LOG_DIR:-/tmp/graphaug_ci_logs}"
+mkdir -p "$LOG_DIR"
 
-stage "cargo build --release --offline"
-cargo build --release --offline
+CLEANUP_PIDS=()
+CLEANUP_DIRS=()
 
-stage "cargo test -q --offline (GRAPHAUG_THREADS=1)"
-GRAPHAUG_THREADS=1 cargo test -q --offline
-
-stage "cargo test -q --offline (GRAPHAUG_THREADS=3)"
-# The parallel runtime must be bit-deterministic in the thread count; run
-# the whole suite again with multi-worker pools (an odd and an even count —
-# uneven tail chunks land on different workers) to prove it.
-GRAPHAUG_THREADS=3 cargo test -q --offline
-
-stage "cargo test -q --offline (GRAPHAUG_THREADS=4)"
-GRAPHAUG_THREADS=4 cargo test -q --offline
-
-stage "cargo test -q --offline (GRAPHAUG_SIMD=0)"
-# The scalar fallback build must be bit-identical to the AVX2 lane build;
-# run the suite once more with the lanes force-disabled.
-GRAPHAUG_SIMD=0 cargo test -q --offline
-
-stage "bench smoke (tiny budget)"
-# Not a perf measurement — just proves the bench harness, the workloads,
-# and the regression differ run end to end. Full recordings use
-# bench_baseline + bench_compare with default budgets.
-GRAPHAUG_BENCH_ITERS=3 GRAPHAUG_BENCH_WARMUP_MS=10 GRAPHAUG_BENCH_MAX_MS=200 \
-    GRAPHAUG_BENCH_OUT=/tmp/graphaug_bench_smoke.json \
-    cargo run --release --offline -q -p graphaug-bench --bin bench_baseline smoke
-cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-    /tmp/graphaug_bench_smoke.json /tmp/graphaug_bench_smoke.json
-
-stage "kill/resume smoke test (GRAPHAUG_THREADS=1 and 4)"
-# Crash-safety end to end, across real process boundaries: train with
-# checkpoint-every-epoch, SIGKILL the victim mid-run, resume from the
-# surviving checkpoint, and require the FINAL line (bit-exact embedding
-# fingerprint + Recall@20/NDCG@20 bit patterns) to equal an uninterrupted
-# reference run. Determinism makes this an equality check, not a tolerance.
-# The binary is invoked directly (not through `cargo run`) so the kill hits
-# the trainer itself rather than orphaning it behind a cargo wrapper.
-KILL_RESUME=target/release/kill_resume
-for threads in 1 4; do
-    ckdir="$(mktemp -d /tmp/graphaug_kill_resume.XXXXXX)"
-    reference=$(GRAPHAUG_THREADS=$threads "$KILL_RESUME" reference "$ckdir/ref")
-
-    victim_log="$ckdir/victim.log"
-    GRAPHAUG_THREADS=$threads "$KILL_RESUME" victim "$ckdir/ck" >"$victim_log" &
-    victim_pid=$!
-    # Wait for training to be mid-run (a few epochs in), then kill -9.
-    for _ in $(seq 1 200); do
-        grep -q "EPOCH 3" "$victim_log" 2>/dev/null && break
-        sleep 0.05
+cleanup() {
+    local pid dir
+    for pid in "${CLEANUP_PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && kill -9 "$pid" 2>/dev/null || true
     done
-    kill -9 "$victim_pid" 2>/dev/null || true
-    wait "$victim_pid" 2>/dev/null || true
-    if grep -q "FINAL" "$victim_log"; then
-        echo "ERROR: victim finished before the kill landed" >&2
-        exit 1
+    for pid in "${CLEANUP_PIDS[@]:-}"; do
+        [[ -n "$pid" ]] && wait "$pid" 2>/dev/null || true
+    done
+    for dir in "${CLEANUP_DIRS[@]:-}"; do
+        [[ -n "$dir" ]] && rm -rf "$dir"
+    done
+}
+trap cleanup EXIT
+
+register_pid() { CLEANUP_PIDS+=("$1"); }
+register_dir() { CLEANUP_DIRS+=("$1"); }
+
+# tmp_dir TAG: a registered (auto-removed) temp directory.
+tmp_dir() {
+    local dir
+    dir="$(mktemp -d "/tmp/graphaug_${1}.XXXXXX")"
+    register_dir "$dir"
+    printf '%s' "$dir"
+}
+
+# wait_for_line LOG PATTERN [PID]: polls LOG until PATTERN appears; fails
+# after ~60s, or as soon as PID (when given) exits without producing it.
+wait_for_line() {
+    local log="$1" pattern="$2" pid="${3:-}"
+    local _i
+    for _i in $(seq 1 600); do
+        grep -q "$pattern" "$log" 2>/dev/null && return 0
+        if [[ -n "$pid" ]] && ! kill -0 "$pid" 2>/dev/null; then
+            # Lost the race with a fast process: check once more.
+            grep -q "$pattern" "$log" 2>/dev/null && return 0
+            return 1
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# boot_bin NAME READY_PATTERN CMD...: starts CMD in the background logging
+# to $LOG_DIR/NAME.log, registers the PID for cleanup, and waits until
+# READY_PATTERN appears in the log. Sets BOOT_PID and BOOT_LOG.
+boot_bin() {
+    local name="$1" pattern="$2"
+    shift 2
+    BOOT_LOG="$LOG_DIR/$name.log"
+    : >"$BOOT_LOG"
+    "$@" >"$BOOT_LOG" 2>&1 &
+    BOOT_PID=$!
+    register_pid "$BOOT_PID"
+    if ! wait_for_line "$BOOT_LOG" "$pattern" "$BOOT_PID"; then
+        echo "ERROR: $name never logged '$pattern'" >&2
+        cat "$BOOT_LOG" >&2
+        return 1
     fi
+}
 
-    resumed=$(GRAPHAUG_THREADS=$threads "$KILL_RESUME" resume "$ckdir/ck")
-    if [[ "$reference" != "$resumed" ]]; then
-        echo "ERROR: kill/resume mismatch at GRAPHAUG_THREADS=$threads" >&2
-        echo "  reference: $reference" >&2
-        echo "  resumed:   $resumed" >&2
-        exit 1
-    fi
-    echo "ok: threads=$threads resumed run bit-identical to reference"
-    rm -rf "$ckdir"
-done
+# ready_addr LOG: the bound address from a `READY addr=...` line.
+ready_addr() { sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$1" | head -n 1; }
 
-stage "serving smoke test (serve_main + loadgen parity over TCP)"
-# Boot the demo service on an ephemeral loopback port (training the demo
-# model into a temp checkpoint dir on first run), require its offline-vs-
-# served parity self-check to pass, then drive it with the seeded load
-# generator — any ERR or malformed response fails the run.
-serve_dir="$(mktemp -d /tmp/graphaug_serve_smoke.XXXXXX)"
-serve_log="$serve_dir/serve.log"
-target/release/serve_main "$serve_dir/ck" >"$serve_log" 2>&1 &
-serve_pid=$!
-for _ in $(seq 1 600); do
-    grep -q "READY addr=" "$serve_log" 2>/dev/null && break
-    if ! kill -0 "$serve_pid" 2>/dev/null; then break; fi
-    sleep 0.1
-done
-if ! grep -q "PARITY ok" "$serve_log"; then
-    echo "ERROR: serve_main parity self-check did not pass" >&2
-    cat "$serve_log" >&2
-    kill "$serve_pid" 2>/dev/null || true
-    exit 1
-fi
-serve_addr=$(sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$serve_log")
-if ! target/release/loadgen "$serve_addr" --requests 1000 --conns 4; then
-    echo "ERROR: loadgen reported errors against $serve_addr" >&2
-    cat "$serve_log" >&2
-    kill "$serve_pid" 2>/dev/null || true
-    exit 1
-fi
-kill "$serve_pid" 2>/dev/null || true
-wait "$serve_pid" 2>/dev/null || true
-grep "PARITY ok" "$serve_log"
-echo "ok: served rankings bit-identical to offline eval, loadgen clean"
-rm -rf "$serve_dir"
+# ---------------------------------------------------------------------------
+# Stage groups.
+# ---------------------------------------------------------------------------
 
-stage "perf trajectory gate (BENCH_pr5 vs BENCH_pr4)"
-# The recorded PR 5 trajectory point must hold a ≤10% median regression
-# bound against the PR 4 baseline. This diffs the two *recorded* files —
-# deterministic and machine-independent — rather than re-benching on
-# whatever box CI runs on.
-if [[ -f BENCH_pr5.json && -f BENCH_pr4.json ]]; then
+group_static() {
+    stage "cargo fmt --check"
+    cargo fmt --all -- --check
+
+    stage "cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+}
+
+group_build() {
+    stage "cargo build --release --offline"
+    cargo build --release --offline
+}
+
+group_tests() {
+    stage "cargo test -q --offline (GRAPHAUG_THREADS=1)"
+    GRAPHAUG_THREADS=1 cargo test -q --offline
+
+    stage "cargo test -q --offline (GRAPHAUG_THREADS=3)"
+    # The parallel runtime must be bit-deterministic in the thread count;
+    # run the whole suite again with multi-worker pools (an odd and an even
+    # count — uneven tail chunks land on different workers) to prove it.
+    GRAPHAUG_THREADS=3 cargo test -q --offline
+
+    stage "cargo test -q --offline (GRAPHAUG_THREADS=4)"
+    GRAPHAUG_THREADS=4 cargo test -q --offline
+
+    stage "cargo test -q --offline (GRAPHAUG_SIMD=0)"
+    # The scalar fallback build must be bit-identical to the AVX2 lane
+    # build; run the suite once more with the lanes force-disabled.
+    GRAPHAUG_SIMD=0 cargo test -q --offline
+}
+
+group_bench() {
+    stage "bench smoke (tiny budget)"
+    # Not a perf measurement — just proves the bench harness, the
+    # workloads, and the regression differ run end to end. Full recordings
+    # use bench_baseline + bench_compare with default budgets.
+    GRAPHAUG_BENCH_ITERS=3 GRAPHAUG_BENCH_WARMUP_MS=10 GRAPHAUG_BENCH_MAX_MS=200 \
+        GRAPHAUG_BENCH_OUT=/tmp/graphaug_bench_smoke.json \
+        cargo run --release --offline -q -p graphaug-bench --bin bench_baseline smoke
     cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-        BENCH_pr5.json BENCH_pr4.json --threshold 10
-else
-    echo "skip: BENCH_pr5.json / BENCH_pr4.json not both present"
-fi
+        /tmp/graphaug_bench_smoke.json /tmp/graphaug_bench_smoke.json
+}
 
-stage "dependency hermeticity check"
-# No crate manifest may declare a non-path external dependency.
-if grep -rEn '^\s*(rand|proptest|criterion)\s*=' crates/*/Cargo.toml; then
-    echo "ERROR: external registry dependency found in a crate manifest" >&2
-    exit 1
-fi
-echo "ok: all dependencies are local path crates"
+stage_kill_resume() {
+    stage "kill/resume smoke test (GRAPHAUG_THREADS=1 and 4)"
+    # Crash-safety end to end, across real process boundaries: train with
+    # checkpoint-every-epoch, SIGKILL the victim mid-run, resume from the
+    # surviving checkpoint, and require the FINAL line (bit-exact embedding
+    # fingerprint + Recall@20/NDCG@20 bit patterns) to equal an
+    # uninterrupted reference run. Determinism makes this an equality
+    # check, not a tolerance. The binary is invoked directly (not through
+    # `cargo run`) so the kill hits the trainer itself rather than
+    # orphaning it behind a cargo wrapper.
+    local kill_resume=target/release/kill_resume
+    local threads ckdir reference resumed
+    for threads in 1 4; do
+        ckdir="$(tmp_dir kill_resume)"
+        reference=$(GRAPHAUG_THREADS=$threads "$kill_resume" reference "$ckdir/ref")
 
-printf '\nCI gate passed.\n'
+        # Boot the victim and wait for it to be mid-run, then kill -9.
+        boot_bin "kill_resume_victim_t$threads" "EPOCH 3" \
+            env GRAPHAUG_THREADS=$threads "$kill_resume" victim "$ckdir/ck"
+        kill -9 "$BOOT_PID" 2>/dev/null || true
+        wait "$BOOT_PID" 2>/dev/null || true
+        if grep -q "FINAL" "$BOOT_LOG"; then
+            echo "ERROR: victim finished before the kill landed" >&2
+            exit 1
+        fi
+
+        resumed=$(GRAPHAUG_THREADS=$threads "$kill_resume" resume "$ckdir/ck")
+        if [[ "$reference" != "$resumed" ]]; then
+            echo "ERROR: kill/resume mismatch at GRAPHAUG_THREADS=$threads" >&2
+            echo "  reference: $reference" >&2
+            echo "  resumed:   $resumed" >&2
+            exit 1
+        fi
+        echo "ok: threads=$threads resumed run bit-identical to reference"
+    done
+}
+
+stage_serving() {
+    stage "serving smoke test (serve_main + loadgen parity over TCP)"
+    # Boot the demo service on an ephemeral loopback port (training the
+    # demo model into a temp checkpoint dir on first run), require its
+    # offline-vs-served parity self-check to pass, then drive it with the
+    # seeded load generator — any ERR or malformed response fails the run.
+    local serve_dir serve_addr
+    serve_dir="$(tmp_dir serve_smoke)"
+    boot_bin "serve_main" "READY addr=" target/release/serve_main "$serve_dir/ck"
+    if ! grep -q "PARITY ok" "$BOOT_LOG"; then
+        echo "ERROR: serve_main parity self-check did not pass" >&2
+        cat "$BOOT_LOG" >&2
+        exit 1
+    fi
+    serve_addr=$(ready_addr "$BOOT_LOG")
+
+    # The load generator must reject nonsense loudly before it must ever
+    # touch the network.
+    local bad
+    for bad in "--requests 0" "--conns 0" "--kmax 0" "--bogus-flag 1" "--zipf -1"; do
+        # shellcheck disable=SC2086
+        if target/release/loadgen "$serve_addr" $bad >/dev/null 2>&1; then
+            echo "ERROR: loadgen accepted invalid args: $bad" >&2
+            exit 1
+        fi
+    done
+    if target/release/loadgen not-an-addr --requests 1 >/dev/null 2>&1; then
+        echo "ERROR: loadgen accepted a malformed address" >&2
+        exit 1
+    fi
+
+    target/release/loadgen "$serve_addr" --requests 1000 --conns 4
+    target/release/loadgen "$serve_addr" --requests 500 --conns 2 --zipf 1.1
+    grep "PARITY ok" "$BOOT_LOG"
+    echo "ok: served rankings bit-identical to offline eval, loadgen clean"
+}
+
+stage_router() {
+    stage "router smoke test (3 replicas + router + chaos loadgen, GRAPHAUG_THREADS=1 and 4)"
+    # The full multi-replica story against real processes: three replica
+    # engines over one shared demo checkpoint, the shard router in front,
+    # and the chaos load generator driving zipf/hot-storm phases plus a
+    # scripted kill/rejoin of replica 1. The chaos driver exits non-zero on
+    # any ERR outside the documented failover window and on any
+    # routed-vs-direct parity deviation (hex-exact, sampled users).
+    local threads rdir r0_addr r1_addr r2_addr r1_pid router_addr
+    for threads in 1 4; do
+        rdir="$(tmp_dir router_smoke)"
+
+        # Replica 0 trains the shared demo checkpoint; 1 and 2 find it
+        # already valid and boot straight into serving.
+        boot_bin "router_replica0_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$rdir/ck" --parity-users 4
+        r0_addr=$(ready_addr "$BOOT_LOG")
+        boot_bin "router_replica1_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$rdir/ck" --parity-users 4
+        r1_addr=$(ready_addr "$BOOT_LOG")
+        r1_pid=$BOOT_PID
+        boot_bin "router_replica2_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$rdir/ck" --parity-users 4
+        r2_addr=$(ready_addr "$BOOT_LOG")
+
+        boot_bin "router_t$threads" "READY addr=" \
+            target/release/router_main --replicas "$r0_addr,$r1_addr,$r2_addr"
+        router_addr=$(ready_addr "$BOOT_LOG")
+        if ! grep -q "shards=3 up=3" "$BOOT_LOG"; then
+            echo "ERROR: router did not see all three replicas up at boot" >&2
+            cat "$BOOT_LOG" >&2
+            exit 1
+        fi
+
+        GRAPHAUG_THREADS=$threads target/release/chaos_loadgen "$router_addr" \
+            --replicas "$r0_addr,$r1_addr,$r2_addr" \
+            --victim 1 --victim-pid "$r1_pid" \
+            --victim-respawn "target/release/serve_main $rdir/ck --parity-users 2" \
+            --requests-per-phase 400 --conns 4 --seed 7
+        echo "ok: threads=$threads chaos run clean, failover scoped to shard 1, parity hex-exact"
+    done
+}
+
+group_process() {
+    stage_kill_resume
+    stage_serving
+    stage_router
+}
+
+group_gates() {
+    stage "perf trajectory gate (BENCH_pr6 vs BENCH_pr5)"
+    # The recorded PR 6 trajectory point must hold a ≤10% median regression
+    # bound against the PR 5 baseline. This diffs the two *recorded* files —
+    # deterministic and machine-independent — rather than re-benching on
+    # whatever box CI runs on.
+    if [[ -f BENCH_pr6.json && -f BENCH_pr5.json ]]; then
+        cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
+            BENCH_pr6.json BENCH_pr5.json --threshold 10
+    else
+        echo "skip: BENCH_pr6.json / BENCH_pr5.json not both present"
+    fi
+
+    stage "dependency hermeticity check"
+    # No crate manifest may declare a non-path external dependency.
+    if grep -rEn '^\s*(rand|proptest|criterion)\s*=' crates/*/Cargo.toml; then
+        echo "ERROR: external registry dependency found in a crate manifest" >&2
+        exit 1
+    fi
+    echo "ok: all dependencies are local path crates"
+}
+
+# ---------------------------------------------------------------------------
+# Dispatch.
+# ---------------------------------------------------------------------------
+
+GROUP="${1:-all}"
+case "$GROUP" in
+    static) group_static ;;
+    build) group_build ;;
+    tests) group_tests ;;
+    bench) group_bench ;;
+    process) group_process ;;
+    gates) group_gates ;;
+    all)
+        group_static
+        group_build
+        group_tests
+        group_bench
+        group_process
+        group_gates
+        printf '\nCI gate passed.\n'
+        ;;
+    *)
+        echo "unknown stage group '$GROUP' (static|build|tests|bench|process|gates|all)" >&2
+        exit 2
+        ;;
+esac

@@ -1,0 +1,15 @@
+//! Shard-router benchmarks — the user→shard hash, routed REC latency,
+//! cross-shard batch fan-out, and the down-shard fast-fail path.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("router");
+    perf::router(&mut h);
+    h.finish();
+}

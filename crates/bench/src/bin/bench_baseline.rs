@@ -20,5 +20,6 @@ fn main() {
     perf::augmentor(&mut h);
     perf::checkpoint(&mut h);
     perf::serving(&mut h);
+    perf::router(&mut h);
     h.finish();
 }

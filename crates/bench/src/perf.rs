@@ -13,8 +13,9 @@ use graphaug_core::{GraphAug, GraphAugConfig};
 use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
+use graphaug_router::{shard_of, start as start_router, Router, RouterConfig};
 use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
-use graphaug_serve::{Engine, ModelSource, ModelTables};
+use graphaug_serve::{serve, Engine, ModelSource, ModelTables, ServeClient};
 use graphaug_tensor::init::{seeded_rng, xavier_uniform};
 use graphaug_tensor::{Graph, Mat, SpPair};
 
@@ -308,5 +309,97 @@ pub fn serving(h: &mut Harness) {
         },
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard-router benchmarks: the pure hash, a routed single-user `REC`
+/// through a real TCP router in front of three in-process replicas, the
+/// cross-shard fan-out of a 64-user batch, and the fast-fail path for a
+/// down shard (which must cost no network round-trip at all). Same
+/// 300×250 model scale as the `serving` suite so the routing overhead
+/// reads directly against the raw engine latency measured there.
+pub fn router(h: &mut Harness) {
+    // The hash itself: pure arithmetic, the per-user routing overhead.
+    let mut user = 0u32;
+    h.bench_throughput("router_shard_hash", 1.0, "Musers/s", || {
+        for _ in 0..1_000_000u32 {
+            black_box(shard_of(black_box(user), 3));
+            user = user.wrapping_add(1);
+        }
+    });
+
+    let train = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
+    let cfg = GraphAugConfig::new().seed(3);
+    let model = GraphAug::new(cfg.clone(), &train);
+    let state = TrainState {
+        compat: RunCompat {
+            n_users: train.n_users() as u64,
+            n_items: train.n_items() as u64,
+            n_edges: train.n_interactions() as u64,
+            seed: 3,
+            embed_dim: 32,
+        },
+        epoch: 4,
+        lr_scale: 1.0,
+        consecutive_bad: 0,
+        attempt: 24,
+        loss_window: vec![0.45; 8],
+        model: model.training_state(),
+        sampler: TripletSampler::new(&train, 7).state(),
+    };
+    let dir = std::env::temp_dir().join(format!("graphaug-bench-router-{}", std::process::id()));
+    let mut ckpt = Checkpointer::new(&dir).expect("temp checkpoint dir");
+    ckpt.write(&state).expect("write bench checkpoint");
+
+    // Three replicas over the same checkpoint, each on an ephemeral port.
+    let source = ModelSource::new(cfg, train.clone(), &dir);
+    let replicas: Vec<_> = (0..3)
+        .map(|_| {
+            let engine = std::sync::Arc::new(Engine::open(source.clone()).expect("open replica"));
+            serve(engine, "127.0.0.1:0").expect("serve replica")
+        })
+        .collect();
+    let addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
+    let router = Router::new(RouterConfig::new(addrs));
+    let handle = start_router(router.clone(), "127.0.0.1:0").expect("start router");
+    let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect router");
+
+    // Routed single-user REC: hash + relay + one replica round-trip (the
+    // cache-hit path on the replica side, so the router overhead
+    // dominates).
+    let n_users = train.n_users() as u32;
+    let mut u = 0u32;
+    h.bench("router_rec_one_routed", || {
+        black_box(client.rec_one(u, 20).expect("routed REC").len());
+        u = (u + 1) % n_users;
+    });
+
+    // Cross-shard fan-out: one 64-user batch spanning all three shards,
+    // answered in request order.
+    let batch: Vec<String> = (0..64u32).map(|x| x.to_string()).collect();
+    let line = format!("REC {} 20", batch.join(","));
+    h.bench_throughput("router_rec_batch64_fanout", 64.0, "lists/s", || {
+        black_box(client.request_lines(&line, 64).expect("routed batch").len());
+    });
+
+    // Down-shard fast-fail: a typed ERR with no network round-trip — this
+    // is the property that keeps a dead replica from dragging tail
+    // latency for everyone else. Stop the replica first so the prober
+    // agrees it is dead (fresh connections are refused).
+    let mut replicas = replicas;
+    replicas.remove(0).stop();
+    router.health().force_down(0);
+    let down_user = (0..n_users)
+        .find(|&x| shard_of(x, 3) == 0)
+        .expect("some user maps to shard 0");
+    h.bench("router_rec_downshard_fastfail", || {
+        black_box(client.rec_one(down_user, 20).expect("fast-fail ERR").len());
+    });
+
+    client.quit();
+    handle.stop();
+    for r in replicas {
+        r.stop();
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }

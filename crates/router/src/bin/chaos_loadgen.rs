@@ -1,0 +1,509 @@
+//! The chaos scenario driver: proves the router's tail behavior under
+//! replica failure, end to end, against real processes.
+//!
+//! ```text
+//! chaos_loadgen <router-addr> --replicas A0,A1,A2
+//!     [--victim S --victim-pid PID --victim-respawn "CMD ARGS..."]
+//!     [--requests-per-phase N] [--conns N] [--seed S] [--kmax K]
+//!     [--parity-users N]
+//! ```
+//!
+//! Runs a scripted timeline of load phases (the `FaultPlan` idiom from
+//! `graphaug-runtime`: the schedule is data, keyed on phase index, so a
+//! run replays exactly from its seed):
+//!
+//! 1. `uniform`   — uniform user traffic, zero errors tolerated;
+//! 2. `zipf`      — zipfian skew (s = 1.1), zero errors tolerated;
+//! 3. `hotstorm`  — 90% of traffic on 4 hot users, zero errors tolerated;
+//! 4. *kill*      — SIGKILLs the victim replica, then `failover`: uniform
+//!    traffic where `ERR`s are allowed **only** for users the hash assigns
+//!    to the victim shard (the documented failover window — the router
+//!    must degrade exactly the dead shard's users, nobody else);
+//! 5. *rejoin*    — respawns the victim (same checkpoint dir, new
+//!    ephemeral port), installs the new address via `REPLACE`, waits for
+//!    the router's prober to mark it up, then `rejoined`: uniform traffic,
+//!    zero errors tolerated again;
+//! 6. *parity*    — for a sampled user set, asserts the routed response
+//!    line equals the owning replica's direct response **byte-for-byte**
+//!    at several cutoffs.
+//!
+//! Per-phase output: `phase <name>: requests=N errors=N degraded=N
+//! p50_us=… p95_us=… p99_us=… qps=…`. Any disallowed error, parity
+//! mismatch, or timeline step failure exits non-zero.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use graphaug_rng::StdRng;
+use graphaug_router::shard_of;
+use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeClient};
+use graphaug_serve::{parse_ok_line, UserSampler};
+
+const USAGE: &str = "usage: chaos_loadgen <router-addr> --replicas A0,A1,A2 \
+     [--victim S --victim-pid PID --victim-respawn \"CMD...\"] \
+     [--requests-per-phase N] [--conns N] [--seed S] [--kmax K] [--parity-users N]";
+
+struct Args {
+    router: String,
+    replicas: Vec<String>,
+    victim: Option<usize>,
+    victim_pid: Option<u32>,
+    victim_respawn: Option<String>,
+    requests_per_phase: usize,
+    conns: usize,
+    seed: u64,
+    kmax: usize,
+    parity_users: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let router = args.next().ok_or("missing <router-addr>")?;
+    if router.starts_with('-') {
+        return Err(format!("expected <router-addr>, got flag {router:?}"));
+    }
+    resolve_addr(&router)?;
+    let mut out = Args {
+        router,
+        replicas: Vec::new(),
+        victim: None,
+        victim_pid: None,
+        victim_respawn: None,
+        requests_per_phase: 400,
+        conns: 4,
+        seed: 1,
+        kmax: 20,
+        parity_users: 16,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let int = |name: &str, v: Result<String, String>| {
+            v.and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        };
+        match flag.as_str() {
+            "--replicas" => {
+                out.replicas = value("--replicas")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--victim" => out.victim = Some(int("--victim", value("--victim"))? as usize),
+            "--victim-pid" => {
+                out.victim_pid = Some(int("--victim-pid", value("--victim-pid"))? as u32)
+            }
+            "--victim-respawn" => out.victim_respawn = Some(value("--victim-respawn")?),
+            "--requests-per-phase" => {
+                out.requests_per_phase =
+                    int("--requests-per-phase", value("--requests-per-phase"))? as usize
+            }
+            "--conns" => out.conns = int("--conns", value("--conns"))? as usize,
+            "--seed" => out.seed = int("--seed", value("--seed"))?,
+            "--kmax" => out.kmax = int("--kmax", value("--kmax"))? as usize,
+            "--parity-users" => {
+                out.parity_users = int("--parity-users", value("--parity-users"))? as usize
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.replicas.is_empty() {
+        return Err("missing --replicas A0[,A1...]".into());
+    }
+    for addr in &out.replicas {
+        resolve_addr(addr)?;
+    }
+    if out.requests_per_phase == 0 || out.conns == 0 || out.kmax == 0 {
+        return Err("--requests-per-phase, --conns and --kmax must be at least 1".into());
+    }
+    if let Some(v) = out.victim {
+        if v >= out.replicas.len() {
+            return Err(format!(
+                "--victim {v} out of range (have {} replicas)",
+                out.replicas.len()
+            ));
+        }
+        if out.victim_pid.is_none() || out.victim_respawn.is_none() {
+            return Err("--victim needs --victim-pid and --victim-respawn".into());
+        }
+    }
+    Ok(out)
+}
+
+/// One step of the scripted timeline (the `FaultPlan` idiom: schedule as
+/// data, keyed on step index, fully replayable from the seed).
+enum Step {
+    /// Drive load shaped by the sampler; `expect_down` lists the only
+    /// shard whose users may see `ERR`s.
+    Load {
+        name: &'static str,
+        sampler_for: fn(u32) -> UserSampler,
+        expect_down: bool,
+    },
+    /// SIGKILL the victim replica.
+    Kill,
+    /// Respawn the victim, `REPLACE` its address, wait for rejoin.
+    Rejoin,
+}
+
+fn scenario(with_chaos: bool) -> Vec<Step> {
+    let mut steps = vec![
+        Step::Load {
+            name: "uniform",
+            sampler_for: UserSampler::uniform,
+            expect_down: false,
+        },
+        Step::Load {
+            name: "zipf",
+            sampler_for: |n| UserSampler::zipf(n, 1.1),
+            expect_down: false,
+        },
+        Step::Load {
+            name: "hotstorm",
+            sampler_for: |n| UserSampler::hot(n, 4, 0.9),
+            expect_down: false,
+        },
+    ];
+    if with_chaos {
+        steps.push(Step::Kill);
+        steps.push(Step::Load {
+            name: "failover",
+            sampler_for: UserSampler::uniform,
+            expect_down: true,
+        });
+        steps.push(Step::Rejoin);
+        steps.push(Step::Load {
+            name: "rejoined",
+            sampler_for: UserSampler::uniform,
+            expect_down: false,
+        });
+    }
+    steps
+}
+
+#[derive(Default)]
+struct ConnTally {
+    latencies_us: Vec<u64>,
+    /// Disallowed errors (wrong shard, or any error in a clean phase).
+    errors: usize,
+    /// Allowed errors: the expected-down shard's users during failover.
+    degraded: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_phase_conn(
+    router: &str,
+    requests: usize,
+    sampler: &UserSampler,
+    kmax: usize,
+    n_shards: usize,
+    expect_down: Option<usize>,
+    mut rng: StdRng,
+) -> Result<ConnTally, String> {
+    let mut client = ServeClient::connect(router).map_err(|e| format!("connect {router}: {e}"))?;
+    let mut tally = ConnTally::default();
+    for _ in 0..requests {
+        let user = sampler.draw(&mut rng);
+        let k = 1 + rng.bounded_u64(kmax as u64) as usize;
+        let start = Instant::now();
+        let line = client.rec_one(user, k).map_err(|e| e.to_string())?;
+        tally.latencies_us.push(start.elapsed().as_micros() as u64);
+        let ok = matches!(
+            parse_ok_line(&line),
+            Some(ok) if ok.user == user && ok.k == k && ok.items.len() <= k
+        );
+        if ok {
+            continue;
+        }
+        if line.starts_with("ERR ") && expect_down == Some(shard_of(user, n_shards)) {
+            tally.degraded += 1;
+        } else {
+            tally.errors += 1;
+            eprintln!("chaos_loadgen: disallowed response for REC {user} {k}: {line}");
+        }
+    }
+    client.quit();
+    Ok(tally)
+}
+
+struct PhaseReport {
+    errors: usize,
+    degraded: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    args: &Args,
+    phase_idx: usize,
+    name: &str,
+    sampler: &UserSampler,
+    expect_down: Option<usize>,
+) -> PhaseReport {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    let per_conn = args.requests_per_phase.div_ceil(args.conns);
+    for conn in 0..args.conns {
+        let router = args.router.clone();
+        let sampler = sampler.clone();
+        let kmax = args.kmax;
+        let n_shards = args.replicas.len();
+        let rng = StdRng::stream(args.seed, (phase_idx as u64) << 32 | conn as u64);
+        handles.push(std::thread::spawn(move || {
+            drive_phase_conn(
+                &router,
+                per_conn,
+                &sampler,
+                kmax,
+                n_shards,
+                expect_down,
+                rng,
+            )
+        }));
+    }
+    let mut latencies = Vec::new();
+    let (mut errors, mut degraded) = (0usize, 0usize);
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(t)) => {
+                latencies.extend(t.latencies_us);
+                errors += t.errors;
+                degraded += t.degraded;
+            }
+            Ok(Err(e)) => {
+                eprintln!("chaos_loadgen: phase {name} connection failed: {e}");
+                errors += 1;
+            }
+            Err(_) => {
+                eprintln!("chaos_loadgen: phase {name} worker panicked");
+                errors += 1;
+            }
+        }
+    }
+    let s = LatencySummary::from_samples(latencies, start.elapsed());
+    println!(
+        "phase {name}: requests={} errors={errors} degraded={degraded} \
+         p50_us={} p95_us={} p99_us={} qps={:.1}",
+        s.count, s.p50_us, s.p95_us, s.p99_us, s.qps
+    );
+    PhaseReport { errors, degraded }
+}
+
+/// Kills the respawned victim on drop so a failed run cannot leak it.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Respawns the victim replica and returns (guard, READY address).
+fn respawn_victim(cmdline: &str) -> Result<(ChildGuard, String), String> {
+    let mut parts = cmdline.split_whitespace();
+    let bin = parts.next().ok_or("--victim-respawn command is empty")?;
+    let mut child = Command::new(bin)
+        .args(parts)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("respawn {bin}: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut guard = ChildGuard(child);
+
+    // Scan the child's stdout for its READY line on a helper thread so a
+    // wedged child cannot block us past the timeout; the thread keeps
+    // draining afterwards so the pipe never fills.
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let reader = BufReader::new(stdout);
+        let mut announced = false;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if !announced {
+                if let Some(addr) = stats_field(&line, "addr=") {
+                    if line.starts_with("READY ") {
+                        let _ = tx.send(addr.to_string());
+                        announced = true;
+                    }
+                }
+            }
+        }
+    });
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(addr) => Ok((guard, addr)),
+        Err(_) => {
+            let status = guard.0.try_wait().ok().flatten();
+            Err(format!(
+                "respawned victim never printed READY (status: {status:?})"
+            ))
+        }
+    }
+}
+
+/// Waits until the router reports `shard` up (after a REPLACE).
+fn wait_for_rejoin(router: &str, shard: usize, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    let mut client = ServeClient::connect(router).map_err(|e| format!("connect {router}: {e}"))?;
+    let result = loop {
+        let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
+        let up = stats_field(&line, "replicas=")
+            .and_then(|v| v.split(',').nth(shard).map(|s| s == "up"))
+            .unwrap_or(false);
+        if up {
+            break Ok(());
+        }
+        if Instant::now() >= deadline {
+            break Err(format!("shard {shard} never rejoined: {line}"));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    client.quit();
+    result
+}
+
+/// Hex-exact routed-vs-direct parity over a sampled user set: the routed
+/// line must equal the owning replica's direct line byte-for-byte.
+fn parity_sweep(args: &Args, replicas: &[String], n_users: u32) -> Result<usize, String> {
+    let mut routed = ServeClient::connect(&args.router).map_err(|e| e.to_string())?;
+    let mut direct: Vec<ServeClient> = Vec::with_capacity(replicas.len());
+    for addr in replicas {
+        direct.push(ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?);
+    }
+    let mut rng = StdRng::stream(args.seed, 0xFAC7);
+    let mut compared = 0usize;
+    for _ in 0..args.parity_users {
+        let user = rng.bounded_u64(n_users as u64) as u32;
+        let shard = shard_of(user, replicas.len());
+        for k in [1usize, 5, 20] {
+            let via_router = routed.rec_one(user, k).map_err(|e| e.to_string())?;
+            let via_replica = direct[shard].rec_one(user, k).map_err(|e| e.to_string())?;
+            if via_router != via_replica {
+                return Err(format!(
+                    "parity mismatch for user {user} k {k} (shard {shard}):\n  routed: {via_router}\n  direct: {via_replica}"
+                ));
+            }
+            if !via_router.starts_with("OK ") {
+                return Err(format!(
+                    "parity request failed for user {user}: {via_router}"
+                ));
+            }
+            compared += 1;
+        }
+    }
+    Ok(compared)
+}
+
+fn fetch_user_count(addr: &str) -> Result<u32, String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
+    stats_field(&line, "users=")
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("router reports no users: {line}"))
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let n_users = fetch_user_count(&args.router)?;
+    let n_shards = args.replicas.len();
+    println!(
+        "chaos_loadgen: routing {} users over {n_shards} shards via {}",
+        n_users, args.router
+    );
+
+    // The replica address list, updated when the victim respawns — parity
+    // must ask the replica that is *currently* serving the shard.
+    let mut replicas = args.replicas.clone();
+    let mut respawned: Option<ChildGuard> = None;
+    let mut failures = 0usize;
+
+    for (idx, step) in scenario(args.victim.is_some()).iter().enumerate() {
+        match step {
+            Step::Load {
+                name,
+                sampler_for,
+                expect_down,
+            } => {
+                let sampler = sampler_for(n_users);
+                let expect = if *expect_down { args.victim } else { None };
+                let report = run_phase(args, idx, name, &sampler, expect);
+                if report.errors > 0 {
+                    eprintln!(
+                        "chaos_loadgen: phase {name}: {} disallowed errors",
+                        report.errors
+                    );
+                    failures += report.errors;
+                }
+                if !*expect_down && report.degraded > 0 {
+                    // Cannot happen (degraded is only counted when a shard
+                    // is expected down), but keep the invariant loud.
+                    failures += report.degraded;
+                }
+            }
+            Step::Kill => {
+                let pid = args.victim_pid.expect("validated with --victim");
+                let status = Command::new("kill")
+                    .args(["-9", &pid.to_string()])
+                    .status()
+                    .map_err(|e| format!("kill -9 {pid}: {e}"))?;
+                if !status.success() {
+                    return Err(format!("kill -9 {pid} failed: {status}"));
+                }
+                println!("killed replica {} (pid {pid})", args.victim.expect("set"));
+            }
+            Step::Rejoin => {
+                let victim = args.victim.expect("validated");
+                let cmdline = args.victim_respawn.as_deref().expect("validated");
+                let (guard, new_addr) = respawn_victim(cmdline)?;
+                println!("respawned replica {victim} at {new_addr}");
+                let mut admin = ServeClient::connect(&args.router).map_err(|e| e.to_string())?;
+                let reply = admin
+                    .request_lines(&format!("REPLACE {victim} {new_addr}"), 1)
+                    .map_err(|e| format!("REPLACE: {e}"))?
+                    .remove(0);
+                admin.quit();
+                if !reply.starts_with("OK ") {
+                    return Err(format!("REPLACE rejected: {reply}"));
+                }
+                wait_for_rejoin(&args.router, victim, Duration::from_secs(30))?;
+                println!("replica {victim} rejoined without router restart");
+                replicas[victim] = new_addr;
+                respawned = Some(guard);
+            }
+        }
+    }
+
+    let compared = parity_sweep(args, &replicas, n_users)?;
+    println!(
+        "PARITY ok routed-vs-direct lists={compared} users={} shards={n_shards}",
+        args.parity_users
+    );
+    drop(respawned);
+
+    if failures > 0 {
+        Err(format!("{failures} disallowed errors across phases"))
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos_loadgen: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => {
+            println!("chaos_loadgen: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos_loadgen: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

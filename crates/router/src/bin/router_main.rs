@@ -1,0 +1,104 @@
+//! The shard-router process: hashes users across N replica engines.
+//!
+//! ```text
+//! router_main --replicas ADDR[,ADDR...] [--addr HOST:PORT] [--probe-ms N]
+//! ```
+//!
+//! Speaks the serving protocol on both sides (plus the admin verb
+//! `REPLACE <shard> <addr>` to re-point a shard at a restarted replica)
+//! and prints `READY addr=<bound> shards=<n> up=<k>` once listening —
+//! replicas that are down at boot do not block startup; the prober marks
+//! them up when they appear.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use graphaug_router::{probe_once, start, Router, RouterConfig};
+use graphaug_serve::resolve_addr;
+
+struct Args {
+    replicas: Vec<String>,
+    addr: String,
+    probe_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        replicas: Vec::new(),
+        addr: "127.0.0.1:0".into(),
+        probe_ms: 25,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--replicas" => {
+                out.replicas = value("--replicas")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--addr" => out.addr = value("--addr")?,
+            "--probe-ms" => {
+                out.probe_ms = value("--probe-ms")?
+                    .parse()
+                    .map_err(|_| "bad --probe-ms".to_string())?;
+                if out.probe_ms == 0 {
+                    return Err("--probe-ms must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.replicas.is_empty() {
+        return Err("missing --replicas ADDR[,ADDR...]".into());
+    }
+    for addr in &out.replicas {
+        resolve_addr(addr)?;
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("router_main: {e}");
+            eprintln!(
+                "usage: router_main --replicas ADDR[,ADDR...] [--addr HOST:PORT] [--probe-ms N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let cfg = RouterConfig::new(args.replicas).probe_period(Duration::from_millis(args.probe_ms));
+    let router = Router::new(cfg);
+
+    // Two synchronous probe sweeps so the READY line reports real state: a
+    // replica that is down at boot needs `down_after` (2) consecutive
+    // failures to be marked down.
+    for _ in 0..2 {
+        for shard in 0..router.n_shards() {
+            probe_once(router.health(), shard, Duration::from_millis(500));
+        }
+    }
+
+    let handle = match start(router.clone(), &args.addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("router_main: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "READY addr={} shards={} up={}",
+        handle.addr(),
+        router.n_shards(),
+        router.health().up_count()
+    );
+
+    // Route until killed (the accept loop runs on its own thread).
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

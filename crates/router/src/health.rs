@@ -1,0 +1,281 @@
+//! Per-replica health state and the background prober.
+//!
+//! The [`HealthBoard`] is the router's shared, lock-light view of which
+//! replicas are currently answering. Two sources feed it:
+//!
+//! * the **data path** reports connect/IO failures and successes as they
+//!   happen (so a dead replica is usually noticed by the first request
+//!   that hits it), and
+//! * the background **prober** opens a fresh connection and `PING`s every
+//!   replica each period — which is what notices a replica *coming back*,
+//!   since the data path fast-fails down shards without touching the
+//!   network.
+//!
+//! A replica is marked down after `down_after` consecutive failures and up
+//! again after a single successful probe. Addresses are mutable via
+//! [`HealthBoard::replace`], the rejoin path for a replica that restarts
+//! on a new port (`REPLACE` on the router's admin surface): the swap
+//! resets the failure counter and leaves the shard down until the prober
+//! confirms the new address actually answers.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use graphaug_serve::ServeClient;
+
+struct Replica {
+    addr: Mutex<String>,
+    /// Bumped on every address replacement; lets a connection cache detect
+    /// that its socket points at a stale address without comparing strings.
+    epoch: AtomicU64,
+    up: AtomicBool,
+    consecutive_failures: AtomicU32,
+    probes: AtomicU64,
+    transitions: AtomicU64,
+}
+
+/// Shared health state for all shards.
+pub struct HealthBoard {
+    replicas: Vec<Replica>,
+    down_after: u32,
+}
+
+impl HealthBoard {
+    /// A board over `addrs`, optimistically all-up (the first failures
+    /// flip a shard down; starting down would reject traffic before the
+    /// first probe cycle completes).
+    pub fn new(addrs: &[String], down_after: u32) -> HealthBoard {
+        assert!(!addrs.is_empty(), "router needs at least one replica");
+        HealthBoard {
+            replicas: addrs
+                .iter()
+                .map(|a| Replica {
+                    addr: Mutex::new(a.clone()),
+                    epoch: AtomicU64::new(0),
+                    up: AtomicBool::new(true),
+                    consecutive_failures: AtomicU32::new(0),
+                    probes: AtomicU64::new(0),
+                    transitions: AtomicU64::new(0),
+                })
+                .collect(),
+            down_after: down_after.max(1),
+        }
+    }
+
+    /// Number of shards on the board.
+    pub fn n_shards(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The current address of `shard`, plus the address epoch it belongs
+    /// to (see [`HealthBoard::replace`]).
+    pub fn addr(&self, shard: usize) -> (String, u64) {
+        let r = &self.replicas[shard];
+        let addr = r.addr.lock().expect("addr lock").clone();
+        (addr, r.epoch.load(Ordering::Acquire))
+    }
+
+    /// Points `shard` at a new address (a restarted replica). The shard
+    /// stays down until the prober confirms the replacement answers.
+    pub fn replace(&self, shard: usize, addr: &str) {
+        let r = &self.replicas[shard];
+        *r.addr.lock().expect("addr lock") = addr.to_string();
+        r.epoch.fetch_add(1, Ordering::AcqRel);
+        r.consecutive_failures.store(0, Ordering::Relaxed);
+        if r.up.swap(false, Ordering::Relaxed) {
+            r.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Is `shard` currently believed to be answering?
+    pub fn is_up(&self, shard: usize) -> bool {
+        self.replicas[shard].up.load(Ordering::Relaxed)
+    }
+
+    /// Number of shards currently up.
+    pub fn up_count(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.up.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Per-shard up/down snapshot.
+    pub fn states(&self) -> Vec<bool> {
+        self.replicas
+            .iter()
+            .map(|r| r.up.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Records a successful interaction with `shard` (data path or probe):
+    /// resets the failure streak and marks the shard up.
+    pub fn report_ok(&self, shard: usize) {
+        let r = &self.replicas[shard];
+        r.consecutive_failures.store(0, Ordering::Relaxed);
+        if !r.up.swap(true, Ordering::Relaxed) {
+            r.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a failed interaction with `shard`; marks it down once the
+    /// streak reaches `down_after`.
+    pub fn report_failure(&self, shard: usize) {
+        let r = &self.replicas[shard];
+        let streak = r.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.down_after && r.up.swap(false, Ordering::Relaxed) {
+            r.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Forces `shard` down immediately (tests and benches; the data path
+    /// then fast-fails it without network traffic).
+    pub fn force_down(&self, shard: usize) {
+        let r = &self.replicas[shard];
+        r.consecutive_failures
+            .store(self.down_after, Ordering::Relaxed);
+        if r.up.swap(false, Ordering::Relaxed) {
+            r.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total up/down transitions observed for `shard` (flap telemetry).
+    pub fn transitions(&self, shard: usize) -> u64 {
+        self.replicas[shard].transitions.load(Ordering::Relaxed)
+    }
+
+    /// Total probe attempts against `shard`.
+    pub fn probes(&self, shard: usize) -> u64 {
+        self.replicas[shard].probes.load(Ordering::Relaxed)
+    }
+
+    fn record_probe(&self, shard: usize) {
+        self.replicas[shard].probes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Opens a fresh connection to `shard`'s current address and `PING`s it
+/// once. Returns whether the replica answered.
+pub fn probe_once(board: &HealthBoard, shard: usize, timeout: Duration) -> bool {
+    board.record_probe(shard);
+    let (addr, _) = board.addr(shard);
+    let ok = ServeClient::connect_with_timeouts(&addr, timeout, Some(timeout))
+        .and_then(|mut c| c.ping())
+        .unwrap_or(false);
+    if ok {
+        board.report_ok(shard);
+    } else {
+        board.report_failure(shard);
+    }
+    ok
+}
+
+/// Handle of the background prober thread; stops (and joins) on
+/// [`Prober::stop`] or drop.
+pub struct Prober {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prober {
+    /// Signals the prober thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Prober {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns a thread that probes every shard each `period` (connect + PING
+/// with `timeout`). This is the rejoin path: a down shard that starts
+/// answering again is marked up within one probe period, with no router
+/// restart.
+pub fn spawn_prober(board: Arc<HealthBoard>, period: Duration, timeout: Duration) -> Prober {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::Builder::new()
+        .name("graphaug-router-prober".into())
+        .spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                for shard in 0..board.n_shards() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    probe_once(&board, shard, timeout);
+                }
+                std::thread::sleep(period);
+            }
+        })
+        .expect("spawn health prober");
+    Prober {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> HealthBoard {
+        HealthBoard::new(&["127.0.0.1:1".into(), "127.0.0.1:2".into()], 2)
+    }
+
+    #[test]
+    fn down_needs_a_streak_up_needs_one_success() {
+        let b = board();
+        assert!(b.is_up(0));
+        b.report_failure(0);
+        assert!(b.is_up(0), "one failure below the threshold keeps it up");
+        b.report_failure(0);
+        assert!(!b.is_up(0), "threshold reached");
+        assert_eq!(b.up_count(), 1);
+        b.report_ok(0);
+        assert!(b.is_up(0), "one success rejoins");
+        assert_eq!(b.transitions(0), 2);
+    }
+
+    #[test]
+    fn successes_reset_the_streak() {
+        let b = board();
+        b.report_failure(1);
+        b.report_ok(1);
+        b.report_failure(1);
+        assert!(b.is_up(1), "streak was reset in between");
+    }
+
+    #[test]
+    fn replace_swaps_the_address_and_bumps_the_epoch() {
+        let b = board();
+        let (addr0, epoch0) = b.addr(0);
+        assert_eq!(addr0, "127.0.0.1:1");
+        b.replace(0, "127.0.0.1:9");
+        let (addr1, epoch1) = b.addr(0);
+        assert_eq!(addr1, "127.0.0.1:9");
+        assert!(epoch1 > epoch0);
+        assert!(!b.is_up(0), "replacement waits for probe confirmation");
+        b.report_ok(0);
+        assert!(b.is_up(0));
+    }
+
+    #[test]
+    fn probe_against_a_dead_port_marks_down() {
+        // Port 1 on loopback refuses instantly.
+        let b = HealthBoard::new(&["127.0.0.1:1".into()], 1);
+        assert!(!probe_once(&b, 0, Duration::from_millis(200)));
+        assert!(!b.is_up(0));
+        assert_eq!(b.probes(0), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Shard router for multi-replica GraphAug serving.
+//!
+//! One `graphaug-serve` engine is one model replica: one checkpoint
+//! directory, one box's worth of tables and threads. This crate scales the
+//! serving tier *past* one replica with the smallest possible moving part:
+//! a dependency-free TCP router process that
+//!
+//! 1. hashes each user to its owning replica with a deterministic,
+//!    process-independent hash ([`hash::shard_of`] — the same function the
+//!    chaos load generator and the tests link, so "who owns user `u`" has
+//!    exactly one answer everywhere);
+//! 2. speaks the existing `REC`/`STATS`/`PING`/`QUIT` protocol on both
+//!    sides, relaying replica response lines **byte-for-byte** (routed
+//!    responses are therefore bit-identical to direct ones);
+//! 3. tracks per-replica health ([`health::HealthBoard`] + a background
+//!    `PING` prober) with bounded retry-with-backoff on the data path, so
+//!    a killed replica degrades only the users it owns and a returning
+//!    replica rejoins without a router restart (`REPLACE <shard> <addr>`
+//!    re-points a shard whose replica came back on a new port).
+//!
+//! The binaries: `router_main` (the router process `ci.sh` boots in front
+//! of three replicas) and `chaos_loadgen` (a seeded scenario driver —
+//! zipfian skew, hot-key storms, a scripted kill/rejoin timeline in the
+//! `FaultPlan` spirit — that asserts zero errors outside the failover
+//! window and hex-exact routed-vs-direct parity).
+
+pub mod hash;
+pub mod health;
+pub mod router;
+
+pub use hash::{shard_of, SHARD_HASH_SALT};
+pub use health::{probe_once, spawn_prober, HealthBoard, Prober};
+pub use router::{start, Router, RouterConfig, RouterHandle};

@@ -1,0 +1,445 @@
+//! The router core: a TCP proxy that speaks the serving protocol on both
+//! sides and owns nothing but a hash, a health board, and counters.
+//!
+//! # Routing
+//!
+//! Every user in a `REC` batch is owned by exactly one shard
+//! ([`crate::hash::shard_of`]); the router groups the batch per shard,
+//! forwards one sub-`REC` per owning replica, and reassembles the
+//! responses **in request order**, relaying each replica's response line
+//! *byte-for-byte*. No reparse/rerender step touches the payload, which is
+//! why a routed response is bit-identical to asking the owning replica
+//! directly — the parity property the chaos load generator asserts
+//! hex-exactly.
+//!
+//! # Failure semantics
+//!
+//! A connect or I/O failure against a replica is retried with bounded
+//! exponential backoff (`retries` × starting at `backoff`); failures feed
+//! the [`HealthBoard`], and once a shard is marked down the router
+//! *fast-fails* its users with a typed `ERR` — no network, no backoff — so
+//! a dead replica degrades only its own users' requests and cannot drag
+//! the tail latency of the others. The background prober keeps `PING`ing
+//! down shards; the moment one answers (same address, or a replacement
+//! address installed via `REPLACE <shard> <addr>`), it is marked up and
+//! traffic resumes — no router restart, no connection churn for the
+//! surviving shards.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphaug_serve::proto::{parse_request, Request};
+use graphaug_serve::{stats_field, ServeClient};
+
+use crate::hash::shard_of;
+use crate::health::{spawn_prober, HealthBoard, Prober};
+
+/// Tunables for one router instance.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Replica addresses, one per shard, in shard order.
+    pub replicas: Vec<String>,
+    /// Health probe cadence.
+    pub probe_period: Duration,
+    /// Connect timeout for downstream connections and probes.
+    pub connect_timeout: Duration,
+    /// Per-read/write timeout on downstream sockets (a hung replica must
+    /// not wedge a routed connection).
+    pub io_timeout: Duration,
+    /// Extra attempts after the first failure (total attempts = retries+1).
+    pub retries: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff: Duration,
+    /// Consecutive failures before a shard is marked down.
+    pub down_after: u32,
+}
+
+impl RouterConfig {
+    /// Defaults tuned for loopback CI: fast probes, tight timeouts.
+    pub fn new(replicas: Vec<String>) -> RouterConfig {
+        RouterConfig {
+            replicas,
+            probe_period: Duration::from_millis(25),
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            down_after: 2,
+        }
+    }
+
+    /// Sets the probe cadence.
+    pub fn probe_period(mut self, period: Duration) -> RouterConfig {
+        self.probe_period = period;
+        self
+    }
+}
+
+/// Shared router state: config, health, counters.
+pub struct Router {
+    cfg: RouterConfig,
+    health: Arc<HealthBoard>,
+    /// User-lines accepted for routing (one `REC a,b,c k` counts 3).
+    requests: AtomicU64,
+    /// User-lines offered to each shard (including ones that later failed).
+    shard_requests: Vec<AtomicU64>,
+    /// `ERR` lines the router itself generated (shard down / exhausted
+    /// retries) — replica-produced `ERR` lines are relayed, not counted.
+    router_errors: AtomicU64,
+}
+
+impl Router {
+    /// Builds the shared state for `cfg`.
+    pub fn new(cfg: RouterConfig) -> Arc<Router> {
+        let health = Arc::new(HealthBoard::new(&cfg.replicas, cfg.down_after));
+        let shard_requests = (0..cfg.replicas.len()).map(|_| AtomicU64::new(0)).collect();
+        Arc::new(Router {
+            health,
+            shard_requests,
+            requests: AtomicU64::new(0),
+            router_errors: AtomicU64::new(0),
+            cfg,
+        })
+    }
+
+    /// Number of shards routed across.
+    pub fn n_shards(&self) -> usize {
+        self.cfg.replicas.len()
+    }
+
+    /// The shared health board (tests, benches, and the prober).
+    pub fn health(&self) -> &Arc<HealthBoard> {
+        &self.health
+    }
+
+    /// Per-shard routed user-line counts.
+    pub fn shard_request_counts(&self) -> Vec<u64> {
+        self.shard_requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One router connection's cache of downstream connections, keyed by the
+/// address epoch so a `REPLACE`d shard reconnects to the new address
+/// instead of writing into a dead socket.
+struct Downstream {
+    conns: Vec<Option<(u64, ServeClient)>>,
+}
+
+impl Downstream {
+    fn new(n_shards: usize) -> Downstream {
+        Downstream {
+            conns: (0..n_shards).map(|_| None).collect(),
+        }
+    }
+
+    fn drop_conn(&mut self, shard: usize) {
+        self.conns[shard] = None;
+    }
+
+    /// A live connection to `shard`'s current address, reusing the cached
+    /// one when its address epoch still matches.
+    fn conn(&mut self, shard: usize, router: &Router) -> io::Result<&mut ServeClient> {
+        let (addr, epoch) = router.health.addr(shard);
+        let reusable = matches!(&self.conns[shard], Some((e, _)) if *e == epoch);
+        if !reusable {
+            let client = ServeClient::connect_with_timeouts(
+                &addr,
+                router.cfg.connect_timeout,
+                Some(router.cfg.io_timeout),
+            )?;
+            self.conns[shard] = Some((epoch, client));
+        }
+        Ok(&mut self.conns[shard].as_mut().expect("just ensured").1)
+    }
+}
+
+/// Forwards one already-grouped sub-request to `shard` with bounded
+/// retry-with-backoff. Success relays the replica's raw lines; failure
+/// returns the last error message.
+fn forward_to_shard(
+    router: &Router,
+    down: &mut Downstream,
+    shard: usize,
+    line: &str,
+    n_lines: usize,
+) -> Result<Vec<String>, String> {
+    if !router.health.is_up(shard) {
+        return Err(format!("shard {shard} down"));
+    }
+    let mut delay = router.cfg.backoff;
+    let mut last = String::new();
+    for attempt in 0..=router.cfg.retries {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay *= 2;
+            if !router.health.is_up(shard) {
+                // Marked down while we were backing off — stop burning
+                // retries on a shard the prober has already given up on.
+                return Err(format!("shard {shard} down"));
+            }
+        }
+        match down
+            .conn(shard, router)
+            .and_then(|c| c.request_lines(line, n_lines))
+        {
+            Ok(lines) => {
+                router.health.report_ok(shard);
+                return Ok(lines);
+            }
+            Err(e) => {
+                down.drop_conn(shard);
+                router.health.report_failure(shard);
+                last = e.to_string();
+            }
+        }
+    }
+    Err(format!(
+        "shard {shard} unavailable after {} attempts: {last}",
+        router.cfg.retries + 1
+    ))
+}
+
+/// Routes one `REC` batch: group by owning shard, forward, reassemble in
+/// request order. Always returns exactly one line per requested user.
+fn route_rec(router: &Router, down: &mut Downstream, users: &[u32], k: usize) -> Vec<String> {
+    let n = router.n_shards();
+    router
+        .requests
+        .fetch_add(users.len() as u64, Ordering::Relaxed);
+    let mut groups: Vec<Vec<(usize, u32)>> = (0..n).map(|_| Vec::new()).collect();
+    for (slot, &user) in users.iter().enumerate() {
+        groups[shard_of(user, n)].push((slot, user));
+    }
+    let mut lines: Vec<Option<String>> = (0..users.len()).map(|_| None).collect();
+    for (shard, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        router.shard_requests[shard].fetch_add(group.len() as u64, Ordering::Relaxed);
+        let list = group
+            .iter()
+            .map(|&(_, u)| u.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        match forward_to_shard(router, down, shard, &format!("REC {list} {k}"), group.len()) {
+            Ok(replies) => {
+                for (&(slot, _), reply) in group.iter().zip(replies) {
+                    lines[slot] = Some(reply);
+                }
+            }
+            Err(e) => {
+                router
+                    .router_errors
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                for &(slot, user) in group {
+                    lines[slot] = Some(format!("ERR user {user}: {e}"));
+                }
+            }
+        }
+    }
+    lines
+        .into_iter()
+        .map(|l| l.expect("every slot is grouped exactly once"))
+        .collect()
+}
+
+/// Routes `STATS`: queries every up replica, merges table shape (max — the
+/// replicas serve the same model), and appends router-level counters plus
+/// the per-shard state/request breakdown.
+fn route_stats(router: &Router, down: &mut Downstream) -> String {
+    let n = router.n_shards();
+    let (mut gen, mut users, mut items) = (0u64, 0u64, 0u64);
+    let mut states: Vec<&'static str> = Vec::with_capacity(n);
+    for shard in 0..n {
+        let line = if router.health.is_up(shard) {
+            forward_to_shard(router, down, shard, "STATS", 1)
+                .ok()
+                .and_then(|mut v| v.pop())
+        } else {
+            None
+        };
+        match line {
+            Some(line) => {
+                let field = |key| {
+                    stats_field(&line, key)
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0)
+                };
+                gen = gen.max(field("gen="));
+                users = users.max(field("users="));
+                items = items.max(field("items="));
+                states.push("up");
+            }
+            None => states.push("down"),
+        }
+    }
+    let shard_requests = router
+        .shard_request_counts()
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "STATS gen={gen} users={users} items={items} shards={n} up={} requests={} \
+         errors={} replicas={} shard_requests={shard_requests}",
+        states.iter().filter(|s| **s == "up").count(),
+        router.requests.load(Ordering::Relaxed),
+        router.router_errors.load(Ordering::Relaxed),
+        states.join(","),
+    )
+}
+
+/// Handles the router-only `REPLACE <shard> <addr>` admin verb. Returns
+/// the response line.
+fn handle_replace(router: &Router, rest: &str) -> String {
+    let mut parts = rest.split_ascii_whitespace();
+    let shard = parts.next().and_then(|s| s.parse::<usize>().ok());
+    let addr = parts.next();
+    match (shard, addr, parts.next()) {
+        (Some(shard), Some(addr), None) if shard < router.n_shards() => {
+            match graphaug_serve::resolve_addr(addr) {
+                Ok(_) => {
+                    router.health.replace(shard, addr);
+                    format!("OK shard={shard} addr={addr}")
+                }
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        (Some(shard), Some(_), None) => {
+            format!(
+                "ERR unknown shard {shard} (router has {})",
+                router.n_shards()
+            )
+        }
+        _ => "ERR REPLACE needs <shard> <addr>".to_string(),
+    }
+}
+
+/// Writes the response line(s) for one request. `Err(())` means the
+/// connection should close (QUIT or a write failure).
+fn respond(
+    router: &Router,
+    down: &mut Downstream,
+    line: &str,
+    w: &mut impl Write,
+) -> Result<(), ()> {
+    let put = |w: &mut dyn Write, s: &str| -> Result<(), ()> { writeln!(w, "{s}").map_err(|_| ()) };
+    if let Some(rest) = line.strip_prefix("REPLACE") {
+        return put(w, &handle_replace(router, rest));
+    }
+    match parse_request(line) {
+        Ok(Request::Rec { users, k }) => {
+            for reply in route_rec(router, down, &users, k) {
+                put(w, &reply)?;
+            }
+            Ok(())
+        }
+        Ok(Request::Stats) => put(w, &route_stats(router, down)),
+        Ok(Request::Ping) => put(w, "PONG"),
+        Ok(Request::Quit) => {
+            put(w, "BYE")?;
+            Err(())
+        }
+        Err(msg) => put(w, &format!("ERR {msg}")),
+    }
+}
+
+fn handle_connection(router: &Router, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut down = Downstream::new(router.n_shards());
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = respond(router, &mut down, &line, &mut writer).is_err();
+        if writer.flush().is_err() || done {
+            break;
+        }
+    }
+}
+
+/// A running router; dropping (or calling [`RouterHandle::stop`]) shuts
+/// the accept loop and the prober down. Open connections finish on their
+/// own threads.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    prober: Option<Prober>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, joins the accept loop, and stops the prober.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(p) = self.prober.take() {
+            p.stop();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0`) and serves `router` until the handle
+/// is stopped: one accept loop, one thread per connection, plus the
+/// background health prober.
+pub fn start(router: Arc<Router>, addr: &str) -> io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let prober = spawn_prober(
+        router.health.clone(),
+        router.cfg.probe_period,
+        router.cfg.connect_timeout,
+    );
+    let accept_router = router.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("graphaug-router-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let router = accept_router.clone();
+                let _ = std::thread::Builder::new()
+                    .name("graphaug-router-conn".into())
+                    .spawn(move || handle_connection(&router, stream));
+            }
+        })?;
+    Ok(RouterHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+        prober: Some(prober),
+    })
+}

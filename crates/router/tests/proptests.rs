@@ -1,0 +1,75 @@
+//! Property tests for the user→shard hash contract: determinism across
+//! "processes" (fresh computation orders), range safety, and balance
+//! within 2× of uniform for the shard counts the CI topology uses.
+
+use graphaug_rng::{prop, prop_assert, prop_assert_eq};
+use graphaug_router::{shard_of, SHARD_HASH_SALT};
+
+#[test]
+fn shard_assignment_is_deterministic_and_in_range() {
+    prop::check("shard_deterministic", 128, |g| {
+        let n_shards = *[2usize, 3, 5].get(g.bounded_u64(3) as usize).unwrap();
+        let n_draws = g.len_in(1, 200);
+        for _ in 0..n_draws {
+            let user = g.next_u64() as u32;
+            let s = shard_of(user, n_shards);
+            prop_assert!(s < n_shards, "shard {s} out of range for {n_shards}");
+            // Recompute in a different evaluation context — the hash is a
+            // pure function of (user, n_shards) only.
+            prop_assert_eq!(s, shard_of(user, n_shards));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn shard_assignment_ignores_draw_order_and_duplicates() {
+    prop::check("shard_order_independent", 64, |g| {
+        let n_shards = *[2usize, 3, 5].get(g.bounded_u64(3) as usize).unwrap();
+        let len = g.len_in(2, 100);
+        let users = g.vec_of(len, |g| g.next_u64() as u32);
+        let forward: Vec<usize> = users.iter().map(|&u| shard_of(u, n_shards)).collect();
+        let backward: Vec<usize> = users.iter().rev().map(|&u| shard_of(u, n_shards)).collect();
+        let mut backward = backward;
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+        Ok(())
+    });
+}
+
+#[test]
+fn shard_load_is_balanced_within_2x_of_uniform() {
+    // Contiguous user-id populations (what the synthetic datasets and the
+    // serving demo actually route) of varying size and offset: no shard
+    // may carry more than 2× its uniform share, and none may starve.
+    prop::check("shard_balance_2x", 48, |g| {
+        for &n_shards in &[2usize, 3, 5] {
+            let population = g.len_in(200, 5000).max(200);
+            let offset = g.bounded_u64(1 << 20) as u32;
+            let mut counts = vec![0usize; n_shards];
+            for u in offset..offset + population as u32 {
+                counts[shard_of(u, n_shards)] += 1;
+            }
+            let uniform = population as f64 / n_shards as f64;
+            for (shard, &c) in counts.iter().enumerate() {
+                prop_assert!(
+                    (c as f64) < 2.0 * uniform,
+                    "shard {shard}/{n_shards} got {c} of {population} users \
+                     (uniform share {uniform:.1}): worse than 2x"
+                );
+                prop_assert!(
+                    c > 0,
+                    "shard {shard}/{n_shards} starved over {population} users"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn salt_is_pinned() {
+    // The salt is part of the wire contract (see hash.rs): a router and a
+    // chaos driver built from different trees must still agree on owners.
+    assert_eq!(SHARD_HASH_SALT, 0x6772_6175_6772_7421);
+}

@@ -1,0 +1,275 @@
+//! Router integration tests against in-process replicas: three serving
+//! engines over one trained checkpoint, a real router in front, and the
+//! full failure lifecycle — parity, victim death, degraded window, rejoin
+//! on a new port via `REPLACE` — all without leaving the test process.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphaug_core::GraphAugConfig;
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_graph::InteractionGraph;
+use graphaug_router::{shard_of, start, Router, RouterConfig};
+use graphaug_runtime::{Runtime, RuntimeConfig};
+use graphaug_serve::{serve, Engine, ModelSource, ServeClient};
+
+/// A unique, self-cleaning directory per test.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("graphaug-router-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn toy_graph() -> InteractionGraph {
+    generate(&SyntheticConfig::new(60, 45, 700).clusters(4).seed(21))
+}
+
+fn toy_model() -> GraphAugConfig {
+    GraphAugConfig::fast_test()
+        .seed(5)
+        .epochs(4)
+        .steps_per_epoch(3)
+}
+
+/// Trains the toy model to completion, leaving checkpoints under `dir`.
+fn train_into(dir: &Path, graph: &InteractionGraph) {
+    let mut rt = Runtime::new(RuntimeConfig::new(toy_model()).checkpoint_dir(dir), graph).unwrap();
+    rt.run().unwrap();
+}
+
+/// Opens one replica engine over the shared checkpoint dir and serves it
+/// on an ephemeral loopback port.
+fn boot_replica(graph: &InteractionGraph, dir: &Path) -> graphaug_serve::ServerHandle {
+    let engine = Arc::new(Engine::open(ModelSource::new(toy_model(), graph.clone(), dir)).unwrap());
+    serve(engine, "127.0.0.1:0").unwrap()
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The full lifecycle in one scripted scenario (mirrors what `ci.sh` runs
+/// against real processes): parity, batch ordering, STATS merge, victim
+/// death, degraded window scoped to the victim's users, rejoin on a new
+/// port via REPLACE, and parity again.
+#[test]
+fn routed_responses_survive_kill_and_rejoin_bit_identically() {
+    let graph = toy_graph();
+    let n_users = graph.n_users() as u32;
+    let dir = TempDir::new("lifecycle");
+    train_into(dir.path(), &graph);
+
+    // Three replicas over the same trained checkpoint directory.
+    let mut replicas: Vec<_> = (0..3).map(|_| boot_replica(&graph, dir.path())).collect();
+    let addrs: Vec<String> = replicas.iter().map(|h| h.addr().to_string()).collect();
+
+    let router =
+        Router::new(RouterConfig::new(addrs.clone()).probe_period(Duration::from_millis(10)));
+    let handle = start(router.clone(), "127.0.0.1:0").unwrap();
+    let router_addr = handle.addr().to_string();
+
+    // Every shard must own at least one user or the failover assertions
+    // below are vacuous (the balance property test guarantees this for
+    // real populations; pin it for this toy one).
+    let mut owned: Vec<Vec<u32>> = vec![Vec::new(); 3];
+    for user in 0..n_users {
+        owned[shard_of(user, 3)].push(user);
+    }
+    for (shard, users) in owned.iter().enumerate() {
+        assert!(!users.is_empty(), "shard {shard} owns no toy users");
+    }
+
+    let mut via_router = ServeClient::connect(&router_addr).unwrap();
+    let mut direct: Vec<ServeClient> = addrs
+        .iter()
+        .map(|a| ServeClient::connect(a).unwrap())
+        .collect();
+
+    // --- Parity: routed line == owning replica's line, byte for byte. ---
+    for user in 0..n_users {
+        let shard = shard_of(user, 3);
+        for k in [1usize, 5, 20] {
+            let routed = via_router.rec_one(user, k).unwrap();
+            let expect = direct[shard].rec_one(user, k).unwrap();
+            assert!(routed.starts_with("OK "), "user {user} k {k}: {routed}");
+            assert_eq!(
+                routed, expect,
+                "user {user} k {k}: routed response must be bit-identical \
+                 to shard {shard}'s direct response"
+            );
+        }
+    }
+
+    // --- Cross-shard batch: one REC spanning all shards answers in
+    // request order. ---
+    let batch: Vec<u32> = (0..n_users).rev().collect();
+    let list = batch
+        .iter()
+        .map(|u| u.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let lines = via_router
+        .request_lines(&format!("REC {list} 7"), batch.len())
+        .unwrap();
+    for (&user, line) in batch.iter().zip(&lines) {
+        let expect = direct[shard_of(user, 3)].rec_one(user, 7).unwrap();
+        assert_eq!(line, &expect, "batch slot for user {user} out of order");
+    }
+
+    // --- STATS merges replica shape with router counters. ---
+    let stats = via_router.stats_line().unwrap();
+    for needle in [
+        &format!("users={n_users}") as &str,
+        "shards=3",
+        "up=3",
+        "replicas=up,up,up",
+    ] {
+        assert!(stats.contains(needle), "missing {needle:?} in {stats:?}");
+    }
+    let shard_counts = router.shard_request_counts();
+    let routed_lines = 3 * n_users as u64 + batch.len() as u64;
+    assert_eq!(
+        shard_counts.iter().sum::<u64>(),
+        routed_lines,
+        "per-shard counters must account for every routed user-line"
+    );
+    for (shard, &c) in shard_counts.iter().enumerate() {
+        assert!(c > 0, "shard {shard} routed nothing");
+    }
+
+    // --- Kill the victim: only its users degrade. ---
+    let victim = 1usize;
+    replicas.remove(victim).stop();
+    wait_until(
+        "prober to mark the victim down",
+        Duration::from_secs(10),
+        || !router.health().is_up(victim),
+    );
+
+    let victim_user = owned[victim][0];
+    let survivor_user = owned[(victim + 1) % 3][0];
+    let dead = via_router.rec_one(victim_user, 5).unwrap();
+    assert!(
+        dead.starts_with("ERR ") && dead.contains("down"),
+        "victim-owned user must get a typed ERR, got {dead:?}"
+    );
+    let alive = via_router.rec_one(survivor_user, 5).unwrap();
+    assert!(
+        alive.starts_with("OK "),
+        "surviving shards must be unaffected, got {alive:?}"
+    );
+
+    // A batch spanning dead and live shards still answers every slot, in
+    // order, with ERRs confined to the victim's users.
+    let mixed = [victim_user, survivor_user, owned[(victim + 2) % 3][0]];
+    let list = mixed
+        .iter()
+        .map(|u| u.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let lines = via_router
+        .request_lines(&format!("REC {list} 3"), 3)
+        .unwrap();
+    assert!(lines[0].starts_with("ERR "));
+    assert!(lines[1].starts_with("OK "));
+    assert!(lines[2].starts_with("OK "));
+    let stats = via_router.stats_line().unwrap();
+    assert!(stats.contains("up=2"), "got {stats:?}");
+    assert!(stats.contains("replicas=up,down,up"), "got {stats:?}");
+
+    // --- Rejoin on a NEW port (the TIME_WAIT-realistic path): boot a
+    // fresh replica over the same checkpoints, REPLACE, wait for up. ---
+    let reborn = boot_replica(&graph, dir.path());
+    let new_addr = reborn.addr().to_string();
+    assert_ne!(new_addr, addrs[victim], "ephemeral rebind lands elsewhere");
+    let reply = via_router
+        .request_lines(&format!("REPLACE {victim} {new_addr}"), 1)
+        .unwrap()
+        .remove(0);
+    assert_eq!(reply, format!("OK shard={victim} addr={new_addr}"));
+    wait_until(
+        "replaced replica to rejoin",
+        Duration::from_secs(10),
+        || router.health().is_up(victim),
+    );
+
+    // Same connection, no router restart: the victim's users are served
+    // again, bit-identical to the reborn replica's direct answers.
+    let mut direct_reborn = ServeClient::connect(&new_addr).unwrap();
+    for &user in owned[victim].iter().take(8) {
+        let routed = via_router.rec_one(user, 9).unwrap();
+        let expect = direct_reborn.rec_one(user, 9).unwrap();
+        assert!(routed.starts_with("OK "), "after rejoin: {routed}");
+        assert_eq!(routed, expect, "post-rejoin parity for user {user}");
+    }
+    let stats = via_router.stats_line().unwrap();
+    assert!(stats.contains("up=3"), "got {stats:?}");
+
+    for d in direct {
+        d.quit();
+    }
+    via_router.quit();
+    handle.stop();
+}
+
+#[test]
+fn router_protocol_surface_is_typed_and_never_panics() {
+    let graph = toy_graph();
+    let dir = TempDir::new("surface");
+    train_into(dir.path(), &graph);
+    let replica = boot_replica(&graph, dir.path());
+
+    let router = Router::new(
+        RouterConfig::new(vec![replica.addr().to_string()]).probe_period(Duration::from_millis(10)),
+    );
+    let handle = start(router, "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+
+    assert!(client.ping().unwrap(), "router answers PING locally");
+    for (req, want_prefix) in [
+        ("BOGUS", "ERR "),
+        ("REC", "ERR "),
+        ("REC notanumber 5", "ERR "),
+        ("REC 1 notanumber", "ERR "),
+        ("REPLACE", "ERR "),
+        ("REPLACE 7 127.0.0.1:1", "ERR "),
+        ("REPLACE 0 not-an-addr", "ERR "),
+        ("REPLACE 0 127.0.0.1:1 extra", "ERR "),
+    ] {
+        let line = client.request_lines(req, 1).unwrap().remove(0);
+        assert!(
+            line.starts_with(want_prefix),
+            "{req:?} should answer {want_prefix:?}.., got {line:?}"
+        );
+    }
+
+    // Out-of-range user: the replica's own typed ERR is relayed verbatim.
+    let line = client.rec_one(999_999, 5).unwrap();
+    assert!(line.starts_with("ERR "), "got {line:?}");
+
+    client.quit();
+    handle.stop();
+    replica.stop();
+}

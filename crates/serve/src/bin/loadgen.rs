@@ -1,7 +1,9 @@
-//! A seeded closed-loop load generator for `serve_main`.
+//! A seeded closed-loop load generator for `serve_main` (and, since the
+//! wire protocol is identical, for `router_main`).
 //!
 //! ```text
 //! loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]
+//!                [--zipf S] [--hot H:FRAC]
 //! ```
 //!
 //! Opens `--conns` connections, each driving a deterministic request
@@ -12,18 +14,29 @@
 //! loadgen: requests=2000 conns=4 errors=0 elapsed_ms=312 qps=6410.3 p50_us=140 p95_us=309 p99_us=481
 //! ```
 //!
+//! `--zipf 1.1` skews users zipfian (rank 0 hottest); `--hot 4:0.9` aims
+//! 90% of traffic at users 0..4 (a hot-key storm). The default is uniform.
+//!
 //! Every response is parsed and validated (user echo, list length ≤ k,
 //! strictly valid hex score bits); any `ERR` or malformed line counts as
 //! an error and fails the run (non-zero exit), so this doubles as a
 //! protocol conformance check under concurrency.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use graphaug_rng::StdRng;
-use graphaug_serve::parse_ok_line;
+use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeClient};
+use graphaug_serve::{parse_ok_line, UserSampler};
+
+const USAGE: &str = "usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K] \
+     [--zipf S] [--hot H:FRAC]";
+
+enum Skew {
+    Uniform,
+    Zipf(f64),
+    Hot { hot_users: u32, hot_frac: f64 },
+}
 
 struct Args {
     addr: String,
@@ -31,31 +44,73 @@ struct Args {
     conns: usize,
     seed: u64,
     kmax: usize,
+    skew: Skew,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let addr = args.next().ok_or("missing <addr>")?;
+    if addr.starts_with('-') {
+        return Err(format!("expected <addr>, got flag {addr:?}"));
+    }
+    resolve_addr(&addr)?;
     let mut out = Args {
         addr,
         requests: 2000,
         conns: 4,
         seed: 1,
         kmax: 20,
+        skew: Skew::Uniform,
     };
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .ok_or(format!("{name} needs a value"))
-                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let int = |name: &str, v: Result<String, String>| {
+            v.and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
         };
         match flag.as_str() {
-            "--requests" => out.requests = value("--requests")? as usize,
-            "--conns" => out.conns = (value("--conns")? as usize).max(1),
-            "--seed" => out.seed = value("--seed")?,
-            "--kmax" => out.kmax = (value("--kmax")? as usize).max(1),
+            "--requests" => out.requests = int("--requests", value("--requests"))? as usize,
+            "--conns" => out.conns = int("--conns", value("--conns"))? as usize,
+            "--seed" => out.seed = int("--seed", value("--seed"))?,
+            "--kmax" => out.kmax = int("--kmax", value("--kmax"))? as usize,
+            "--zipf" => {
+                let s = value("--zipf")?
+                    .parse::<f64>()
+                    .map_err(|_| "bad --zipf value".to_string())?;
+                if !(s.is_finite() && s >= 0.0) {
+                    return Err("--zipf exponent must be finite and >= 0".into());
+                }
+                out.skew = Skew::Zipf(s);
+            }
+            "--hot" => {
+                let v = value("--hot")?;
+                let (h, f) = v
+                    .split_once(':')
+                    .ok_or("--hot wants H:FRAC, e.g. 4:0.9".to_string())?;
+                let hot_users = h
+                    .parse::<u32>()
+                    .map_err(|_| "bad --hot user count".to_string())?;
+                let hot_frac = f
+                    .parse::<f64>()
+                    .map_err(|_| "bad --hot fraction".to_string())?;
+                if hot_users == 0 || !(0.0..=1.0).contains(&hot_frac) {
+                    return Err("--hot wants H >= 1 and FRAC in [0,1]".into());
+                }
+                out.skew = Skew::Hot {
+                    hot_users,
+                    hot_frac,
+                };
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if out.requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    if out.conns == 0 {
+        return Err("--conns must be at least 1".into());
+    }
+    if out.kmax == 0 {
+        return Err("--kmax must be at least 1".into());
     }
     Ok(out)
 }
@@ -63,20 +118,11 @@ fn parse_args() -> Result<Args, String> {
 /// Asks the server for its table shape so the request stream stays
 /// in-range.
 fn fetch_user_count(addr: &str) -> Result<u32, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(stream);
-    writeln!(writer, "STATS").map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
-    let users = line
-        .split_ascii_whitespace()
-        .find_map(|tok| tok.strip_prefix("users="))
-        .ok_or_else(|| format!("bad STATS response: {}", line.trim()))?;
-    users
-        .parse::<u32>()
-        .map_err(|_| format!("bad user count in: {}", line.trim()))
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
+    stats_field(&line, "users=")
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| format!("bad STATS response: {line}"))
 }
 
 struct ConnReport {
@@ -87,51 +133,32 @@ struct ConnReport {
 fn drive_connection(
     addr: &str,
     requests: usize,
-    n_users: u32,
+    sampler: &UserSampler,
     kmax: usize,
     mut rng: StdRng,
 ) -> Result<ConnReport, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = BufWriter::new(stream);
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut latencies_us = Vec::with_capacity(requests);
     let mut errors = 0usize;
-    let mut line = String::new();
     for _ in 0..requests {
-        let user = rng.bounded_u64(n_users as u64) as u32;
+        let user = sampler.draw(&mut rng);
         let k = 1 + rng.bounded_u64(kmax as u64) as usize;
         let start = Instant::now();
-        writeln!(writer, "REC {user} {k}").map_err(|e| e.to_string())?;
-        writer.flush().map_err(|e| e.to_string())?;
-        line.clear();
-        let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("server closed the connection".into());
-        }
+        let line = client.rec_one(user, k).map_err(|e| e.to_string())?;
         latencies_us.push(start.elapsed().as_micros() as u64);
-        match parse_ok_line(line.trim_end()) {
+        match parse_ok_line(&line) {
             Some(ok) if ok.user == user && ok.k == k && ok.items.len() <= k => {}
             _ => {
                 errors += 1;
-                eprintln!("loadgen: bad response for REC {user} {k}: {}", line.trim());
+                eprintln!("loadgen: bad response for REC {user} {k}: {line}");
             }
         }
     }
-    writeln!(writer, "QUIT").ok();
-    writer.flush().ok();
+    client.quit();
     Ok(ConnReport {
         latencies_us,
         errors,
     })
-}
-
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn main() -> ExitCode {
@@ -139,7 +166,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("loadgen: {e}");
-            eprintln!("usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -155,6 +182,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let sampler = match args.skew {
+        Skew::Uniform => UserSampler::uniform(n_users),
+        Skew::Zipf(s) => UserSampler::zipf(n_users, s),
+        Skew::Hot {
+            hot_users,
+            hot_frac,
+        } => UserSampler::hot(n_users, hot_users, hot_frac),
+    };
 
     let per_conn = args.requests.div_ceil(args.conns);
     let start = Instant::now();
@@ -163,8 +198,9 @@ fn main() -> ExitCode {
         let addr = args.addr.clone();
         let rng = StdRng::stream(args.seed, conn as u64);
         let kmax = args.kmax;
+        let sampler = sampler.clone();
         handles.push(std::thread::spawn(move || {
-            drive_connection(&addr, per_conn, n_users, kmax, rng)
+            drive_connection(&addr, per_conn, &sampler, kmax, rng)
         }));
     }
 
@@ -188,19 +224,17 @@ fn main() -> ExitCode {
     }
     let elapsed = start.elapsed();
 
-    latencies.sort_unstable();
-    let total = latencies.len();
-    let qps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+    let s = LatencySummary::from_samples(latencies, elapsed);
     println!(
         "loadgen: requests={} conns={} errors={} elapsed_ms={} qps={:.1} p50_us={} p95_us={} p99_us={}",
-        total,
+        s.count,
         args.conns,
         errors,
         elapsed.as_millis(),
-        qps,
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
+        s.qps,
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
     );
 
     if errors > 0 {

@@ -52,13 +52,17 @@
 //! ```
 
 pub mod cache;
+pub mod client;
 pub mod engine;
 pub mod proto;
 pub mod server;
 pub mod tables;
+pub mod workload;
 
 pub use cache::LruCache;
+pub use client::{percentile, resolve_addr, stats_field, LatencySummary, ServeClient};
 pub use engine::{spawn_watcher, Engine, EngineStats, Recommendation, Watcher};
-pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request};
+pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request, MAX_K, MAX_REC_USERS};
 pub use server::{serve, ServerHandle};
 pub use tables::{ModelSource, ModelTables, ScoredItem, ServeError};
+pub use workload::UserSampler;

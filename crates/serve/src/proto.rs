@@ -28,6 +28,14 @@
 use crate::engine::Recommendation;
 use crate::tables::ScoredItem;
 
+/// Largest `k` a single `REC` may ask for. Anything above this is a typed
+/// `ERR`, so a hostile `REC 0 99999999` can never turn into an oversized
+/// allocation server-side.
+pub const MAX_K: usize = 4096;
+
+/// Largest user batch a single `REC` line may carry.
+pub const MAX_REC_USERS: usize = 1024;
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -64,9 +72,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if users.is_empty() {
                 return Err("REC needs at least one user".into());
             }
+            if users.len() > MAX_REC_USERS {
+                return Err(format!(
+                    "too many users in one REC ({} > {MAX_REC_USERS})",
+                    users.len()
+                ));
+            }
             let k = k_part
                 .parse::<usize>()
                 .map_err(|_| format!("bad k {k_part:?}"))?;
+            if k > MAX_K {
+                return Err(format!("k too large ({k} > {MAX_K})"));
+            }
             Ok(Request::Rec { users, k })
         }
         Some("STATS") => Ok(Request::Stats),
@@ -181,6 +198,71 @@ mod tests {
         assert!(parse_request("REC 1 x").is_err());
         assert!(parse_request("REC 1 2 3").is_err());
         assert!(parse_request("NOPE 1 2").is_err());
+    }
+
+    #[test]
+    fn truncated_and_malformed_requests_yield_typed_errors() {
+        // Truncated lines at every prefix of a valid request.
+        let full = "REC 1,2,3 20";
+        for end in 0..full.len() {
+            let _ = parse_request(&full[..end]); // must not panic
+        }
+        assert!(parse_request("REC").is_err());
+        assert!(parse_request("REC 1,2,").is_err(), "trailing comma");
+        assert!(parse_request("REC ,1 5").is_err(), "leading comma");
+        assert!(parse_request("REC 1,,2 5").is_err(), "empty id");
+        assert!(parse_request("REC -1 5").is_err(), "negative user");
+        assert!(parse_request("REC 4294967296 5").is_err(), "user > u32");
+        assert!(parse_request("REC 1 -5").is_err(), "negative k");
+        assert!(parse_request("REC 1 5.0").is_err(), "non-integer k");
+        assert!(
+            parse_request("rec 1 5").is_err(),
+            "verbs are case-sensitive"
+        );
+        assert!(parse_request("  \t ").is_err(), "whitespace only");
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_allocated() {
+        // k beyond the cap, and k beyond usize entirely.
+        assert!(parse_request(&format!("REC 1 {}", MAX_K + 1)).is_err());
+        assert!(parse_request("REC 1 99999999999999999999999999").is_err());
+        assert_eq!(
+            parse_request(&format!("REC 1 {MAX_K}")),
+            Ok(Request::Rec {
+                users: vec![1],
+                k: MAX_K
+            })
+        );
+        // A user batch one past the cap fails; at the cap it parses.
+        let ids = |n: usize| {
+            (0..n as u32)
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        assert!(parse_request(&format!("REC {} 5", ids(MAX_REC_USERS + 1))).is_err());
+        assert!(parse_request(&format!("REC {} 5", ids(MAX_REC_USERS))).is_ok());
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics_the_parser() {
+        graphaug_rng::prop::check("proto_parse_no_panic", 256, |g| {
+            let len = g.len_in(0, 64);
+            let line: String = (0..len)
+                .map(|_| {
+                    // Bias toward protocol-adjacent bytes so the fuzz hits
+                    // the interesting branches, not just the unknown-verb
+                    // arm.
+                    let alphabet = b"REC STAQUIPNG0123456789,.- \t";
+                    alphabet[g.bounded_u64(alphabet.len() as u64) as usize] as char
+                })
+                .collect();
+            // The property is "returns, never panics"; both Ok and Err are
+            // acceptable outcomes.
+            let _ = parse_request(&line);
+            Ok(())
+        });
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Request-mix shaping for the load generators: which user does the next
+//! request ask about?
+//!
+//! Serving a million users is not serving a uniform million users —
+//! recommendation traffic is zipfian (a few heavy users dominate) and
+//! occasionally pathological (a hot-key storm hammers a handful of ids,
+//! e.g. after a push notification). A [`UserSampler`] makes those mixes a
+//! first-class, *seeded* scenario ingredient: the same seed draws the same
+//! request stream, so a chaos run that fails replays exactly.
+
+use graphaug_rng::StdRng;
+
+/// A seeded distribution over user ids `0..n_users`.
+#[derive(Clone, Debug)]
+pub enum UserSampler {
+    /// Every user equally likely.
+    Uniform {
+        /// Number of users drawn from.
+        n_users: u32,
+    },
+    /// Zipf-distributed ranks: user `r` drawn with probability ∝
+    /// `(r+1)^-s`. Carries the precomputed CDF so draws are `O(log n)`.
+    Zipf {
+        /// Number of users drawn from.
+        n_users: u32,
+        /// Cumulative probabilities, ascending, last entry 1.0.
+        cdf: Vec<f64>,
+    },
+    /// Hot-key storm: with probability `hot_frac` draw uniformly from the
+    /// first `hot_users` ids, otherwise uniformly from the whole range.
+    Hot {
+        /// Number of users drawn from.
+        n_users: u32,
+        /// Size of the hot set (ids `0..hot_users`).
+        hot_users: u32,
+        /// Fraction of traffic aimed at the hot set.
+        hot_frac: f64,
+    },
+}
+
+impl UserSampler {
+    /// Uniform traffic over `n_users`.
+    pub fn uniform(n_users: u32) -> UserSampler {
+        assert!(n_users > 0, "sampler needs at least one user");
+        UserSampler::Uniform { n_users }
+    }
+
+    /// Zipfian traffic with exponent `s` (`s = 0` degenerates to uniform;
+    /// `s ≈ 1` is the classic heavy head).
+    pub fn zipf(n_users: u32, s: f64) -> UserSampler {
+        assert!(n_users > 0, "sampler needs at least one user");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n_users as usize);
+        let mut total = 0.0f64;
+        for r in 0..n_users {
+            total += (r as f64 + 1.0).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        UserSampler::Zipf { n_users, cdf }
+    }
+
+    /// Hot-key storm: `hot_frac` of traffic on users `0..hot_users`.
+    pub fn hot(n_users: u32, hot_users: u32, hot_frac: f64) -> UserSampler {
+        assert!(n_users > 0, "sampler needs at least one user");
+        assert!(
+            (0.0..=1.0).contains(&hot_frac),
+            "hot fraction must be in [0,1]"
+        );
+        UserSampler::Hot {
+            n_users,
+            hot_users: hot_users.clamp(1, n_users),
+            hot_frac,
+        }
+    }
+
+    /// Draws the next user id.
+    pub fn draw(&self, rng: &mut StdRng) -> u32 {
+        match self {
+            UserSampler::Uniform { n_users } => rng.bounded_u64(*n_users as u64) as u32,
+            UserSampler::Zipf { n_users, cdf } => {
+                let u = rng.f64_unit();
+                let rank = cdf.partition_point(|&c| c < u);
+                (rank as u32).min(n_users - 1)
+            }
+            UserSampler::Hot {
+                n_users,
+                hot_users,
+                hot_frac,
+            } => {
+                if rng.random_bool(*hot_frac) {
+                    rng.bounded_u64(*hot_users as u64) as u32
+                } else {
+                    rng.bounded_u64(*n_users as u64) as u32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_rng::seeded_rng;
+
+    fn histogram(sampler: &UserSampler, n_users: usize, draws: usize) -> Vec<usize> {
+        let mut rng = seeded_rng(7);
+        let mut counts = vec![0usize; n_users];
+        for _ in 0..draws {
+            counts[sampler.draw(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn draws_are_seed_deterministic() {
+        for sampler in [
+            UserSampler::uniform(100),
+            UserSampler::zipf(100, 1.1),
+            UserSampler::hot(100, 4, 0.9),
+        ] {
+            let mut a = seeded_rng(3);
+            let mut b = seeded_rng(3);
+            let xs: Vec<u32> = (0..200).map(|_| sampler.draw(&mut a)).collect();
+            let ys: Vec<u32> = (0..200).map(|_| sampler.draw(&mut b)).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_range_evenly() {
+        let counts = histogram(&UserSampler::uniform(10), 10, 10_000);
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform bucket way off: {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy_and_in_range() {
+        let counts = histogram(&UserSampler::zipf(50, 1.2), 50, 10_000);
+        assert!(
+            counts[0] > counts[10] && counts[0] > counts[49],
+            "rank 0 must dominate: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+        // s = 0 degenerates to uniform-ish: head must NOT dominate 10x.
+        let flat = histogram(&UserSampler::zipf(50, 0.0), 50, 10_000);
+        assert!(flat[0] < 10 * flat[49].max(1));
+    }
+
+    #[test]
+    fn hot_storm_concentrates_on_the_hot_set() {
+        let counts = histogram(&UserSampler::hot(100, 4, 0.9), 100, 10_000);
+        let hot: usize = counts[..4].iter().sum();
+        assert!(hot > 8_500, "hot set should absorb ~90%+ε: {hot}");
+    }
+}
