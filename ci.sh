@@ -16,7 +16,8 @@
 #   tests    full test suite at GRAPHAUG_THREADS={1,3,4} and GRAPHAUG_SIMD=0
 #   bench    bench harness smoke run (tiny budget)
 #   process  process-level smokes: kill/resume, serving parity + loadgen,
-#            shard router + chaos loadgen (all boot real binaries)
+#            ANN recall gate + REC/RECX drive, shard router + chaos loadgen
+#            (all boot real binaries)
 #   gates    recorded perf-trajectory gate, dependency hermeticity
 #
 # The `tests`/`bench`/`process` groups expect `build` to have run first in
@@ -227,6 +228,33 @@ stage_serving() {
     echo "ok: served rankings bit-identical to offline eval, loadgen clean"
 }
 
+stage_ann() {
+    stage "ann smoke test (IVF recall gate + REC/RECX drive, GRAPHAUG_THREADS=1 and 4)"
+    # Boot the demo service with the IVF fast path on. The build-time recall
+    # gate must pass (an index under the floor logs `ANN DISABLED` instead,
+    # which fails the grep), and both verbs — ANN `REC` and the exact-parity
+    # oracle `RECX` — must serve a seeded load cleanly. The nlists/nprobe
+    # choice is tuned for the 120-item demo catalog (recall@20 = 0.97 on the
+    # deterministic demo embeddings); the index build is bit-deterministic
+    # in the thread count, so the gate outcome cannot flap between runs.
+    local threads adir ann_addr
+    for threads in 1 4; do
+        adir="$(tmp_dir ann_smoke)"
+        boot_bin "ann_serve_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$adir/ck" \
+            --ann --ann-nlists 6 --ann-nprobe 4
+        if ! grep -q "ANN ok recall=" "$BOOT_LOG"; then
+            echo "ERROR: ANN index did not clear the recall floor" >&2
+            cat "$BOOT_LOG" >&2
+            exit 1
+        fi
+        ann_addr=$(ready_addr "$BOOT_LOG")
+        GRAPHAUG_THREADS=$threads target/release/loadgen "$ann_addr" --requests 400 --conns 2
+        GRAPHAUG_THREADS=$threads target/release/loadgen "$ann_addr" --requests 400 --conns 2 --exact
+        echo "ok: threads=$threads ANN gate passed, REC and RECX served clean"
+    done
+}
+
 stage_router() {
     stage "router smoke test (3 replicas + router + chaos loadgen, GRAPHAUG_THREADS=1 and 4)"
     # The full multi-replica story against real processes: three replica
@@ -273,20 +301,22 @@ stage_router() {
 group_process() {
     stage_kill_resume
     stage_serving
+    stage_ann
     stage_router
 }
 
 group_gates() {
-    stage "perf trajectory gate (BENCH_pr6 vs BENCH_pr5)"
-    # The recorded PR 6 trajectory point must hold a ≤10% median regression
-    # bound against the PR 5 baseline. This diffs the two *recorded* files —
+    stage "perf trajectory gate (BENCH_pr7 vs BENCH_pr6)"
+    # The recorded PR 7 trajectory point must hold a ≤10% median regression
+    # bound against the PR 6 baseline (best-of-4 interleaved medians, same
+    # recording protocol as PR 6). This diffs the two *recorded* files —
     # deterministic and machine-independent — rather than re-benching on
     # whatever box CI runs on.
-    if [[ -f BENCH_pr6.json && -f BENCH_pr5.json ]]; then
+    if [[ -f BENCH_pr7.json && -f BENCH_pr6.json ]]; then
         cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-            BENCH_pr6.json BENCH_pr5.json --threshold 10
+            BENCH_pr7.json BENCH_pr6.json --threshold 10
     else
-        echo "skip: BENCH_pr6.json / BENCH_pr5.json not both present"
+        echo "skip: BENCH_pr7.json / BENCH_pr6.json not both present"
     fi
 
     stage "dependency hermeticity check"

@@ -1,0 +1,16 @@
+//! IVF ANN benchmarks — index build (reload cost), ANN vs exact uncached
+//! top-K at 10k/100k-item catalogs, and batched fan-out through the
+//! engine's ANN path, with build-time recall@20 recorded as metric lines.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("ann");
+    perf::ann(&mut h);
+    h.finish();
+}

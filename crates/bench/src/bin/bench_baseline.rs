@@ -20,6 +20,7 @@ fn main() {
     perf::augmentor(&mut h);
     perf::checkpoint(&mut h);
     perf::serving(&mut h);
+    perf::ann(&mut h);
     perf::router(&mut h);
     h.finish();
 }

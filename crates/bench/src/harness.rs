@@ -53,10 +53,17 @@ pub struct BenchResult {
     pub throughput: Option<(f64, String)>,
 }
 
-/// A benchmark suite accumulating [`BenchResult`]s.
+/// A benchmark suite accumulating [`BenchResult`]s plus free-form scalar
+/// metrics (quality numbers like sampled recall that ride along with the
+/// timings).
 pub struct Harness {
     suite: String,
     results: Vec<BenchResult>,
+    /// `(name, value)` quality metrics; serialized into a separate
+    /// `"metrics"` JSON section that the trajectory comparator ignores
+    /// (its scanner only picks up objects carrying `median_ns`), so a
+    /// recall value can never be misread as a regressed timing.
+    metrics: Vec<(String, f64)>,
     warmup: Duration,
     samples: usize,
     max_time: Duration,
@@ -76,6 +83,7 @@ impl Harness {
         Harness {
             suite: suite.to_string(),
             results: Vec::new(),
+            metrics: Vec::new(),
             warmup: Duration::from_millis(env_u64("GRAPHAUG_BENCH_WARMUP_MS", 300)),
             samples: env_u64("GRAPHAUG_BENCH_ITERS", 30) as usize,
             max_time: Duration::from_millis(env_u64("GRAPHAUG_BENCH_MAX_MS", 2000)),
@@ -162,6 +170,15 @@ impl Harness {
         self.results.push(result);
     }
 
+    /// Records a scalar quality metric (e.g. `ann_recall20_100k`). Printed
+    /// with the timings and serialized under `"metrics"` — deliberately
+    /// *outside* the `"benches"` array, so `bench_compare`'s
+    /// `median_ns`-keyed scanner never treats it as a timing.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        println!("{name:<40} metric {value:>14.6}");
+        self.metrics.push((name.to_string(), value));
+    }
+
     /// Renders the suite as `BENCH_*.json` trajectory JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -196,7 +213,19 @@ impl Harness {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ]");
+        if !self.metrics.is_empty() {
+            out.push_str(",\n  \"metrics\": [\n");
+            for (i, (name, value)) in self.metrics.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{ \"name\": {}, \"value\": {value:.6} }}{}\n",
+                    json_str(name),
+                    if i + 1 == self.metrics.len() { "" } else { "," }
+                ));
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -264,6 +293,23 @@ mod tests {
         assert!(json.contains("\"graphaug-bench/v1\""));
         assert!(json.contains("\"noop_accumulate\""));
         assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn metrics_serialize_outside_the_benches_array() {
+        let mut h = Harness::new("unit");
+        h.metric("ann_recall20_100k", 0.9731);
+        let json = h.to_json();
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"ann_recall20_100k\", \"value\": 0.973100"));
+        // The comparator's scanner keys on `median_ns` per object; a metric
+        // object must never carry it (that would turn recall into a fake
+        // timing in cross-PR comparisons).
+        let metric_obj = json
+            .split('{')
+            .find(|o| o.contains("ann_recall20_100k"))
+            .unwrap();
+        assert!(!metric_obj.contains("median_ns"));
     }
 
     #[test]

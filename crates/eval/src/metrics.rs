@@ -64,6 +64,37 @@ pub fn topk_indices(scores: &[f32], k: usize) -> Vec<u32> {
     kept.into_iter().map(|w| w.1).collect()
 }
 
+/// Bounded-heap top-K over an arbitrary `(index, score)` candidate stream —
+/// the sparse-candidate sibling of [`topk_indices`], used by the IVF ANN
+/// search path in `graphaug-serve` where only the probed inverted lists'
+/// items are scored.
+///
+/// The selection shares [`topk_indices`]'s comparator, so the **tie-break
+/// contract is identical**: equal scores rank the lower index first, both in
+/// the returned order and at the `k` cutoff. Because that comparator is a
+/// total order, the result does not depend on the order candidates arrive
+/// in — which is what lets a full-probe ANN search (`nprobe = nlists`, all
+/// items visited in cluster order) reproduce the dense exact ranking
+/// hex-exactly.
+pub fn topk_pairs(candidates: impl IntoIterator<Item = (u32, f32)>, k: usize) -> Vec<(u32, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap = std::collections::BinaryHeap::with_capacity(k + 1);
+    for (i, s) in candidates {
+        let cand = Worst(s, i);
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand < *heap.peek().expect("heap holds k entries") {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut kept = heap.into_vec();
+    kept.sort_unstable();
+    kept.into_iter().map(|w| (w.1, w.0)).collect()
+}
+
 /// Recall@K: fraction of this user's held-out items appearing in the top-K
 /// ranked list.
 pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
@@ -117,6 +148,50 @@ mod tests {
     fn topk_ties_break_by_index() {
         let scores = vec![0.5, 0.5, 0.5];
         assert_eq!(topk_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_pairs_agrees_with_topk_indices_on_dense_input() {
+        let scores = vec![0.1, 0.9, 0.3, 0.9, 0.5, -2.0, 0.9];
+        for k in 0..=scores.len() + 2 {
+            let dense = topk_indices(&scores, k);
+            let pairs = topk_pairs(scores.iter().enumerate().map(|(i, &s)| (i as u32, s)), k);
+            assert_eq!(
+                pairs.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+                dense,
+                "k={k}"
+            );
+            for &(i, s) in &pairs {
+                assert_eq!(s.to_bits(), scores[i as usize].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn topk_pairs_is_candidate_order_invariant_under_ties() {
+        // Duplicate-heavy scores, candidates delivered in two different
+        // orders: the total-order comparator must give the same answer.
+        let scores = [0.5f32, 0.5, 0.25, 0.5, 0.25, 0.5];
+        let forward: Vec<(u32, f32)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u32, s))
+            .collect();
+        let mut shuffled = forward.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 3);
+        for k in 1..=scores.len() {
+            assert_eq!(
+                topk_pairs(forward.iter().copied(), k),
+                topk_pairs(shuffled.iter().copied(), k),
+                "k={k}"
+            );
+        }
+        // Ties break toward the lower index, same as topk_indices.
+        assert_eq!(
+            topk_pairs(shuffled.iter().copied(), 3),
+            vec![(0, 0.5), (1, 0.5), (3, 0.5)]
+        );
     }
 
     #[test]

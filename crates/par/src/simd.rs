@@ -82,6 +82,22 @@ impl F32x8 {
         ])
     }
 
+    /// Lane-wise difference.
+    #[inline(always)]
+    pub fn sub(self, o: Self) -> Self {
+        let (a, b) = (self.0, o.0);
+        F32x8([
+            a[0] - b[0],
+            a[1] - b[1],
+            a[2] - b[2],
+            a[3] - b[3],
+            a[4] - b[4],
+            a[5] - b[5],
+            a[6] - b[6],
+            a[7] - b[7],
+        ])
+    }
+
     /// Lane-wise product.
     #[inline(always)]
     pub fn mul(self, o: Self) -> Self {
@@ -142,6 +158,40 @@ pub fn dot8(a: &[f32], b: &[f32]) -> f32 {
     let mut tail = 0f32;
     while i < n {
         tail += a[i] * b[i];
+        i += 1;
+    }
+    acc0.add(acc1).hsum() + tail
+}
+
+/// Squared Euclidean distance `Σ (a[i] − b[i])²` with the same fixed
+/// reduction shape as [`dot8`]: two independent 8-wide accumulators over
+/// even/odd 16-blocks, one 8-wide block, the [`F32x8::hsum`] tree, then an
+/// ascending scalar tail. The IVF coarse quantizer (`graphaug-serve`) runs
+/// its k-means assignment through this, so index builds are bit-identical
+/// between the lane and scalar builds and for any thread count.
+#[inline(always)]
+pub fn l2sq8(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc0 = F32x8::zero();
+    let mut acc1 = F32x8::zero();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let d0 = F32x8::load(&a[i..]).sub(F32x8::load(&b[i..]));
+        let d1 = F32x8::load(&a[i + 8..]).sub(F32x8::load(&b[i + 8..]));
+        acc0 = acc0.mul_acc(d0, d0);
+        acc1 = acc1.mul_acc(d1, d1);
+        i += 16;
+    }
+    if i + 8 <= n {
+        let d = F32x8::load(&a[i..]).sub(F32x8::load(&b[i..]));
+        acc0 = acc0.mul_acc(d, d);
+        i += 8;
+    }
+    let mut tail = 0f32;
+    while i < n {
+        let d = a[i] - b[i];
+        tail += d * d;
         i += 1;
     }
     acc0.add(acc1).hsum() + tail
@@ -252,6 +302,40 @@ mod tests {
             let want: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
             assert!((got as f64 - want).abs() < 1e-4, "n={n}");
         }
+    }
+
+    #[test]
+    fn l2sq8_matches_reference_on_all_tail_lengths() {
+        for n in 0..40usize {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).cos()).collect();
+            let got = l2sq8(&a, &b);
+            let want: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| (x as f64 - y as f64) * (x as f64 - y as f64))
+                .sum();
+            assert!((got as f64 - want).abs() < 1e-4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn l2sq8_is_identical_between_lane_and_scalar_builds() {
+        let a: Vec<f32> = (0..137).map(|i| (i as f32 * 0.13).sin() * 1.3).collect();
+        let b: Vec<f32> = (0..137).map(|i| (i as f32 * 0.31).cos() * 0.7).collect();
+        let mut out = [0f32; 2];
+        crate::simd_dispatch! {
+            fn probe_l2(a: &[f32], b: &[f32], out: &mut [f32]) {
+                out[0] = l2sq8(a, b);
+            }
+        }
+        let was = simd_enabled();
+        set_simd_enabled(true);
+        probe_l2(&a, &b, std::slice::from_mut(&mut out[0]));
+        set_simd_enabled(false);
+        probe_l2(&a, &b, std::slice::from_mut(&mut out[1]));
+        set_simd_enabled(was);
+        assert_eq!(out[0].to_bits(), out[1].to_bits());
     }
 
     #[test]

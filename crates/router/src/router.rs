@@ -205,9 +205,17 @@ fn forward_to_shard(
     ))
 }
 
-/// Routes one `REC` batch: group by owning shard, forward, reassemble in
-/// request order. Always returns exactly one line per requested user.
-fn route_rec(router: &Router, down: &mut Downstream, users: &[u32], k: usize) -> Vec<String> {
+/// Routes one `REC`/`RECX` batch: group by owning shard, forward with the
+/// client's verb intact (an exact-oracle request must stay exact on the
+/// replica), reassemble in request order. Always returns exactly one line
+/// per requested user.
+fn route_rec(
+    router: &Router,
+    down: &mut Downstream,
+    users: &[u32],
+    k: usize,
+    exact: bool,
+) -> Vec<String> {
     let n = router.n_shards();
     router
         .requests
@@ -227,7 +235,14 @@ fn route_rec(router: &Router, down: &mut Downstream, users: &[u32], k: usize) ->
             .map(|&(_, u)| u.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        match forward_to_shard(router, down, shard, &format!("REC {list} {k}"), group.len()) {
+        let verb = if exact { "RECX" } else { "REC" };
+        match forward_to_shard(
+            router,
+            down,
+            shard,
+            &format!("{verb} {list} {k}"),
+            group.len(),
+        ) {
             Ok(replies) => {
                 for (&(slot, _), reply) in group.iter().zip(replies) {
                     lines[slot] = Some(reply);
@@ -334,8 +349,8 @@ fn respond(
         return put(w, &handle_replace(router, rest));
     }
     match parse_request(line) {
-        Ok(Request::Rec { users, k }) => {
-            for reply in route_rec(router, down, &users, k) {
+        Ok(Request::Rec { users, k, exact }) => {
+            for reply in route_rec(router, down, &users, k, exact) {
                 put(w, &reply)?;
             }
             Ok(())

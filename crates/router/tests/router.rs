@@ -13,7 +13,7 @@ use graphaug_data::{generate, SyntheticConfig};
 use graphaug_graph::InteractionGraph;
 use graphaug_router::{shard_of, start, Router, RouterConfig};
 use graphaug_runtime::{Runtime, RuntimeConfig};
-use graphaug_serve::{serve, Engine, ModelSource, ServeClient};
+use graphaug_serve::{serve, Engine, IvfParams, ModelSource, ServeClient};
 
 /// A unique, self-cleaning directory per test.
 struct TempDir(PathBuf);
@@ -59,6 +59,21 @@ fn train_into(dir: &Path, graph: &InteractionGraph) {
 /// on an ephemeral loopback port.
 fn boot_replica(graph: &InteractionGraph, dir: &Path) -> graphaug_serve::ServerHandle {
     let engine = Arc::new(Engine::open(ModelSource::new(toy_model(), graph.clone(), dir)).unwrap());
+    serve(engine, "127.0.0.1:0").unwrap()
+}
+
+/// Same, but with the IVF ANN fast path enabled on the replica.
+fn boot_ann_replica(
+    graph: &InteractionGraph,
+    dir: &Path,
+    params: IvfParams,
+) -> graphaug_serve::ServerHandle {
+    let source = ModelSource::new(toy_model(), graph.clone(), dir).ann(params);
+    let engine = Arc::new(Engine::open(source).unwrap());
+    assert!(
+        engine.tables().ann().expect("index built").enabled(),
+        "test replica's ANN gate must pass"
+    );
     serve(engine, "127.0.0.1:0").unwrap()
 }
 
@@ -232,6 +247,90 @@ fn routed_responses_survive_kill_and_rejoin_bit_identically() {
     }
     via_router.quit();
     handle.stop();
+}
+
+/// Routed-vs-direct parity across the scorer modes: with ANN-enabled
+/// replicas behind the router, a routed `REC` must relay the replica's
+/// fast-path line byte-for-byte, a routed `RECX` must relay the replica's
+/// exact-oracle line (the router forwards the verb, it never downgrades
+/// `RECX` to `REC`), and the `RECX` lines must match an index-free
+/// replica's exact answers bit-for-bit.
+#[test]
+fn routed_verbs_preserve_ann_and_exact_paths_bit_identically() {
+    let graph = toy_graph();
+    let n_users = graph.n_users() as u32;
+    let dir = TempDir::new("ann-parity");
+    train_into(dir.path(), &graph);
+
+    // Narrow probe so REC and RECX genuinely take different scorers; no
+    // floor because this test pins routing, not index quality.
+    let params = || IvfParams::new().nlists(9).nprobe(3).recall_floor(0.0);
+    let replicas: Vec<_> = (0..2)
+        .map(|_| boot_ann_replica(&graph, dir.path(), params()))
+        .collect();
+    let addrs: Vec<String> = replicas.iter().map(|h| h.addr().to_string()).collect();
+    // An index-free engine is the exact-ranking oracle for RECX lines.
+    let oracle = Engine::open(ModelSource::new(toy_model(), graph.clone(), dir.path())).unwrap();
+
+    let router =
+        Router::new(RouterConfig::new(addrs.clone()).probe_period(Duration::from_millis(10)));
+    let handle = start(router, "127.0.0.1:0").unwrap();
+    let mut via_router = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let mut direct: Vec<ServeClient> = addrs
+        .iter()
+        .map(|a| ServeClient::connect(a).unwrap())
+        .collect();
+
+    for user in (0..n_users).step_by(5) {
+        let shard = shard_of(user, 2);
+        for k in [1usize, 7, 20] {
+            for exact in [false, true] {
+                let routed = via_router.rec_one_mode(user, k, exact).unwrap();
+                let expect = direct[shard].rec_one_mode(user, k, exact).unwrap();
+                assert!(routed.starts_with("OK "), "user {user} k {k}: {routed}");
+                assert_eq!(
+                    routed, expect,
+                    "user {user} k {k} exact={exact}: routed response must \
+                     be bit-identical to shard {shard}'s direct response"
+                );
+            }
+            // The routed RECX line carries the exact ranking.
+            let routed_exact = via_router.rec_one_mode(user, k, true).unwrap();
+            let oracle_rec = oracle.recommend(user, k).unwrap();
+            let oracle_hex = oracle_rec
+                .items
+                .iter()
+                .map(|s| format!("{}:{:08x}", s.item, s.score.to_bits()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let parsed = graphaug_serve::parse_ok_line(&routed_exact).expect("OK line");
+            let routed_hex = parsed
+                .items
+                .iter()
+                .map(|s| format!("{}:{:08x}", s.item, s.score.to_bits()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            assert_eq!(
+                routed_hex, oracle_hex,
+                "user {user} k {k}: routed RECX must carry the exact ranking"
+            );
+        }
+    }
+
+    // The replicas actually served through the index for REC traffic.
+    for d in &mut direct {
+        let stats = d.stats_line().unwrap();
+        assert!(stats.contains(" ann=on "), "{stats}");
+    }
+
+    for d in direct {
+        d.quit();
+    }
+    via_router.quit();
+    handle.stop();
+    for r in replicas {
+        r.stop();
+    }
 }
 
 #[test]

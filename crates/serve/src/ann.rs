@@ -1,0 +1,491 @@
+//! A dependency-free IVF-flat item index for sublinear serving.
+//!
+//! Every exact `REC` scores the full catalog — `O(items · dim)` per
+//! request — which is the per-replica QPS ceiling at catalog scale. This
+//! module trades a small, *audited* amount of recall for a sublinear
+//! candidate set: a k-means coarse quantizer partitions the frozen item
+//! embeddings into `nlists` inverted lists at table-build time, and a
+//! query only scores the items in its `nprobe` best-matching lists.
+//!
+//! # Determinism contract
+//!
+//! The index build is **bit-deterministic** for any `GRAPHAUG_THREADS` and
+//! for the SIMD lane vs scalar builds:
+//!
+//! * centroid seeding and the training sample come from seeded
+//!   `graphaug-rng` streams (`StdRng::stream(seed, …)`);
+//! * the iteration count is fixed (no convergence-dependent early exit);
+//! * assignment runs through [`graphaug_par::l2sq8`] (fixed reduction
+//!   order, lane/scalar bit-identical) and parallelizes over items with
+//!   each item writing its own slot — no cross-thread reductions;
+//! * centroid updates accumulate members in ascending item order on one
+//!   thread, and ties in the argmin go to the lower centroid index.
+//!
+//! # Exact-parity contract
+//!
+//! Candidate scoring happens *outside* this module (in
+//! [`crate::tables::ModelTables`]) in the exact scorer's summation order,
+//! and the final selection is `graphaug_eval::topk_pairs`, which shares the
+//! exact path's total-order tie-break. Since every item lives in exactly
+//! one inverted list, probing **all** lists (`nprobe = nlists`) visits the
+//! full catalog and reproduces the exact ranking hex-exactly — the
+//! degenerate configuration the parity proptests pin.
+
+use graphaug_eval::topk_pairs;
+use graphaug_par::{dot8, l2sq8};
+use graphaug_rng::StdRng;
+use graphaug_tensor::Mat;
+
+/// Build/search parameters for the IVF index, plus the serving-side
+/// gate/audit knobs that travel with it.
+#[derive(Clone, Debug)]
+pub struct IvfParams {
+    /// Number of inverted lists (coarse centroids). `0` = auto:
+    /// `round(sqrt(n_items))`, clamped to `[1, n_items]`.
+    pub nlists: usize,
+    /// Lists probed per query. `0` = auto: `max(1, nlists / 8)`. Clamped to
+    /// `[1, nlists]` at build time.
+    pub nprobe: usize,
+    /// Fixed k-means iteration count (no data-dependent early exit — part
+    /// of the determinism contract).
+    pub kmeans_iters: usize,
+    /// k-means training-sample cap. `0` = auto: `max(32 · nlists, 4096)`,
+    /// clamped to `n_items`.
+    pub sample: usize,
+    /// Seed for the `graphaug-rng` streams (sample shuffle, centroid
+    /// seeding, probe-set draw).
+    pub seed: u64,
+    /// Build-time recall gate: sampled recall@`probe_k` vs the exact oracle
+    /// must reach this floor or the ANN path stays disabled (serving falls
+    /// back to exact, loudly).
+    pub recall_floor: f64,
+    /// Number of seeded probe users for the build-time recall estimate.
+    pub probe_users: usize,
+    /// Cutoff for the build-time recall estimate and the online self-audit.
+    pub probe_k: usize,
+    /// Online self-audit cadence: every `audit_every`-th ANN-served list is
+    /// also ranked exactly and folded into the running recall estimate.
+    /// `0` disables the audit.
+    pub audit_every: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlists: 0,
+            nprobe: 0,
+            kmeans_iters: 8,
+            sample: 0,
+            seed: 0x1f51,
+            recall_floor: 0.9,
+            probe_users: 64,
+            probe_k: 20,
+            audit_every: 64,
+        }
+    }
+}
+
+impl IvfParams {
+    /// Default parameters.
+    pub fn new() -> Self {
+        IvfParams::default()
+    }
+
+    /// Sets the list count (`0` = auto).
+    pub fn nlists(mut self, n: usize) -> Self {
+        self.nlists = n;
+        self
+    }
+
+    /// Sets the probe width (`0` = auto).
+    pub fn nprobe(mut self, n: usize) -> Self {
+        self.nprobe = n;
+        self
+    }
+
+    /// Sets the build seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the recall floor for the build-time gate.
+    pub fn recall_floor(mut self, f: f64) -> Self {
+        self.recall_floor = f;
+        self
+    }
+
+    /// Sets the online self-audit cadence (`0` = off).
+    pub fn audit_every(mut self, n: u64) -> Self {
+        self.audit_every = n;
+        self
+    }
+
+    /// The effective list count for a catalog of `n_items`.
+    pub fn effective_nlists(&self, n_items: usize) -> usize {
+        let auto = (n_items as f64).sqrt().round() as usize;
+        let n = if self.nlists == 0 { auto } else { self.nlists };
+        n.clamp(1, n_items.max(1))
+    }
+
+    /// The effective probe width for `nlists` lists.
+    pub fn effective_nprobe(&self, nlists: usize) -> usize {
+        let n = if self.nprobe == 0 {
+            (nlists / 8).max(1)
+        } else {
+            self.nprobe
+        };
+        n.clamp(1, nlists.max(1))
+    }
+}
+
+/// An immutable IVF-flat index over one frozen item-embedding matrix:
+/// `nlists` coarse centroids plus CSR-packed inverted lists of item ids
+/// *and* bit-exact copies of their embedding rows (the "flat" in
+/// IVF-flat). The packed rows make candidate scoring stream sequentially
+/// instead of gathering scattered `item_emb` rows — without them the cache
+/// misses eat most of the sublinear-candidate advantage. Built once per
+/// table swap; shared read-only by every request thread.
+pub struct IvfIndex {
+    dim: usize,
+    nlists: usize,
+    /// Row-major centroid matrix, `nlists × dim`.
+    centroids: Vec<f32>,
+    /// `nlists + 1` offsets into `list_items`.
+    list_offsets: Vec<u32>,
+    /// Item ids grouped by owning list, ascending within each list.
+    list_items: Vec<u32>,
+    /// The embedding row of each entry in `list_items`, packed in the same
+    /// order (`list_items.len() × dim`). Bit-exact copies of the source
+    /// matrix rows, so scoring from here preserves hex parity.
+    list_vecs: Vec<f32>,
+}
+
+impl IvfIndex {
+    /// Builds the index over `items` (one embedding row per item) with a
+    /// seeded, fixed-iteration k-means quantizer. Bit-deterministic for any
+    /// thread count (see the module docs for the contract).
+    pub fn build(items: &Mat, params: &IvfParams) -> IvfIndex {
+        let n = items.rows();
+        let dim = items.cols();
+        assert!(n > 0, "cannot index an empty catalog");
+        let nlists = params.effective_nlists(n);
+
+        // Seeded training sample: a partial Fisher–Yates over item ids from
+        // stream 0. The shuffled head doubles as the (distinct) initial
+        // centroid picks.
+        let sample_cap = if params.sample == 0 {
+            (32 * nlists).max(4096)
+        } else {
+            params.sample
+        };
+        let m = sample_cap.min(n);
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::stream(params.seed, 0);
+        for i in 0..m {
+            let j = i + rng.bounded_u64((n - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        let sample = &ids[..m];
+
+        let mut centroids = vec![0f32; nlists * dim];
+        for (c, &item) in sample.iter().take(nlists).enumerate() {
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(items.row(item as usize));
+        }
+
+        // Fixed-count Lloyd iterations over the sample. Assignment is
+        // parallel (slot-per-point); the centroid update is a single
+        // ascending-order pass, so the reduction order never moves.
+        let mut assign = vec![0u32; m];
+        for _ in 0..params.kmeans_iters {
+            assign_points(items, sample, &centroids, nlists, dim, &mut assign);
+            let mut sums = vec![0f32; nlists * dim];
+            let mut counts = vec![0u32; nlists];
+            for (slot, &item) in sample.iter().enumerate() {
+                let c = assign[slot] as usize;
+                counts[c] += 1;
+                let row = items.row(item as usize);
+                let acc = &mut sums[c * dim..(c + 1) * dim];
+                for (a, &x) in acc.iter_mut().zip(row) {
+                    *a += x;
+                }
+            }
+            for c in 0..nlists {
+                // An emptied cluster keeps its previous centroid — still
+                // deterministic, and it can re-acquire members later.
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f32;
+                    for (dst, &s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
+                        *dst = s * inv;
+                    }
+                }
+            }
+        }
+
+        // Final assignment of the full catalog, then CSR-pack the inverted
+        // lists in ascending item order.
+        let all: Vec<u32> = (0..n as u32).collect();
+        let mut final_assign = vec![0u32; n];
+        assign_points(items, &all, &centroids, nlists, dim, &mut final_assign);
+        let mut counts = vec![0u32; nlists];
+        for &c in &final_assign {
+            counts[c as usize] += 1;
+        }
+        let mut list_offsets = vec![0u32; nlists + 1];
+        for c in 0..nlists {
+            list_offsets[c + 1] = list_offsets[c] + counts[c];
+        }
+        let mut cursor: Vec<u32> = list_offsets[..nlists].to_vec();
+        let mut list_items = vec![0u32; n];
+        for (item, &c) in final_assign.iter().enumerate() {
+            list_items[cursor[c as usize] as usize] = item as u32;
+            cursor[c as usize] += 1;
+        }
+        let mut list_vecs = vec![0f32; n * dim];
+        for (slot, &item) in list_items.iter().enumerate() {
+            list_vecs[slot * dim..(slot + 1) * dim].copy_from_slice(items.row(item as usize));
+        }
+
+        IvfIndex {
+            dim,
+            nlists,
+            centroids,
+            list_offsets,
+            list_items,
+            list_vecs,
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlists(&self) -> usize {
+        self.nlists
+    }
+
+    /// Embedding dimensionality the index was built over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The item ids of inverted list `l` (ascending).
+    pub fn list(&self, l: usize) -> &[u32] {
+        &self.list_items[self.list_offsets[l] as usize..self.list_offsets[l + 1] as usize]
+    }
+
+    /// The item ids of inverted list `l` together with their packed
+    /// embedding rows (`ids.len() × dim`, same order) — the
+    /// sequential-scan form the scoring hot loop wants.
+    pub fn list_entries(&self, l: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (
+            self.list_offsets[l] as usize,
+            self.list_offsets[l + 1] as usize,
+        );
+        (
+            &self.list_items[lo..hi],
+            &self.list_vecs[lo * self.dim..hi * self.dim],
+        )
+    }
+
+    /// Total indexed items (= catalog size: every item is in exactly one
+    /// list).
+    pub fn len(&self) -> usize {
+        self.list_items.len()
+    }
+
+    /// True when the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.list_items.is_empty()
+    }
+
+    /// The `nprobe` list ids best matching `query`, ranked by descending
+    /// centroid inner product (ties toward the lower list id — the
+    /// [`topk_pairs`] contract). Inner-product probing matches the serving
+    /// objective (max dot-product), and `dot8` keeps it lane/scalar
+    /// bit-identical.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        let scored = (0..self.nlists as u32)
+            .map(|c| (c, dot8(query, &self.centroids[c as usize * self.dim..])));
+        topk_pairs(scored, nprobe.clamp(1, self.nlists))
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Resident bytes of the index payload (centroids + lists + packed
+    /// rows) — the extra memory a table swap pays for the ANN fast path.
+    pub fn resident_bytes(&self) -> usize {
+        self.centroids.len() * 4
+            + self.list_offsets.len() * 4
+            + self.list_items.len() * 4
+            + self.list_vecs.len() * 4
+    }
+
+    /// A stable fingerprint of the whole index (centroid bit patterns,
+    /// offsets, and list membership) for bit-determinism assertions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a 64
+        let mut eat = |w: u32| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(self.nlists as u32);
+        eat(self.dim as u32);
+        for &c in &self.centroids {
+            eat(c.to_bits());
+        }
+        for &o in &self.list_offsets {
+            eat(o);
+        }
+        for &i in &self.list_items {
+            eat(i);
+        }
+        h
+    }
+}
+
+/// Assigns each of `points` (item ids into `items`) to its nearest centroid
+/// by squared L2 distance, writing `out[slot]`. Parallel over disjoint
+/// slots; argmin ties go to the lower centroid index.
+fn assign_points(
+    items: &Mat,
+    points: &[u32],
+    centroids: &[f32],
+    nlists: usize,
+    dim: usize,
+    out: &mut [u32],
+) {
+    debug_assert_eq!(points.len(), out.len());
+    let base = graphaug_par::SendMutPtr::new(out);
+    graphaug_par::parallel_spans(points.len(), |_, range| {
+        // Safety: spans tile `0..points.len()` disjointly, so each slot has
+        // exactly one writer.
+        let slice = unsafe { base.slice_mut(range.start, range.end - range.start) };
+        for (slot, &item) in slice.iter_mut().zip(&points[range]) {
+            let row = items.row(item as usize);
+            let mut best = 0u32;
+            let mut best_d = f32::INFINITY;
+            for c in 0..nlists {
+                let d = l2sq8(row, &centroids[c * dim..(c + 1) * dim]);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            *slot = best;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphaug_rng::seeded_rng;
+
+    /// `n` points around `k` well-separated centers.
+    fn clustered(n: usize, k: usize, dim: usize, seed: u64) -> Mat {
+        let mut rng = seeded_rng(seed);
+        let mut centers = vec![0f32; k * dim];
+        rng.fill_normal_f32(&mut centers, 4.0);
+        Mat::from_fn(n, dim, |r, c| {
+            centers[(r % k) * dim + c] + rng.normal_f32() * 0.1
+        })
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_list() {
+        let items = clustered(500, 7, 16, 3);
+        let idx = IvfIndex::build(&items, &IvfParams::new().nlists(13));
+        assert_eq!(idx.nlists(), 13);
+        assert_eq!(idx.len(), 500);
+        let mut seen = vec![false; 500];
+        for l in 0..idx.nlists() {
+            let mut prev = None;
+            for &item in idx.list(l) {
+                assert!(!seen[item as usize], "item {item} in two lists");
+                seen[item as usize] = true;
+                assert!(prev.is_none_or(|p| p < item), "list not ascending");
+                prev = Some(item);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "item missing from all lists");
+    }
+
+    #[test]
+    fn well_separated_clusters_stay_cohesive() {
+        let k = 6;
+        let items = clustered(600, k, 8, 9);
+        let idx = IvfIndex::build(&items, &IvfParams::new().nlists(k));
+        // Lloyd's may merge two ground-truth clusters into one list (random
+        // init), but it must not *split* one: members of a ground-truth
+        // cluster (ids congruent mod k) should land in one modal list.
+        let mut list_of = vec![0u32; 600];
+        for l in 0..idx.nlists() {
+            for &item in idx.list(l) {
+                list_of[item as usize] = l as u32;
+            }
+        }
+        for class in 0..k as u32 {
+            let mut counts = vec![0usize; idx.nlists()];
+            let members: Vec<usize> = (0..600).filter(|i| *i as u32 % k as u32 == class).collect();
+            for &m in &members {
+                counts[list_of[m] as usize] += 1;
+            }
+            let modal = *counts.iter().max().expect("nonempty");
+            assert!(
+                modal as f64 / members.len() as f64 > 0.95,
+                "ground-truth cluster {class} split across lists: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let items = clustered(700, 9, 24, 11);
+        let params = IvfParams::new();
+        let mut prints = Vec::new();
+        for threads in [1usize, 3, 4] {
+            graphaug_par::set_thread_count(threads);
+            prints.push(IvfIndex::build(&items, &params).fingerprint());
+        }
+        graphaug_par::set_thread_count(1);
+        assert_eq!(prints[0], prints[1], "threads=1 vs 3");
+        assert_eq!(prints[0], prints[2], "threads=1 vs 4");
+    }
+
+    #[test]
+    fn probe_ranks_lists_by_inner_product_with_stable_ties() {
+        let items = clustered(200, 4, 8, 5);
+        let idx = IvfIndex::build(&items, &IvfParams::new().nlists(4));
+        let query = items.row(0);
+        let all = idx.probe(query, idx.nlists());
+        assert_eq!(all.len(), idx.nlists());
+        // Probing more lists only ever extends the prefix.
+        for p in 1..idx.nlists() {
+            assert_eq!(idx.probe(query, p), all[..p], "nprobe={p}");
+        }
+        // The probed-first list should contain the query item itself (its
+        // own cluster is nearest in a separated mixture).
+        let catalog_list = (0..idx.nlists())
+            .find(|&l| idx.list(l).contains(&0))
+            .unwrap();
+        assert!(
+            all[..2].contains(&(catalog_list as u32)),
+            "own cluster not probed early: {all:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_catalogs_degenerate_cleanly() {
+        let items = clustered(3, 1, 8, 2);
+        let idx = IvfIndex::build(&items, &IvfParams::new());
+        assert_eq!(idx.len(), 3);
+        assert!(idx.nlists() >= 1);
+        assert!(!idx.is_empty());
+        let probed = idx.probe(items.row(1), 99);
+        assert_eq!(probed.len(), idx.nlists(), "nprobe clamps to nlists");
+    }
+}

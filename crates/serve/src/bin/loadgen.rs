@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]
-//!                [--zipf S] [--hot H:FRAC]
+//!                [--zipf S] [--hot H:FRAC] [--exact]
 //! ```
 //!
 //! Opens `--conns` connections, each driving a deterministic request
@@ -16,6 +16,13 @@
 //!
 //! `--zipf 1.1` skews users zipfian (rank 0 hottest); `--hot 4:0.9` aims
 //! 90% of traffic at users 0..4 (a hot-key storm). The default is uniform.
+//! `--exact` drives the `RECX` exact-oracle verb instead of `REC`, so the
+//! two scorer paths can be load-compared on one running server.
+//!
+//! Argument problems are **typed** ([`ArgError`]) and rejected before any
+//! traffic is sent — `--kmax 0` at parse time, `--kmax` beyond the
+//! server's catalog right after the `STATS` probe — instead of surfacing
+//! later as per-request `ERR` noise mid-run.
 //!
 //! Every response is parsed and validated (user echo, list length ≤ k,
 //! strictly valid hex score bits); any `ERR` or malformed line counts as
@@ -30,7 +37,58 @@ use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeCli
 use graphaug_serve::{parse_ok_line, UserSampler};
 
 const USAGE: &str = "usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K] \
-     [--zipf S] [--hot H:FRAC]";
+     [--zipf S] [--hot H:FRAC] [--exact]";
+
+/// Why the argument list was rejected. Typed so tests (and callers) can
+/// assert the *category* of refusal rather than string-matching, and so
+/// every bad invocation dies before the first request goes out.
+#[derive(Debug, PartialEq)]
+enum ArgError {
+    /// The positional `<addr>` is absent (or a flag appeared in its place).
+    MissingAddr(Option<String>),
+    /// `<addr>` did not resolve.
+    BadAddr(String),
+    /// A flag that wants a value hit end-of-argv.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse or violated its range.
+    Invalid {
+        /// Which flag.
+        flag: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// `--requests`/`--conns`/`--kmax` of zero (nothing to do / divide by
+    /// zero / guaranteed-empty lists).
+    Zero(&'static str),
+    /// `--kmax` exceeds the serving catalog: every draw of `k` above the
+    /// item count is wasted work the server would silently clamp.
+    KmaxBeyondCatalog {
+        /// Requested --kmax.
+        kmax: usize,
+        /// Items the server reports.
+        items: usize,
+    },
+    /// An unrecognized flag.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingAddr(None) => write!(f, "missing <addr>"),
+            ArgError::MissingAddr(Some(got)) => write!(f, "expected <addr>, got flag {got:?}"),
+            ArgError::BadAddr(e) => write!(f, "bad <addr>: {e}"),
+            ArgError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ArgError::Invalid { flag, reason } => write!(f, "bad {flag} value: {reason}"),
+            ArgError::Zero(flag) => write!(f, "{flag} must be at least 1"),
+            ArgError::KmaxBeyondCatalog { kmax, items } => write!(
+                f,
+                "--kmax {kmax} exceeds the server catalog of {items} items"
+            ),
+            ArgError::Unknown(flag) => write!(f, "unknown flag {flag:?}"),
+        }
+    }
+}
 
 enum Skew {
     Uniform,
@@ -45,15 +103,17 @@ struct Args {
     seed: u64,
     kmax: usize,
     skew: Skew,
+    exact: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let addr = args.next().ok_or("missing <addr>")?;
+/// Parses an argument list (everything after argv[0]). Separated from
+/// `std::env::args` so the unit tests below can drive it directly.
+fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgError> {
+    let addr = args.next().ok_or(ArgError::MissingAddr(None))?;
     if addr.starts_with('-') {
-        return Err(format!("expected <addr>, got flag {addr:?}"));
+        return Err(ArgError::MissingAddr(Some(addr)));
     }
-    resolve_addr(&addr)?;
+    resolve_addr(&addr).map_err(ArgError::BadAddr)?;
     let mut out = Args {
         addr,
         requests: 2000,
@@ -61,68 +121,90 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         kmax: 20,
         skew: Skew::Uniform,
+        exact: false,
     };
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
-        let int = |name: &str, v: Result<String, String>| {
-            v.and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        let mut value = |name: &'static str| args.next().ok_or(ArgError::MissingValue(name));
+        let int = |name: &'static str, v: Result<String, ArgError>| {
+            v.and_then(|v| {
+                v.parse::<u64>().map_err(|e| ArgError::Invalid {
+                    flag: name,
+                    reason: e.to_string(),
+                })
+            })
         };
         match flag.as_str() {
             "--requests" => out.requests = int("--requests", value("--requests"))? as usize,
             "--conns" => out.conns = int("--conns", value("--conns"))? as usize,
             "--seed" => out.seed = int("--seed", value("--seed"))?,
             "--kmax" => out.kmax = int("--kmax", value("--kmax"))? as usize,
+            "--exact" => out.exact = true,
             "--zipf" => {
                 let s = value("--zipf")?
                     .parse::<f64>()
-                    .map_err(|_| "bad --zipf value".to_string())?;
+                    .map_err(|e| ArgError::Invalid {
+                        flag: "--zipf",
+                        reason: e.to_string(),
+                    })?;
                 if !(s.is_finite() && s >= 0.0) {
-                    return Err("--zipf exponent must be finite and >= 0".into());
+                    return Err(ArgError::Invalid {
+                        flag: "--zipf",
+                        reason: "exponent must be finite and >= 0".into(),
+                    });
                 }
                 out.skew = Skew::Zipf(s);
             }
             "--hot" => {
                 let v = value("--hot")?;
-                let (h, f) = v
-                    .split_once(':')
-                    .ok_or("--hot wants H:FRAC, e.g. 4:0.9".to_string())?;
-                let hot_users = h
-                    .parse::<u32>()
-                    .map_err(|_| "bad --hot user count".to_string())?;
-                let hot_frac = f
-                    .parse::<f64>()
-                    .map_err(|_| "bad --hot fraction".to_string())?;
+                let (h, fr) = v.split_once(':').ok_or(ArgError::Invalid {
+                    flag: "--hot",
+                    reason: "wants H:FRAC, e.g. 4:0.9".into(),
+                })?;
+                let hot_users = h.parse::<u32>().map_err(|e| ArgError::Invalid {
+                    flag: "--hot",
+                    reason: format!("user count: {e}"),
+                })?;
+                let hot_frac = fr.parse::<f64>().map_err(|e| ArgError::Invalid {
+                    flag: "--hot",
+                    reason: format!("fraction: {e}"),
+                })?;
                 if hot_users == 0 || !(0.0..=1.0).contains(&hot_frac) {
-                    return Err("--hot wants H >= 1 and FRAC in [0,1]".into());
+                    return Err(ArgError::Invalid {
+                        flag: "--hot",
+                        reason: "wants H >= 1 and FRAC in [0,1]".into(),
+                    });
                 }
                 out.skew = Skew::Hot {
                     hot_users,
                     hot_frac,
                 };
             }
-            other => return Err(format!("unknown flag {other:?}")),
+            other => return Err(ArgError::Unknown(other.to_string())),
         }
     }
     if out.requests == 0 {
-        return Err("--requests must be at least 1".into());
+        return Err(ArgError::Zero("--requests"));
     }
     if out.conns == 0 {
-        return Err("--conns must be at least 1".into());
+        return Err(ArgError::Zero("--conns"));
     }
     if out.kmax == 0 {
-        return Err("--kmax must be at least 1".into());
+        return Err(ArgError::Zero("--kmax"));
     }
     Ok(out)
 }
 
-/// Asks the server for its table shape so the request stream stays
-/// in-range.
-fn fetch_user_count(addr: &str) -> Result<u32, String> {
+/// Asks the server for its table shape, so the request stream stays
+/// in-range and an over-catalog `--kmax` dies before traffic starts.
+fn fetch_table_shape(addr: &str) -> Result<(u32, usize), String> {
     let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
-    stats_field(&line, "users=")
-        .and_then(|v| v.parse::<u32>().ok())
-        .ok_or_else(|| format!("bad STATS response: {line}"))
+    let users = stats_field(&line, "users=").and_then(|v| v.parse::<u32>().ok());
+    let items = stats_field(&line, "items=").and_then(|v| v.parse::<usize>().ok());
+    match (users, items) {
+        (Some(u), Some(i)) => Ok((u, i)),
+        _ => Err(format!("bad STATS response: {line}")),
+    }
 }
 
 struct ConnReport {
@@ -135,22 +217,26 @@ fn drive_connection(
     requests: usize,
     sampler: &UserSampler,
     kmax: usize,
+    exact: bool,
     mut rng: StdRng,
 ) -> Result<ConnReport, String> {
     let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let verb = if exact { "RECX" } else { "REC" };
     let mut latencies_us = Vec::with_capacity(requests);
     let mut errors = 0usize;
     for _ in 0..requests {
         let user = sampler.draw(&mut rng);
         let k = 1 + rng.bounded_u64(kmax as u64) as usize;
         let start = Instant::now();
-        let line = client.rec_one(user, k).map_err(|e| e.to_string())?;
+        let line = client
+            .rec_one_mode(user, k, exact)
+            .map_err(|e| e.to_string())?;
         latencies_us.push(start.elapsed().as_micros() as u64);
         match parse_ok_line(&line) {
             Some(ok) if ok.user == user && ok.k == k && ok.items.len() <= k => {}
             _ => {
                 errors += 1;
-                eprintln!("loadgen: bad response for REC {user} {k}: {line}");
+                eprintln!("loadgen: bad response for {verb} {user} {k}: {line}");
             }
         }
     }
@@ -162,7 +248,7 @@ fn drive_connection(
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_arg_list(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("loadgen: {e}");
@@ -171,8 +257,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let n_users = match fetch_user_count(&args.addr) {
-        Ok(n) if n > 0 => n,
+    let (n_users, n_items) = match fetch_table_shape(&args.addr) {
+        Ok((u, i)) if u > 0 => (u, i),
         Ok(_) => {
             eprintln!("loadgen: server reports zero users");
             return ExitCode::FAILURE;
@@ -182,6 +268,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.kmax > n_items {
+        // Typed refusal before the first request, not 2000 clamped lists.
+        eprintln!(
+            "loadgen: {}",
+            ArgError::KmaxBeyondCatalog {
+                kmax: args.kmax,
+                items: n_items
+            }
+        );
+        return ExitCode::from(2);
+    }
     let sampler = match args.skew {
         Skew::Uniform => UserSampler::uniform(n_users),
         Skew::Zipf(s) => UserSampler::zipf(n_users, s),
@@ -198,9 +295,10 @@ fn main() -> ExitCode {
         let addr = args.addr.clone();
         let rng = StdRng::stream(args.seed, conn as u64);
         let kmax = args.kmax;
+        let exact = args.exact;
         let sampler = sampler.clone();
         handles.push(std::thread::spawn(move || {
-            drive_connection(&addr, per_conn, &sampler, kmax, rng)
+            drive_connection(&addr, per_conn, &sampler, kmax, exact, rng)
         }));
     }
 
@@ -241,5 +339,79 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn kmax_zero_is_a_typed_parse_error() {
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --kmax 0")).err(),
+            Some(ArgError::Zero("--kmax"))
+        );
+    }
+
+    #[test]
+    fn zero_requests_and_conns_are_rejected() {
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --requests 0")).err(),
+            Some(ArgError::Zero("--requests"))
+        );
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --conns 0")).err(),
+            Some(ArgError::Zero("--conns"))
+        );
+    }
+
+    #[test]
+    fn valid_invocations_parse() {
+        let a = parse_arg_list(argv("127.0.0.1:9 --requests 10 --kmax 5 --exact")).unwrap();
+        assert_eq!(a.requests, 10);
+        assert_eq!(a.kmax, 5);
+        assert!(a.exact);
+        let plain = parse_arg_list(argv("127.0.0.1:9")).unwrap();
+        assert!(!plain.exact);
+        assert_eq!(plain.kmax, 20);
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_typed() {
+        assert_eq!(
+            parse_arg_list(argv("")).err(),
+            Some(ArgError::MissingAddr(None))
+        );
+        assert_eq!(
+            parse_arg_list(argv("--kmax 5")).err(),
+            Some(ArgError::MissingAddr(Some("--kmax".into())))
+        );
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --kmax")).err(),
+            Some(ArgError::MissingValue("--kmax"))
+        );
+        assert!(matches!(
+            parse_arg_list(argv("127.0.0.1:9 --kmax nope")).err(),
+            Some(ArgError::Invalid { flag: "--kmax", .. })
+        ));
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --frobnicate")).err(),
+            Some(ArgError::Unknown("--frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn catalog_bound_error_renders_both_numbers() {
+        let e = ArgError::KmaxBeyondCatalog {
+            kmax: 500,
+            items: 120,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("500") && msg.contains("120"), "{msg}");
     }
 }

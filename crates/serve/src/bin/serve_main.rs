@@ -2,18 +2,26 @@
 //!
 //! ```text
 //! serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]
+//!            [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N]
 //! ```
 //!
 //! Runs a self-contained service over the standard demo workload (the same
 //! deterministic synthetic graph the kill/resume harness trains):
 //!
-//! 1. if `<checkpoint-dir>` holds no valid checkpoint, trains the demo
-//!    model there first (checkpoint every epoch);
-//! 2. opens the serving [`Engine`] from the newest valid checkpoint;
-//! 3. runs a **parity self-check**: the offline `graphaug-eval` ranking
-//!    (computed through the independent training-restore path) must match
-//!    the served lists hex-exactly, and the `EvalResult::bitline()`s of
-//!    both sides must be byte-identical — printed as `PARITY ok …`;
+//! 1. probes `<checkpoint-dir>` **once**: a valid checkpoint is decoded
+//!    and reused directly (`reusing checkpoint gen=…`, no re-train, no
+//!    second decode); otherwise the demo model is trained there first
+//!    (checkpoint every epoch);
+//! 2. opens the serving [`Engine`] from that state — with `--ann`, the IVF
+//!    item index is built and recall-gated at open, printing `ANN ok
+//!    recall=…` (or `ANN DISABLED …` with an exact fallback when the gate
+//!    refuses);
+//! 3. runs a **parity self-check** through the exact-oracle path (`RECX`
+//!    semantics — independent of any ANN index): the offline
+//!    `graphaug-eval` ranking (computed through the independent
+//!    training-restore path) must match the served lists hex-exactly, and
+//!    the `EvalResult::bitline()`s of both sides must be byte-identical —
+//!    printed as `PARITY ok …`;
 //! 4. starts the TCP server (printing `READY addr=… gen=…`) with a hot
 //!    reload watcher, then serves until killed.
 //!
@@ -30,7 +38,9 @@ use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices, Recommender};
 use graphaug_graph::TrainTestSplit;
 use graphaug_runtime::{checkpoint, Runtime, RuntimeConfig};
-use graphaug_serve::{serve, spawn_watcher, Engine, ModelSource};
+use graphaug_serve::{
+    serve, spawn_watcher, Engine, IvfParams, ModelSource, DEFAULT_CACHE_CAPACITY,
+};
 
 /// The deterministic demo workload (same shape as the kill/resume smoke
 /// harness, so its cost is already CI-calibrated).
@@ -98,8 +108,11 @@ fn parity_check(engine: &Engine, split: &TrainTestSplit, users: usize) -> Result
     let mut compared = 0usize;
     for user in 0..n_users as u32 {
         for k in [1usize, 5, 20] {
+            // The exact-oracle path (`RECX` semantics): parity vs offline
+            // eval must hold bit-for-bit whether or not an ANN index is
+            // live, so the check pins the scorer, not the fast path.
             let served = engine
-                .recommend(user, k)
+                .recommend_exact(user, k)
                 .map_err(|e| format!("serve failed for user {user}: {e}"))?;
             let served_hex = hex_list(
                 &served
@@ -137,6 +150,11 @@ struct Args {
     addr: String,
     watch_ms: u64,
     parity_users: usize,
+    ann: bool,
+    ann_nlists: usize,
+    ann_nprobe: usize,
+    ann_floor: f64,
+    ann_audit: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -147,6 +165,11 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:0".into(),
         watch_ms: 100,
         parity_users: 16,
+        ann: false,
+        ann_nlists: 0,
+        ann_nprobe: 0,
+        ann_floor: 0.9,
+        ann_audit: 64,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -162,6 +185,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --parity-users".to_string())?
             }
+            "--ann" => out.ann = true,
+            "--ann-nlists" => {
+                out.ann_nlists = value("--ann-nlists")?
+                    .parse()
+                    .map_err(|_| "bad --ann-nlists".to_string())?
+            }
+            "--ann-nprobe" => {
+                out.ann_nprobe = value("--ann-nprobe")?
+                    .parse()
+                    .map_err(|_| "bad --ann-nprobe".to_string())?
+            }
+            "--ann-floor" => {
+                out.ann_floor = value("--ann-floor")?
+                    .parse()
+                    .map_err(|_| "bad --ann-floor".to_string())?
+            }
+            "--ann-audit" => {
+                out.ann_audit = value("--ann-audit")?
+                    .parse()
+                    .map_err(|_| "bad --ann-audit".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -174,7 +218,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("serve_main: {e}");
             eprintln!(
-                "usage: serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]"
+                "usage: serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N] \
+                 [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N]"
             );
             return ExitCode::from(2);
         }
@@ -184,39 +229,88 @@ fn main() -> ExitCode {
     let cfg = demo_config();
     let dir = Path::new(&args.dir);
 
-    if checkpoint::load_latest_valid(dir).is_none() {
-        println!(
-            "no valid checkpoint under {} — training demo model",
+    // One probe decides training *and* feeds the engine: a valid checkpoint
+    // is decoded exactly once and handed straight to `open_preloaded`, so a
+    // warm restart never pays a redundant decode (or a redundant re-train).
+    let preloaded = checkpoint::load_latest_valid(dir);
+    match &preloaded {
+        Some((generation, state)) => println!(
+            "reusing checkpoint gen={generation} epoch={} under {} — skipping training",
+            state.epoch,
             dir.display()
-        );
-        let rt_cfg = RuntimeConfig::new(cfg.clone()).checkpoint_dir(dir);
-        let mut rt = match Runtime::new(rt_cfg, &split.train) {
-            Ok(rt) => rt,
-            Err(e) => {
-                eprintln!("serve_main: training setup failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match rt.run() {
-            Ok(report) => println!(
-                "trained {} epochs, {} checkpoints written",
-                report.epochs_completed, report.checkpoints_written
-            ),
-            Err(e) => {
-                eprintln!("serve_main: training failed: {e}");
-                return ExitCode::FAILURE;
+        ),
+        None => {
+            println!(
+                "no valid checkpoint under {} — training demo model",
+                dir.display()
+            );
+            let rt_cfg = RuntimeConfig::new(cfg.clone()).checkpoint_dir(dir);
+            let mut rt = match Runtime::new(rt_cfg, &split.train) {
+                Ok(rt) => rt,
+                Err(e) => {
+                    eprintln!("serve_main: training setup failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match rt.run() {
+                Ok(report) => println!(
+                    "trained {} epochs, {} checkpoints written",
+                    report.epochs_completed, report.checkpoints_written
+                ),
+                Err(e) => {
+                    eprintln!("serve_main: training failed: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
 
-    let source = ModelSource::new(cfg, split.train.clone(), dir);
-    let engine = match Engine::open(source) {
+    let mut source = ModelSource::new(cfg, split.train.clone(), dir);
+    if args.ann {
+        let mut params = IvfParams::new()
+            .recall_floor(args.ann_floor)
+            .audit_every(args.ann_audit);
+        if args.ann_nlists > 0 {
+            params = params.nlists(args.ann_nlists);
+        }
+        if args.ann_nprobe > 0 {
+            params = params.nprobe(args.ann_nprobe);
+        }
+        source = source.ann(params);
+    }
+    let opened = match preloaded {
+        Some((generation, state)) => {
+            Engine::open_preloaded(source, generation, &state, DEFAULT_CACHE_CAPACITY)
+        }
+        None => Engine::open(source),
+    };
+    let engine = match opened {
         Ok(e) => Arc::new(e),
         Err(e) => {
             eprintln!("serve_main: cannot open engine: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if args.ann {
+        match engine.tables().ann() {
+            Some(ann) if ann.enabled() => println!(
+                "ANN ok recall={:.4} floor={:.4} nlists={} nprobe={}",
+                ann.build_recall(),
+                args.ann_floor,
+                ann.index().nlists(),
+                ann.nprobe()
+            ),
+            Some(ann) => println!(
+                "ANN DISABLED recall={:.4} below floor={:.4} (nlists={} nprobe={}) — serving exact",
+                ann.build_recall(),
+                args.ann_floor,
+                ann.index().nlists(),
+                ann.nprobe()
+            ),
+            None => println!("ANN DISABLED empty catalog — serving exact"),
+        }
+    }
 
     match parity_check(&engine, &split, args.parity_users) {
         Ok(line) => println!("{line}"),

@@ -6,10 +6,13 @@
 //! reuses it, so a warmed cache performs zero allocation per operation
 //! (beyond the values themselves).
 //!
-//! The engine keys this by `(user, k, model generation)`: a hot model
-//! swap changes the generation and thereby *implicitly* invalidates every
-//! cached response from the old tables — stale entries simply stop being
-//! addressable and age out of the LRU list.
+//! The engine keys this by `(user, k, model generation, exact)`: a hot
+//! model swap changes the generation and thereby *implicitly* invalidates
+//! every cached response from the old tables — stale entries simply stop
+//! being addressable and age out of the LRU list. The `exact` mode bit
+//! separates ANN fast-path (`REC`) entries from exact-parity-oracle
+//! (`RECX`) entries, so an approximate list can never be replayed to a
+//! client that demanded the exact ranking (or vice versa).
 
 use std::collections::HashMap;
 use std::hash::Hash;

@@ -101,7 +101,14 @@ impl ServeClient {
 
     /// `REC` for one user: the raw response line.
     pub fn rec_one(&mut self, user: u32, k: usize) -> io::Result<String> {
-        self.send_line(&format!("REC {user} {k}"))?;
+        self.rec_one_mode(user, k, false)
+    }
+
+    /// `REC` or `RECX` (exact-parity oracle) for one user: the raw
+    /// response line.
+    pub fn rec_one_mode(&mut self, user: u32, k: usize, exact: bool) -> io::Result<String> {
+        let verb = if exact { "RECX" } else { "REC" };
+        self.send_line(&format!("{verb} {user} {k}"))?;
         self.read_line()
     }
 

@@ -21,9 +21,22 @@
 //! # Cache keying
 //!
 //! Responses are cached in an [`LruCache`] keyed by
-//! `(user, k, generation)`. A hot swap bumps the generation, so every old
-//! entry becomes unaddressable immediately — stale responses cannot be
-//! served after a reload, without any explicit invalidation pass.
+//! `(user, k, generation, exact)`. A hot swap bumps the generation, so
+//! every old entry becomes unaddressable immediately — stale responses
+//! cannot be served after a reload, without any explicit invalidation
+//! pass. The `exact` mode bit keeps the ANN fast path (`REC`) and the
+//! exact-parity oracle (`RECX`) from ever sharing an entry: a cached
+//! approximate list must not satisfy an exact request, nor vice versa.
+//!
+//! # ANN fast path and self-audit
+//!
+//! When the [`ModelSource`] carries IVF parameters and the build-time
+//! recall gate passed, non-exact requests go through
+//! `ModelTables::top_k_ann`; probed-list and candidate counts accumulate
+//! in the stats. Every `audit_every`-th ANN-*computed* list is re-ranked
+//! through the exact scorer and the overlap folded into a running
+//! recall estimate ([`EngineStats::recall_sampled`]) — a live quality
+//! meter on real traffic, not just the build-time probe set.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,6 +56,9 @@ struct CacheKey {
     user: u32,
     k: u32,
     generation: u64,
+    /// Mode bit: exact-oracle (`RECX`) entries never collide with ANN
+    /// (`REC`) entries for the same `(user, k, generation)`.
+    exact: bool,
 }
 
 /// One served recommendation list.
@@ -76,6 +92,20 @@ pub struct EngineStats {
     pub reloads: u64,
     /// Reload attempts that failed (old tables kept serving).
     pub reload_errors: u64,
+    /// True when the serving tables carry an *enabled* IVF index (built,
+    /// and its build-time recall cleared the floor).
+    pub ann_on: bool,
+    /// Total inverted lists probed by ANN-served requests.
+    pub ann_probes: u64,
+    /// Total candidate items scored by ANN-served requests.
+    pub ann_cands: u64,
+    /// Non-exact requests that were nevertheless answered by the exact
+    /// scorer (no index configured, or the recall gate disabled it).
+    pub exact_fallbacks: u64,
+    /// Running recall of the online self-audit: of the exact top-K items,
+    /// the fraction the sampled ANN lists also returned. `None` until the
+    /// first audited request.
+    pub recall_sampled: Option<f64>,
 }
 
 /// The online serving engine. Cheap to share (`Arc<Engine>`); all methods
@@ -90,6 +120,14 @@ pub struct Engine {
     cache_misses: AtomicU64,
     reloads: AtomicU64,
     reload_errors: AtomicU64,
+    ann_probes: AtomicU64,
+    ann_cands: AtomicU64,
+    exact_fallbacks: AtomicU64,
+    /// Ticks once per ANN-computed list; every `audit_every`-th tick
+    /// triggers the exact re-rank.
+    audit_ticker: AtomicU64,
+    recall_hits: AtomicU64,
+    recall_total: AtomicU64,
     /// Serializes reloads so two watchers (or a watcher plus an explicit
     /// reload call) never build the same generation twice concurrently.
     reload_lock: Mutex<()>,
@@ -110,7 +148,20 @@ impl Engine {
     ) -> Result<Engine, ServeError> {
         let (generation, state) = checkpoint::load_latest_valid(&source.checkpoint_dir)
             .ok_or_else(|| ServeError::NoCheckpoint(source.checkpoint_dir.clone()))?;
-        let tables = Arc::new(ModelTables::build(&source, generation, &state)?);
+        Engine::open_preloaded(source, generation, &state, cache_capacity)
+    }
+
+    /// Opens an engine over an already-decoded checkpoint. A caller that
+    /// just probed the directory to decide whether training is needed
+    /// (`serve_main`) hands the decoded state straight in instead of
+    /// paying the decode twice.
+    pub fn open_preloaded(
+        source: ModelSource,
+        generation: u64,
+        state: &graphaug_runtime::TrainState,
+        cache_capacity: usize,
+    ) -> Result<Engine, ServeError> {
+        let tables = Arc::new(ModelTables::build(&source, generation, state)?);
         Ok(Engine {
             source,
             generation: AtomicU64::new(tables.generation()),
@@ -121,6 +172,12 @@ impl Engine {
             cache_misses: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             reload_errors: AtomicU64::new(0),
+            ann_probes: AtomicU64::new(0),
+            ann_cands: AtomicU64::new(0),
+            exact_fallbacks: AtomicU64::new(0),
+            audit_ticker: AtomicU64::new(0),
+            recall_hits: AtomicU64::new(0),
+            recall_total: AtomicU64::new(0),
             reload_lock: Mutex::new(()),
         })
     }
@@ -139,6 +196,7 @@ impl Engine {
 
     /// Current serving counters.
     pub fn stats(&self) -> EngineStats {
+        let total = self.recall_total.load(Ordering::Relaxed);
         EngineStats {
             generation: self.generation.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -146,29 +204,60 @@ impl Engine {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_errors: self.reload_errors.load(Ordering::Relaxed),
+            ann_on: self.tables().ann().is_some_and(|a| a.enabled()),
+            ann_probes: self.ann_probes.load(Ordering::Relaxed),
+            ann_cands: self.ann_cands.load(Ordering::Relaxed),
+            exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
+            recall_sampled: (total > 0)
+                .then(|| self.recall_hits.load(Ordering::Relaxed) as f64 / total as f64),
         }
     }
 
-    /// Serves one user's top-`k` list (see [`Engine::recommend_batch`]).
+    /// Serves one user's top-`k` list through the default (ANN-when-
+    /// available) path — see [`Engine::recommend_batch`].
     pub fn recommend(&self, user: u32, k: usize) -> Result<Recommendation, ServeError> {
         self.recommend_batch(&[(user, k)])
             .pop()
             .expect("one request in, one response out")
     }
 
+    /// Serves one user's top-`k` list through the exact scorer
+    /// unconditionally — the `RECX` parity oracle. Bit-identical to
+    /// offline evaluation regardless of any attached index.
+    pub fn recommend_exact(&self, user: u32, k: usize) -> Result<Recommendation, ServeError> {
+        self.recommend_batch_mode(&[(user, k)], true)
+            .pop()
+            .expect("one request in, one response out")
+    }
+
+    /// [`Engine::recommend_batch_mode`] in the default (non-exact) mode:
+    /// the IVF fast path when an enabled index is attached, the exact
+    /// scorer otherwise.
+    pub fn recommend_batch(
+        &self,
+        requests: &[(u32, usize)],
+    ) -> Vec<Result<Recommendation, ServeError>> {
+        self.recommend_batch_mode(requests, false)
+    }
+
     /// Serves a batch of `(user, k)` requests against **one** table
     /// snapshot, so every response in the batch carries the same
-    /// generation even if a hot swap lands mid-batch.
+    /// generation even if a hot swap lands mid-batch. `exact` selects the
+    /// parity-oracle path (`RECX`): the full-catalog scorer runs even when
+    /// an ANN index is live, and responses cache under the exact mode bit.
     ///
     /// The cache is probed serially up front (it is a mutex-guarded LRU —
     /// keeping it out of the parallel section keeps workers lock-free);
     /// misses fan out over `graphaug-par` spans, each worker writing its
     /// own disjoint slot; results are inserted back serially. Scoring is
     /// read-only over immutable tables, so the fan-out is trivially
-    /// bit-deterministic for any thread count.
-    pub fn recommend_batch(
+    /// bit-deterministic for any thread count. (The self-audit counters do
+    /// race across workers, but they only feed diagnostics — response
+    /// bytes never depend on them.)
+    pub fn recommend_batch_mode(
         &self,
         requests: &[(u32, usize)],
+        exact: bool,
     ) -> Vec<Result<Recommendation, ServeError>> {
         let tables = self.tables();
         let generation = tables.generation();
@@ -185,6 +274,7 @@ impl Engine {
                     user,
                     k: k.min(u32::MAX as usize) as u32,
                     generation,
+                    exact,
                 };
                 if let Some(items) = cache.get(&key) {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -203,6 +293,7 @@ impl Engine {
         self.cache_misses
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
 
+        let audit_every = tables.ann().map_or(0, |a| a.audit_every());
         let mut computed: Vec<Option<Result<Vec<ScoredItem>, ServeError>>> =
             (0..misses.len()).map(|_| None).collect();
         {
@@ -215,7 +306,22 @@ impl Engine {
                 let slice = unsafe { base.slice_mut(range.start, range.end - range.start) };
                 for (slot, &req_idx) in slice.iter_mut().zip(&misses[range]) {
                     let (user, k) = requests[req_idx];
-                    *slot = Some(tables.top_k(user, k));
+                    *slot = Some(if exact {
+                        tables.top_k(user, k)
+                    } else {
+                        tables.top_k_ann(user, k).map(|(items, how)| {
+                            if how.used_ann {
+                                self.ann_probes
+                                    .fetch_add(how.probes as u64, Ordering::Relaxed);
+                                self.ann_cands
+                                    .fetch_add(how.cands as u64, Ordering::Relaxed);
+                                self.audit(tables, audit_every, user, k, &items);
+                            } else {
+                                self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            items
+                        })
+                    });
                 }
             });
         }
@@ -232,6 +338,7 @@ impl Engine {
                             user,
                             k: k.min(u32::MAX as usize) as u32,
                             generation,
+                            exact,
                         },
                         items.clone(),
                     );
@@ -249,6 +356,39 @@ impl Engine {
         out.into_iter()
             .map(|r| r.expect("every request slot is filled"))
             .collect()
+    }
+
+    /// Online self-audit: every `audit_every`-th ANN-computed list is also
+    /// ranked through the exact scorer, and the top-K overlap feeds the
+    /// running [`EngineStats::recall_sampled`] estimate. Costs one exact
+    /// scan per sampled request — cadence bounds the overhead.
+    fn audit(
+        &self,
+        tables: &ModelTables,
+        audit_every: u64,
+        user: u32,
+        k: usize,
+        approx: &[ScoredItem],
+    ) {
+        if audit_every == 0 {
+            return;
+        }
+        let tick = self.audit_ticker.fetch_add(1, Ordering::Relaxed);
+        if !tick.is_multiple_of(audit_every) {
+            return;
+        }
+        let Ok(exact) = tables.top_k(user, k) else {
+            return;
+        };
+        let mut exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+        exact_items.sort_unstable();
+        let hits = approx
+            .iter()
+            .filter(|s| exact_items.binary_search(&s.item).is_ok())
+            .count();
+        self.recall_hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.recall_total
+            .fetch_add(exact.len() as u64, Ordering::Relaxed);
     }
 
     /// Checks the checkpoint directory for a generation newer than the one

@@ -13,15 +13,25 @@
 //!    *bit-identical* to the offline `graphaug-eval` ranking for the same
 //!    checkpoint — the integration tests assert this with hex-exact
 //!    comparisons.
-//! 2. **Engine** ([`engine`]) — top-K queries with seen-item filtering over
-//!    the bounded-heap `topk_indices`, batched requests fanned out over
+//! 2. **ANN index** ([`ann`]) — an optional dependency-free IVF-flat index
+//!    over the frozen item table: a seeded, bit-deterministic k-means
+//!    coarse quantizer partitions the catalog into inverted lists so a
+//!    query scores only its `nprobe` best-matching lists instead of every
+//!    item. A build-time recall gate (and an online self-audit) keeps the
+//!    approximation honest; probing all lists reproduces the exact ranking
+//!    hex-identically.
+//! 3. **Engine** ([`engine`]) — top-K queries with seen-item filtering over
+//!    the bounded-heap `topk_indices` (or the ANN fast path when an index
+//!    is attached and enabled), batched requests fanned out over
 //!    `graphaug-par`, an LRU response cache keyed by
-//!    `(user, k, model generation)`, and **hot reload**: a background
-//!    watcher notices a newer checkpoint generation on disk, rebuilds the
-//!    tables off the request path, and atomically swaps them in without
-//!    dropping or tearing any in-flight request.
-//! 3. **Server** ([`proto`], [`server`]) — a dependency-free blocking TCP
-//!    server speaking a one-line-per-request text protocol, plus the
+//!    `(user, k, model generation, exact-mode bit)`, and **hot reload**: a
+//!    background watcher notices a newer checkpoint generation on disk,
+//!    rebuilds the tables — and the index, re-running its recall gate — off
+//!    the request path, and atomically swaps them in without dropping or
+//!    tearing any in-flight request.
+//! 4. **Server** ([`proto`], [`server`]) — a dependency-free blocking TCP
+//!    server speaking a one-line-per-request text protocol (`REC` serves
+//!    the fast path, `RECX` pins the exact-parity oracle), plus the
 //!    `serve_main` and `loadgen` binaries (demo service and latency/QPS
 //!    load generator).
 //!
@@ -51,6 +61,7 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod ann;
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -59,10 +70,13 @@ pub mod server;
 pub mod tables;
 pub mod workload;
 
+pub use ann::{IvfIndex, IvfParams};
 pub use cache::LruCache;
 pub use client::{percentile, resolve_addr, stats_field, LatencySummary, ServeClient};
-pub use engine::{spawn_watcher, Engine, EngineStats, Recommendation, Watcher};
+pub use engine::{
+    spawn_watcher, Engine, EngineStats, Recommendation, Watcher, DEFAULT_CACHE_CAPACITY,
+};
 pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request, MAX_K, MAX_REC_USERS};
 pub use server::{serve, ServerHandle};
-pub use tables::{ModelSource, ModelTables, ScoredItem, ServeError};
+pub use tables::{AnnBuild, AnnQuery, ModelSource, ModelTables, ScoredItem, ServeError};
 pub use workload::UserSampler;

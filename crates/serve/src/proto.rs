@@ -4,11 +4,18 @@
 //! Requests:
 //!
 //! ```text
-//! REC <user>[,<user>...] <k>    top-K lists for one or more users
+//! REC <user>[,<user>...] <k>    top-K lists (IVF fast path when enabled)
+//! RECX <user>[,<user>...] <k>   top-K through the exact-parity oracle
 //! STATS                         serving counters + table shape
 //! PING                          liveness probe
 //! QUIT                          close the connection
 //! ```
+//!
+//! `REC` and `RECX` answer with identical `OK` line shapes; the verbs
+//! differ only in which scorer runs. On a replica without an (enabled)
+//! ANN index the two are byte-identical — `RECX` exists so clients and
+//! the parity harness can pin the exact ranking even while the fast path
+//! serves production traffic.
 //!
 //! Responses (one line per requested user, in request order):
 //!
@@ -45,6 +52,9 @@ pub enum Request {
         users: Vec<u32>,
         /// Cutoff shared by the batch.
         k: usize,
+        /// True for `RECX`: force the exact-parity scorer even when an ANN
+        /// index is enabled.
+        exact: bool,
     },
     /// Serving counters.
     Stats,
@@ -59,22 +69,26 @@ pub enum Request {
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let mut parts = line.split_ascii_whitespace();
     match parts.next() {
-        Some("REC") => {
-            let users_part = parts.next().ok_or("REC needs <users> <k>")?;
-            let k_part = parts.next().ok_or("REC needs <users> <k>")?;
+        Some(verb @ ("REC" | "RECX")) => {
+            let users_part = parts
+                .next()
+                .ok_or_else(|| format!("{verb} needs <users> <k>"))?;
+            let k_part = parts
+                .next()
+                .ok_or_else(|| format!("{verb} needs <users> <k>"))?;
             if parts.next().is_some() {
-                return Err("REC takes exactly two arguments".into());
+                return Err(format!("{verb} takes exactly two arguments"));
             }
             let users = users_part
                 .split(',')
                 .map(|u| u.parse::<u32>().map_err(|_| format!("bad user id {u:?}")))
                 .collect::<Result<Vec<u32>, String>>()?;
             if users.is_empty() {
-                return Err("REC needs at least one user".into());
+                return Err(format!("{verb} needs at least one user"));
             }
             if users.len() > MAX_REC_USERS {
                 return Err(format!(
-                    "too many users in one REC ({} > {MAX_REC_USERS})",
+                    "too many users in one {verb} ({} > {MAX_REC_USERS})",
                     users.len()
                 ));
             }
@@ -84,7 +98,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             if k > MAX_K {
                 return Err(format!("k too large ({k} > {MAX_K})"));
             }
-            Ok(Request::Rec { users, k })
+            Ok(Request::Rec {
+                users,
+                k,
+                exact: verb == "RECX",
+            })
         }
         Some("STATS") => Ok(Request::Stats),
         Some("PING") => Ok(Request::Ping),
@@ -179,14 +197,24 @@ mod tests {
             parse_request("REC 4 10"),
             Ok(Request::Rec {
                 users: vec![4],
-                k: 10
+                k: 10,
+                exact: false
             })
         );
         assert_eq!(
             parse_request("REC 1,2,3 20"),
             Ok(Request::Rec {
                 users: vec![1, 2, 3],
-                k: 20
+                k: 20,
+                exact: false
+            })
+        );
+        assert_eq!(
+            parse_request("RECX 1,2 5"),
+            Ok(Request::Rec {
+                users: vec![1, 2],
+                k: 5,
+                exact: true
             })
         );
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
@@ -198,6 +226,13 @@ mod tests {
         assert!(parse_request("REC 1 x").is_err());
         assert!(parse_request("REC 1 2 3").is_err());
         assert!(parse_request("NOPE 1 2").is_err());
+        // RECX shares REC's validation, including its error surface.
+        assert!(parse_request("RECX").is_err());
+        assert!(parse_request("RECX x 5").is_err());
+        assert!(
+            parse_request("RECXY 1 5").is_err(),
+            "verb must match exactly"
+        );
     }
 
     #[test]
@@ -231,7 +266,8 @@ mod tests {
             parse_request(&format!("REC 1 {MAX_K}")),
             Ok(Request::Rec {
                 users: vec![1],
-                k: MAX_K
+                k: MAX_K,
+                exact: false
             })
         );
         // A user batch one past the cap fails; at the cap it parses.

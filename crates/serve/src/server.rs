@@ -108,9 +108,9 @@ fn handle_connection(engine: &Engine, stream: TcpStream) {
 fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
     let put = |w: &mut dyn Write, s: &str| -> Result<(), ()> { writeln!(w, "{s}").map_err(|_| ()) };
     match parse_request(line) {
-        Ok(Request::Rec { users, k }) => {
+        Ok(Request::Rec { users, k, exact }) => {
             let requests: Vec<(u32, usize)> = users.into_iter().map(|u| (u, k)).collect();
-            for result in engine.recommend_batch(&requests) {
+            for result in engine.recommend_batch_mode(&requests, exact) {
                 match result {
                     Ok(rec) => put(w, &ok_line(&rec))?,
                     Err(e) => put(w, &format!("ERR {e}"))?,
@@ -125,7 +125,8 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                 w,
                 &format!(
                     "STATS gen={} users={} items={} requests={} cache_hits={} \
-                     cache_misses={} reloads={} reload_errors={}",
+                     cache_misses={} reloads={} reload_errors={} ann={} \
+                     ann_probes={} ann_cands={} exact_fallbacks={} recall_sampled={}",
                     s.generation,
                     tables.n_users(),
                     tables.n_items(),
@@ -133,7 +134,15 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                     s.cache_hits,
                     s.cache_misses,
                     s.reloads,
-                    s.reload_errors
+                    s.reload_errors,
+                    if s.ann_on { "on" } else { "off" },
+                    s.ann_probes,
+                    s.ann_cands,
+                    s.exact_fallbacks,
+                    // `-` until the self-audit has sampled anything, so the
+                    // field is always present and splittable.
+                    s.recall_sampled
+                        .map_or_else(|| "-".to_string(), |r| format!("{r:.4}")),
                 ),
             )
         }

@@ -12,10 +12,13 @@
 use std::path::{Path, PathBuf};
 
 use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_eval::{topk_indices, Recommender};
+use graphaug_eval::{topk_indices, topk_pairs, Recommender};
 use graphaug_graph::InteractionGraph;
+use graphaug_rng::StdRng;
 use graphaug_runtime::{RunCompat, SnapshotError, TrainState};
 use graphaug_tensor::{Mat, RestoreError};
+
+use crate::ann::{IvfIndex, IvfParams};
 
 /// Why a serving operation failed.
 #[derive(Debug)]
@@ -91,16 +94,27 @@ pub struct ModelSource {
     pub graph: InteractionGraph,
     /// Directory the trainer checkpoints into.
     pub checkpoint_dir: PathBuf,
+    /// When set, every table build also constructs an IVF item index with
+    /// these parameters (and re-runs its recall gate), so the ANN fast path
+    /// survives hot reloads automatically.
+    pub ann: Option<IvfParams>,
 }
 
 impl ModelSource {
-    /// Bundles a source description.
+    /// Bundles a source description (exact serving only; see [`Self::ann`]).
     pub fn new(config: GraphAugConfig, graph: InteractionGraph, checkpoint_dir: &Path) -> Self {
         ModelSource {
             config,
             graph,
             checkpoint_dir: checkpoint_dir.to_path_buf(),
+            ann: None,
         }
+    }
+
+    /// Enables the IVF ANN fast path for every table build from this source.
+    pub fn ann(mut self, params: IvfParams) -> Self {
+        self.ann = Some(params);
+        self
     }
 
     /// The [`RunCompat`] identity this source expects checkpoints to carry.
@@ -115,20 +129,85 @@ impl ModelSource {
     }
 }
 
+/// An IVF index attached to one generation of serving tables, together
+/// with its audited quality: the build-time sampled recall vs the exact
+/// oracle, and whether that recall cleared the configured floor. Built
+/// alongside the tables at swap time (off the request path) and frozen —
+/// a reload rebuilds both from scratch, so the gate re-runs per
+/// generation.
+pub struct AnnBuild {
+    index: IvfIndex,
+    nprobe: usize,
+    build_recall: f64,
+    enabled: bool,
+    probe_k: usize,
+    audit_every: u64,
+}
+
+impl AnnBuild {
+    /// The coarse-quantized item index.
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    /// Lists probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Build-time sampled recall@`probe_k` vs the exact oracle.
+    pub fn build_recall(&self) -> f64 {
+        self.build_recall
+    }
+
+    /// Whether the build-time recall cleared the configured floor. When
+    /// false the tables answer every request through the exact path.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cutoff used for the build-time gate and the online self-audit.
+    pub fn probe_k(&self) -> usize {
+        self.probe_k
+    }
+
+    /// Online self-audit cadence (every Nth ANN-served list is re-ranked
+    /// exactly; `0` = off).
+    pub fn audit_every(&self) -> u64 {
+        self.audit_every
+    }
+}
+
+/// How one top-K request was actually answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnnQuery {
+    /// True when the IVF fast path produced the list; false means the exact
+    /// scorer ran (no index, disabled index, or an explicit exact request).
+    pub used_ann: bool,
+    /// Inverted lists probed (0 on the exact path).
+    pub probes: u32,
+    /// Candidate items scored (catalog size on the exact path).
+    pub cands: u32,
+}
+
 /// Immutable, checkpoint-pinned serving state: embedding tables plus
-/// seen-item lists.
+/// seen-item lists, and (optionally) the IVF index over the item table.
 pub struct ModelTables {
     generation: u64,
     epoch: u64,
     user_emb: Mat,
     item_emb: Mat,
     graph: InteractionGraph,
+    ann: Option<AnnBuild>,
 }
 
 impl ModelTables {
     /// Builds tables from a decoded checkpoint: verifies the [`RunCompat`]
     /// header against the source, restores the model state, and runs the
-    /// encoder forward exactly once ([`GraphAug::for_inference`]).
+    /// encoder forward exactly once ([`GraphAug::for_inference`]). When the
+    /// source carries [`IvfParams`], the IVF index is built and
+    /// recall-gated here too — table build happens off the request path, so
+    /// reload cost absorbs index cost.
     pub fn build(
         source: &ModelSource,
         generation: u64,
@@ -143,7 +222,77 @@ impl ModelTables {
             user_emb: user_emb.clone(),
             item_emb: item_emb.clone(),
             graph: source.graph.clone(),
-        })
+            ann: None,
+        }
+        .with_ann(source.ann.as_ref()))
+    }
+
+    /// Builds tables directly from frozen embedding matrices, skipping the
+    /// checkpoint decode and encoder forward. This is how the bench suite
+    /// and large-scale tests get 100k-item catalogs without training a
+    /// 100k-node model; serving proper always goes through [`Self::build`].
+    pub fn from_embeddings(
+        user_emb: Mat,
+        item_emb: Mat,
+        graph: InteractionGraph,
+        generation: u64,
+        ann: Option<&IvfParams>,
+    ) -> ModelTables {
+        ModelTables {
+            generation,
+            epoch: 0,
+            user_emb,
+            item_emb,
+            graph,
+            ann: None,
+        }
+        .with_ann(ann)
+    }
+
+    /// Attaches (or skips) the IVF index: builds the quantizer over the
+    /// frozen item table, then estimates recall@`probe_k` on a seeded probe
+    /// set of users against the exact oracle. Below the floor the index is
+    /// kept but **disabled** — serving falls back to exact and the engine
+    /// reports the refusal — so a bad quantization can never silently
+    /// degrade ranking quality.
+    fn with_ann(mut self, params: Option<&IvfParams>) -> ModelTables {
+        let Some(params) = params else { return self };
+        if self.n_items() == 0 {
+            return self;
+        }
+        let index = IvfIndex::build(&self.item_emb, params);
+        let nprobe = params.effective_nprobe(index.nlists());
+        let probe_k = params.probe_k.max(1);
+        let mut rng = StdRng::stream(params.seed, 1);
+        let (mut hits, mut total) = (0usize, 0usize);
+        if self.n_users() > 0 {
+            for _ in 0..params.probe_users {
+                let user = rng.bounded_u64(self.n_users() as u64) as u32;
+                let exact = self.top_k(user, probe_k).expect("probe user in range");
+                let (approx, _) = self.top_k_probed(&index, nprobe, user, probe_k);
+                let mut exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+                exact_items.sort_unstable();
+                hits += approx
+                    .iter()
+                    .filter(|s| exact_items.binary_search(&s.item).is_ok())
+                    .count();
+                total += exact.len();
+            }
+        }
+        let build_recall = if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        };
+        self.ann = Some(AnnBuild {
+            index,
+            nprobe,
+            build_recall,
+            enabled: build_recall >= params.recall_floor,
+            probe_k,
+            audit_every: params.audit_every,
+        });
+        self
     }
 
     /// Checkpoint generation these tables were built from.
@@ -200,6 +349,103 @@ impl ModelTables {
                 score: scores[item as usize],
             })
             .collect())
+    }
+
+    /// Top-`k` for `user` through the IVF fast path when an enabled index
+    /// is attached, else through the exact scorer. Also reports how the
+    /// request was answered (for the engine's counters and self-audit).
+    ///
+    /// The fast path preserves the exact path's semantics item-for-item:
+    /// candidates are scored in the `score_items` summation order, seen
+    /// items stay *in* the candidate set masked to `-inf` (so they surface
+    /// at the tail when `k` exceeds the unseen count, exactly like the
+    /// dense path), and selection is [`topk_pairs`], which shares
+    /// [`topk_indices`]'s tie-break. With `nprobe = nlists` every item is a
+    /// candidate exactly once and the output is hex-identical to
+    /// [`Self::top_k`].
+    pub fn top_k_ann(
+        &self,
+        user: u32,
+        k: usize,
+    ) -> Result<(Vec<ScoredItem>, AnnQuery), ServeError> {
+        if (user as usize) >= self.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.n_users(),
+            });
+        }
+        match &self.ann {
+            Some(ann) if ann.enabled => {
+                let (top, cands) = self.top_k_probed(&ann.index, ann.nprobe, user, k);
+                Ok((
+                    top,
+                    AnnQuery {
+                        used_ann: true,
+                        probes: ann.nprobe as u32,
+                        cands,
+                    },
+                ))
+            }
+            _ => Ok((
+                self.top_k(user, k)?,
+                AnnQuery {
+                    used_ann: false,
+                    probes: 0,
+                    cands: self.n_items() as u32,
+                },
+            )),
+        }
+    }
+
+    /// Scores only the items in `user`'s `nprobe` best inverted lists and
+    /// selects top-`k`. Returns the ranked list and the candidate count.
+    /// Each candidate's score is computed with the exact scorer's summation
+    /// (`Σ item[d]·user[d]` in ascending dimension order) — **not** the
+    /// SIMD dot — so full-probe output is bit-identical to the dense path.
+    fn top_k_probed(
+        &self,
+        index: &IvfIndex,
+        nprobe: usize,
+        user: u32,
+        k: usize,
+    ) -> (Vec<ScoredItem>, u32) {
+        let urow = self.user_emb.row(user as usize);
+        let seen = self.seen(user);
+        let lists = index.probe(urow, nprobe);
+        let cands: u32 = lists
+            .iter()
+            .map(|&l| index.list(l as usize).len() as u32)
+            .sum();
+        let dim = index.dim();
+        // Score from the index's packed row copies (bit-exact duplicates of
+        // `item_emb` rows) so the hot loop streams sequentially instead of
+        // gathering scattered catalog rows.
+        let candidates = lists
+            .iter()
+            .flat_map(|&l| {
+                let (ids, vecs) = index.list_entries(l as usize);
+                ids.iter().zip(vecs.chunks_exact(dim))
+            })
+            .map(|(&v, vrow)| {
+                let score = if seen.binary_search(&v).is_ok() {
+                    f32::NEG_INFINITY
+                } else {
+                    vrow.iter().zip(urow).map(|(a, b)| a * b).sum()
+                };
+                (v, score)
+            });
+        let top = topk_pairs(candidates, k)
+            .into_iter()
+            .map(|(item, score)| ScoredItem { item, score })
+            .collect();
+        (top, cands)
+    }
+
+    /// The IVF index build attached to these tables, if the source asked
+    /// for one (disabled builds are still reported — the engine surfaces
+    /// the refusal in `STATS`).
+    pub fn ann(&self) -> Option<&AnnBuild> {
+        self.ann.as_ref()
     }
 }
 
@@ -287,6 +533,86 @@ mod tests {
             tables.top_k(50, 5),
             Err(ServeError::UnknownUser { user: 50, .. })
         ));
+    }
+
+    #[test]
+    fn full_probe_ann_is_hex_identical_to_exact() {
+        let (mut source, state) = source_with_state();
+        // nprobe = nlists: every item is a candidate exactly once, so the
+        // IVF path must reproduce the dense ranking bit-for-bit — scores
+        // and tie-breaks included.
+        source.ann = Some(IvfParams::new().nlists(6).nprobe(6));
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        assert!(tables.ann().unwrap().enabled(), "full probe recall is 1.0");
+        for user in [0u32, 13, 49] {
+            for k in [1usize, 5, 20, 10_000] {
+                let exact = tables.top_k(user, k).unwrap();
+                let (approx, how) = tables.top_k_ann(user, k).unwrap();
+                assert!(how.used_ann);
+                assert_eq!(how.cands as usize, tables.n_items());
+                assert_eq!(exact.len(), approx.len(), "user={user} k={k}");
+                for (e, a) in exact.iter().zip(&approx) {
+                    assert_eq!(e.item, a.item, "user={user} k={k}");
+                    assert_eq!(
+                        e.score.to_bits(),
+                        a.score.to_bits(),
+                        "user={user} k={k} item={}",
+                        e.item
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_probe_scores_fewer_candidates() {
+        let (mut source, state) = source_with_state();
+        source.ann = Some(IvfParams::new().nlists(8).nprobe(2).recall_floor(0.0));
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let (_, how) = tables.top_k_ann(3, 5).unwrap();
+        assert!(how.used_ann);
+        assert_eq!(how.probes, 2);
+        assert!(
+            (how.cands as usize) < tables.n_items(),
+            "2/8 lists probed must not cover the catalog ({} of {})",
+            how.cands,
+            tables.n_items()
+        );
+    }
+
+    #[test]
+    fn recall_gate_disables_ann_below_floor() {
+        let (mut source, state) = source_with_state();
+        // A floor above 1.0 is unsatisfiable: the build must keep the index
+        // but refuse to serve through it.
+        source.ann = Some(IvfParams::new().nlists(8).nprobe(1).recall_floor(1.1));
+        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let ann = tables.ann().unwrap();
+        assert!(!ann.enabled());
+        assert!(ann.build_recall() <= 1.0);
+        // Requests fall back to the exact path, loudly flagged as such.
+        let (top, how) = tables.top_k_ann(7, 10).unwrap();
+        assert!(!how.used_ann);
+        assert_eq!(how.cands as usize, tables.n_items());
+        assert_eq!(top, tables.top_k(7, 10).unwrap());
+    }
+
+    #[test]
+    fn from_embeddings_serves_without_a_checkpoint() {
+        let (source, state) = source_with_state();
+        let built = ModelTables::build(&source, 3, &state).unwrap();
+        let direct = ModelTables::from_embeddings(
+            built.user_emb.clone(),
+            built.item_emb.clone(),
+            source.graph.clone(),
+            3,
+            Some(&IvfParams::new().nlists(6).nprobe(6)),
+        );
+        assert_eq!(direct.generation(), 3);
+        for user in [0u32, 21] {
+            let (a, _) = direct.top_k_ann(user, 10).unwrap();
+            assert_eq!(a, built.top_k(user, 10).unwrap());
+        }
     }
 
     #[test]
