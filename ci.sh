@@ -16,7 +16,8 @@
 #   tests    full test suite at GRAPHAUG_THREADS={1,3,4} and GRAPHAUG_SIMD=0
 #   bench    bench harness smoke run (tiny budget)
 #   process  process-level smokes: kill/resume, serving parity + loadgen,
-#            ANN recall gate + REC/RECX drive, shard router + chaos loadgen
+#            ANN recall gate + REC/RECX drive, int8 drift gate +
+#            quant-parity sweep, shard router + chaos loadgen
 #            (all boot real binaries)
 #   gates    recorded perf-trajectory gate, dependency hermeticity
 #
@@ -255,6 +256,39 @@ stage_ann() {
     done
 }
 
+stage_quant() {
+    stage "quant smoke test (int8 drift gate + quant-parity sweep, GRAPHAUG_THREADS=1 and 4, GRAPHAUG_SIMD=0)"
+    # Boot the demo service with the int8 tables (and the IVF geometry the
+    # ann smoke uses, so the quantized index has lists to probe). The
+    # build-time drift gate must pass — a build under the floor logs
+    # `QUANT DISABLED` instead, which fails the grep — and the loadgen
+    # parity sweep must drive quant `REC` against the pinned f32 `RECX`
+    # oracle cleanly. The int8 kernel's integer accumulation is exact, so
+    # the gate outcome and the served bits cannot flap with the thread
+    # count or the scalar fallback build.
+    local threads qdir quant_addr
+    for threads in 1 4; do
+        qdir="$(tmp_dir quant_smoke)"
+        boot_bin "quant_serve_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$qdir/ck" \
+            --quant --ann --ann-nlists 6 --ann-nprobe 4
+        if ! grep -q "QUANT ok drift=" "$BOOT_LOG"; then
+            echo "ERROR: int8 tables did not clear the drift floor" >&2
+            cat "$BOOT_LOG" >&2
+            exit 1
+        fi
+        quant_addr=$(ready_addr "$BOOT_LOG")
+        # The sweep must reject its own invalid invocations loudly.
+        if target/release/loadgen "$quant_addr" --quant-parity 0 >/dev/null 2>&1; then
+            echo "ERROR: loadgen accepted --quant-parity 0" >&2
+            exit 1
+        fi
+        GRAPHAUG_THREADS=$threads target/release/loadgen "$quant_addr" --quant-parity 32
+        GRAPHAUG_SIMD=0 GRAPHAUG_THREADS=$threads target/release/loadgen "$quant_addr" --quant-parity 16 --seed 3
+        echo "ok: threads=$threads drift gate passed, quant-parity sweep clean"
+    done
+}
+
 stage_router() {
     stage "router smoke test (3 replicas + router + chaos loadgen, GRAPHAUG_THREADS=1 and 4)"
     # The full multi-replica story against real processes: three replica
@@ -302,21 +336,22 @@ group_process() {
     stage_kill_resume
     stage_serving
     stage_ann
+    stage_quant
     stage_router
 }
 
 group_gates() {
-    stage "perf trajectory gate (BENCH_pr7 vs BENCH_pr6)"
-    # The recorded PR 7 trajectory point must hold a ≤10% median regression
-    # bound against the PR 6 baseline (best-of-4 interleaved medians, same
-    # recording protocol as PR 6). This diffs the two *recorded* files —
+    stage "perf trajectory gate (BENCH_pr8 vs BENCH_pr7)"
+    # The recorded PR 8 trajectory point must hold a ≤10% median regression
+    # bound against the PR 7 baseline (best-of-4 interleaved medians, same
+    # recording protocol as PR 7). This diffs the two *recorded* files —
     # deterministic and machine-independent — rather than re-benching on
     # whatever box CI runs on.
-    if [[ -f BENCH_pr7.json && -f BENCH_pr6.json ]]; then
+    if [[ -f BENCH_pr8.json && -f BENCH_pr7.json ]]; then
         cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-            BENCH_pr7.json BENCH_pr6.json --threshold 10
+            BENCH_pr8.json BENCH_pr7.json --threshold 10
     else
-        echo "skip: BENCH_pr7.json / BENCH_pr6.json not both present"
+        echo "skip: BENCH_pr8.json / BENCH_pr7.json not both present"
     fi
 
     stage "dependency hermeticity check"

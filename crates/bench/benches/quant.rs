@@ -1,0 +1,18 @@
+//! Int8 quantization benchmarks — the raw `dot8_i8` kernel vs the f32
+//! kernel, quantized-IVF build cost, and quantized uncached top-20 on the
+//! same 100k-item d32 catalog the `ann` suite measures, with the resident
+//! table footprint (int8 and f32) and sampled drift recall@20 recorded as
+//! metric lines.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("quant");
+    perf::quant(&mut h);
+    h.finish();
+}

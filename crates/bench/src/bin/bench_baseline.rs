@@ -21,6 +21,7 @@ fn main() {
     perf::checkpoint(&mut h);
     perf::serving(&mut h);
     perf::ann(&mut h);
+    perf::quant(&mut h);
     perf::router(&mut h);
     h.finish();
 }

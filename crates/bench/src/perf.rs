@@ -15,7 +15,10 @@ use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
 use graphaug_router::{shard_of, start as start_router, Router, RouterConfig};
 use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
-use graphaug_serve::{serve, Engine, IvfIndex, IvfParams, ModelSource, ModelTables, ServeClient};
+use graphaug_serve::{
+    serve, Engine, IvfIndex, IvfParams, ModelSource, ModelTables, QuantIvf, QuantParams, QuantRows,
+    ServeClient,
+};
 use graphaug_tensor::init::{seeded_rng, xavier_uniform};
 use graphaug_tensor::{Graph, Mat, SpPair};
 
@@ -362,6 +365,7 @@ pub fn ann(h: &mut Harness) {
             graph.clone(),
             1,
             Some(&params),
+            None,
         );
         let ann = tables.ann().expect("index built");
         assert!(
@@ -379,7 +383,7 @@ pub fn ann(h: &mut Harness) {
             black_box(tables.top_k_ann(user, 20).unwrap().0.len());
             user = (user + 1) % n_users as u32;
         });
-        let exact = ModelTables::from_embeddings(user_emb, item_emb, graph, 1, None);
+        let exact = ModelTables::from_embeddings(user_emb, item_emb, graph, 1, None, None);
         let mut user = 0u32;
         h.bench(&format!("exact_topk20_uncached_{label}_d32"), || {
             black_box(exact.top_k(user, 20).unwrap().len());
@@ -428,6 +432,98 @@ pub fn ann(h: &mut Harness) {
         },
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Int8 quantization benchmarks: the raw `dot8_i8` kernel against its f32
+/// counterpart, quantized-IVF build cost (what a hot reload adds on top of
+/// the f32 index), and the quantized uncached top-20 at the same 100k-item
+/// d32 catalog the `ann` suite measures — so `quant_rec_uncached_100k`
+/// reads directly against `ann_topk20_uncached_100k_d32`. The resident
+/// footprint of both table representations and the sampled drift
+/// recall@20 are recorded as `metric` lines alongside the timings.
+pub fn quant(h: &mut Harness) {
+    /// Clustered mixture-of-Gaussians, same construction and seeds as the
+    /// `ann` suite but with σ=1.0 intra-cluster spread instead of 0.1: the
+    /// ann catalog packs items tighter than int8 resolution (adjacent
+    /// scores differ by less than half a quantization step, so their order
+    /// is undefined under any int8 scheme), while at σ=1.0 the top-20 is
+    /// rank-stable and the drift gate measures the scheme rather than the
+    /// catalog's ties. List sizes (and therefore probed-candidate counts
+    /// and timings) are unchanged — items are center-assigned `r % k`
+    /// either way — so `quant_rec_uncached_100k` still reads directly
+    /// against `ann_topk20_uncached_100k_d32`.
+    fn clustered(n: usize, k: usize, dim: usize, seed: u64) -> Mat {
+        let mut rng = seeded_rng(seed);
+        let mut centers = vec![0f32; k * dim];
+        rng.fill_normal_f32(&mut centers, 4.0);
+        Mat::from_fn(n, dim, |r, c| {
+            centers[(r % k) * dim + c] + rng.normal_f32() * 1.0
+        })
+    }
+
+    // Raw kernel: one 4096-wide int8 dot (128 I8x32 blocks) vs the f32
+    // kernel on the same data, dequantized.
+    let n = 4096usize;
+    let mut rng = seeded_rng(17);
+    let mut fa = vec![0f32; n];
+    let mut fb = vec![0f32; n];
+    rng.fill_normal_f32(&mut fa, 1.0);
+    rng.fill_normal_f32(&mut fb, 1.0);
+    let qa: Vec<i8> = fa
+        .iter()
+        .map(|&v| (v * 40.0).clamp(-127.0, 127.0) as i8)
+        .collect();
+    let qb: Vec<i8> = fb
+        .iter()
+        .map(|&v| (v * 40.0).clamp(-127.0, 127.0) as i8)
+        .collect();
+    h.bench("quant_dot", || {
+        black_box(graphaug_par::dot8_i8(black_box(&qa), black_box(&qb)));
+    });
+    h.bench("f32_dot_4096", || {
+        black_box(graphaug_par::dot8(black_box(&fa), black_box(&fb)));
+    });
+
+    // 100k-item d32 catalog, identical to the `ann` suite's 100k scale.
+    let n_users = 256usize;
+    let (d, n_items, centers) = (32usize, 100_000usize, 256usize);
+    let item_emb = clustered(n_items, centers, d, 11 + n_items as u64);
+    let user_emb = clustered(n_users, centers, d, 13 + n_items as u64);
+    let graph = generate(&SyntheticConfig::new(n_users, n_items, 4 * n_users).seed(1));
+    let ivf_params = IvfParams::new();
+    let quant_params = QuantParams::new();
+
+    // Quantized index build — the incremental reload cost of the int8 path.
+    let item_q = QuantRows::quantize(&item_emb);
+    h.bench("quant_ivf_build", || {
+        black_box(QuantIvf::build(black_box(&item_q), &ivf_params).nlists());
+    });
+
+    let tables = ModelTables::from_embeddings(
+        user_emb,
+        item_emb,
+        graph,
+        1,
+        Some(&ivf_params),
+        Some(&quant_params),
+    );
+    let qb = tables.quant().expect("quant tables built");
+    assert!(
+        qb.enabled(),
+        "bench catalog must clear the drift floor (drift={})",
+        qb.build_drift()
+    );
+    h.metric("quant_drift20_100k", qb.build_drift());
+    h.metric("quant_table_bytes_100k", qb.table_bytes() as f64);
+    h.metric("f32_table_bytes_100k", tables.table_bytes_f32() as f64);
+
+    // Uncached quantized top-20, cycling users — the direct competitor of
+    // `ann_topk20_uncached_100k_d32` on the identical catalog.
+    let mut user = 0u32;
+    h.bench("quant_rec_uncached_100k", || {
+        black_box(tables.top_k_quant(user, 20).unwrap().0.len());
+        user = (user + 1) % n_users as u32;
+    });
 }
 
 /// Shard-router benchmarks: the pure hash, a routed single-user `REC`

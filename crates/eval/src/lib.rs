@@ -27,7 +27,7 @@ pub use harness::{
     evaluate, evaluate_item_group, evaluate_users, AtK, ConvergenceRecorder, EvalResult,
 };
 pub use mad::{mad, mad_exact, mad_sampled};
-pub use metrics::{ndcg_at_k, recall_at_k, topk_indices, topk_pairs};
+pub use metrics::{ndcg_at_k, overlap_count, recall_at_k, topk_indices, topk_pairs};
 pub use model::Recommender;
 pub use tables::{fmt4, TextTable};
 pub use uniformity::{pca_2d, uniformity};

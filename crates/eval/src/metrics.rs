@@ -109,6 +109,21 @@ pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     hits as f64 / relevant.len() as f64
 }
 
+/// Count of `approx` items that also appear in `exact` (set overlap, order
+/// ignored). This is the shared numerator of every approximate-vs-oracle
+/// recall estimate in the serving stack — the ANN recall gate, the
+/// quantization drift gate, and the engines' online self-audits all divide
+/// it by the oracle list length. Sorts a copy of `exact`; neither input
+/// needs to be pre-sorted.
+pub fn overlap_count(approx: &[u32], exact: &[u32]) -> usize {
+    let mut sorted: Vec<u32> = exact.to_vec();
+    sorted.sort_unstable();
+    approx
+        .iter()
+        .filter(|v| sorted.binary_search(v).is_ok())
+        .count()
+}
+
 /// NDCG@K with binary relevance: `DCG = Σ 1/log₂(rank+1)` over hits,
 /// normalized by the ideal DCG of `min(k, |relevant|)` leading hits.
 pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {

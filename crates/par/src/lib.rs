@@ -41,7 +41,9 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod simd;
 
-pub use simd::{dot8, l2sq8, set_simd_enabled, simd_available, simd_enabled, F32x8};
+pub use simd::{
+    dot8, dot8_i8, l2sq8, set_simd_enabled, simd_available, simd_enabled, F32x8, I8x32,
+};
 
 /// Hard cap on the worker budget (also the maximum chunk fan-out produced by
 /// [`fixed_chunks`], so more threads than this could never be fed anyway).

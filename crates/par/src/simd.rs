@@ -197,6 +197,92 @@ pub fn l2sq8(a: &[f32], b: &[f32]) -> f32 {
     acc0.add(acc1).hsum() + tail
 }
 
+/// Lane width of [`I8x32`].
+pub const I8_LANES: usize = 32;
+
+/// Thirty-two `i8` lanes for the quantized scoring kernels. One [`I8x32`]
+/// block is the int8 analogue of four [`F32x8`] blocks: a single 256-bit
+/// register holds 32 weights instead of 8, which is where the ~4× memory-
+/// bandwidth win of int8 tables comes from.
+///
+/// Unlike the f32 lanes, the widening dot product accumulates in `i32`,
+/// which is *exact*: integer addition is associative, so lane/scalar and
+/// thread-count invariance hold for any evaluation order. The reduction
+/// order below is still fixed in source (8 sublane accumulators, then the
+/// same `((s0+s1)+(s2+s3))+((s4+s5)+(s6+s7))` tree as [`F32x8::hsum`]) so
+/// the kernel reads like its f32 siblings and the contract never rests on
+/// an associativity argument alone.
+#[derive(Clone, Copy, Debug)]
+#[repr(align(32))]
+pub struct I8x32(pub [i8; 32]);
+
+impl I8x32 {
+    /// All-zero lanes.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        I8x32([0; 32])
+    }
+
+    /// Loads the first 32 elements of `s`.
+    #[inline(always)]
+    pub fn load(s: &[i8]) -> Self {
+        let mut out = [0i8; 32];
+        out.copy_from_slice(&s[..32]);
+        I8x32(out)
+    }
+
+    /// Widening dot product of all 32 lane pairs: each `i8×i8` product is
+    /// computed in `i32` (max magnitude 127² = 16129, so 8 sublane
+    /// accumulators never overflow below ~2¹⁷ blocks) and collapsed with
+    /// the fixed [`F32x8::hsum`]-shaped tree.
+    #[inline(always)]
+    pub fn dot(self, o: Self) -> i32 {
+        let (a, b) = (self.0, o.0);
+        let mut s = [0i32; 8];
+        let mut j = 0usize;
+        while j < 32 {
+            s[0] += a[j] as i32 * b[j] as i32;
+            s[1] += a[j + 1] as i32 * b[j + 1] as i32;
+            s[2] += a[j + 2] as i32 * b[j + 2] as i32;
+            s[3] += a[j + 3] as i32 * b[j + 3] as i32;
+            s[4] += a[j + 4] as i32 * b[j + 4] as i32;
+            s[5] += a[j + 5] as i32 * b[j + 5] as i32;
+            s[6] += a[j + 6] as i32 * b[j + 6] as i32;
+            s[7] += a[j + 7] as i32 * b[j + 7] as i32;
+            j += 8;
+        }
+        ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]))
+    }
+}
+
+/// Int8 dot product over 32-wide blocks with an exact `i32` accumulator and
+/// an ascending scalar tail. This is the quantized-table scoring kernel:
+/// `score = dot8_i8(q_user, q_item) as f32 * (scale_user * scale_item)`.
+///
+/// Because every intermediate is an integer, the result is bit-identical
+/// between the lane and scalar builds and for any thread count *by
+/// construction* — the drift a quantized ranking can show against the f32
+/// oracle comes only from the quantization itself, never from evaluation
+/// order. Callers must keep `min(a.len, b.len) · 16129 < i32::MAX`
+/// (any embedding dimension below ~133k), which the serving stack's
+/// `dim ≤ 4096`-scale tables satisfy by orders of magnitude.
+#[inline(always)]
+pub fn dot8_i8(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = 0i32;
+    let mut i = 0usize;
+    while i + 32 <= n {
+        acc += I8x32::load(&a[i..]).dot(I8x32::load(&b[i..]));
+        i += 32;
+    }
+    while i < n {
+        acc += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    acc
+}
+
 // ---------------------------------------------------------------------------
 // Runtime dispatch control
 // ---------------------------------------------------------------------------
@@ -336,6 +422,45 @@ mod tests {
         probe_l2(&a, &b, std::slice::from_mut(&mut out[1]));
         set_simd_enabled(was);
         assert_eq!(out[0].to_bits(), out[1].to_bits());
+    }
+
+    #[test]
+    fn dot8_i8_matches_wide_reference_on_all_tail_lengths() {
+        for n in 0..70usize {
+            let a: Vec<i8> = (0..n).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..n).map(|i| ((i * 71 + 5) % 255) as i8).collect();
+            let got = dot8_i8(&a, &b) as i64;
+            let want: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot8_i8_saturates_nowhere_at_extremes() {
+        // 4096 pairs of ±127 is the worst realistic case; the i32
+        // accumulator must hold it exactly.
+        let a = vec![127i8; 4096];
+        let b = vec![-127i8; 4096];
+        assert_eq!(dot8_i8(&a, &b) as i64, -(127i64 * 127 * 4096));
+    }
+
+    #[test]
+    fn dot8_i8_is_identical_between_lane_and_scalar_builds() {
+        let a: Vec<i8> = (0..137).map(|i| ((i * 91 + 3) % 255) as i8).collect();
+        let b: Vec<i8> = (0..137).map(|i| ((i * 57 + 29) % 255) as i8).collect();
+        let mut out = [0i32; 2];
+        crate::simd_dispatch! {
+            fn probe_i8(a: &[i8], b: &[i8], out: &mut [i32]) {
+                out[0] = dot8_i8(a, b);
+            }
+        }
+        let was = simd_enabled();
+        set_simd_enabled(true);
+        probe_i8(&a, &b, std::slice::from_mut(&mut out[0]));
+        set_simd_enabled(false);
+        probe_i8(&a, &b, std::slice::from_mut(&mut out[1]));
+        set_simd_enabled(was);
+        assert_eq!(out[0], out[1]);
     }
 
     #[test]

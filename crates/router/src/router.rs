@@ -264,12 +264,13 @@ fn route_rec(
         .collect()
 }
 
-/// Routes `STATS`: queries every up replica, merges table shape (max — the
-/// replicas serve the same model), and appends router-level counters plus
-/// the per-shard state/request breakdown.
+/// Routes `STATS`: queries every up replica, merges table shape and
+/// resident `table_bytes` (max — the replicas serve the same model), and
+/// appends router-level counters plus the per-shard state/request
+/// breakdown.
 fn route_stats(router: &Router, down: &mut Downstream) -> String {
     let n = router.n_shards();
-    let (mut gen, mut users, mut items) = (0u64, 0u64, 0u64);
+    let (mut gen, mut users, mut items, mut table_bytes) = (0u64, 0u64, 0u64, 0u64);
     let mut states: Vec<&'static str> = Vec::with_capacity(n);
     for shard in 0..n {
         let line = if router.health.is_up(shard) {
@@ -289,6 +290,7 @@ fn route_stats(router: &Router, down: &mut Downstream) -> String {
                 gen = gen.max(field("gen="));
                 users = users.max(field("users="));
                 items = items.max(field("items="));
+                table_bytes = table_bytes.max(field("table_bytes="));
                 states.push("up");
             }
             None => states.push("down"),
@@ -301,8 +303,8 @@ fn route_stats(router: &Router, down: &mut Downstream) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "STATS gen={gen} users={users} items={items} shards={n} up={} requests={} \
-         errors={} replicas={} shard_requests={shard_requests}",
+        "STATS gen={gen} users={users} items={items} table_bytes={table_bytes} shards={n} up={} \
+         requests={} errors={} replicas={} shard_requests={shard_requests}",
         states.iter().filter(|s| **s == "up").count(),
         router.requests.load(Ordering::Relaxed),
         router.router_errors.load(Ordering::Relaxed),

@@ -163,6 +163,13 @@ fn routed_responses_survive_kill_and_rejoin_bit_identically() {
     ] {
         assert!(stats.contains(needle), "missing {needle:?} in {stats:?}");
     }
+    // The merged line carries the replicas' resident table footprint (f32
+    // tables here — no quantization — so it must still be present and
+    // nonzero).
+    let table_bytes: u64 = graphaug_serve::stats_field(&stats, "table_bytes=")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing table_bytes in {stats:?}"));
+    assert!(table_bytes > 0, "table_bytes must be nonzero in {stats:?}");
     let shard_counts = router.shard_request_counts();
     let routed_lines = 3 * n_users as u64 + batch.len() as u64;
     assert_eq!(

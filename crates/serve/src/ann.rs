@@ -139,33 +139,46 @@ impl IvfParams {
     }
 }
 
-/// An immutable IVF-flat index over one frozen item-embedding matrix:
-/// `nlists` coarse centroids plus CSR-packed inverted lists of item ids
-/// *and* bit-exact copies of their embedding rows (the "flat" in
-/// IVF-flat). The packed rows make candidate scoring stream sequentially
-/// instead of gathering scattered `item_emb` rows — without them the cache
-/// misses eat most of the sublinear-candidate advantage. Built once per
-/// table swap; shared read-only by every request thread.
-pub struct IvfIndex {
-    dim: usize,
-    nlists: usize,
-    /// Row-major centroid matrix, `nlists × dim`.
-    centroids: Vec<f32>,
-    /// `nlists + 1` offsets into `list_items`.
-    list_offsets: Vec<u32>,
-    /// Item ids grouped by owning list, ascending within each list.
-    list_items: Vec<u32>,
-    /// The embedding row of each entry in `list_items`, packed in the same
-    /// order (`list_items.len() × dim`). Bit-exact copies of the source
-    /// matrix rows, so scoring from here preserves hex parity.
-    list_vecs: Vec<f32>,
+/// Incremental FNV-1a 64 over little-endian `u32` words — the shared
+/// fingerprint accumulator of the index builds (f32 and quantized), so
+/// determinism assertions hash both through one code path.
+pub(crate) struct Fnv(pub u64);
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn eat(&mut self, w: u32) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
 }
 
-impl IvfIndex {
-    /// Builds the index over `items` (one embedding row per item) with a
-    /// seeded, fixed-iteration k-means quantizer. Bit-deterministic for any
-    /// thread count (see the module docs for the contract).
-    pub fn build(items: &Mat, params: &IvfParams) -> IvfIndex {
+/// The storage-agnostic half of an IVF index: coarse centroids plus the
+/// CSR inverted-list *membership* (which item belongs to which list), with
+/// no embedding payload. [`IvfIndex`] packs bit-exact f32 rows next to it;
+/// the quantized index (`crate::quant::QuantIvf`) packs int8 rows and
+/// per-row scales instead — both share this partition and its probe, so
+/// the determinism contract is proven once.
+pub(crate) struct CoarsePartition {
+    pub dim: usize,
+    pub nlists: usize,
+    /// Row-major centroid matrix, `nlists × dim`.
+    pub centroids: Vec<f32>,
+    /// `nlists + 1` offsets into `list_items`.
+    pub list_offsets: Vec<u32>,
+    /// Item ids grouped by owning list, ascending within each list.
+    pub list_items: Vec<u32>,
+}
+
+impl CoarsePartition {
+    /// Seeded, fixed-iteration k-means over `items`, then a CSR pack of
+    /// the final full-catalog assignment. Bit-deterministic for any thread
+    /// count (see the module docs for the contract).
+    pub fn build(items: &Mat, params: &IvfParams) -> CoarsePartition {
         let n = items.rows();
         let dim = items.cols();
         assert!(n > 0, "cannot index an empty catalog");
@@ -244,66 +257,34 @@ impl IvfIndex {
             list_items[cursor[c as usize] as usize] = item as u32;
             cursor[c as usize] += 1;
         }
-        let mut list_vecs = vec![0f32; n * dim];
-        for (slot, &item) in list_items.iter().enumerate() {
-            list_vecs[slot * dim..(slot + 1) * dim].copy_from_slice(items.row(item as usize));
-        }
 
-        IvfIndex {
+        CoarsePartition {
             dim,
             nlists,
             centroids,
             list_offsets,
             list_items,
-            list_vecs,
         }
     }
 
-    /// Number of inverted lists.
-    pub fn nlists(&self) -> usize {
-        self.nlists
-    }
-
-    /// Embedding dimensionality the index was built over.
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
     /// The item ids of inverted list `l` (ascending).
+    #[inline]
     pub fn list(&self, l: usize) -> &[u32] {
         &self.list_items[self.list_offsets[l] as usize..self.list_offsets[l + 1] as usize]
     }
 
-    /// The item ids of inverted list `l` together with their packed
-    /// embedding rows (`ids.len() × dim`, same order) — the
-    /// sequential-scan form the scoring hot loop wants.
-    pub fn list_entries(&self, l: usize) -> (&[u32], &[f32]) {
-        let (lo, hi) = (
+    /// The `(lo, hi)` entry range of list `l` in packed-slot order.
+    #[inline]
+    pub fn list_range(&self, l: usize) -> (usize, usize) {
+        (
             self.list_offsets[l] as usize,
             self.list_offsets[l + 1] as usize,
-        );
-        (
-            &self.list_items[lo..hi],
-            &self.list_vecs[lo * self.dim..hi * self.dim],
         )
     }
 
-    /// Total indexed items (= catalog size: every item is in exactly one
-    /// list).
-    pub fn len(&self) -> usize {
-        self.list_items.len()
-    }
-
-    /// True when the index holds no items.
-    pub fn is_empty(&self) -> bool {
-        self.list_items.is_empty()
-    }
-
-    /// The `nprobe` list ids best matching `query`, ranked by descending
-    /// centroid inner product (ties toward the lower list id — the
-    /// [`topk_pairs`] contract). Inner-product probing matches the serving
-    /// objective (max dot-product), and `dot8` keeps it lane/scalar
-    /// bit-identical.
+    /// The `nprobe` list ids best matching `query` by descending centroid
+    /// inner product (ties toward the lower list id — the [`topk_pairs`]
+    /// contract).
     pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
         let scored = (0..self.nlists as u32)
             .map(|c| (c, dot8(query, &self.centroids[c as usize * self.dim..])));
@@ -313,37 +294,119 @@ impl IvfIndex {
             .collect()
     }
 
+    /// Bytes of the membership payload (centroids + offsets + ids).
+    pub fn resident_bytes(&self) -> usize {
+        self.centroids.len() * 4 + self.list_offsets.len() * 4 + self.list_items.len() * 4
+    }
+
+    /// Folds the partition (shape, centroid bit patterns, offsets, list
+    /// membership) into `h`.
+    pub fn fingerprint_into(&self, h: &mut Fnv) {
+        h.eat(self.nlists as u32);
+        h.eat(self.dim as u32);
+        for &c in &self.centroids {
+            h.eat(c.to_bits());
+        }
+        for &o in &self.list_offsets {
+            h.eat(o);
+        }
+        for &i in &self.list_items {
+            h.eat(i);
+        }
+    }
+}
+
+/// An immutable IVF-flat index over one frozen item-embedding matrix: a
+/// [`CoarsePartition`] plus bit-exact copies of each member's embedding
+/// row packed in list order (the "flat" in IVF-flat). The packed rows make
+/// candidate scoring stream sequentially instead of gathering scattered
+/// `item_emb` rows — without them the cache misses eat most of the
+/// sublinear-candidate advantage. Built once per table swap; shared
+/// read-only by every request thread.
+pub struct IvfIndex {
+    part: CoarsePartition,
+    /// The embedding row of each entry in `part.list_items`, packed in the
+    /// same order (`list_items.len() × dim`). Bit-exact copies of the
+    /// source matrix rows, so scoring from here preserves hex parity.
+    list_vecs: Vec<f32>,
+}
+
+impl IvfIndex {
+    /// Builds the index over `items` (one embedding row per item) with a
+    /// seeded, fixed-iteration k-means quantizer. Bit-deterministic for any
+    /// thread count (see the module docs for the contract).
+    pub fn build(items: &Mat, params: &IvfParams) -> IvfIndex {
+        let part = CoarsePartition::build(items, params);
+        let dim = part.dim;
+        let mut list_vecs = vec![0f32; part.list_items.len() * dim];
+        for (slot, &item) in part.list_items.iter().enumerate() {
+            list_vecs[slot * dim..(slot + 1) * dim].copy_from_slice(items.row(item as usize));
+        }
+        IvfIndex { part, list_vecs }
+    }
+
+    /// Number of inverted lists.
+    #[inline]
+    pub fn nlists(&self) -> usize {
+        self.part.nlists
+    }
+
+    /// Embedding dimensionality the index was built over.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.part.dim
+    }
+
+    /// The item ids of inverted list `l` (ascending).
+    #[inline]
+    pub fn list(&self, l: usize) -> &[u32] {
+        self.part.list(l)
+    }
+
+    /// The item ids of inverted list `l` together with their packed
+    /// embedding rows (`ids.len() × dim`, same order) — the
+    /// sequential-scan form the scoring hot loop wants.
+    #[inline]
+    pub fn list_entries(&self, l: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = self.part.list_range(l);
+        (
+            &self.part.list_items[lo..hi],
+            &self.list_vecs[lo * self.part.dim..hi * self.part.dim],
+        )
+    }
+
+    /// Total indexed items (= catalog size: every item is in exactly one
+    /// list).
+    pub fn len(&self) -> usize {
+        self.part.list_items.len()
+    }
+
+    /// True when the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.part.list_items.is_empty()
+    }
+
+    /// The `nprobe` list ids best matching `query`, ranked by descending
+    /// centroid inner product (ties toward the lower list id — the
+    /// [`topk_pairs`] contract). Inner-product probing matches the serving
+    /// objective (max dot-product), and `dot8` keeps it lane/scalar
+    /// bit-identical.
+    pub fn probe(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
+        self.part.probe(query, nprobe)
+    }
+
     /// Resident bytes of the index payload (centroids + lists + packed
     /// rows) — the extra memory a table swap pays for the ANN fast path.
     pub fn resident_bytes(&self) -> usize {
-        self.centroids.len() * 4
-            + self.list_offsets.len() * 4
-            + self.list_items.len() * 4
-            + self.list_vecs.len() * 4
+        self.part.resident_bytes() + self.list_vecs.len() * 4
     }
 
     /// A stable fingerprint of the whole index (centroid bit patterns,
     /// offsets, and list membership) for bit-determinism assertions.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a 64
-        let mut eat = |w: u32| {
-            for b in w.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
-        };
-        eat(self.nlists as u32);
-        eat(self.dim as u32);
-        for &c in &self.centroids {
-            eat(c.to_bits());
-        }
-        for &o in &self.list_offsets {
-            eat(o);
-        }
-        for &i in &self.list_items {
-            eat(i);
-        }
-        h
+        let mut h = Fnv::new();
+        self.part.fingerprint_into(&mut h);
+        h.0
     }
 }
 

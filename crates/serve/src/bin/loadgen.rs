@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]
-//!                [--zipf S] [--hot H:FRAC] [--exact]
+//!                [--zipf S] [--hot H:FRAC] [--exact] [--quant-parity N]
 //! ```
 //!
 //! Opens `--conns` connections, each driving a deterministic request
@@ -19,6 +19,13 @@
 //! `--exact` drives the `RECX` exact-oracle verb instead of `REC`, so the
 //! two scorer paths can be load-compared on one running server.
 //!
+//! `--quant-parity N` replaces the load phase with a parity sweep: `N`
+//! seeded probes each issue the same `(user, k)` through `REC` (the
+//! quant/ANN fast path) *and* `RECX` (the pinned f32 oracle) on one
+//! connection, print the overlap@k per run, and summarize the min/mean
+//! overlap at the end. On a server without an enabled fast path the two
+//! verbs are byte-identical and every overlap is `k/k`.
+//!
 //! Argument problems are **typed** ([`ArgError`]) and rejected before any
 //! traffic is sent — `--kmax 0` at parse time, `--kmax` beyond the
 //! server's catalog right after the `STATS` probe — instead of surfacing
@@ -32,12 +39,13 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use graphaug_eval::overlap_count;
 use graphaug_rng::StdRng;
 use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeClient};
 use graphaug_serve::{parse_ok_line, UserSampler};
 
 const USAGE: &str = "usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K] \
-     [--zipf S] [--hot H:FRAC] [--exact]";
+     [--zipf S] [--hot H:FRAC] [--exact] [--quant-parity N]";
 
 /// Why the argument list was rejected. Typed so tests (and callers) can
 /// assert the *category* of refusal rather than string-matching, and so
@@ -104,6 +112,7 @@ struct Args {
     kmax: usize,
     skew: Skew,
     exact: bool,
+    quant_parity: usize,
 }
 
 /// Parses an argument list (everything after argv[0]). Separated from
@@ -122,6 +131,7 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
         kmax: 20,
         skew: Skew::Uniform,
         exact: false,
+        quant_parity: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &'static str| args.next().ok_or(ArgError::MissingValue(name));
@@ -139,6 +149,12 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
             "--seed" => out.seed = int("--seed", value("--seed"))?,
             "--kmax" => out.kmax = int("--kmax", value("--kmax"))? as usize,
             "--exact" => out.exact = true,
+            "--quant-parity" => {
+                out.quant_parity = int("--quant-parity", value("--quant-parity"))? as usize;
+                if out.quant_parity == 0 {
+                    return Err(ArgError::Zero("--quant-parity"));
+                }
+            }
             "--zipf" => {
                 let s = value("--zipf")?
                     .parse::<f64>()
@@ -191,6 +207,12 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
     if out.kmax == 0 {
         return Err(ArgError::Zero("--kmax"));
     }
+    if out.quant_parity > 0 && out.exact {
+        return Err(ArgError::Invalid {
+            flag: "--quant-parity",
+            reason: "incompatible with --exact (the sweep drives both verbs itself)".into(),
+        });
+    }
     Ok(out)
 }
 
@@ -205,6 +227,58 @@ fn fetch_table_shape(addr: &str) -> Result<(u32, usize), String> {
         (Some(u), Some(i)) => Ok((u, i)),
         _ => Err(format!("bad STATS response: {line}")),
     }
+}
+
+/// Drives the `--quant-parity` sweep on one connection: each probe sends
+/// the same `(user, k)` through both verbs and scores the fast path's
+/// overlap@k against the pinned `RECX` oracle. Prints one line per probe
+/// plus a min/mean summary; returns `Err` on any malformed response.
+fn quant_parity_sweep(
+    addr: &str,
+    probes: usize,
+    kmax: usize,
+    n_users: u32,
+    seed: u64,
+) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rng = StdRng::stream(seed, 0);
+    let (mut min, mut sum) = (1.0f64, 0.0f64);
+    for probe in 0..probes {
+        let user = rng.bounded_u64(n_users as u64) as u32;
+        let k = 1 + rng.bounded_u64(kmax as u64) as usize;
+        let fast = client
+            .rec_one_mode(user, k, false)
+            .map_err(|e| e.to_string())?;
+        let oracle = client
+            .rec_one_mode(user, k, true)
+            .map_err(|e| e.to_string())?;
+        let parse = |line: &str, verb: &str| {
+            parse_ok_line(line)
+                .filter(|ok| ok.user == user && ok.k == k && ok.items.len() <= k)
+                .map(|ok| ok.items.iter().map(|s| s.item).collect::<Vec<u32>>())
+                .ok_or_else(|| format!("bad response for {verb} {user} {k}: {line}"))
+        };
+        let fast_items = parse(&fast, "REC")?;
+        let oracle_items = parse(&oracle, "RECX")?;
+        let hits = overlap_count(&fast_items, &oracle_items);
+        let ratio = if oracle_items.is_empty() {
+            1.0
+        } else {
+            hits as f64 / oracle_items.len() as f64
+        };
+        min = min.min(ratio);
+        sum += ratio;
+        println!(
+            "quant-parity[{probe}]: user={user} k={k} overlap={hits}/{} ratio={ratio:.4}",
+            oracle_items.len()
+        );
+    }
+    client.quit();
+    println!(
+        "quant-parity: probes={probes} min_overlap={min:.4} mean_overlap={:.4}",
+        sum / probes as f64
+    );
+    Ok(())
 }
 
 struct ConnReport {
@@ -278,6 +352,21 @@ fn main() -> ExitCode {
             }
         );
         return ExitCode::from(2);
+    }
+    if args.quant_parity > 0 {
+        return match quant_parity_sweep(
+            &args.addr,
+            args.quant_parity,
+            args.kmax,
+            n_users,
+            args.seed,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("loadgen: quant-parity sweep failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let sampler = match args.skew {
         Skew::Uniform => UserSampler::uniform(n_users),
@@ -403,6 +492,35 @@ mod tests {
             parse_arg_list(argv("127.0.0.1:9 --frobnicate")).err(),
             Some(ArgError::Unknown("--frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn quant_parity_args_are_typed() {
+        let a = parse_arg_list(argv("127.0.0.1:9 --quant-parity 32")).unwrap();
+        assert_eq!(a.quant_parity, 32);
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --quant-parity 0")).err(),
+            Some(ArgError::Zero("--quant-parity"))
+        );
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --quant-parity")).err(),
+            Some(ArgError::MissingValue("--quant-parity"))
+        );
+        assert!(matches!(
+            parse_arg_list(argv("127.0.0.1:9 --quant-parity nope")).err(),
+            Some(ArgError::Invalid {
+                flag: "--quant-parity",
+                ..
+            })
+        ));
+        // The sweep pins both verbs itself; `--exact` contradicts it.
+        assert!(matches!(
+            parse_arg_list(argv("127.0.0.1:9 --quant-parity 8 --exact")).err(),
+            Some(ArgError::Invalid {
+                flag: "--quant-parity",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]
 //!            [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N]
+//!            [--quant] [--quant-floor F] [--quant-audit N]
 //! ```
 //!
 //! Runs a self-contained service over the standard demo workload (the same
@@ -15,7 +16,9 @@
 //! 2. opens the serving [`Engine`] from that state — with `--ann`, the IVF
 //!    item index is built and recall-gated at open, printing `ANN ok
 //!    recall=…` (or `ANN DISABLED …` with an exact fallback when the gate
-//!    refuses);
+//!    refuses); with `--quant`, int8 tables are built and drift-gated at
+//!    open, printing `QUANT ok drift=…` (or `QUANT DISABLED …` with an
+//!    f32 fallback when the gate refuses);
 //! 3. runs a **parity self-check** through the exact-oracle path (`RECX`
 //!    semantics — independent of any ANN index): the offline
 //!    `graphaug-eval` ranking (computed through the independent
@@ -39,7 +42,7 @@ use graphaug_eval::{evaluate, topk_indices, Recommender};
 use graphaug_graph::TrainTestSplit;
 use graphaug_runtime::{checkpoint, Runtime, RuntimeConfig};
 use graphaug_serve::{
-    serve, spawn_watcher, Engine, IvfParams, ModelSource, DEFAULT_CACHE_CAPACITY,
+    serve, spawn_watcher, Engine, IvfParams, ModelSource, QuantParams, DEFAULT_CACHE_CAPACITY,
 };
 
 /// The deterministic demo workload (same shape as the kill/resume smoke
@@ -155,6 +158,9 @@ struct Args {
     ann_nprobe: usize,
     ann_floor: f64,
     ann_audit: u64,
+    quant: bool,
+    quant_floor: f64,
+    quant_audit: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -170,6 +176,9 @@ fn parse_args() -> Result<Args, String> {
         ann_nprobe: 0,
         ann_floor: 0.9,
         ann_audit: 64,
+        quant: false,
+        quant_floor: 0.9,
+        quant_audit: 64,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -206,6 +215,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --ann-audit".to_string())?
             }
+            "--quant" => out.quant = true,
+            "--quant-floor" => {
+                out.quant_floor = value("--quant-floor")?
+                    .parse()
+                    .map_err(|_| "bad --quant-floor".to_string())?
+            }
+            "--quant-audit" => {
+                out.quant_audit = value("--quant-audit")?
+                    .parse()
+                    .map_err(|_| "bad --quant-audit".to_string())?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -219,7 +239,8 @@ fn main() -> ExitCode {
             eprintln!("serve_main: {e}");
             eprintln!(
                 "usage: serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N] \
-                 [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N]"
+                 [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N] \
+                 [--quant] [--quant-floor F] [--quant-audit N]"
             );
             return ExitCode::from(2);
         }
@@ -278,6 +299,13 @@ fn main() -> ExitCode {
         }
         source = source.ann(params);
     }
+    if args.quant {
+        source = source.quant(
+            QuantParams::new()
+                .drift_floor(args.quant_floor)
+                .audit_every(args.quant_audit),
+        );
+    }
     let opened = match preloaded {
         Some((generation, state)) => {
             Engine::open_preloaded(source, generation, &state, DEFAULT_CACHE_CAPACITY)
@@ -309,6 +337,24 @@ fn main() -> ExitCode {
                 ann.nprobe()
             ),
             None => println!("ANN DISABLED empty catalog — serving exact"),
+        }
+    }
+
+    if args.quant {
+        match engine.tables().quant() {
+            Some(q) if q.enabled() => println!(
+                "QUANT ok drift={:.4} floor={:.4} table_bytes={} ivf={}",
+                q.build_drift(),
+                args.quant_floor,
+                q.table_bytes(),
+                if q.ivf().is_some() { "on" } else { "off" }
+            ),
+            Some(q) => println!(
+                "QUANT DISABLED drift={:.4} below floor={:.4} — serving f32",
+                q.build_drift(),
+                args.quant_floor
+            ),
+            None => println!("QUANT DISABLED empty catalog — serving f32"),
         }
     }
 

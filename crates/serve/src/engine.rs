@@ -21,14 +21,15 @@
 //! # Cache keying
 //!
 //! Responses are cached in an [`LruCache`] keyed by
-//! `(user, k, generation, exact)`. A hot swap bumps the generation, so
+//! `(user, k, generation, mode)`. A hot swap bumps the generation, so
 //! every old entry becomes unaddressable immediately — stale responses
 //! cannot be served after a reload, without any explicit invalidation
-//! pass. The `exact` mode bit keeps the ANN fast path (`REC`) and the
-//! exact-parity oracle (`RECX`) from ever sharing an entry: a cached
-//! approximate list must not satisfy an exact request, nor vice versa.
+//! pass. The mode bits keep the three scorers — exact (`RECX`), f32 ANN,
+//! and int8 quantized — from ever sharing an entry: a cached approximate
+//! list must not satisfy an exact request, a cached quantized list must
+//! not satisfy an f32 one, nor any other cross-pairing.
 //!
-//! # ANN fast path and self-audit
+//! # Fast paths and self-audits
 //!
 //! When the [`ModelSource`] carries IVF parameters and the build-time
 //! recall gate passed, non-exact requests go through
@@ -37,6 +38,14 @@
 //! through the exact scorer and the overlap folded into a running
 //! recall estimate ([`EngineStats::recall_sampled`]) — a live quality
 //! meter on real traffic, not just the build-time probe set.
+//!
+//! Quantized serving ([`ModelSource::quant`]) works the same way one
+//! level up: non-exact requests go through `ModelTables::top_k_quant`
+//! (int8 tables, quantized IVF when ANN geometry is also configured), and
+//! every `audit_every`-th quantized-computed list feeds a separate running
+//! drift estimate ([`EngineStats::drift_sampled`]) against the same f32
+//! oracle the `RECX` verb pins. Both gates fail closed: a disabled build
+//! serves f32 bits.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,14 +60,25 @@ use crate::tables::{ModelSource, ModelTables, ScoredItem, ServeError};
 /// Default response-cache capacity (entries).
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Which scorer a cached response came from. `Exact` is the `RECX`
+/// oracle; `F32` is the default `REC` path without enabled quantized
+/// tables (full scan or f32 ANN); `Quant` is the int8 path. Distinct
+/// variants mean the three never share a cache entry — a quantized list
+/// can never satisfy an f32 request even at the same
+/// `(user, k, generation)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum ServeMode {
+    Exact,
+    F32,
+    Quant,
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     user: u32,
     k: u32,
     generation: u64,
-    /// Mode bit: exact-oracle (`RECX`) entries never collide with ANN
-    /// (`REC`) entries for the same `(user, k, generation)`.
-    exact: bool,
+    mode: ServeMode,
 }
 
 /// One served recommendation list.
@@ -106,6 +126,20 @@ pub struct EngineStats {
     /// the fraction the sampled ANN lists also returned. `None` until the
     /// first audited request.
     pub recall_sampled: Option<f64>,
+    /// True when the serving tables carry *enabled* int8 quantized tables
+    /// (built, and their build-time drift cleared the floor).
+    pub quant_on: bool,
+    /// Resident bytes of the embedding representation the default (`REC`)
+    /// path scores from — int8 tables (weights + scales) when quantized
+    /// serving is on, f32 tables otherwise. The before/after observable
+    /// for the ~4× quantization shrink.
+    pub table_bytes: u64,
+    /// Lists computed by the quantized scorer.
+    pub quant_served: u64,
+    /// Running drift recall of the quantized self-audit: of the f32-oracle
+    /// top-K items, the fraction the sampled quantized lists also
+    /// returned. `None` until the first audited request.
+    pub drift_sampled: Option<f64>,
 }
 
 /// The online serving engine. Cheap to share (`Arc<Engine>`); all methods
@@ -128,6 +162,12 @@ pub struct Engine {
     audit_ticker: AtomicU64,
     recall_hits: AtomicU64,
     recall_total: AtomicU64,
+    quant_served: AtomicU64,
+    /// Ticks once per quantized-computed list; every `audit_every`-th tick
+    /// triggers the f32-oracle re-rank.
+    drift_ticker: AtomicU64,
+    drift_hits: AtomicU64,
+    drift_total: AtomicU64,
     /// Serializes reloads so two watchers (or a watcher plus an explicit
     /// reload call) never build the same generation twice concurrently.
     reload_lock: Mutex<()>,
@@ -178,6 +218,10 @@ impl Engine {
             audit_ticker: AtomicU64::new(0),
             recall_hits: AtomicU64::new(0),
             recall_total: AtomicU64::new(0),
+            quant_served: AtomicU64::new(0),
+            drift_ticker: AtomicU64::new(0),
+            drift_hits: AtomicU64::new(0),
+            drift_total: AtomicU64::new(0),
             reload_lock: Mutex::new(()),
         })
     }
@@ -196,7 +240,9 @@ impl Engine {
 
     /// Current serving counters.
     pub fn stats(&self) -> EngineStats {
+        let tables = self.tables();
         let total = self.recall_total.load(Ordering::Relaxed);
+        let drift_total = self.drift_total.load(Ordering::Relaxed);
         EngineStats {
             generation: self.generation.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -204,12 +250,17 @@ impl Engine {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_errors: self.reload_errors.load(Ordering::Relaxed),
-            ann_on: self.tables().ann().is_some_and(|a| a.enabled()),
+            ann_on: tables.ann().is_some_and(|a| a.enabled()),
             ann_probes: self.ann_probes.load(Ordering::Relaxed),
             ann_cands: self.ann_cands.load(Ordering::Relaxed),
             exact_fallbacks: self.exact_fallbacks.load(Ordering::Relaxed),
             recall_sampled: (total > 0)
                 .then(|| self.recall_hits.load(Ordering::Relaxed) as f64 / total as f64),
+            quant_on: tables.quant().is_some_and(|q| q.enabled()),
+            table_bytes: tables.table_bytes() as u64,
+            quant_served: self.quant_served.load(Ordering::Relaxed),
+            drift_sampled: (drift_total > 0)
+                .then(|| self.drift_hits.load(Ordering::Relaxed) as f64 / drift_total as f64),
         }
     }
 
@@ -261,6 +312,16 @@ impl Engine {
     ) -> Vec<Result<Recommendation, ServeError>> {
         let tables = self.tables();
         let generation = tables.generation();
+        // The serving mode is a per-generation property of the tables:
+        // within one snapshot every non-exact request goes through the same
+        // scorer, so the mode bit is computed once per batch.
+        let mode = if exact {
+            ServeMode::Exact
+        } else if tables.quant().is_some_and(|q| q.enabled()) {
+            ServeMode::Quant
+        } else {
+            ServeMode::F32
+        };
         self.requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
 
@@ -274,7 +335,7 @@ impl Engine {
                     user,
                     k: k.min(u32::MAX as usize) as u32,
                     generation,
-                    exact,
+                    mode,
                 };
                 if let Some(items) = cache.get(&key) {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -293,7 +354,8 @@ impl Engine {
         self.cache_misses
             .fetch_add(misses.len() as u64, Ordering::Relaxed);
 
-        let audit_every = tables.ann().map_or(0, |a| a.audit_every());
+        let ann_audit_every = tables.ann().map_or(0, |a| a.audit_every());
+        let quant_audit_every = tables.quant().map_or(0, |q| q.audit_every());
         let mut computed: Vec<Option<Result<Vec<ScoredItem>, ServeError>>> =
             (0..misses.len()).map(|_| None).collect();
         {
@@ -309,13 +371,36 @@ impl Engine {
                     *slot = Some(if exact {
                         tables.top_k(user, k)
                     } else {
-                        tables.top_k_ann(user, k).map(|(items, how)| {
-                            if how.used_ann {
+                        // Falls through quant → ANN → exact, whichever is
+                        // attached and enabled.
+                        tables.top_k_quant(user, k).map(|(items, how)| {
+                            if how.used_quant {
+                                self.quant_served.fetch_add(1, Ordering::Relaxed);
                                 self.ann_probes
                                     .fetch_add(how.probes as u64, Ordering::Relaxed);
                                 self.ann_cands
                                     .fetch_add(how.cands as u64, Ordering::Relaxed);
-                                self.audit(tables, audit_every, user, k, &items);
+                                self.audit(
+                                    tables,
+                                    quant_audit_every,
+                                    user,
+                                    k,
+                                    &items,
+                                    (&self.drift_ticker, &self.drift_hits, &self.drift_total),
+                                );
+                            } else if how.used_ann {
+                                self.ann_probes
+                                    .fetch_add(how.probes as u64, Ordering::Relaxed);
+                                self.ann_cands
+                                    .fetch_add(how.cands as u64, Ordering::Relaxed);
+                                self.audit(
+                                    tables,
+                                    ann_audit_every,
+                                    user,
+                                    k,
+                                    &items,
+                                    (&self.audit_ticker, &self.recall_hits, &self.recall_total),
+                                );
                             } else {
                                 self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
                             }
@@ -338,7 +423,7 @@ impl Engine {
                             user,
                             k: k.min(u32::MAX as usize) as u32,
                             generation,
-                            exact,
+                            mode,
                         },
                         items.clone(),
                     );
@@ -358,9 +443,11 @@ impl Engine {
             .collect()
     }
 
-    /// Online self-audit: every `audit_every`-th ANN-computed list is also
-    /// ranked through the exact scorer, and the top-K overlap feeds the
-    /// running [`EngineStats::recall_sampled`] estimate. Costs one exact
+    /// Online self-audit: every `audit_every`-th approximately-computed
+    /// list is also ranked through the exact f32 scorer, and the top-K
+    /// overlap feeds the running estimate behind the `(ticker, hits,
+    /// total)` counters — [`EngineStats::recall_sampled`] for ANN lists,
+    /// [`EngineStats::drift_sampled`] for quantized ones. Costs one exact
     /// scan per sampled request — cadence bounds the overhead.
     fn audit(
         &self,
@@ -369,26 +456,23 @@ impl Engine {
         user: u32,
         k: usize,
         approx: &[ScoredItem],
+        (ticker, hits_ctr, total_ctr): (&AtomicU64, &AtomicU64, &AtomicU64),
     ) {
         if audit_every == 0 {
             return;
         }
-        let tick = self.audit_ticker.fetch_add(1, Ordering::Relaxed);
+        let tick = ticker.fetch_add(1, Ordering::Relaxed);
         if !tick.is_multiple_of(audit_every) {
             return;
         }
         let Ok(exact) = tables.top_k(user, k) else {
             return;
         };
-        let mut exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
-        exact_items.sort_unstable();
-        let hits = approx
-            .iter()
-            .filter(|s| exact_items.binary_search(&s.item).is_ok())
-            .count();
-        self.recall_hits.fetch_add(hits as u64, Ordering::Relaxed);
-        self.recall_total
-            .fetch_add(exact.len() as u64, Ordering::Relaxed);
+        let exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+        let approx_items: Vec<u32> = approx.iter().map(|s| s.item).collect();
+        let hits = graphaug_eval::overlap_count(&approx_items, &exact_items);
+        hits_ctr.fetch_add(hits as u64, Ordering::Relaxed);
+        total_ctr.fetch_add(exact.len() as u64, Ordering::Relaxed);
     }
 
     /// Checks the checkpoint directory for a generation newer than the one

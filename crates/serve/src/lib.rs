@@ -20,16 +20,23 @@
 //!    item. A build-time recall gate (and an online self-audit) keeps the
 //!    approximation honest; probing all lists reproduces the exact ranking
 //!    hex-identically.
-//! 3. **Engine** ([`engine`]) — top-K queries with seen-item filtering over
-//!    the bounded-heap `topk_indices` (or the ANN fast path when an index
+//! 3. **Quantized tables** ([`quant`]) — optional int8 per-row-scaled
+//!    copies of both embedding tables (~4× smaller resident state) scored
+//!    with the exact-integer `dot8_i8` kernel, plus a quantized IVF index
+//!    packing int8 rows per inverted list. A build-time drift gate
+//!    (sampled recall vs the f32 oracle) and an every-Nth self-audit keep
+//!    quantization noise bounded; below the floor, serving falls back to
+//!    f32 bits.
+//! 4. **Engine** ([`engine`]) — top-K queries with seen-item filtering over
+//!    the bounded-heap `topk_indices` (or the quant/ANN fast path when one
 //!    is attached and enabled), batched requests fanned out over
 //!    `graphaug-par`, an LRU response cache keyed by
-//!    `(user, k, model generation, exact-mode bit)`, and **hot reload**: a
+//!    `(user, k, model generation, serve mode)`, and **hot reload**: a
 //!    background watcher notices a newer checkpoint generation on disk,
 //!    rebuilds the tables — and the index, re-running its recall gate — off
 //!    the request path, and atomically swaps them in without dropping or
 //!    tearing any in-flight request.
-//! 4. **Server** ([`proto`], [`server`]) — a dependency-free blocking TCP
+//! 5. **Server** ([`proto`], [`server`]) — a dependency-free blocking TCP
 //!    server speaking a one-line-per-request text protocol (`REC` serves
 //!    the fast path, `RECX` pins the exact-parity oracle), plus the
 //!    `serve_main` and `loadgen` binaries (demo service and latency/QPS
@@ -66,6 +73,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod proto;
+pub mod quant;
 pub mod server;
 pub mod tables;
 pub mod workload;
@@ -77,6 +85,9 @@ pub use engine::{
     spawn_watcher, Engine, EngineStats, Recommendation, Watcher, DEFAULT_CACHE_CAPACITY,
 };
 pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request, MAX_K, MAX_REC_USERS};
+pub use quant::{QuantIvf, QuantParams, QuantRows};
 pub use server::{serve, ServerHandle};
-pub use tables::{AnnBuild, AnnQuery, ModelSource, ModelTables, ScoredItem, ServeError};
+pub use tables::{
+    AnnBuild, AnnQuery, ModelSource, ModelTables, QuantBuild, ScoredItem, ServeError,
+};
 pub use workload::UserSampler;

@@ -126,7 +126,8 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                 &format!(
                     "STATS gen={} users={} items={} requests={} cache_hits={} \
                      cache_misses={} reloads={} reload_errors={} ann={} \
-                     ann_probes={} ann_cands={} exact_fallbacks={} recall_sampled={}",
+                     ann_probes={} ann_cands={} exact_fallbacks={} recall_sampled={} \
+                     quant={} table_bytes={} quant_served={} drift_sampled={}",
                     s.generation,
                     tables.n_users(),
                     tables.n_items(),
@@ -142,6 +143,11 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                     // `-` until the self-audit has sampled anything, so the
                     // field is always present and splittable.
                     s.recall_sampled
+                        .map_or_else(|| "-".to_string(), |r| format!("{r:.4}")),
+                    if s.quant_on { "on" } else { "off" },
+                    s.table_bytes,
+                    s.quant_served,
+                    s.drift_sampled
                         .map_or_else(|| "-".to_string(), |r| format!("{r:.4}")),
                 ),
             )

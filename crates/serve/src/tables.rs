@@ -12,13 +12,14 @@
 use std::path::{Path, PathBuf};
 
 use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_eval::{topk_indices, topk_pairs, Recommender};
+use graphaug_eval::{overlap_count, topk_indices, topk_pairs, Recommender};
 use graphaug_graph::InteractionGraph;
 use graphaug_rng::StdRng;
 use graphaug_runtime::{RunCompat, SnapshotError, TrainState};
 use graphaug_tensor::{Mat, RestoreError};
 
 use crate::ann::{IvfIndex, IvfParams};
+use crate::quant::{score_q, QuantIvf, QuantParams, QuantRows};
 
 /// Why a serving operation failed.
 #[derive(Debug)]
@@ -98,6 +99,11 @@ pub struct ModelSource {
     /// these parameters (and re-runs its recall gate), so the ANN fast path
     /// survives hot reloads automatically.
     pub ann: Option<IvfParams>,
+    /// When set, every table build also freezes int8 quantized tables (and
+    /// re-runs their drift gate), so quantized serving — like ANN —
+    /// survives hot reloads automatically. Combined with [`Self::ann`], the
+    /// quantized build packs an int8 IVF index with the ANN geometry.
+    pub quant: Option<QuantParams>,
 }
 
 impl ModelSource {
@@ -108,12 +114,20 @@ impl ModelSource {
             graph,
             checkpoint_dir: checkpoint_dir.to_path_buf(),
             ann: None,
+            quant: None,
         }
     }
 
     /// Enables the IVF ANN fast path for every table build from this source.
     pub fn ann(mut self, params: IvfParams) -> Self {
         self.ann = Some(params);
+        self
+    }
+
+    /// Enables int8-quantized serving for every table build from this
+    /// source.
+    pub fn quant(mut self, params: QuantParams) -> Self {
+        self.quant = Some(params);
         self
     }
 
@@ -181,13 +195,85 @@ impl AnnBuild {
 /// How one top-K request was actually answered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AnnQuery {
-    /// True when the IVF fast path produced the list; false means the exact
-    /// scorer ran (no index, disabled index, or an explicit exact request).
+    /// True when the f32 IVF fast path produced the list; false means the
+    /// exact scorer ran (no index, disabled index, or an explicit exact
+    /// request) — or the quantized path did (see [`Self::used_quant`]).
     pub used_ann: bool,
-    /// Inverted lists probed (0 on the exact path).
+    /// True when the int8 quantized scorer produced the list (full-catalog
+    /// quant scan or quantized IVF). Mutually exclusive with `used_ann`.
+    pub used_quant: bool,
+    /// Inverted lists probed (0 on any full-catalog path).
     pub probes: u32,
-    /// Candidate items scored (catalog size on the exact path).
+    /// Candidate items scored (catalog size on a full-catalog path).
     pub cands: u32,
+}
+
+/// Int8 quantized tables attached to one generation of serving tables,
+/// together with their audited quality: the build-time sampled drift
+/// recall vs the f32 oracle, and whether it cleared the configured floor.
+/// Frozen at table-build time like [`AnnBuild`]; a hot reload re-quantizes
+/// and re-gates per generation.
+pub struct QuantBuild {
+    user_q: QuantRows,
+    item_q: QuantRows,
+    ivf: Option<QuantIvf>,
+    nprobe: usize,
+    build_drift: f64,
+    enabled: bool,
+    probe_k: usize,
+    audit_every: u64,
+}
+
+impl QuantBuild {
+    /// The quantized user table.
+    pub fn user_rows(&self) -> &QuantRows {
+        &self.user_q
+    }
+
+    /// The quantized item table.
+    pub fn item_rows(&self) -> &QuantRows {
+        &self.item_q
+    }
+
+    /// The int8 IVF index, when the source also carries [`IvfParams`].
+    pub fn ivf(&self) -> Option<&QuantIvf> {
+        self.ivf.as_ref()
+    }
+
+    /// Lists probed per query on the quantized IVF path.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Build-time sampled recall@`probe_k` of the quantized ranking vs the
+    /// f32 oracle.
+    pub fn build_drift(&self) -> f64 {
+        self.build_drift
+    }
+
+    /// Whether the build-time drift cleared the configured floor. When
+    /// false the tables answer every request through the f32 path.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cutoff used for the build-time gate and the online self-audit.
+    pub fn probe_k(&self) -> usize {
+        self.probe_k
+    }
+
+    /// Online self-audit cadence (every Nth quantized-served list is
+    /// re-ranked through the f32 oracle; `0` = off).
+    pub fn audit_every(&self) -> u64 {
+        self.audit_every
+    }
+
+    /// Resident bytes of the quantized embedding tables (weights +
+    /// scales, both tables; the IVF payload is counted separately, like
+    /// the f32 index).
+    pub fn table_bytes(&self) -> usize {
+        self.user_q.table_bytes() + self.item_q.table_bytes()
+    }
 }
 
 /// Immutable, checkpoint-pinned serving state: embedding tables plus
@@ -199,6 +285,7 @@ pub struct ModelTables {
     item_emb: Mat,
     graph: InteractionGraph,
     ann: Option<AnnBuild>,
+    quant: Option<QuantBuild>,
 }
 
 impl ModelTables {
@@ -223,8 +310,10 @@ impl ModelTables {
             item_emb: item_emb.clone(),
             graph: source.graph.clone(),
             ann: None,
+            quant: None,
         }
-        .with_ann(source.ann.as_ref()))
+        .with_ann(source.ann.as_ref())
+        .with_quant(source.quant.as_ref(), source.ann.as_ref()))
     }
 
     /// Builds tables directly from frozen embedding matrices, skipping the
@@ -237,6 +326,7 @@ impl ModelTables {
         graph: InteractionGraph,
         generation: u64,
         ann: Option<&IvfParams>,
+        quant: Option<&QuantParams>,
     ) -> ModelTables {
         ModelTables {
             generation,
@@ -245,8 +335,10 @@ impl ModelTables {
             item_emb,
             graph,
             ann: None,
+            quant: None,
         }
         .with_ann(ann)
+        .with_quant(quant, ann)
     }
 
     /// Attaches (or skips) the IVF index: builds the quantizer over the
@@ -270,12 +362,9 @@ impl ModelTables {
                 let user = rng.bounded_u64(self.n_users() as u64) as u32;
                 let exact = self.top_k(user, probe_k).expect("probe user in range");
                 let (approx, _) = self.top_k_probed(&index, nprobe, user, probe_k);
-                let mut exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
-                exact_items.sort_unstable();
-                hits += approx
-                    .iter()
-                    .filter(|s| exact_items.binary_search(&s.item).is_ok())
-                    .count();
+                let exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+                let approx_items: Vec<u32> = approx.iter().map(|s| s.item).collect();
+                hits += overlap_count(&approx_items, &exact_items);
                 total += exact.len();
             }
         }
@@ -291,6 +380,69 @@ impl ModelTables {
             enabled: build_recall >= params.recall_floor,
             probe_k,
             audit_every: params.audit_every,
+        });
+        self
+    }
+
+    /// Freezes (or skips) the int8 tables: quantizes both embedding
+    /// matrices, optionally packs the quantized IVF index (when the source
+    /// also carries ANN geometry), then estimates the quantized ranking's
+    /// recall@`probe_k` on a seeded probe set against the f32 oracle.
+    /// Below the drift floor the quantized tables are kept but
+    /// **disabled** — serving falls back to the f32 path and the engine
+    /// reports the refusal — so quantization noise can never silently
+    /// degrade ranking quality.
+    fn with_quant(
+        mut self,
+        params: Option<&QuantParams>,
+        ivf_params: Option<&IvfParams>,
+    ) -> ModelTables {
+        let Some(params) = params else { return self };
+        if self.n_items() == 0 {
+            return self;
+        }
+        let user_q = QuantRows::quantize(&self.user_emb);
+        let item_q = QuantRows::quantize(&self.item_emb);
+        let ivf = ivf_params.map(|p| QuantIvf::build(&item_q, p));
+        let nprobe = match (&ivf, ivf_params) {
+            (Some(ix), Some(p)) => p.effective_nprobe(ix.nlists()),
+            _ => 0,
+        };
+        let probe_k = params.probe_k.max(1);
+        // Gate against the *actually served* path: probe through the same
+        // build (IVF and all) that enabled serving would use.
+        let candidate = QuantBuild {
+            user_q,
+            item_q,
+            ivf,
+            nprobe,
+            build_drift: 0.0,
+            enabled: true,
+            probe_k,
+            audit_every: params.audit_every,
+        };
+        let mut rng = StdRng::stream(params.seed, 2);
+        let (mut hits, mut total) = (0usize, 0usize);
+        if self.n_users() > 0 {
+            for _ in 0..params.probe_users {
+                let user = rng.bounded_u64(self.n_users() as u64) as u32;
+                let exact = self.top_k(user, probe_k).expect("probe user in range");
+                let (quant, _) = self.top_k_quant_with(&candidate, user, probe_k);
+                let exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+                let quant_items: Vec<u32> = quant.iter().map(|s| s.item).collect();
+                hits += overlap_count(&quant_items, &exact_items);
+                total += exact.len();
+            }
+        }
+        let build_drift = if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        };
+        self.quant = Some(QuantBuild {
+            build_drift,
+            enabled: build_drift >= params.drift_floor,
+            ..candidate
         });
         self
     }
@@ -381,6 +533,7 @@ impl ModelTables {
                     top,
                     AnnQuery {
                         used_ann: true,
+                        used_quant: false,
                         probes: ann.nprobe as u32,
                         cands,
                     },
@@ -390,6 +543,7 @@ impl ModelTables {
                 self.top_k(user, k)?,
                 AnnQuery {
                     used_ann: false,
+                    used_quant: false,
                     probes: 0,
                     cands: self.n_items() as u32,
                 },
@@ -441,11 +595,165 @@ impl ModelTables {
         (top, cands)
     }
 
+    /// Scores every item for `user` through the int8 tables:
+    /// `dot8_i8(q_user, q_item) · (scale_user · scale_item)` per item, in
+    /// ascending item order. The integer accumulation is exact, so the
+    /// result is bit-identical for any thread count and for the SIMD lane
+    /// vs scalar builds — quantization noise is the *only* difference from
+    /// [`Recommender::score_items`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no quantized tables are attached (the source carried no
+    /// [`QuantParams`]).
+    pub fn score_items_q(&self, user: usize) -> Vec<f32> {
+        let qb = self.quant.as_ref().expect("quantized tables attached");
+        let qu = qb.user_q.row(user);
+        let su = qb.user_q.scale(user);
+        (0..self.n_items())
+            .map(|i| score_q(qu, su, qb.item_q.row(i), qb.item_q.scale(i)))
+            .collect()
+    }
+
+    /// Top-`k` for `user` through the quantized path when enabled tables
+    /// are attached, else through [`Self::top_k_ann`] (which itself falls
+    /// back to exact). Also reports how the request was answered.
+    ///
+    /// The quantized path mirrors the f32 paths structurally: the full
+    /// scan is `score_items_q` + seen-mask + [`topk_indices`]; the IVF
+    /// scan probes with the f32 user row and scores packed int8 candidates
+    /// with the same per-item formula, selecting via [`topk_pairs`]. Both
+    /// compute identical per-item scores, so quant-IVF at
+    /// `nprobe = nlists` is hex-identical to the quant full scan — and a
+    /// disabled gate serves f32 bits indistinguishable from `RECX`.
+    pub fn top_k_quant(
+        &self,
+        user: u32,
+        k: usize,
+    ) -> Result<(Vec<ScoredItem>, AnnQuery), ServeError> {
+        if (user as usize) >= self.n_users() {
+            return Err(ServeError::UnknownUser {
+                user,
+                n_users: self.n_users(),
+            });
+        }
+        match &self.quant {
+            Some(qb) if qb.enabled => {
+                let (top, how) = self.top_k_quant_with(qb, user, k);
+                Ok((top, how))
+            }
+            _ => self.top_k_ann(user, k),
+        }
+    }
+
+    /// The quantized ranking for `user` through an explicit [`QuantBuild`]
+    /// (used both for live serving and for the build-time drift probe,
+    /// where the build is not attached yet).
+    fn top_k_quant_with(
+        &self,
+        qb: &QuantBuild,
+        user: u32,
+        k: usize,
+    ) -> (Vec<ScoredItem>, AnnQuery) {
+        let seen = self.seen(user);
+        match &qb.ivf {
+            Some(ivf) => {
+                let urow = self.user_emb.row(user as usize);
+                let qu = qb.user_q.row(user as usize);
+                let su = qb.user_q.scale(user as usize);
+                let lists = ivf.probe(urow, qb.nprobe);
+                let dim = ivf.dim();
+                let cands: u32 = lists
+                    .iter()
+                    .map(|&l| ivf.list(l as usize).len() as u32)
+                    .sum();
+                let candidates = lists
+                    .iter()
+                    .flat_map(|&l| {
+                        let (ids, rows, scales) = ivf.list_entries(l as usize);
+                        ids.iter().zip(rows.chunks_exact(dim)).zip(scales)
+                    })
+                    .map(|((&v, vrow), &vscale)| {
+                        let score = if seen.binary_search(&v).is_ok() {
+                            f32::NEG_INFINITY
+                        } else {
+                            score_q(qu, su, vrow, vscale)
+                        };
+                        (v, score)
+                    });
+                let top = topk_pairs(candidates, k)
+                    .into_iter()
+                    .map(|(item, score)| ScoredItem { item, score })
+                    .collect();
+                (
+                    top,
+                    AnnQuery {
+                        used_ann: false,
+                        used_quant: true,
+                        probes: qb.nprobe as u32,
+                        cands,
+                    },
+                )
+            }
+            None => {
+                let qu = qb.user_q.row(user as usize);
+                let su = qb.user_q.scale(user as usize);
+                let mut scores: Vec<f32> = (0..self.n_items())
+                    .map(|i| score_q(qu, su, qb.item_q.row(i), qb.item_q.scale(i)))
+                    .collect();
+                for &v in seen {
+                    scores[v as usize] = f32::NEG_INFINITY;
+                }
+                let top = topk_indices(&scores, k)
+                    .into_iter()
+                    .map(|item| ScoredItem {
+                        item,
+                        score: scores[item as usize],
+                    })
+                    .collect();
+                (
+                    top,
+                    AnnQuery {
+                        used_ann: false,
+                        used_quant: true,
+                        probes: 0,
+                        cands: self.n_items() as u32,
+                    },
+                )
+            }
+        }
+    }
+
     /// The IVF index build attached to these tables, if the source asked
     /// for one (disabled builds are still reported — the engine surfaces
     /// the refusal in `STATS`).
     pub fn ann(&self) -> Option<&AnnBuild> {
         self.ann.as_ref()
+    }
+
+    /// The quantized table build attached to these tables, if the source
+    /// asked for one (disabled builds are still reported — the engine
+    /// surfaces the refusal in `STATS`).
+    pub fn quant(&self) -> Option<&QuantBuild> {
+        self.quant.as_ref()
+    }
+
+    /// Resident bytes of the f32 embedding tables (users + items, 4 bytes
+    /// per weight; index payloads are counted separately).
+    pub fn table_bytes_f32(&self) -> usize {
+        (self.user_emb.rows() * self.user_emb.cols() + self.item_emb.rows() * self.item_emb.cols())
+            * 4
+    }
+
+    /// Resident bytes of the embedding representation the default (`REC`)
+    /// path scores from: the int8 tables when quantized serving is
+    /// enabled, the f32 tables otherwise. This is the `table_bytes` that
+    /// `STATS` reports — the observable for the ~4× quantization shrink.
+    pub fn table_bytes(&self) -> usize {
+        match &self.quant {
+            Some(qb) if qb.enabled => qb.table_bytes(),
+            _ => self.table_bytes_f32(),
+        }
     }
 }
 
@@ -607,6 +915,7 @@ mod tests {
             source.graph.clone(),
             3,
             Some(&IvfParams::new().nlists(6).nprobe(6)),
+            None,
         );
         assert_eq!(direct.generation(), 3);
         for user in [0u32, 21] {

@@ -308,12 +308,14 @@ fn prop_full_probe_matches_exact_hex_under_ties() {
             graph.clone(),
             1,
             Some(&params),
+            None,
         );
         let exact_tables = ModelTables::from_embeddings(
             Mat::from_vec(n_users, dim, users),
             Mat::from_vec(n_items, dim, items),
             graph,
             1,
+            None,
             None,
         );
         prop_assert!(ann_tables.ann().expect("index built").enabled());
