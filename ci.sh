@@ -17,7 +17,8 @@
 #   bench    bench harness smoke run (tiny budget)
 #   process  process-level smokes: kill/resume, serving parity + loadgen,
 #            ANN recall gate + REC/RECX drive, int8 drift gate +
-#            quant-parity sweep, shard router + chaos loadgen
+#            quant-parity sweep, shard router + chaos loadgen, supervisor
+#            chaos (SIGKILL a replicated primary under load)
 #            (all boot real binaries)
 #   gates    recorded perf-trajectory gate, dependency hermeticity
 #
@@ -106,6 +107,16 @@ boot_bin() {
 
 # ready_addr LOG: the bound address from a `READY addr=...` line.
 ready_addr() { sed -n 's/^READY addr=\([^ ]*\).*/\1/p' "$1" | head -n 1; }
+
+# ready_admin LOG: the loopback admin address from a `READY ... admin=...`
+# line (router_main and supervisord announce both listeners).
+ready_admin() { sed -n 's/^READY .*admin=\([^ ]*\).*/\1/p' "$1" | head -n 1; }
+
+# spawned_field LOG SHARD REPLICA FIELD: FIELD=value from the matching
+# `SPAWNED shard=S replica=R pid=... addr=...` supervisor log line.
+spawned_field() {
+    sed -n "s/^SPAWNED shard=$2 replica=$3 .*$4=\\([^ ]*\\).*/\\1/p" "$1" | head -n 1
+}
 
 # ---------------------------------------------------------------------------
 # Stage groups.
@@ -297,7 +308,7 @@ stage_router() {
     # scripted kill/rejoin of replica 1. The chaos driver exits non-zero on
     # any ERR outside the documented failover window and on any
     # routed-vs-direct parity deviation (hex-exact, sampled users).
-    local threads rdir r0_addr r1_addr r2_addr r1_pid router_addr
+    local threads rdir r0_addr r1_addr r2_addr r1_pid router_addr admin_addr
     for threads in 1 4; do
         rdir="$(tmp_dir router_smoke)"
 
@@ -317,6 +328,7 @@ stage_router() {
         boot_bin "router_t$threads" "READY addr=" \
             target/release/router_main --replicas "$r0_addr,$r1_addr,$r2_addr"
         router_addr=$(ready_addr "$BOOT_LOG")
+        admin_addr=$(ready_admin "$BOOT_LOG")
         if ! grep -q "shards=3 up=3" "$BOOT_LOG"; then
             echo "ERROR: router did not see all three replicas up at boot" >&2
             cat "$BOOT_LOG" >&2
@@ -324,11 +336,63 @@ stage_router() {
         fi
 
         GRAPHAUG_THREADS=$threads target/release/chaos_loadgen "$router_addr" \
-            --replicas "$r0_addr,$r1_addr,$r2_addr" \
+            --replicas "$r0_addr,$r1_addr,$r2_addr" --admin "$admin_addr" \
             --victim 1 --victim-pid "$r1_pid" \
             --victim-respawn "target/release/serve_main $rdir/ck --parity-users 2" \
             --requests-per-phase 400 --conns 4 --seed 7
         echo "ok: threads=$threads chaos run clean, failover scoped to shard 1, parity hex-exact"
+    done
+}
+
+stage_supervisor() {
+    stage "supervisor chaos smoke (replication 2, SIGKILL a primary under load, GRAPHAUG_THREADS=1 and 4)"
+    # The full HA story against real processes and zero operator input:
+    # supervisord owns 2 shards x 2 replicas of the demo engine (the first
+    # child trains the shared checkpoint, the rest reuse it) plus the
+    # router in front. The chaos driver SIGKILLs shard 0's primary under
+    # load; with a live secondary in the set there is NO tolerated failover
+    # window — any user-visible ERR fails the run — and the driver then
+    # waits for the supervisor to respawn the child and REPLACE its new
+    # address back into the router (every replica up again).
+    local threads sdir sup_addr sets victim_pid pid pat
+    for threads in 1 4; do
+        sdir="$(tmp_dir supervisor_smoke)"
+        boot_bin "supervisord_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/supervisord \
+            --shards 2 --replication 2 \
+            --cmd "target/release/serve_main $sdir/ck --parity-users 2" \
+            --backoff-ms 50 --backoff-cap-ms 500 --probe-ms 100
+        sup_addr=$(ready_addr "$BOOT_LOG")
+        # The children are supervisord's, but cleanup kills with -9 (no
+        # guard drop), so register every spawned pid for the EXIT trap.
+        for pid in $(sed -n 's/^SPAWNED .*pid=\([0-9]*\).*/\1/p' "$BOOT_LOG"); do
+            register_pid "$pid"
+        done
+        sets="$(spawned_field "$BOOT_LOG" 0 0 addr)|$(spawned_field "$BOOT_LOG" 0 1 addr)"
+        sets="$sets,$(spawned_field "$BOOT_LOG" 1 0 addr)|$(spawned_field "$BOOT_LOG" 1 1 addr)"
+        victim_pid=$(spawned_field "$BOOT_LOG" 0 0 pid)
+        if [[ -z "$victim_pid" || "$sets" == *"|,"* || "$sets" == *"|" ]]; then
+            echo "ERROR: could not parse SPAWNED lines from supervisord" >&2
+            cat "$BOOT_LOG" >&2
+            exit 1
+        fi
+
+        GRAPHAUG_THREADS=$threads target/release/chaos_loadgen "$sup_addr" \
+            --replicas "$sets" --supervised \
+            --victim 0 --victim-pid "$victim_pid" \
+            --requests-per-phase 400 --conns 4 --seed 11
+        for pat in "RESPAWNED shard=0 replica=0" "REPLACED shard=0 replica=0"; do
+            if ! grep -q "$pat" "$BOOT_LOG"; then
+                echo "ERROR: supervisord never logged '$pat'" >&2
+                cat "$BOOT_LOG" >&2
+                exit 1
+            fi
+        done
+        # Register the respawned child too.
+        for pid in $(sed -n 's/^RESPAWNED .*pid=\([0-9]*\).*/\1/p' "$BOOT_LOG"); do
+            register_pid "$pid"
+        done
+        echo "ok: threads=$threads SIGKILLed primary cost zero user-visible errors; supervisor respawned and REPLACEd it"
     done
 }
 
@@ -338,20 +402,21 @@ group_process() {
     stage_ann
     stage_quant
     stage_router
+    stage_supervisor
 }
 
 group_gates() {
-    stage "perf trajectory gate (BENCH_pr8 vs BENCH_pr7)"
-    # The recorded PR 8 trajectory point must hold a ≤10% median regression
-    # bound against the PR 7 baseline (best-of-4 interleaved medians, same
-    # recording protocol as PR 7). This diffs the two *recorded* files —
+    stage "perf trajectory gate (BENCH_pr9 vs BENCH_pr8)"
+    # The recorded PR 9 trajectory point must hold a ≤10% median regression
+    # bound against the PR 8 baseline (best-of-4 interleaved medians, same
+    # recording protocol as PR 8). This diffs the two *recorded* files —
     # deterministic and machine-independent — rather than re-benching on
     # whatever box CI runs on.
-    if [[ -f BENCH_pr8.json && -f BENCH_pr7.json ]]; then
+    if [[ -f BENCH_pr9.json && -f BENCH_pr8.json ]]; then
         cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-            BENCH_pr8.json BENCH_pr7.json --threshold 10
+            BENCH_pr9.json BENCH_pr8.json --threshold 10
     else
-        echo "skip: BENCH_pr8.json / BENCH_pr7.json not both present"
+        echo "skip: BENCH_pr9.json / BENCH_pr8.json not both present"
     fi
 
     stage "dependency hermeticity check"

@@ -13,7 +13,7 @@ use graphaug_core::{GraphAug, GraphAugConfig};
 use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
-use graphaug_router::{shard_of, start as start_router, Router, RouterConfig};
+use graphaug_router::{shard_of, spawn_ready, start as start_router, Router, RouterConfig};
 use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
 use graphaug_serve::{
     serve, Engine, IvfIndex, IvfParams, ModelSource, ModelTables, QuantIvf, QuantParams, QuantRows,
@@ -574,7 +574,7 @@ pub fn router(h: &mut Harness) {
         })
         .collect();
     let addrs: Vec<String> = replicas.iter().map(|r| r.addr().to_string()).collect();
-    let router = Router::new(RouterConfig::new(addrs));
+    let router = Router::new(RouterConfig::new(addrs.clone()));
     let handle = start_router(router.clone(), "127.0.0.1:0").expect("start router");
     let mut client = ServeClient::connect(&handle.addr().to_string()).expect("connect router");
 
@@ -596,13 +596,38 @@ pub fn router(h: &mut Harness) {
         black_box(client.request_lines(&line, 64).expect("routed batch").len());
     });
 
+    // Failover path: a one-shard replica set whose primary is a dead
+    // loopback port (marked down, so no network is wasted on it) and
+    // whose secondary is a live replica. Every routed request walks the
+    // failover order and is answered by the secondary — the steady-state
+    // cost of serving through a dead primary.
+    {
+        let sets = vec![vec!["127.0.0.1:9".to_string(), addrs[1].clone()]];
+        let fo_router = Router::new(RouterConfig::from_sets(sets));
+        fo_router.health().force_down(0, 0);
+        let fo_handle = start_router(fo_router.clone(), "127.0.0.1:0").expect("start router");
+        let mut fo_client =
+            ServeClient::connect(&fo_handle.addr().to_string()).expect("connect router");
+        let mut u = 0u32;
+        h.bench("router_rec_failover_deadprimary", || {
+            black_box(fo_client.rec_one(u, 20).expect("failover REC").len());
+            u = (u + 1) % n_users;
+        });
+        assert!(
+            fo_router.failover_count() > 0,
+            "failover bench must be served by the secondary"
+        );
+        fo_client.quit();
+        fo_handle.stop();
+    }
+
     // Down-shard fast-fail: a typed ERR with no network round-trip — this
     // is the property that keeps a dead replica from dragging tail
     // latency for everyone else. Stop the replica first so the prober
     // agrees it is dead (fresh connections are refused).
     let mut replicas = replicas;
     replicas.remove(0).stop();
-    router.health().force_down(0);
+    router.health().force_down(0, 0);
     let down_user = (0..n_users)
         .find(|&x| shard_of(x, 3) == 0)
         .expect("some user maps to shard 0");
@@ -616,4 +641,39 @@ pub fn router(h: &mut Harness) {
         r.stop();
     }
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Supervisor respawn-to-READY wall clock: spawn the protocol-faithful
+    // mock replica and wait for its READY line — the dominant term of the
+    // supervisor's recovery path (process spawn + bind + announce),
+    // measured without checkpoint-loading noise. Skipped (loudly) when
+    // the mock_replica binary is not next to this one.
+    match mock_replica_path() {
+        Some(mock) => {
+            let argv = vec![mock];
+            h.bench("supervisor_spawn_ready_mock", || {
+                let (child, addr) = spawn_ready(&argv, std::time::Duration::from_secs(30))
+                    .expect("mock replica READY");
+                black_box(addr.len());
+                drop(child); // kill + reap
+            });
+        }
+        None => eprintln!(
+            "perf: mock_replica binary not found next to {:?}; \
+             skipping supervisor_spawn_ready_mock",
+            std::env::current_exe().ok()
+        ),
+    }
+}
+
+/// The `mock_replica` binary built alongside this one, if present
+/// (`target/<profile>/` for bin runs, one level up for `deps/` test bins).
+fn mock_replica_path() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    for cand in [dir.join("mock_replica"), dir.parent()?.join("mock_replica")] {
+        if cand.is_file() {
+            return Some(cand.to_string_lossy().into_owned());
+        }
+    }
+    None
 }

@@ -2,55 +2,63 @@
 //! replica failure, end to end, against real processes.
 //!
 //! ```text
-//! chaos_loadgen <router-addr> --replicas A0,A1,A2
-//!     [--victim S --victim-pid PID --victim-respawn "CMD ARGS..."]
+//! chaos_loadgen <router-addr> --replicas SET[,SET...] [--admin ADDR]
+//!     [--victim S --victim-pid PID (--victim-respawn "CMD..." | --supervised)]
 //!     [--requests-per-phase N] [--conns N] [--seed S] [--kmax K]
 //!     [--parity-users N]
 //! ```
 //!
-//! Runs a scripted timeline of load phases (the `FaultPlan` idiom from
+//! Each `SET` is one shard's replica addresses (primary first, `|`
+//! separated — the syntax shared with `router_main`). Runs a scripted
+//! timeline of load phases (the `FaultPlan` idiom from
 //! `graphaug-runtime`: the schedule is data, keyed on phase index, so a
 //! run replays exactly from its seed):
 //!
 //! 1. `uniform`   — uniform user traffic, zero errors tolerated;
 //! 2. `zipf`      — zipfian skew (s = 1.1), zero errors tolerated;
 //! 3. `hotstorm`  — 90% of traffic on 4 hot users, zero errors tolerated;
-//! 4. *kill*      — SIGKILLs the victim replica, then `failover`: uniform
-//!    traffic where `ERR`s are allowed **only** for users the hash assigns
-//!    to the victim shard (the documented failover window — the router
-//!    must degrade exactly the dead shard's users, nobody else);
-//! 5. *rejoin*    — respawns the victim (same checkpoint dir, new
-//!    ephemeral port), installs the new address via `REPLACE`, waits for
-//!    the router's prober to mark it up, then `rejoined`: uniform traffic,
-//!    zero errors tolerated again;
+//! 4. *kill*      — SIGKILLs the victim shard's **primary**, then
+//!    `failover`. In **manual** mode (replication 1, `--victim-respawn`)
+//!    `ERR`s are allowed only for users the hash assigns to the victim
+//!    shard — the documented failover window. In **supervised** mode
+//!    (replication ≥ 2 under `supervisord`) the bar is the tentpole
+//!    guarantee: **zero** user-visible errors — the secondary must cover
+//!    the gap bit-identically while the supervisor respawns the primary;
+//! 5. *recover*   — manual mode respawns the victim itself and installs
+//!    the new address via `REPLACE` on the **admin** listener; supervised
+//!    mode just waits for the supervisor's respawn+`REPLACE` to bring
+//!    every replica back up (and asserts the router actually failed over
+//!    in the meantime). Then `rejoined`: uniform, zero errors;
 //! 6. *parity*    — for a sampled user set, asserts the routed response
-//!    line equals the owning replica's direct response **byte-for-byte**
-//!    at several cutoffs.
+//!    line equals a direct replica response **byte-for-byte** at several
+//!    cutoffs. With replication ≥ 2 a pre-kill `SETPARITY` sweep also
+//!    asserts every replica of a set answers byte-identically (the
+//!    primary-vs-secondary hex parity that makes failover invisible).
 //!
 //! Per-phase output: `phase <name>: requests=N errors=N degraded=N
 //! p50_us=… p95_us=… p99_us=… qps=…`. Any disallowed error, parity
 //! mismatch, or timeline step failure exits non-zero.
 
-use std::io::{BufRead, BufReader};
-use std::process::{Child, Command, ExitCode, Stdio};
-use std::sync::mpsc;
+use std::process::{Command, ExitCode};
 use std::time::{Duration, Instant};
 
 use graphaug_rng::StdRng;
-use graphaug_router::shard_of;
+use graphaug_router::{parse_replica_sets, shard_of, spawn_ready, ChildGuard};
 use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeClient};
 use graphaug_serve::{parse_ok_line, UserSampler};
 
-const USAGE: &str = "usage: chaos_loadgen <router-addr> --replicas A0,A1,A2 \
-     [--victim S --victim-pid PID --victim-respawn \"CMD...\"] \
+const USAGE: &str = "usage: chaos_loadgen <router-addr> --replicas SET[,SET...] [--admin ADDR] \
+     [--victim S --victim-pid PID (--victim-respawn \"CMD...\" | --supervised)] \
      [--requests-per-phase N] [--conns N] [--seed S] [--kmax K] [--parity-users N]";
 
 struct Args {
     router: String,
-    replicas: Vec<String>,
+    replica_sets: Vec<Vec<String>>,
+    admin: Option<String>,
     victim: Option<usize>,
     victim_pid: Option<u32>,
     victim_respawn: Option<String>,
+    supervised: bool,
     requests_per_phase: usize,
     conns: usize,
     seed: u64,
@@ -67,10 +75,12 @@ fn parse_args() -> Result<Args, String> {
     resolve_addr(&router)?;
     let mut out = Args {
         router,
-        replicas: Vec::new(),
+        replica_sets: Vec::new(),
+        admin: None,
         victim: None,
         victim_pid: None,
         victim_respawn: None,
+        supervised: false,
         requests_per_phase: 400,
         conns: 4,
         seed: 1,
@@ -83,17 +93,14 @@ fn parse_args() -> Result<Args, String> {
             v.and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
         };
         match flag.as_str() {
-            "--replicas" => {
-                out.replicas = value("--replicas")?
-                    .split(',')
-                    .map(str::to_string)
-                    .collect();
-            }
+            "--replicas" => out.replica_sets = parse_replica_sets(&value("--replicas")?)?,
+            "--admin" => out.admin = Some(value("--admin")?),
             "--victim" => out.victim = Some(int("--victim", value("--victim"))? as usize),
             "--victim-pid" => {
                 out.victim_pid = Some(int("--victim-pid", value("--victim-pid"))? as u32)
             }
             "--victim-respawn" => out.victim_respawn = Some(value("--victim-respawn")?),
+            "--supervised" => out.supervised = true,
             "--requests-per-phase" => {
                 out.requests_per_phase =
                     int("--requests-per-phase", value("--requests-per-phase"))? as usize
@@ -107,24 +114,34 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if out.replicas.is_empty() {
-        return Err("missing --replicas A0[,A1...]".into());
+    if out.replica_sets.is_empty() {
+        return Err("missing --replicas SET[,SET...]".into());
     }
-    for addr in &out.replicas {
-        resolve_addr(addr)?;
+    if let Some(admin) = &out.admin {
+        resolve_addr(admin)?;
     }
     if out.requests_per_phase == 0 || out.conns == 0 || out.kmax == 0 {
         return Err("--requests-per-phase, --conns and --kmax must be at least 1".into());
     }
     if let Some(v) = out.victim {
-        if v >= out.replicas.len() {
+        if v >= out.replica_sets.len() {
             return Err(format!(
-                "--victim {v} out of range (have {} replicas)",
-                out.replicas.len()
+                "--victim {v} out of range (have {} shards)",
+                out.replica_sets.len()
             ));
         }
-        if out.victim_pid.is_none() || out.victim_respawn.is_none() {
-            return Err("--victim needs --victim-pid and --victim-respawn".into());
+        if out.victim_pid.is_none() {
+            return Err("--victim needs --victim-pid".into());
+        }
+        match (out.supervised, &out.victim_respawn) {
+            (false, None) => return Err("--victim needs --victim-respawn (or --supervised)".into()),
+            (true, Some(_)) => {
+                return Err("--supervised and --victim-respawn are mutually exclusive".into())
+            }
+            _ => {}
+        }
+        if !out.supervised && out.admin.is_none() {
+            return Err("manual rejoin needs --admin (REPLACE is admin-only)".into());
         }
     }
     Ok(out)
@@ -133,20 +150,25 @@ fn parse_args() -> Result<Args, String> {
 /// One step of the scripted timeline (the `FaultPlan` idiom: schedule as
 /// data, keyed on step index, fully replayable from the seed).
 enum Step {
-    /// Drive load shaped by the sampler; `expect_down` lists the only
-    /// shard whose users may see `ERR`s.
+    /// Drive load shaped by the sampler; `expect_down` marks the manual
+    /// failover window (ignored in supervised mode, where the bar is
+    /// zero errors throughout).
     Load {
         name: &'static str,
         sampler_for: fn(u32) -> UserSampler,
         expect_down: bool,
     },
-    /// SIGKILL the victim replica.
+    /// SIGKILL the victim shard's primary.
     Kill,
-    /// Respawn the victim, `REPLACE` its address, wait for rejoin.
+    /// Manual mode: respawn the victim, `REPLACE` its address on the
+    /// admin listener, wait for rejoin.
     Rejoin,
+    /// Supervised mode: wait for the supervisor's respawn+`REPLACE` to
+    /// bring every replica back up, and assert failovers happened.
+    WaitRecover,
 }
 
-fn scenario(with_chaos: bool) -> Vec<Step> {
+fn scenario(with_chaos: bool, supervised: bool) -> Vec<Step> {
     let mut steps = vec![
         Step::Load {
             name: "uniform",
@@ -171,7 +193,11 @@ fn scenario(with_chaos: bool) -> Vec<Step> {
             sampler_for: UserSampler::uniform,
             expect_down: true,
         });
-        steps.push(Step::Rejoin);
+        steps.push(if supervised {
+            Step::WaitRecover
+        } else {
+            Step::Rejoin
+        });
         steps.push(Step::Load {
             name: "rejoined",
             sampler_for: UserSampler::uniform,
@@ -246,7 +272,7 @@ fn run_phase(
         let router = args.router.clone();
         let sampler = sampler.clone();
         let kmax = args.kmax;
-        let n_shards = args.replicas.len();
+        let n_shards = args.replica_sets.len();
         let rng = StdRng::stream(args.seed, (phase_idx as u64) << 32 | conn as u64);
         handles.push(std::thread::spawn(move || {
             drive_phase_conn(
@@ -288,59 +314,6 @@ fn run_phase(
     PhaseReport { errors, degraded }
 }
 
-/// Kills the respawned victim on drop so a failed run cannot leak it.
-struct ChildGuard(Child);
-
-impl Drop for ChildGuard {
-    fn drop(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
-
-/// Respawns the victim replica and returns (guard, READY address).
-fn respawn_victim(cmdline: &str) -> Result<(ChildGuard, String), String> {
-    let mut parts = cmdline.split_whitespace();
-    let bin = parts.next().ok_or("--victim-respawn command is empty")?;
-    let mut child = Command::new(bin)
-        .args(parts)
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .map_err(|e| format!("respawn {bin}: {e}"))?;
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut guard = ChildGuard(child);
-
-    // Scan the child's stdout for its READY line on a helper thread so a
-    // wedged child cannot block us past the timeout; the thread keeps
-    // draining afterwards so the pipe never fills.
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let reader = BufReader::new(stdout);
-        let mut announced = false;
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if !announced {
-                if let Some(addr) = stats_field(&line, "addr=") {
-                    if line.starts_with("READY ") {
-                        let _ = tx.send(addr.to_string());
-                        announced = true;
-                    }
-                }
-            }
-        }
-    });
-    match rx.recv_timeout(Duration::from_secs(120)) {
-        Ok(addr) => Ok((guard, addr)),
-        Err(_) => {
-            let status = guard.0.try_wait().ok().flatten();
-            Err(format!(
-                "respawned victim never printed READY (status: {status:?})"
-            ))
-        }
-    }
-}
-
 /// Waits until the router reports `shard` up (after a REPLACE).
 fn wait_for_rejoin(router: &str, shard: usize, timeout: Duration) -> Result<(), String> {
     let deadline = Instant::now() + timeout;
@@ -362,19 +335,51 @@ fn wait_for_rejoin(router: &str, shard: usize, timeout: Duration) -> Result<(), 
     result
 }
 
+/// Supervised recovery: waits until the router's `replica_states=` shows
+/// every replica of every shard up again (the supervisor respawned and
+/// `REPLACE`d the victim), and returns the router's failover counter.
+fn wait_for_full_recovery(router: &str, timeout: Duration) -> Result<u64, String> {
+    let deadline = Instant::now() + timeout;
+    let mut client = ServeClient::connect(router).map_err(|e| format!("connect {router}: {e}"))?;
+    let result = loop {
+        let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
+        let all_up = stats_field(&line, "replica_states=")
+            .map(|v| {
+                !v.is_empty()
+                    && v.split(',')
+                        .flat_map(|set| set.split('|'))
+                        .all(|s| s == "up")
+            })
+            .unwrap_or(false);
+        if all_up {
+            let failovers = stats_field(&line, "failovers=")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            break Ok(failovers);
+        }
+        if Instant::now() >= deadline {
+            break Err(format!("replicas never fully recovered: {line}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    client.quit();
+    result
+}
+
 /// Hex-exact routed-vs-direct parity over a sampled user set: the routed
-/// line must equal the owning replica's direct line byte-for-byte.
-fn parity_sweep(args: &Args, replicas: &[String], n_users: u32) -> Result<usize, String> {
+/// line must equal a live replica's direct line byte-for-byte. `direct`
+/// holds one address per shard (a replica known to be alive).
+fn parity_sweep(args: &Args, direct_addrs: &[String], n_users: u32) -> Result<usize, String> {
     let mut routed = ServeClient::connect(&args.router).map_err(|e| e.to_string())?;
-    let mut direct: Vec<ServeClient> = Vec::with_capacity(replicas.len());
-    for addr in replicas {
+    let mut direct: Vec<ServeClient> = Vec::with_capacity(direct_addrs.len());
+    for addr in direct_addrs {
         direct.push(ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?);
     }
     let mut rng = StdRng::stream(args.seed, 0xFAC7);
     let mut compared = 0usize;
     for _ in 0..args.parity_users {
         let user = rng.bounded_u64(n_users as u64) as u32;
-        let shard = shard_of(user, replicas.len());
+        let shard = shard_of(user, direct_addrs.len());
         for k in [1usize, 5, 20] {
             let via_router = routed.rec_one(user, k).map_err(|e| e.to_string())?;
             let via_replica = direct[shard].rec_one(user, k).map_err(|e| e.to_string())?;
@@ -394,6 +399,54 @@ fn parity_sweep(args: &Args, replicas: &[String], n_users: u32) -> Result<usize,
     Ok(compared)
 }
 
+/// Primary-vs-secondary hex parity: every replica of a set must answer
+/// byte-identically (same checkpoint, same bits), which is the property
+/// that makes failover invisible. Run before any kill, while every
+/// replica is alive. Returns the number of lines compared.
+fn set_parity_sweep(args: &Args, n_users: u32) -> Result<usize, String> {
+    let mut rng = StdRng::stream(args.seed, 0x5E7B);
+    let mut compared = 0usize;
+    for (shard, set) in args.replica_sets.iter().enumerate() {
+        if set.len() < 2 {
+            continue;
+        }
+        let mut conns: Vec<ServeClient> = Vec::with_capacity(set.len());
+        for addr in set {
+            conns.push(ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?);
+        }
+        for _ in 0..args.parity_users.max(1) {
+            // Only users this shard owns — a replica would answer others
+            // too, but the property we care about is the served path.
+            let user = loop {
+                let u = rng.bounded_u64(n_users as u64) as u32;
+                if shard_of(u, args.replica_sets.len()) == shard {
+                    break u;
+                }
+            };
+            for k in [1usize, 5, 20] {
+                let primary = conns[0].rec_one(user, k).map_err(|e| e.to_string())?;
+                if !primary.starts_with("OK ") {
+                    return Err(format!("set-parity request failed: {primary}"));
+                }
+                for (r, conn) in conns.iter_mut().enumerate().skip(1) {
+                    let secondary = conn.rec_one(user, k).map_err(|e| e.to_string())?;
+                    if primary != secondary {
+                        return Err(format!(
+                            "set-parity mismatch shard {shard} user {user} k {k}:\n  \
+                             replica 0: {primary}\n  replica {r}: {secondary}"
+                        ));
+                    }
+                    compared += 1;
+                }
+            }
+        }
+        for conn in conns {
+            conn.quit();
+        }
+    }
+    Ok(compared)
+}
+
 fn fetch_user_count(addr: &str) -> Result<u32, String> {
     let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let line = client.stats_line().map_err(|e| format!("STATS: {e}"))?;
@@ -405,19 +458,34 @@ fn fetch_user_count(addr: &str) -> Result<u32, String> {
 
 fn run(args: &Args) -> Result<(), String> {
     let n_users = fetch_user_count(&args.router)?;
-    let n_shards = args.replicas.len();
+    let n_shards = args.replica_sets.len();
+    let replication = args.replica_sets.iter().map(Vec::len).max().unwrap_or(1);
     println!(
-        "chaos_loadgen: routing {} users over {n_shards} shards via {}",
+        "chaos_loadgen: routing {} users over {n_shards} shards (replication {replication}) via {}",
         n_users, args.router
     );
 
-    // The replica address list, updated when the victim respawns — parity
-    // must ask the replica that is *currently* serving the shard.
-    let mut replicas = args.replicas.clone();
+    // Primary-vs-secondary bit parity, while everything is still alive.
+    if replication > 1 {
+        let pairs = set_parity_sweep(args, n_users)?;
+        println!("SETPARITY ok lines={pairs} (replicas of a set answer byte-identically)");
+    }
+
+    // One known-alive direct address per shard for the final parity sweep:
+    // the set's *last* replica — never a kill victim (victims are
+    // primaries) — or the rejoined primary in manual replication-1 mode.
+    let mut direct_addrs: Vec<String> = args
+        .replica_sets
+        .iter()
+        .map(|set| set.last().expect("non-empty set").clone())
+        .collect();
     let mut respawned: Option<ChildGuard> = None;
     let mut failures = 0usize;
 
-    for (idx, step) in scenario(args.victim.is_some()).iter().enumerate() {
+    for (idx, step) in scenario(args.victim.is_some(), args.supervised)
+        .iter()
+        .enumerate()
+    {
         match step {
             Step::Load {
                 name,
@@ -425,7 +493,13 @@ fn run(args: &Args) -> Result<(), String> {
                 expect_down,
             } => {
                 let sampler = sampler_for(n_users);
-                let expect = if *expect_down { args.victim } else { None };
+                // Supervised mode tolerates no errors anywhere: the
+                // secondary must cover the killed primary bit-identically.
+                let expect = if *expect_down && !args.supervised {
+                    args.victim
+                } else {
+                    None
+                };
                 let report = run_phase(args, idx, name, &sampler, expect);
                 if report.errors > 0 {
                     eprintln!(
@@ -434,7 +508,7 @@ fn run(args: &Args) -> Result<(), String> {
                     );
                     failures += report.errors;
                 }
-                if !*expect_down && report.degraded > 0 {
+                if expect.is_none() && report.degraded > 0 {
                     // Cannot happen (degraded is only counted when a shard
                     // is expected down), but keep the invariant loud.
                     failures += report.degraded;
@@ -449,16 +523,21 @@ fn run(args: &Args) -> Result<(), String> {
                 if !status.success() {
                     return Err(format!("kill -9 {pid} failed: {status}"));
                 }
-                println!("killed replica {} (pid {pid})", args.victim.expect("set"));
+                println!(
+                    "killed shard {} primary (pid {pid})",
+                    args.victim.expect("set")
+                );
             }
             Step::Rejoin => {
                 let victim = args.victim.expect("validated");
                 let cmdline = args.victim_respawn.as_deref().expect("validated");
-                let (guard, new_addr) = respawn_victim(cmdline)?;
-                println!("respawned replica {victim} at {new_addr}");
-                let mut admin = ServeClient::connect(&args.router).map_err(|e| e.to_string())?;
+                let argv: Vec<String> = cmdline.split_whitespace().map(str::to_string).collect();
+                let (guard, new_addr) = spawn_ready(&argv, Duration::from_secs(120))?;
+                println!("respawned shard {victim} primary at {new_addr}");
+                let admin_addr = args.admin.as_deref().expect("validated");
+                let mut admin = ServeClient::connect(admin_addr).map_err(|e| e.to_string())?;
                 let reply = admin
-                    .request_lines(&format!("REPLACE {victim} {new_addr}"), 1)
+                    .request_lines(&format!("REPLACE {victim} 0 {new_addr}"), 1)
                     .map_err(|e| format!("REPLACE: {e}"))?
                     .remove(0);
                 admin.quit();
@@ -466,14 +545,30 @@ fn run(args: &Args) -> Result<(), String> {
                     return Err(format!("REPLACE rejected: {reply}"));
                 }
                 wait_for_rejoin(&args.router, victim, Duration::from_secs(30))?;
-                println!("replica {victim} rejoined without router restart");
-                replicas[victim] = new_addr;
+                println!("shard {victim} rejoined without router restart");
+                if args.replica_sets[victim].len() == 1 {
+                    direct_addrs[victim] = new_addr;
+                }
                 respawned = Some(guard);
+            }
+            Step::WaitRecover => {
+                let failovers = wait_for_full_recovery(&args.router, Duration::from_secs(60))?;
+                if failovers == 0 {
+                    return Err(
+                        "supervised recovery finished but the router never failed over \
+                         (failovers=0 — was the victim really a serving primary?)"
+                            .into(),
+                    );
+                }
+                println!(
+                    "supervisor recovered all replicas (router failovers={failovers}), \
+                     no operator input"
+                );
             }
         }
     }
 
-    let compared = parity_sweep(args, &replicas, n_users)?;
+    let compared = parity_sweep(args, &direct_addrs, n_users)?;
     println!(
         "PARITY ok routed-vs-direct lists={compared} users={} shards={n_shards}",
         args.parity_users

@@ -1,0 +1,159 @@
+//! A protocol-faithful stand-in replica for supervisor tests and benches.
+//!
+//! ```text
+//! mock_replica [--gen N] [--users N] [--die-ms N]
+//! ```
+//!
+//! Binds an ephemeral loopback port, prints `READY addr=<bound>` (the
+//! contract [`graphaug_router::spawn_ready`] scans for), and answers the
+//! serving protocol with *deterministic synthetic* content: a `REC` line
+//! for user `u` is a pure function of `(gen, u, k)`, so two mock replicas
+//! started with the same `--gen` answer byte-identically — the same
+//! replica-set parity property a real checkpoint-sharing set has, at zero
+//! training cost. `--die-ms` makes the process exit non-zero after a
+//! delay, which is how supervisor tests get a replica that reliably
+//! "crashes" without reaching for `kill`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use graphaug_serve::proto::{parse_request, Request};
+
+struct Args {
+    gen: u64,
+    users: u32,
+    die_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        gen: 1,
+        users: 100,
+        die_ms: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or(format!("{name} needs a value"))
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        };
+        match flag.as_str() {
+            "--gen" => out.gen = value("--gen")?,
+            "--users" => out.users = value("--users")? as u32,
+            "--die-ms" => out.die_ms = Some(value("--die-ms")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.users == 0 {
+        return Err("--users must be at least 1".into());
+    }
+    Ok(out)
+}
+
+/// The deterministic `OK` line for `(gen, user, k)`: items walk up from
+/// the user id, score bits come from a multiplicative hash — stable
+/// across processes, so same-`--gen` mocks are byte-identical.
+fn rec_line(gen: u64, user: u32, k: usize) -> String {
+    let mut items = String::new();
+    let mut bits = String::new();
+    for i in 0..k {
+        if i > 0 {
+            items.push(',');
+            bits.push(',');
+        }
+        items.push_str(&((user as usize + i) % 100_000).to_string());
+        let b = (user ^ gen as u32)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(i as u32);
+        bits.push_str(&format!("{b:08x}"));
+    }
+    format!("OK gen={gen} user={user} k={k} items={items} bits={bits}")
+}
+
+fn handle(stream: TcpStream, gen: u64, users: u32, requests: &AtomicU64) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut w = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = match parse_request(&line) {
+            Ok(Request::Rec { users: us, k, .. }) => {
+                requests.fetch_add(us.len() as u64, Ordering::Relaxed);
+                for u in us {
+                    let _ = writeln!(w, "{}", rec_line(gen, u, k));
+                }
+                false
+            }
+            Ok(Request::Stats) => {
+                let _ = writeln!(
+                    w,
+                    "STATS gen={gen} users={users} items=100000 table_bytes=0 requests={}",
+                    requests.load(Ordering::Relaxed)
+                );
+                false
+            }
+            Ok(Request::Ping) => {
+                let _ = writeln!(w, "PONG");
+                false
+            }
+            Ok(Request::Quit) => {
+                let _ = writeln!(w, "BYE");
+                true
+            }
+            Err(msg) => {
+                let _ = writeln!(w, "ERR {msg}");
+                false
+            }
+        };
+        if w.flush().is_err() || done {
+            break;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mock_replica: {e}");
+            eprintln!("usage: mock_replica [--gen N] [--users N] [--die-ms N]");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mock_replica: bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener.local_addr().expect("bound");
+    println!("READY addr={addr} gen={}", args.gen);
+
+    if let Some(ms) = args.die_ms {
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            // A deliberate crash, distinguishable from a clean exit.
+            std::process::exit(3);
+        });
+    }
+
+    let requests = Arc::new(AtomicU64::new(0));
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let requests = requests.clone();
+        let (gen, users) = (args.gen, args.users);
+        std::thread::spawn(move || handle(stream, gen, users, &requests));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,44 +1,50 @@
-//! The shard-router process: hashes users across N replica engines.
+//! The shard-router process: hashes users across N replica sets.
 //!
 //! ```text
-//! router_main --replicas ADDR[,ADDR...] [--addr HOST:PORT] [--probe-ms N]
+//! router_main --replicas SET[,SET...] [--addr HOST:PORT]
+//!     [--admin-addr LOOPBACK:PORT] [--probe-ms N] [--budget-ms N]
 //! ```
 //!
-//! Speaks the serving protocol on both sides (plus the admin verb
-//! `REPLACE <shard> <addr>` to re-point a shard at a restarted replica)
-//! and prints `READY addr=<bound> shards=<n> up=<k>` once listening —
+//! Each `SET` is one shard's replica addresses, primary first, separated
+//! by `|` (a plain address is a set of one): `p0|s0,p1|s1` is two shards
+//! at replication factor 2. Speaks the serving protocol on the public
+//! port; the admin verb `REPLACE <shard> [<replica>] <addr>` (re-point a
+//! replica at a restarted process) is accepted only on the separate
+//! loopback admin listener. Prints
+//! `READY addr=<bound> admin=<bound> shards=<n> up=<k>` once listening —
 //! replicas that are down at boot do not block startup; the prober marks
 //! them up when they appear.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use graphaug_router::{probe_once, start, Router, RouterConfig};
-use graphaug_serve::resolve_addr;
+use graphaug_router::{parse_replica_sets, probe_once, start_with_admin, Router, RouterConfig};
 
 struct Args {
-    replicas: Vec<String>,
+    replica_sets: Vec<Vec<String>>,
     addr: String,
+    admin_addr: String,
     probe_ms: u64,
+    budget_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut out = Args {
-        replicas: Vec::new(),
+        replica_sets: Vec::new(),
         addr: "127.0.0.1:0".into(),
+        admin_addr: "127.0.0.1:0".into(),
         probe_ms: 25,
+        budget_ms: 5000,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--replicas" => {
-                out.replicas = value("--replicas")?
-                    .split(',')
-                    .map(str::to_string)
-                    .collect();
+                out.replica_sets = parse_replica_sets(&value("--replicas")?)?;
             }
             "--addr" => out.addr = value("--addr")?,
+            "--admin-addr" => out.admin_addr = value("--admin-addr")?,
             "--probe-ms" => {
                 out.probe_ms = value("--probe-ms")?
                     .parse()
@@ -47,14 +53,19 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--probe-ms must be at least 1".into());
                 }
             }
+            "--budget-ms" => {
+                out.budget_ms = value("--budget-ms")?
+                    .parse()
+                    .map_err(|_| "bad --budget-ms".to_string())?;
+                if out.budget_ms == 0 {
+                    return Err("--budget-ms must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if out.replicas.is_empty() {
-        return Err("missing --replicas ADDR[,ADDR...]".into());
-    }
-    for addr in &out.replicas {
-        resolve_addr(addr)?;
+    if out.replica_sets.is_empty() {
+        return Err("missing --replicas SET[,SET...]".into());
     }
     Ok(out)
 }
@@ -65,13 +76,16 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("router_main: {e}");
             eprintln!(
-                "usage: router_main --replicas ADDR[,ADDR...] [--addr HOST:PORT] [--probe-ms N]"
+                "usage: router_main --replicas SET[,SET...] [--addr HOST:PORT] \
+                 [--admin-addr LOOPBACK:PORT] [--probe-ms N] [--budget-ms N]"
             );
             return ExitCode::from(2);
         }
     };
 
-    let cfg = RouterConfig::new(args.replicas).probe_period(Duration::from_millis(args.probe_ms));
+    let cfg = RouterConfig::from_sets(args.replica_sets)
+        .probe_period(Duration::from_millis(args.probe_ms))
+        .request_budget(Duration::from_millis(args.budget_ms));
     let router = Router::new(cfg);
 
     // Two synchronous probe sweeps so the READY line reports real state: a
@@ -79,25 +93,31 @@ fn main() -> ExitCode {
     // failures to be marked down.
     for _ in 0..2 {
         for shard in 0..router.n_shards() {
-            probe_once(router.health(), shard, Duration::from_millis(500));
+            for replica in 0..router.health().n_replicas(shard) {
+                probe_once(router.health(), shard, replica, Duration::from_millis(500));
+            }
         }
     }
 
-    let handle = match start(router.clone(), &args.addr) {
+    let handle = match start_with_admin(router.clone(), &args.addr, &args.admin_addr) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("router_main: cannot bind {}: {e}", args.addr);
+            eprintln!(
+                "router_main: cannot bind {} / admin {}: {e}",
+                args.addr, args.admin_addr
+            );
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "READY addr={} shards={} up={}",
+        "READY addr={} admin={} shards={} up={}",
         handle.addr(),
+        handle.admin_addr(),
         router.n_shards(),
         router.health().up_count()
     );
 
-    // Route until killed (the accept loop runs on its own thread).
+    // Route until killed (the accept loops run on their own threads).
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }

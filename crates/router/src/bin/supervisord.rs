@@ -1,0 +1,182 @@
+//! The one-command HA deployment: replicas + router + respawn loop.
+//!
+//! ```text
+//! supervisord --shards N --replication R --cmd "serve_main --dir CKPT ..."
+//!     [--addr HOST:PORT] [--admin-addr LOOPBACK:PORT]
+//!     [--probe-ms N] [--budget-ms N] [--ready-timeout-ms N]
+//!     [--backoff-ms N] [--backoff-cap-ms N] [--restart-budget N] [--seed S]
+//! ```
+//!
+//! Spawns `shards × replication` replica child processes (sequentially —
+//! the first one trains/validates the checkpoint, the rest reuse it),
+//! boots the shard router in-process over the resulting replica sets,
+//! then supervises forever: a replica that exits or hangs is respawned
+//! under seeded exponential backoff with a restart budget, and its new
+//! ephemeral address is installed into the router via `REPLACE` on the
+//! loopback admin listener — no operator, no router restart, and (with
+//! replication ≥ 2) no user-visible errors while the respawn is in
+//! flight, because the surviving replica serves the same bits.
+//!
+//! Output is line-oriented and scrapable: one `SPAWNED shard= replica=
+//! pid= addr=` line per child, then `READY addr=<public> admin=<admin>
+//! shards=N replication=R`, then lifecycle events
+//! (`EXITED`/`HUNG`/`RESPAWN`/`RESPAWNED`/`REPLACED`/`ABANDONED`) as they
+//! happen. `ci.sh` parses the pids for cleanup and asserts the
+//! `RESPAWNED`+`REPLACED` pair appears after SIGKILLing a primary.
+
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use graphaug_router::{
+    probe_once, start_with_admin, Router, RouterConfig, Supervisor, SupervisorConfig,
+};
+
+struct Args {
+    shards: usize,
+    replication: usize,
+    cmd: Vec<String>,
+    addr: String,
+    admin_addr: String,
+    probe_ms: u64,
+    budget_ms: u64,
+    ready_timeout_ms: u64,
+    backoff_ms: u64,
+    backoff_cap_ms: u64,
+    restart_budget: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        shards: 0,
+        replication: 2,
+        cmd: Vec::new(),
+        addr: "127.0.0.1:0".into(),
+        admin_addr: "127.0.0.1:0".into(),
+        probe_ms: 100,
+        budget_ms: 5000,
+        ready_timeout_ms: 120_000,
+        backoff_ms: 50,
+        backoff_cap_ms: 5000,
+        restart_budget: 5,
+        seed: 1,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let int = |name: &str, v: Result<String, String>| {
+            v.and_then(|v| v.parse::<u64>().map_err(|_| format!("bad {name} value")))
+        };
+        match flag.as_str() {
+            "--shards" => out.shards = int("--shards", value("--shards"))? as usize,
+            "--replication" => {
+                out.replication = int("--replication", value("--replication"))? as usize
+            }
+            "--cmd" => {
+                out.cmd = value("--cmd")?
+                    .split_whitespace()
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--addr" => out.addr = value("--addr")?,
+            "--admin-addr" => out.admin_addr = value("--admin-addr")?,
+            "--probe-ms" => out.probe_ms = int("--probe-ms", value("--probe-ms"))?,
+            "--budget-ms" => out.budget_ms = int("--budget-ms", value("--budget-ms"))?,
+            "--ready-timeout-ms" => {
+                out.ready_timeout_ms = int("--ready-timeout-ms", value("--ready-timeout-ms"))?
+            }
+            "--backoff-ms" => out.backoff_ms = int("--backoff-ms", value("--backoff-ms"))?,
+            "--backoff-cap-ms" => {
+                out.backoff_cap_ms = int("--backoff-cap-ms", value("--backoff-cap-ms"))?
+            }
+            "--restart-budget" => {
+                out.restart_budget = int("--restart-budget", value("--restart-budget"))? as u32
+            }
+            "--seed" => out.seed = int("--seed", value("--seed"))?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if out.shards == 0 {
+        return Err("missing/zero --shards N".into());
+    }
+    if out.replication == 0 {
+        return Err("--replication must be at least 1".into());
+    }
+    if out.cmd.is_empty() {
+        return Err("missing --cmd \"BIN ARGS...\" (must print READY addr=...)".into());
+    }
+    if out.probe_ms == 0 || out.budget_ms == 0 || out.ready_timeout_ms == 0 {
+        return Err("--probe-ms, --budget-ms and --ready-timeout-ms must be at least 1".into());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("supervisord: {e}");
+            eprintln!(
+                "usage: supervisord --shards N --replication R --cmd \"BIN ARGS...\" \
+                 [--addr HOST:PORT] [--admin-addr LOOPBACK:PORT] [--probe-ms N] \
+                 [--budget-ms N] [--ready-timeout-ms N] [--backoff-ms N] \
+                 [--backoff-cap-ms N] [--restart-budget N] [--seed S]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut sup_cfg = SupervisorConfig::new(args.shards, args.replication, args.cmd.clone());
+    sup_cfg.probe_period = Duration::from_millis(args.probe_ms);
+    sup_cfg.ready_timeout = Duration::from_millis(args.ready_timeout_ms);
+    sup_cfg.backoff_base = Duration::from_millis(args.backoff_ms);
+    sup_cfg.backoff_cap = Duration::from_millis(args.backoff_cap_ms);
+    sup_cfg.restart_budget = args.restart_budget;
+    sup_cfg.seed = args.seed;
+
+    let mut log = |line: &str| println!("{line}");
+    let mut supervisor = Supervisor::new(sup_cfg);
+    let sets = match supervisor.spawn_all(&mut log) {
+        Ok(sets) => sets,
+        Err(e) => {
+            eprintln!("supervisord: spawn failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let router_cfg = RouterConfig::from_sets(sets)
+        .probe_period(Duration::from_millis(args.probe_ms.min(50)))
+        .request_budget(Duration::from_millis(args.budget_ms));
+    let router = Router::new(router_cfg);
+    // One synchronous probe sweep so the READY line reports real state
+    // (every replica just printed READY, so one success each suffices).
+    for shard in 0..router.n_shards() {
+        for replica in 0..router.health().n_replicas(shard) {
+            probe_once(router.health(), shard, replica, Duration::from_millis(500));
+        }
+    }
+    let handle = match start_with_admin(router.clone(), &args.addr, &args.admin_addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!(
+                "supervisord: cannot bind {} / admin {}: {e}",
+                args.addr, args.admin_addr
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let admin = handle.admin_addr().to_string();
+    println!(
+        "READY addr={} admin={admin} shards={} replication={}",
+        handle.addr(),
+        args.shards,
+        args.replication
+    );
+
+    // Supervise until killed. The router's accept loops and prober run on
+    // their own threads; this thread owns the children.
+    let stop = AtomicBool::new(false);
+    supervisor.run(&admin, &stop, &mut log);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,107 @@
+//! Per-request time budgets, carried through retry and failover.
+//!
+//! Before this module the router's timeouts were piecemeal: a connect
+//! timeout here, a socket read timeout there, a retry backoff in between —
+//! each individually bounded, but their *sum* was not. A request that hit
+//! a slow replica, backed off, retried, failed over and hit another slow
+//! replica could legally burn `replicas × (retries+1) × io_timeout` of
+//! wall clock. A [`Deadline`] makes the budget a property of the request:
+//! it is created once when the request line is accepted, and every
+//! blocking step along the way — connect, socket I/O, backoff sleep —
+//! clamps itself to whatever is left. When the budget runs out the router
+//! answers with a typed `ERR deadline …`, distinct from `ERR down …`
+//! (which means "no serving-eligible replica", not "ran out of time").
+
+use std::time::{Duration, Instant};
+
+/// The floor for clamped socket timeouts: `TcpStream::set_read_timeout`
+/// rejects a zero duration, and a sub-millisecond timeout is
+/// indistinguishable from one on loopback anyway.
+pub const MIN_IO_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// A monotonic per-request time budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// Starts the clock now with `budget` of wall time.
+    pub fn new(budget: Duration) -> Deadline {
+        Deadline {
+            start: Instant::now(),
+            budget,
+        }
+    }
+
+    /// The full budget this deadline was created with.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Wall time consumed so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Budget remaining (zero once expired, never negative).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.start.elapsed())
+    }
+
+    /// Has the budget run out?
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+
+    /// Clamps a configured timeout to the remaining budget, floored at
+    /// [`MIN_IO_TIMEOUT`] so the result is always a valid socket timeout.
+    /// Callers must check [`Deadline::expired`] first — clamping an
+    /// expired deadline still yields the floor, by design: the caller is
+    /// about to make one last bounded attempt, not an unbounded one.
+    pub fn clamp(&self, configured: Duration) -> Duration {
+        configured.min(self.remaining()).max(MIN_IO_TIMEOUT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_has_its_whole_budget() {
+        let d = Deadline::new(Duration::from_secs(5));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(4));
+        assert_eq!(d.budget(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn zero_budget_is_immediately_expired() {
+        let d = Deadline::new(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn elapsed_budget_expires() {
+        let d = Deadline::new(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        assert!(d.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn clamp_takes_the_minimum_but_never_zero() {
+        let d = Deadline::new(Duration::from_millis(50));
+        // Configured timeout larger than the budget: clamped down.
+        assert!(d.clamp(Duration::from_secs(10)) <= Duration::from_millis(50));
+        // Configured timeout smaller than the budget: kept.
+        assert_eq!(d.clamp(Duration::from_millis(2)), Duration::from_millis(2));
+        // Expired deadline: floored, never zero (a valid socket timeout).
+        let gone = Deadline::new(Duration::ZERO);
+        assert_eq!(gone.clamp(Duration::from_secs(1)), MIN_IO_TIMEOUT);
+    }
+}

@@ -30,6 +30,40 @@ pub fn shard_of(user: u32, n_shards: usize) -> usize {
     (splitmix64_mix(user as u64 ^ SHARD_HASH_SALT) % n_shards as u64) as usize
 }
 
+/// Parses the replica-set addressing syntax shared by `router_main`,
+/// `supervisord`, and `chaos_loadgen`: shards separated by commas,
+/// replicas within a shard separated by `|`, primary first.
+///
+/// ```text
+/// "p0|s0,p1|s1,p2|s2"   three shards, replication factor 2
+/// "a,b,c"               three shards, no replication (factor 1)
+/// ```
+///
+/// The shard *count* — the thing [`shard_of`] reduces by — is the number
+/// of comma-separated sets, never the total replica count: adding a
+/// secondary must not reshuffle user ownership, or failover would stop
+/// being invisible. Addresses are validated for shape only (resolvable),
+/// not liveness.
+pub fn parse_replica_sets(spec: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut sets = Vec::new();
+    for (shard, set_spec) in spec.split(',').enumerate() {
+        let mut set = Vec::new();
+        for addr in set_spec.split('|') {
+            let addr = addr.trim();
+            if addr.is_empty() {
+                return Err(format!("shard {shard}: empty replica address in {spec:?}"));
+            }
+            graphaug_serve::resolve_addr(addr)?;
+            set.push(addr.to_string());
+        }
+        sets.push(set);
+    }
+    if sets.is_empty() {
+        return Err("no replica sets given".into());
+    }
+    Ok(sets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,6 +77,27 @@ mod tests {
                 assert_eq!(s, shard_of(user, n), "pure function of (user, n)");
             }
         }
+    }
+
+    #[test]
+    fn replica_set_specs_parse_and_validate() {
+        assert_eq!(
+            parse_replica_sets("127.0.0.1:1|127.0.0.1:2,127.0.0.1:3").unwrap(),
+            vec![
+                vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()],
+                vec!["127.0.0.1:3".to_string()],
+            ]
+        );
+        // Flat lists are replication factor 1.
+        assert_eq!(
+            parse_replica_sets("127.0.0.1:1,127.0.0.1:2").unwrap().len(),
+            2
+        );
+        assert!(parse_replica_sets("").is_err());
+        assert!(parse_replica_sets("127.0.0.1:1|").is_err(), "empty replica");
+        assert!(parse_replica_sets("|127.0.0.1:1").is_err());
+        assert!(parse_replica_sets("not-an-addr").is_err());
+        assert!(parse_replica_sets("127.0.0.1:1|nope").is_err());
     }
 
     #[test]

@@ -73,3 +73,184 @@ fn salt_is_pinned() {
     // chaos driver built from different trees must still agree on owners.
     assert_eq!(SHARD_HASH_SALT, 0x6772_6175_6772_7421);
 }
+
+// ---------------------------------------------------------------------------
+// HealthBoard + failover decision properties
+// ---------------------------------------------------------------------------
+
+use graphaug_router::{failover_order, HealthBoard, ReplicaHealth};
+
+/// Plain-struct reference model of one replica's health, updated with the
+/// documented transition rules; the real `HealthBoard` (atomics, locks)
+/// must agree with it after every operation.
+#[derive(Clone)]
+struct RefReplica {
+    up: bool,
+    streak: u32,
+    gen: u64,
+    degraded: bool,
+}
+
+impl RefReplica {
+    fn fresh() -> RefReplica {
+        RefReplica {
+            up: true,
+            streak: 0,
+            gen: 0,
+            degraded: false,
+        }
+    }
+
+    fn health(&self) -> ReplicaHealth {
+        if !self.up {
+            ReplicaHealth::Down
+        } else if self.degraded {
+            ReplicaHealth::Degraded
+        } else {
+            ReplicaHealth::Up
+        }
+    }
+}
+
+#[test]
+fn health_board_matches_a_reference_model_under_random_op_sequences() {
+    // Random interleavings of every operation the prober, the data path,
+    // and the admin REPLACE verb can apply — including flap sequences
+    // (ok/failure alternations) and generation skew — checked against the
+    // reference model after every single step.
+    prop::check("health_board_model", 96, |g| {
+        let n_shards = 1 + g.bounded_u64(3) as usize;
+        let replication = 1 + g.bounded_u64(3) as usize;
+        let down_after = 1 + g.bounded_u64(3) as u32;
+        let sets: Vec<Vec<String>> = (0..n_shards)
+            .map(|s| {
+                (0..replication)
+                    .map(|r| format!("127.0.0.1:{}", 1000 + 10 * s + r))
+                    .collect()
+            })
+            .collect();
+        let board = HealthBoard::new(&sets, down_after);
+        let mut model: Vec<Vec<RefReplica>> =
+            vec![vec![RefReplica::fresh(); replication]; n_shards];
+
+        let ops = g.len_in(1, 250);
+        for _ in 0..ops {
+            let s = g.bounded_u64(n_shards as u64) as usize;
+            let r = g.bounded_u64(replication as u64) as usize;
+            match g.bounded_u64(5) {
+                0 => {
+                    board.report_ok(s, r);
+                    model[s][r].up = true;
+                    model[s][r].streak = 0;
+                }
+                1 => {
+                    board.report_failure(s, r);
+                    model[s][r].streak += 1;
+                    if model[s][r].streak >= down_after {
+                        model[s][r].up = false;
+                    }
+                }
+                2 => {
+                    board.force_down(s, r);
+                    model[s][r].streak = down_after;
+                    model[s][r].up = false;
+                }
+                3 => {
+                    let addr = format!("127.0.0.1:{}", 2000 + g.bounded_u64(1000));
+                    board.replace(s, r, &addr);
+                    // A replacement starts down-until-probed with its
+                    // generation unknown and no skew verdict.
+                    model[s][r] = RefReplica::fresh();
+                    model[s][r].up = false;
+                }
+                _ => {
+                    // Small generation range so skew actually occurs.
+                    let gen = g.bounded_u64(4);
+                    board.report_generation(s, r, gen);
+                    model[s][r].gen = gen;
+                    let newest = model[s]
+                        .iter()
+                        .filter(|m| m.up)
+                        .map(|m| m.gen)
+                        .max()
+                        .unwrap_or(0);
+                    for m in &mut model[s] {
+                        m.degraded = m.gen != 0 && m.gen < newest;
+                    }
+                }
+            }
+
+            // The touched shard must agree with the model on every surface
+            // the router consults.
+            let states: Vec<ReplicaHealth> = model[s].iter().map(|m| m.health()).collect();
+            prop_assert_eq!(board.shard_states(s), states.clone());
+            prop_assert_eq!(board.serving_order(s), failover_order(&states));
+            for (idx, m) in model[s].iter().enumerate() {
+                prop_assert_eq!(board.is_up(s, idx), m.up);
+                prop_assert_eq!(board.generation(s, idx), m.gen);
+            }
+        }
+
+        // Global aggregates at the end of the run.
+        let want_up: usize = model.iter().flatten().filter(|m| m.up).count();
+        prop_assert_eq!(board.up_count(), want_up);
+        let want_shards_up = model
+            .iter()
+            .filter(|set| set.iter().any(|m| m.up && !m.degraded))
+            .count();
+        prop_assert_eq!(board.shards_up(), want_shards_up);
+        Ok(())
+    });
+}
+
+#[test]
+fn flaps_shorter_than_the_down_threshold_never_mark_a_replica_down() {
+    // Hysteresis: any interleaving of sub-threshold failure bursts, each
+    // cleared by a success before the streak reaches `down_after`, must
+    // leave the replica up the whole time — flappy-but-recovering
+    // replicas are not ejected.
+    prop::check("health_flap_hysteresis", 64, |g| {
+        let down_after = 2 + g.bounded_u64(4) as u32;
+        let board = HealthBoard::new(&[vec!["127.0.0.1:9".to_string()]], down_after);
+        let bursts = g.len_in(1, 60);
+        for _ in 0..bursts {
+            let burst = g.bounded_u64(down_after as u64 - 1) as u32; // < down_after
+            for _ in 0..burst {
+                board.report_failure(0, 0);
+                prop_assert!(
+                    board.is_up(0, 0),
+                    "{burst} failures < down_after {down_after} must not down it"
+                );
+            }
+            board.report_ok(0, 0);
+            prop_assert!(board.is_up(0, 0));
+        }
+        prop_assert_eq!(board.transitions(0, 0), 0);
+        Ok(())
+    });
+}
+
+#[test]
+fn failover_order_is_exactly_the_up_replicas_in_set_order() {
+    prop::check("failover_order_reference", 64, |g| {
+        let len = g.len_in(1, 12);
+        let states = g.vec_of(len, |g| match g.bounded_u64(3) {
+            0 => ReplicaHealth::Up,
+            1 => ReplicaHealth::Down,
+            _ => ReplicaHealth::Degraded,
+        });
+        let order = failover_order(&states);
+        // Exactly the Up indices…
+        let want: Vec<usize> = (0..len)
+            .filter(|&i| states[i] == ReplicaHealth::Up)
+            .collect();
+        prop_assert_eq!(order.clone(), want);
+        // …strictly increasing (deterministic preference order), and a
+        // degraded replica is never serving-eligible.
+        prop_assert!(order.windows(2).all(|w| w[0] < w[1]));
+        for &i in &order {
+            prop_assert!(states[i] != ReplicaHealth::Degraded);
+        }
+        Ok(())
+    });
+}

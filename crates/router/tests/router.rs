@@ -13,7 +13,7 @@ use graphaug_data::{generate, SyntheticConfig};
 use graphaug_graph::InteractionGraph;
 use graphaug_router::{shard_of, start, Router, RouterConfig};
 use graphaug_runtime::{Runtime, RuntimeConfig};
-use graphaug_serve::{serve, Engine, IvfParams, ModelSource, ServeClient};
+use graphaug_serve::{err_kind, serve, Engine, IvfParams, ModelSource, ServeClient};
 
 /// A unique, self-cleaning directory per test.
 struct TempDir(PathBuf);
@@ -187,7 +187,7 @@ fn routed_responses_survive_kill_and_rejoin_bit_identically() {
     wait_until(
         "prober to mark the victim down",
         Duration::from_secs(10),
-        || !router.health().is_up(victim),
+        || !router.health().is_up(victim, 0),
     );
 
     let victim_user = owned[victim][0];
@@ -226,15 +226,28 @@ fn routed_responses_survive_kill_and_rejoin_bit_identically() {
     let reborn = boot_replica(&graph, dir.path());
     let new_addr = reborn.addr().to_string();
     assert_ne!(new_addr, addrs[victim], "ephemeral rebind lands elsewhere");
-    let reply = via_router
+    // REPLACE on the public port is refused with a typed ERR (the admin
+    // surface can re-point shards; it lives on the loopback admin
+    // listener only).
+    let denied = via_router
         .request_lines(&format!("REPLACE {victim} {new_addr}"), 1)
         .unwrap()
         .remove(0);
-    assert_eq!(reply, format!("OK shard={victim} addr={new_addr}"));
+    assert_eq!(err_kind(&denied), Some("admin"), "got {denied:?}");
+    let mut admin = ServeClient::connect(&handle.admin_addr().to_string()).unwrap();
+    let reply = admin
+        .request_lines(&format!("REPLACE {victim} {new_addr}"), 1)
+        .unwrap()
+        .remove(0);
+    assert_eq!(
+        reply,
+        format!("OK shard={victim} replica=0 addr={new_addr}")
+    );
+    admin.quit();
     wait_until(
         "replaced replica to rejoin",
         Duration::from_secs(10),
-        || router.health().is_up(victim),
+        || router.health().is_up(victim, 0),
     );
 
     // Same connection, no router restart: the victim's users are served
@@ -359,10 +372,6 @@ fn router_protocol_surface_is_typed_and_never_panics() {
         ("REC", "ERR "),
         ("REC notanumber 5", "ERR "),
         ("REC 1 notanumber", "ERR "),
-        ("REPLACE", "ERR "),
-        ("REPLACE 7 127.0.0.1:1", "ERR "),
-        ("REPLACE 0 not-an-addr", "ERR "),
-        ("REPLACE 0 127.0.0.1:1 extra", "ERR "),
     ] {
         let line = client.request_lines(req, 1).unwrap().remove(0);
         assert!(
@@ -371,11 +380,310 @@ fn router_protocol_surface_is_typed_and_never_panics() {
         );
     }
 
-    // Out-of-range user: the replica's own typed ERR is relayed verbatim.
+    // Every REPLACE form — even a malformed one — answers the typed
+    // `ERR admin` on the public port: the admin surface does not leak
+    // argument validation to unprivileged clients.
+    for req in [
+        "REPLACE",
+        "REPLACE 0 127.0.0.1:1",
+        "REPLACE 7 127.0.0.1:1",
+        "REPLACE 0 not-an-addr",
+    ] {
+        let line = client.request_lines(req, 1).unwrap().remove(0);
+        assert_eq!(err_kind(&line), Some("admin"), "{req:?} got {line:?}");
+    }
+
+    // Out-of-range user: the replica's own typed ERR is relayed verbatim
+    // (and carries no router kind token). Checked before the REPLACE
+    // below re-points the only shard.
     let line = client.rec_one(999_999, 5).unwrap();
     assert!(line.starts_with("ERR "), "got {line:?}");
+    assert_eq!(err_kind(&line), None, "relayed replica ERR, got {line:?}");
+
+    // On the admin listener the verb is honored — with typed argument
+    // validation (no kind token: these are ordinary protocol ERRs, not
+    // routing failures).
+    let mut admin = ServeClient::connect(&handle.admin_addr().to_string()).unwrap();
+    assert!(admin.ping().unwrap(), "admin listener answers PING");
+    for (req, want_ok) in [
+        ("REPLACE", false),
+        ("REPLACE 7 127.0.0.1:1", false),
+        ("REPLACE 0 not-an-addr", false),
+        ("REPLACE 0 9 127.0.0.1:1", false),
+        ("REPLACE 0 127.0.0.1:1 too many args", false),
+        ("REPLACE 0 127.0.0.1:1", true),
+    ] {
+        let line = admin.request_lines(req, 1).unwrap().remove(0);
+        if want_ok {
+            assert!(line.starts_with("OK "), "{req:?} got {line:?}");
+        } else {
+            assert!(line.starts_with("ERR "), "{req:?} got {line:?}");
+            assert_eq!(err_kind(&line), None, "{req:?} got {line:?}");
+        }
+    }
+    admin.quit();
 
     client.quit();
     handle.stop();
     replica.stop();
+}
+
+/// The tentpole guarantee, end to end: two shards at replication factor 2
+/// over one checkpoint; the primary of shard 0 dies; **zero** user-visible
+/// errors — the secondary answers bit-identically *within the request*
+/// (no waiting for the prober), the failover counter moves, and a
+/// `REPLACE`d fresh engine takes the primary slot back.
+#[test]
+fn failover_serves_the_secondary_bit_identically_with_zero_errors() {
+    let graph = toy_graph();
+    let n_users = graph.n_users() as u32;
+    let dir = TempDir::new("failover");
+    train_into(dir.path(), &graph);
+
+    // Four replicas over the same checkpoint: sets [[p0,s0],[p1,s1]].
+    let mut replicas: Vec<_> = (0..4).map(|_| boot_replica(&graph, dir.path())).collect();
+    let addrs: Vec<String> = replicas.iter().map(|h| h.addr().to_string()).collect();
+    let sets = vec![
+        vec![addrs[0].clone(), addrs[1].clone()],
+        vec![addrs[2].clone(), addrs[3].clone()],
+    ];
+    let router = Router::new(RouterConfig::from_sets(sets).probe_period(Duration::from_millis(10)));
+    let handle = start(router.clone(), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let mut direct: Vec<ServeClient> = addrs
+        .iter()
+        .map(|a| ServeClient::connect(a).unwrap())
+        .collect();
+
+    // Primary-vs-secondary hex parity while everything is up: replicas of
+    // a set answer byte-identically — the property that makes failover
+    // invisible to the client.
+    for user in (0..n_users).step_by(3) {
+        let shard = shard_of(user, 2);
+        let p = direct[2 * shard].rec_one(user, 9).unwrap();
+        let s = direct[2 * shard + 1].rec_one(user, 9).unwrap();
+        assert!(p.starts_with("OK "), "user {user}: {p}");
+        assert_eq!(p, s, "replica-set parity for user {user}");
+    }
+
+    // Kill shard 0's primary. Deliberately NO wait for the prober: the
+    // router must fail over within the first request that hits it.
+    replicas.remove(0).stop();
+    let shard0_user = (0..n_users)
+        .find(|&u| shard_of(u, 2) == 0)
+        .expect("some user maps to shard 0");
+    let before = router.failover_count();
+    for i in 0..5u32 {
+        let line = client.rec_one(shard0_user, 9).unwrap();
+        assert!(
+            line.starts_with("OK "),
+            "request {i}: zero user-visible errors during failover, got {line:?}"
+        );
+        let expect = direct[1].rec_one(shard0_user, 9).unwrap();
+        assert_eq!(
+            line, expect,
+            "request {i}: failover answer must be bit-identical to the secondary"
+        );
+    }
+    assert!(
+        router.failover_count() > before,
+        "the failover counter must account for secondary-served requests"
+    );
+
+    // Once the prober confirms, STATS shows shard 0 served by replica 1.
+    wait_until(
+        "prober to mark the dead primary down",
+        Duration::from_secs(10),
+        || !router.health().is_up(0, 0),
+    );
+    let stats = client.stats_line().unwrap();
+    assert!(stats.contains("serving=1,0"), "got {stats:?}");
+    assert!(
+        graphaug_serve::stats_field(&stats, "failovers=")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0)
+            > 0,
+        "got {stats:?}"
+    );
+    assert!(
+        stats.contains("replica_states=down|up,up|up"),
+        "got {stats:?}"
+    );
+
+    // A fresh engine takes the primary slot back via the admin listener.
+    let reborn = boot_replica(&graph, dir.path());
+    let new_addr = reborn.addr().to_string();
+    let mut admin = ServeClient::connect(&handle.admin_addr().to_string()).unwrap();
+    let reply = admin
+        .request_lines(&format!("REPLACE 0 0 {new_addr}"), 1)
+        .unwrap()
+        .remove(0);
+    assert_eq!(reply, format!("OK shard=0 replica=0 addr={new_addr}"));
+    admin.quit();
+    wait_until("reborn primary to rejoin", Duration::from_secs(10), || {
+        router.health().is_up(0, 0)
+    });
+    let mut direct_reborn = ServeClient::connect(&new_addr).unwrap();
+    let line = client.rec_one(shard0_user, 9).unwrap();
+    let expect = direct_reborn.rec_one(shard0_user, 9).unwrap();
+    assert_eq!(
+        line, expect,
+        "the reborn primary serves again, bit-identically"
+    );
+
+    for d in direct {
+        d.quit();
+    }
+    direct_reborn.quit();
+    client.quit();
+    handle.stop();
+    reborn.stop();
+    for r in replicas {
+        r.stop();
+    }
+}
+
+/// Deadline budgets: a hung replica (connection accepted, never answered)
+/// costs at most the request budget and yields a typed `ERR deadline`;
+/// once the replica is marked down the same request answers a typed
+/// `ERR down` with no budget burned at all. The two error kinds are the
+/// wire-visible difference between "ran out of time" and "nothing to try".
+#[test]
+fn deadline_budget_is_enforced_with_typed_errors() {
+    // A listener whose backlog accepts connections nobody ever reads:
+    // connect succeeds, every read blocks until its socket timeout.
+    let hung = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = hung.local_addr().unwrap().to_string();
+
+    let mut cfg = RouterConfig::new(vec![addr])
+        .probe_period(Duration::from_secs(3600))
+        .request_budget(Duration::from_millis(120));
+    // Keep the hung replica "up" for the whole test: the deadline path is
+    // under test here, not the down-marking streak.
+    cfg.down_after = 1000;
+    let router = Router::new(cfg);
+    let handle = start(router.clone(), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+
+    for attempt in 0..2u32 {
+        let t0 = Instant::now();
+        let line = client.rec_one(attempt, 5).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(
+            graphaug_serve::err_kind(&line),
+            Some("deadline"),
+            "attempt {attempt}: got {line:?}"
+        );
+        assert!(
+            elapsed >= Duration::from_millis(100),
+            "attempt {attempt}: the budget was actually spent waiting ({elapsed:?})"
+        );
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "attempt {attempt}: a request must never burn more than its \
+             budget (+slack), took {elapsed:?}"
+        );
+    }
+    assert_eq!(router.deadline_error_count(), 2);
+
+    // Down shard: typed `ERR down`, answered with no network wait.
+    router.health().force_down(0, 0);
+    let t0 = Instant::now();
+    let line = client.rec_one(7, 5).unwrap();
+    assert_eq!(
+        graphaug_serve::err_kind(&line),
+        Some("down"),
+        "got {line:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_millis(100),
+        "fast-fail must not consult the deadline budget"
+    );
+
+    client.quit();
+    handle.stop();
+    drop(hung);
+}
+
+/// A replica dying mid-response must never surface a truncated line to
+/// the client: the router treats the partial read as a transport error
+/// and fails over to the secondary within the same request.
+#[test]
+fn mid_response_death_fails_over_instead_of_relaying_truncation() {
+    let graph = toy_graph();
+    let dir = TempDir::new("midresponse");
+    train_into(dir.path(), &graph);
+    let real = boot_replica(&graph, dir.path());
+    let real_addr = real.addr().to_string();
+
+    // The real replica's generation, so the fake primary can report the
+    // same one (a lagging generation would get it marked degraded and
+    // skipped — which would dodge the truncation path under test).
+    let gen: u64 = {
+        let mut c = ServeClient::connect(&real_addr).unwrap();
+        let stats = c.stats_line().unwrap();
+        c.quit();
+        graphaug_serve::stats_field(&stats, "gen=")
+            .and_then(|v| v.parse().ok())
+            .expect("replica reports gen")
+    };
+
+    // A fake primary that keeps the prober happy (PING/STATS) but answers
+    // every REC with a deliberately truncated OK line — no terminating
+    // newline — and then slams the connection.
+    let fake = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = fake.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Write};
+        for conn in fake.incoming() {
+            let Ok(mut stream) = conn else { break };
+            let stats = format!("STATS gen={gen} users=60 items=45 table_bytes=1\n");
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                    if line.starts_with("PING") {
+                        let _ = stream.write_all(b"PONG\n");
+                    } else if line.starts_with("STATS") {
+                        let _ = stream.write_all(stats.as_bytes());
+                    } else {
+                        // Half an OK line, then die mid-response.
+                        let _ = stream.write_all(b"OK gen=1 user=0 k=5 items=1,2");
+                        let _ = stream.flush();
+                        break;
+                    }
+                    line.clear();
+                }
+            });
+        }
+    });
+
+    let sets = vec![vec![fake_addr, real_addr.clone()]];
+    let router = Router::new(RouterConfig::from_sets(sets).probe_period(Duration::from_millis(10)));
+    let handle = start(router.clone(), "127.0.0.1:0").unwrap();
+    let mut client = ServeClient::connect(&handle.addr().to_string()).unwrap();
+    let mut direct = ServeClient::connect(&real_addr).unwrap();
+
+    for user in 0..6u32 {
+        let line = client.rec_one(user, 5).unwrap();
+        assert!(
+            line.starts_with("OK ") && line.contains("bits="),
+            "user {user}: truncated replica output must never reach the \
+             client, got {line:?}"
+        );
+        let expect = direct.rec_one(user, 5).unwrap();
+        assert_eq!(
+            line, expect,
+            "user {user}: the answer must be the secondary's, bit-identical"
+        );
+    }
+    assert!(
+        router.failover_count() > 0,
+        "every one of those answers came from the secondary"
+    );
+
+    direct.quit();
+    client.quit();
+    handle.stop();
+    real.stop();
 }

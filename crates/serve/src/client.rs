@@ -60,6 +60,17 @@ impl ServeClient {
         })
     }
 
+    /// Re-arms the per-read/write timeout on the live socket. Both halves
+    /// share one file description, so setting it on either applies to the
+    /// connection. A proxy carrying a per-request deadline calls this
+    /// before reusing a cached connection, clamping the socket timeout to
+    /// the request's remaining budget.
+    pub fn set_io_timeout(&self, io_timeout: Option<Duration>) -> io::Result<()> {
+        let stream = self.writer.get_ref();
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)
+    }
+
     /// Writes one request line and flushes it.
     pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         writeln!(self.writer, "{line}")?;
@@ -67,13 +78,28 @@ impl ServeClient {
     }
 
     /// Reads one response line (without its trailing newline). A closed
-    /// connection is an `UnexpectedEof` error, never an empty success.
+    /// connection is an `UnexpectedEof` error, never an empty success —
+    /// and so is a connection that closes **mid-line**: a response without
+    /// its terminating newline is a truncated transport artifact of a
+    /// dying server, and relaying it as data would let a half-written
+    /// `OK …` line masquerade as a complete answer. Callers (the router's
+    /// relay path in particular) treat it like any other I/O failure:
+    /// drop the connection, report the replica, fail over.
     pub fn read_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
+            ));
+        }
+        if !line.ends_with('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "server died mid-response (truncated line, {} bytes)",
+                    line.len()
+                ),
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {
@@ -193,6 +219,29 @@ mod tests {
         assert_eq!(stats_field(line, "users="), Some("150"));
         assert_eq!(stats_field(line, "gen="), Some("4"));
         assert_eq!(stats_field(line, "absent="), None);
+    }
+
+    #[test]
+    fn a_mid_line_death_is_a_typed_transport_error_not_data() {
+        // The server answers one complete line, then writes half a line
+        // and slams the connection — the client must surface the partial
+        // read as UnexpectedEof, never as a successful (truncated) answer.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .write_all(b"OK gen=1 user=0 k=2 items=1,2 bits=a,b\n")
+                .unwrap();
+            stream.write_all(b"OK gen=1 user=1 k=2 item").unwrap();
+            // drop → FIN mid-line
+        });
+        let mut client = ServeClient::connect(&addr.to_string()).unwrap();
+        assert!(client.read_line().unwrap().starts_with("OK "));
+        let err = client.read_line().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        server.join().unwrap();
     }
 
     #[test]

@@ -84,7 +84,9 @@ pub use client::{percentile, resolve_addr, stats_field, LatencySummary, ServeCli
 pub use engine::{
     spawn_watcher, Engine, EngineStats, Recommendation, Watcher, DEFAULT_CACHE_CAPACITY,
 };
-pub use proto::{ok_line, parse_ok_line, parse_request, OkLine, Request, MAX_K, MAX_REC_USERS};
+pub use proto::{
+    err_kind, ok_line, parse_ok_line, parse_request, OkLine, Request, MAX_K, MAX_REC_USERS,
+};
 pub use quant::{QuantIvf, QuantParams, QuantRows};
 pub use server::{serve, ServerHandle};
 pub use tables::{

@@ -130,6 +130,22 @@ pub fn ok_line(rec: &Recommendation) -> String {
     )
 }
 
+/// The typed class of a router-originated `ERR` line, if any.
+///
+/// The router prefixes the errors *it* generates with a machine-readable
+/// kind token — `ERR down …` (no serving-eligible replica for the owning
+/// shard), `ERR deadline …` (the request's time budget was exhausted
+/// across retry/failover), `ERR admin …` (an admin verb arrived on the
+/// public port). Replica-produced `ERR` lines are relayed verbatim and
+/// carry no kind token, so this returns `None` for them — which is
+/// exactly how a client tells "the router gave up" apart from "the
+/// replica answered with an application error".
+pub fn err_kind(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("ERR ")?;
+    let token = rest.split_ascii_whitespace().next()?;
+    matches!(token, "down" | "deadline" | "admin").then_some(token)
+}
+
 /// A parsed `OK` response line (client side: loadgen and the parity
 /// harness).
 #[derive(Clone, Debug, PartialEq)]
@@ -346,6 +362,21 @@ mod tests {
         };
         let parsed = parse_ok_line(&ok_line(&rec)).expect("parses");
         assert!(parsed.items.is_empty());
+    }
+
+    #[test]
+    fn err_kinds_distinguish_router_errors_from_relayed_ones() {
+        assert_eq!(err_kind("ERR down user 5: shard 1 down"), Some("down"));
+        assert_eq!(
+            err_kind("ERR deadline user 5: budget 50ms exhausted at shard 1"),
+            Some("deadline")
+        );
+        assert_eq!(err_kind("ERR admin REPLACE is admin-only"), Some("admin"));
+        // Relayed replica errors carry no kind token.
+        assert_eq!(err_kind("ERR unknown user 999999"), None);
+        assert_eq!(err_kind("ERR k too large (9999 > 4096)"), None);
+        assert_eq!(err_kind("OK gen=1 user=2 k=3 items= bits="), None);
+        assert_eq!(err_kind("ERR "), None);
     }
 
     #[test]
