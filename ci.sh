@@ -18,7 +18,9 @@
 #   process  process-level smokes: kill/resume, serving parity + loadgen,
 #            ANN recall gate + REC/RECX drive, int8 drift gate +
 #            quant-parity sweep, shard router + chaos loadgen, supervisor
-#            chaos (SIGKILL a replicated primary under load)
+#            chaos (SIGKILL a replicated primary under load), online
+#            ingestion (stream PUTs, fine-tune + hot reload, replay the
+#            log from scratch and require hex-identical rankings)
 #            (all boot real binaries)
 #   gates    recorded perf-trajectory gate, dependency hermeticity
 #
@@ -396,6 +398,107 @@ stage_supervisor() {
     done
 }
 
+stage_online() {
+    stage "online ingestion smoke (ingestd + serve_main --log-dir, live vs replay, GRAPHAUG_THREADS=1 and 4)"
+    # The online-learning loop end to end, across real process boundaries:
+    # ingestd owns the interaction log and the fine-tune loop, serve_main
+    # watches the same checkpoint directory (resolving fine-tuned
+    # generations through --log-dir) and hot-reloads them with zero
+    # downtime. The loadgen streams seeded durable PUTs; after the rounds
+    # land, the served rankings must have shifted, and a from-scratch
+    # replay of the log (fresh checkpoint directory, same deterministic
+    # base training) must reproduce the live run's final checkpoint
+    # fingerprint AND serve hex-identical rankings — at both thread counts.
+    local threads odir ingest_addr serve_addr ingest_log serve_log
+    local pre post stats live_fnv replay_fnv replay_dump _i
+    for threads in 1 4; do
+        odir="$(tmp_dir online_smoke)"
+
+        # ingestd trains the demo base model, then listens for PUTs and
+        # polls the log for complete 32-record windows.
+        boot_bin "ingestd_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/ingestd "$odir/ck" "$odir/log" \
+            --window 32 --round-steps 4 --poll-ms 10
+        ingest_addr=$(ready_addr "$BOOT_LOG")
+        ingest_log="$BOOT_LOG"
+
+        # serve_main reuses the checkpoint ingestd just trained and watches
+        # the directory for the fine-tuned generations.
+        boot_bin "online_serve_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$odir/ck" \
+            --log-dir "$odir/log" --watch-ms 50 --parity-users 4
+        grep -q "PARITY ok" "$BOOT_LOG" || {
+            echo "ERROR: online serve parity self-check did not pass" >&2
+            cat "$BOOT_LOG" >&2
+            exit 1
+        }
+        serve_addr=$(ready_addr "$BOOT_LOG")
+        serve_log="$BOOT_LOG"
+
+        # Snapshot rankings, stream exactly three windows of interactions
+        # (each PUT is fsync-durable before its OK), then wait for the
+        # third fine-tune round to publish.
+        pre=$(target/release/loadgen "$serve_addr" --dump 8)
+        target/release/loadgen "$ingest_addr" --put 96 --users 150 --items 120 --seed 5
+        if ! wait_for_line "$ingest_log" "FINETUNE round=3 "; then
+            echo "ERROR: ingestd never completed fine-tune round 3" >&2
+            cat "$ingest_log" >&2
+            exit 1
+        fi
+
+        # The watcher must pick the new generation up (STATS reports the
+        # served tables' watermark) without a single user-visible error.
+        stats=""
+        for _i in $(seq 1 200); do
+            stats=$(target/release/loadgen "$serve_addr" --stats)
+            [[ "$stats" == *"finetunes=3"* ]] && break
+            sleep 0.1
+        done
+        if [[ "$stats" != *"finetunes=3"* || "$stats" != *"log_offset=96"* ]]; then
+            echo "ERROR: serve never reloaded the fine-tuned generation: $stats" >&2
+            cat "$serve_log" >&2
+            exit 1
+        fi
+        if grep -q "ERR" "$serve_log" "$ingest_log"; then
+            echo "ERROR: online loop logged an error" >&2
+            exit 1
+        fi
+        post=$(target/release/loadgen "$serve_addr" --dump 8)
+        if [[ "$pre" == "$post" ]]; then
+            echo "ERROR: rankings did not shift after three fine-tune rounds" >&2
+            exit 1
+        fi
+
+        # Replay determinism: a fresh checkpoint directory, the same
+        # deterministic base training, the same finished log — the final
+        # checkpoint fingerprint must match the live run's.
+        GRAPHAUG_THREADS=$threads target/release/ingestd "$odir/ck2" "$odir/log" \
+            --window 32 --round-steps 4 --replay \
+            >"$LOG_DIR/ingestd_replay_t$threads.log" 2>&1
+        live_fnv=$(sed -n 's/^FINETUNE round=3 .*ckpt_fnv=\([0-9a-f]*\).*/\1/p' "$ingest_log" | head -n 1)
+        replay_fnv=$(sed -n 's/^REPLAY done .*ckpt_fnv=\([0-9a-f]*\).*/\1/p' \
+            "$LOG_DIR/ingestd_replay_t$threads.log" | head -n 1)
+        if [[ -z "$live_fnv" || "$live_fnv" != "$replay_fnv" ]]; then
+            echo "ERROR: replay fingerprint mismatch (live=$live_fnv replay=$replay_fnv)" >&2
+            cat "$LOG_DIR/ingestd_replay_t$threads.log" >&2
+            exit 1
+        fi
+
+        # And the replayed checkpoint must serve the exact same bits.
+        boot_bin "online_replay_serve_t$threads" "READY addr=" \
+            env GRAPHAUG_THREADS=$threads target/release/serve_main "$odir/ck2" \
+            --log-dir "$odir/log" --watch-ms 50 --parity-users 4
+        replay_dump=$(target/release/loadgen "$(ready_addr "$BOOT_LOG")" --dump 8)
+        if [[ "$post" != "$replay_dump" ]]; then
+            echo "ERROR: replayed service rankings differ from the live service" >&2
+            echo "  live:   $post" >&2
+            echo "  replay: $replay_dump" >&2
+            exit 1
+        fi
+        echo "ok: threads=$threads fine-tuned reload clean, replay fingerprint + rankings hex-identical"
+    done
+}
+
 group_process() {
     stage_kill_resume
     stage_serving
@@ -403,20 +506,21 @@ group_process() {
     stage_quant
     stage_router
     stage_supervisor
+    stage_online
 }
 
 group_gates() {
-    stage "perf trajectory gate (BENCH_pr9 vs BENCH_pr8)"
-    # The recorded PR 9 trajectory point must hold a ≤10% median regression
-    # bound against the PR 8 baseline (best-of-4 interleaved medians, same
-    # recording protocol as PR 8). This diffs the two *recorded* files —
+    stage "perf trajectory gate (BENCH_pr10 vs BENCH_pr9)"
+    # The recorded PR 10 trajectory point must hold a ≤10% median regression
+    # bound against the PR 9 baseline (best-of-4 interleaved medians, same
+    # recording protocol as PR 9). This diffs the two *recorded* files —
     # deterministic and machine-independent — rather than re-benching on
     # whatever box CI runs on.
-    if [[ -f BENCH_pr9.json && -f BENCH_pr8.json ]]; then
+    if [[ -f BENCH_pr10.json && -f BENCH_pr9.json ]]; then
         cargo run --release --offline -q -p graphaug-bench --bin bench_compare -- \
-            BENCH_pr9.json BENCH_pr8.json --threshold 10
+            BENCH_pr10.json BENCH_pr9.json --threshold 10
     else
-        echo "skip: BENCH_pr9.json / BENCH_pr8.json not both present"
+        echo "skip: BENCH_pr10.json / BENCH_pr9.json not both present"
     fi
 
     stage "dependency hermeticity check"

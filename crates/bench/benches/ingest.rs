@@ -1,0 +1,16 @@
+//! Streaming-ingestion benchmarks — durable log appends, delta
+//! application, and the warm-start fine-tune round behind the
+//! online-learning loop.
+//!
+//! Runs on the in-repo wall-clock harness (`graphaug_bench::harness`);
+//! workload definitions live in `graphaug_bench::perf` so the suite and the
+//! `bench_baseline` trajectory recorder always measure identical code.
+
+use graphaug_bench::harness::Harness;
+use graphaug_bench::perf;
+
+fn main() {
+    let mut h = Harness::new("ingest");
+    perf::ingest(&mut h);
+    h.finish();
+}

@@ -23,5 +23,6 @@ fn main() {
     perf::ann(&mut h);
     perf::quant(&mut h);
     perf::router(&mut h);
+    perf::ingest(&mut h);
     h.finish();
 }

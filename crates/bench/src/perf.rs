@@ -14,7 +14,7 @@ use graphaug_data::{generate, SyntheticConfig};
 use graphaug_eval::{evaluate, topk_indices};
 use graphaug_graph::TripletSampler;
 use graphaug_router::{shard_of, spawn_ready, start as start_router, Router, RouterConfig};
-use graphaug_runtime::{Checkpointer, RunCompat, TrainState};
+use graphaug_runtime::{Checkpointer, RunCompat, Runtime, RuntimeConfig, TrainState};
 use graphaug_serve::{
     serve, Engine, IvfIndex, IvfParams, ModelSource, ModelTables, QuantIvf, QuantParams, QuantRows,
     ServeClient,
@@ -167,6 +167,9 @@ pub fn checkpoint(h: &mut Harness) {
         lr_scale: 1.0,
         consecutive_bad: 0,
         attempt: 24,
+        step_in_epoch: 0,
+        log_offset: 0,
+        finetunes: 0,
         loss_window: vec![0.45; 8],
         model: model.training_state(),
         sampler: TripletSampler::new(&train, 7).state(),
@@ -266,6 +269,9 @@ pub fn serving(h: &mut Harness) {
         lr_scale: 1.0,
         consecutive_bad: 0,
         attempt: 24,
+        step_in_epoch: 0,
+        log_offset: 0,
+        finetunes: 0,
         loss_window: vec![0.45; 8],
         model: model.training_state(),
         sampler: TripletSampler::new(&train, 7).state(),
@@ -275,16 +281,23 @@ pub fn serving(h: &mut Harness) {
     let mut ckpt = Checkpointer::new(&dir).expect("temp checkpoint dir");
     ckpt.write(&state).expect("write bench checkpoint");
     let source = ModelSource::new(cfg, train.clone(), &dir);
+    // In serving the fingerprint is read off the frame header at load
+    // time; precomputing it here keeps the bench measuring the rebuild.
+    let fingerprint = state.fingerprint();
 
     // Hot-reload latency: decode-independent part of a generation swap —
     // restore the state and run the encoder forward once.
     h.bench("serving_table_rebuild_300x250_d32", || {
-        black_box(ModelTables::build(&source, 1, &state).unwrap().n_users());
+        black_box(
+            ModelTables::build(&source, 1, &state, fingerprint)
+                .unwrap()
+                .n_users(),
+        );
     });
 
     // Uncached scoring path: score all items, mask seen, bounded-heap
     // top-20 — one list per call, cycling through every user.
-    let tables = ModelTables::build(&source, 1, &state).unwrap();
+    let tables = ModelTables::build(&source, 1, &state, fingerprint).unwrap();
     let n_users = train.n_users() as u32;
     let mut user = 0u32;
     h.bench("serving_topk20_uncached_300x250", || {
@@ -411,6 +424,9 @@ pub fn ann(h: &mut Harness) {
         lr_scale: 1.0,
         consecutive_bad: 0,
         attempt: 24,
+        step_in_epoch: 0,
+        log_offset: 0,
+        finetunes: 0,
         loss_window: vec![0.45; 8],
         model: model.training_state(),
         sampler: TripletSampler::new(&train, 7).state(),
@@ -420,7 +436,8 @@ pub fn ann(h: &mut Harness) {
     ckpt.write(&state).expect("write bench checkpoint");
     let source = ModelSource::new(cfg, train.clone(), &dir)
         .ann(IvfParams::new().recall_floor(0.0).audit_every(0));
-    let engine = Engine::open_preloaded(source, 1, &state, 1).expect("open ann engine");
+    let engine =
+        Engine::open_preloaded(source, 1, &state, state.fingerprint(), 1).expect("open ann engine");
     assert!(engine.tables().ann().expect("index built").enabled());
     let requests: Vec<(u32, usize)> = (0..n_users as u32).map(|u| (u, 20)).collect();
     h.bench_throughput(
@@ -526,6 +543,70 @@ pub fn quant(h: &mut Harness) {
     });
 }
 
+/// Streaming-ingestion benchmarks: the three costs of the online-learning
+/// loop, at the same 300×250 model scale as the `checkpoint`/`serving`
+/// suites so they read against the batch-training numbers.
+///
+/// * `ingest_append` — one durable log append: a 16-byte checksummed
+///   record plus the per-record fsync (the latency a `PUT` pays before
+///   its `OK`);
+/// * `apply_deltas` — merging a 256-record window onto the base graph
+///   with dedup and re-validation (the graph-side cost of one round);
+/// * `finetune_step` — one warm-start fine-tune round (a guarded extra
+///   epoch continuing the persisted sampler stream, plus the checkpoint
+///   publish), reported per training step.
+pub fn ingest(h: &mut Harness) {
+    use graphaug_ingest::{apply_deltas, LogWriter};
+
+    let record = |k: u64| (((k * 7 + 3) % 300) as u32, ((k * 11 + 5) % 250) as u32);
+
+    // Durable append: fsync dominates — this is the floor of the PUT path.
+    let log_dir =
+        std::env::temp_dir().join(format!("graphaug-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    {
+        let mut writer = LogWriter::open(&log_dir, 1 << 20).expect("open bench log");
+        let mut k = 0u64;
+        h.bench_throughput("ingest_append", 1.0, "records/s", || {
+            let (u, i) = record(k);
+            black_box(writer.append(u, i).unwrap());
+            k += 1;
+        });
+    }
+    let _ = std::fs::remove_dir_all(&log_dir);
+
+    // Delta application: one complete window onto the serving-scale graph.
+    let base = generate(&SyntheticConfig::new(300, 250, 6000).seed(1));
+    let window: Vec<(u32, u32)> = (6000..6256).map(record).collect();
+    h.bench_throughput("apply_deltas", window.len() as f64, "records/s", || {
+        black_box(
+            apply_deltas(black_box(&base), black_box(&window))
+                .unwrap()
+                .applied,
+        );
+    });
+
+    // One full fine-tune round on a warm 300×250 runtime. Each call trains
+    // `steps_per_epoch` guarded steps and publishes a checkpoint
+    // generation (keep-2 pruning bounds the directory), so the per-step
+    // rate includes the publish overhead a live round actually pays.
+    let steps = 8usize;
+    let cfg = GraphAugConfig::new()
+        .seed(3)
+        .epochs(2)
+        .steps_per_epoch(steps);
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("graphaug-bench-finetune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let mut rt = Runtime::new(RuntimeConfig::new(cfg).checkpoint_dir(&ckpt_dir), &base)
+        .expect("open bench runtime");
+    rt.run().expect("warm-start base training");
+    h.bench_throughput("finetune_step", steps as f64, "steps/s", || {
+        black_box(rt.fine_tune_round().unwrap().epochs_completed);
+    });
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}
+
 /// Shard-router benchmarks: the pure hash, a routed single-user `REC`
 /// through a real TCP router in front of three in-process replicas, the
 /// cross-shard fan-out of a 64-user batch, and the fast-fail path for a
@@ -557,6 +638,9 @@ pub fn router(h: &mut Harness) {
         lr_scale: 1.0,
         consecutive_bad: 0,
         attempt: 24,
+        step_in_epoch: 0,
+        log_offset: 0,
+        finetunes: 0,
         loss_window: vec![0.45; 8],
         model: model.training_state(),
         sampler: TripletSampler::new(&train, 7).state(),

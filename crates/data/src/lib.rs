@@ -23,8 +23,7 @@ pub mod synth;
 
 pub use error::DataError;
 pub use loader::{
-    load_edge_list, load_or_panic, parse_edge_list, parse_numeric_edge_list, to_edge_list,
-    LoadError,
+    load_edge_list, parse_edge_list, parse_numeric_edge_list, to_edge_list, LoadError,
 };
 pub use presets::Dataset;
 pub use stats::{gini, DatasetStats};

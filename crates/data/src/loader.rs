@@ -116,12 +116,6 @@ pub fn load_edge_list(path: &Path) -> Result<InteractionGraph, DataError> {
     parse_edge_list(&text)
 }
 
-/// [`load_edge_list`] that panics with the formatted error — keeps example
-/// code a one-liner while real pipelines match on [`DataError`].
-pub fn load_or_panic(path: &Path) -> InteractionGraph {
-    load_edge_list(path).unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()))
-}
-
 /// Writes a graph back out as a `user item` edge list (round-trip format).
 pub fn to_edge_list(g: &InteractionGraph) -> String {
     let mut out = String::with_capacity(g.n_interactions() * 8);

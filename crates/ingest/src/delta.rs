@@ -1,0 +1,129 @@
+//! Applying logged interactions to an [`InteractionGraph`].
+//!
+//! The graph type is immutable by design (every downstream structure —
+//! CSR, adjacency, degree buckets — derives from its sorted edge list), so
+//! a delta batch produces a *new* graph. [`apply_deltas`] bounds-checks
+//! every id, counts interactions already present as duplicates instead of
+//! re-adding them, and re-runs the full invariant check on the result so
+//! nothing downstream ever trains on a malformed graph.
+
+use std::collections::HashSet;
+
+use graphaug_graph::InteractionGraph;
+
+use crate::error::IngestError;
+
+/// The result of one delta application.
+#[derive(Debug)]
+pub struct DeltaReport {
+    /// The rebuilt graph (base edges plus the new interactions).
+    pub graph: InteractionGraph,
+    /// Interactions that were new edges.
+    pub applied: usize,
+    /// Interactions already present in the base graph (or repeated within
+    /// the batch) — logged, but structurally a no-op.
+    pub duplicates: usize,
+}
+
+/// Applies `deltas` (in log order) to `base`, returning the grown graph
+/// plus applied/duplicate counts. Ids beyond the base graph's bounds are
+/// a typed [`IngestError::EdgeOutOfRange`] — the user/item universe is
+/// fixed at training time because embedding-table shapes depend on it.
+pub fn apply_deltas(
+    base: &InteractionGraph,
+    deltas: &[(u32, u32)],
+) -> Result<DeltaReport, IngestError> {
+    let (n_users, n_items) = (base.n_users(), base.n_items());
+    let mut seen: HashSet<(u32, u32)> = base.edges().iter().copied().collect();
+    let mut applied = 0usize;
+    let mut duplicates = 0usize;
+    for &(user, item) in deltas {
+        if user as usize >= n_users || item as usize >= n_items {
+            return Err(IngestError::EdgeOutOfRange {
+                user,
+                item,
+                n_users,
+                n_items,
+            });
+        }
+        if seen.insert((user, item)) {
+            applied += 1;
+        } else {
+            duplicates += 1;
+        }
+    }
+    let graph = base.with_extra_edges(deltas);
+    graph.validate()?;
+    debug_assert_eq!(graph.n_interactions(), base.n_interactions() + applied);
+    Ok(DeltaReport {
+        graph,
+        applied,
+        duplicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> InteractionGraph {
+        InteractionGraph::new(3, 4, vec![(0, 0), (0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn applies_new_edges_and_counts_duplicates() {
+        let g = base();
+        let report = apply_deltas(&g, &[(0, 2), (0, 1), (2, 0), (0, 2)]).unwrap();
+        assert_eq!(report.applied, 2); // (0,2) and (2,0)
+        assert_eq!(report.duplicates, 2); // (0,1) existed; (0,2) repeated
+        assert_eq!(report.graph.n_interactions(), 6);
+        assert!(report.graph.has_edge(0, 2));
+        assert!(report.graph.has_edge(2, 0));
+        report.graph.validate().unwrap();
+        // The base graph is untouched.
+        assert_eq!(g.n_interactions(), 4);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_typed_not_panics() {
+        let g = base();
+        assert_eq!(
+            apply_deltas(&g, &[(0, 0), (3, 1)]).unwrap_err(),
+            IngestError::EdgeOutOfRange {
+                user: 3,
+                item: 1,
+                n_users: 3,
+                n_items: 4
+            }
+        );
+        assert_eq!(
+            apply_deltas(&g, &[(1, 4)]).unwrap_err(),
+            IngestError::EdgeOutOfRange {
+                user: 1,
+                item: 4,
+                n_users: 3,
+                n_items: 4
+            }
+        );
+    }
+
+    #[test]
+    fn empty_delta_is_an_identity() {
+        let g = base();
+        let report = apply_deltas(&g, &[]).unwrap();
+        assert_eq!(report.applied, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.graph.edges(), g.edges());
+    }
+
+    #[test]
+    fn application_order_does_not_change_the_graph() {
+        // The edge list is kept sorted, so any permutation of the same
+        // delta set yields the same graph — the property that makes
+        // windowed live application and one-shot replay agree.
+        let g = base();
+        let a = apply_deltas(&g, &[(0, 3), (1, 0), (2, 1)]).unwrap().graph;
+        let b = apply_deltas(&g, &[(2, 1), (0, 3), (1, 0)]).unwrap().graph;
+        assert_eq!(a.edges(), b.edges());
+    }
+}

@@ -1,0 +1,116 @@
+//! The crate-wide typed error.
+
+use graphaug_graph::GraphInvariantError;
+
+/// Why an ingest operation was refused. Every failure mode the log,
+/// delta, and server layers can hit is enumerated here so callers match
+/// on categories instead of string-scraping messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// An underlying filesystem or socket operation failed.
+    Io(String),
+    /// A segment file does not start with the `GAUGILOG` magic.
+    BadMagic {
+        /// The offending file.
+        path: String,
+    },
+    /// A segment carries a format version this build cannot read.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// A segment file is shorter than its fixed-size header.
+    TruncatedHeader {
+        /// The offending file.
+        path: String,
+    },
+    /// A segment's header `start_offset` disagrees with the record count
+    /// of the segments before it — the log directory is missing a
+    /// segment or holds segments from two different logs.
+    SegmentGap {
+        /// Offset the chain so far implies.
+        expected: u64,
+        /// Offset the segment header claims.
+        found: u64,
+    },
+    /// A record failed its FNV-1a-64 checksum (mid-log corruption; a
+    /// torn *tail* is silently truncated by [`crate::LogWriter::open`]
+    /// instead).
+    CorruptRecord {
+        /// Global offset of the bad record.
+        offset: u64,
+    },
+    /// A read asked for offsets the log does not (yet) contain.
+    RangeUnavailable {
+        /// Requested start offset (inclusive).
+        start: u64,
+        /// Requested end offset (exclusive).
+        end: u64,
+        /// Records actually in the log.
+        len: u64,
+    },
+    /// A logged interaction references ids outside the graph's bounds.
+    EdgeOutOfRange {
+        /// The interaction's user id.
+        user: u32,
+        /// The interaction's item id.
+        item: u32,
+        /// The graph's user count.
+        n_users: usize,
+        /// The graph's item count.
+        n_items: usize,
+    },
+    /// The graph rebuilt from a delta batch failed its own invariant
+    /// check — nothing downstream should train on it.
+    Invariant(GraphInvariantError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "io error: {e}"),
+            IngestError::BadMagic { path } => write!(f, "bad segment magic in {path}"),
+            IngestError::BadVersion { found, supported } => {
+                write!(
+                    f,
+                    "log format version {found} unsupported (expect {supported})"
+                )
+            }
+            IngestError::TruncatedHeader { path } => {
+                write!(f, "segment {path} shorter than its header")
+            }
+            IngestError::SegmentGap { expected, found } => {
+                write!(
+                    f,
+                    "segment chain gap: expected start {expected}, found {found}"
+                )
+            }
+            IngestError::CorruptRecord { offset } => {
+                write!(f, "corrupt record at offset {offset}")
+            }
+            IngestError::RangeUnavailable { start, end, len } => {
+                write!(f, "range [{start}, {end}) beyond log length {len}")
+            }
+            IngestError::EdgeOutOfRange {
+                user,
+                item,
+                n_users,
+                n_items,
+            } => write!(
+                f,
+                "interaction ({user}, {item}) out of bounds for {n_users} users x {n_items} items"
+            ),
+            IngestError::Invariant(e) => write!(f, "delta-applied graph invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<GraphInvariantError> for IngestError {
+    fn from(e: GraphInvariantError) -> Self {
+        IngestError::Invariant(e)
+    }
+}

@@ -1,0 +1,295 @@
+//! The TCP ingestion listener.
+//!
+//! Line-oriented, same shape as the serving tier's server: one accept
+//! loop, one thread per connection. Verbs:
+//!
+//! ```text
+//! PUT <user> <item>   → OK off=<offset>      (durably logged before OK)
+//! STATS               → STATS ingested=<n> log_offset=<len>
+//! PING                → PONG
+//! QUIT                → BYE                   (closes the connection)
+//! ```
+//!
+//! `PUT` parsing is strict in the `parse_numeric_edge_list` sense: exactly
+//! two fields after the verb, both integers below the declared bounds —
+//! anything else is a typed refusal rendered as `ERR ...`, and nothing
+//! reaches the log. The log writer is shared behind a mutex with the
+//! fine-tuning loop, which polls [`crate::log_len`] for fresh windows.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::IngestError;
+use crate::log::LogWriter;
+
+/// Why a `PUT` line was refused (nothing was logged).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PutRefusal {
+    /// Wrong field count (wants exactly `PUT <user> <item>`).
+    Malformed,
+    /// A field is not an unsigned integer.
+    NotAnInteger {
+        /// The offending token.
+        token: String,
+    },
+    /// An id is outside the declared user/item universe.
+    OutOfRange {
+        /// The offending token.
+        token: String,
+        /// The exclusive bound it violated.
+        bound: u64,
+    },
+}
+
+impl std::fmt::Display for PutRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PutRefusal::Malformed => write!(f, "usage: PUT <user> <item>"),
+            PutRefusal::NotAnInteger { token } => write!(f, "not an integer: {token:?}"),
+            PutRefusal::OutOfRange { token, bound } => {
+                write!(f, "id {token} out of range (bound {bound})")
+            }
+        }
+    }
+}
+
+/// Strictly parses the arguments of a `PUT` line (everything after the
+/// verb): exactly two whitespace-separated integer ids below the bounds.
+pub fn parse_put(rest: &str, n_users: usize, n_items: usize) -> Result<(u32, u32), PutRefusal> {
+    let mut it = rest.split_whitespace();
+    let (Some(u_tok), Some(v_tok), None) = (it.next(), it.next(), it.next()) else {
+        return Err(PutRefusal::Malformed);
+    };
+    let bounded = |token: &str, bound: u64| -> Result<u32, PutRefusal> {
+        let id: u64 = token.parse().map_err(|_| PutRefusal::NotAnInteger {
+            token: token.to_string(),
+        })?;
+        if id >= bound {
+            return Err(PutRefusal::OutOfRange {
+                token: token.to_string(),
+                bound,
+            });
+        }
+        Ok(id as u32)
+    };
+    Ok((
+        bounded(u_tok, n_users as u64)?,
+        bounded(v_tok, n_items as u64)?,
+    ))
+}
+
+/// A point-in-time snapshot of the ingestion counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records appended through this process's writer.
+    pub ingested: u64,
+    /// Total records in the log (the next offset to be assigned).
+    pub log_offset: u64,
+}
+
+/// Snapshot of the shared writer's counters.
+pub fn stats(log: &Mutex<LogWriter>) -> IngestStats {
+    let log = log.lock().expect("ingest log lock");
+    IngestStats {
+        ingested: log.appended(),
+        log_offset: log.len(),
+    }
+}
+
+/// A running ingestion listener; dropping (or [`IngestHandle::stop`])
+/// shuts the accept loop down.
+pub struct IngestHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IngestHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngestHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `PUT`s into `log`. Ids are validated against
+/// `n_users`/`n_items` — the universe the downstream model was sized for.
+pub fn start_ingest(
+    log: Arc<Mutex<LogWriter>>,
+    n_users: usize,
+    n_items: usize,
+    addr: &str,
+) -> Result<IngestHandle, IngestError> {
+    let listener = TcpListener::bind(addr).map_err(|e| IngestError::Io(e.to_string()))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| IngestError::Io(e.to_string()))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("graphaug-ingest-accept".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let log = log.clone();
+                let _ = std::thread::Builder::new()
+                    .name("graphaug-ingest-conn".into())
+                    .spawn(move || handle_connection(&log, n_users, n_items, stream));
+            }
+        })
+        .map_err(|e| IngestError::Io(e.to_string()))?;
+    Ok(IngestHandle {
+        addr: local,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(log: &Mutex<LogWriter>, n_users: usize, n_items: usize, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let done = respond(log, n_users, n_items, &line, &mut writer).is_err();
+        if writer.flush().is_err() || done {
+            break;
+        }
+    }
+}
+
+/// Writes the response for one request; `Err(())` closes the connection.
+fn respond(
+    log: &Mutex<LogWriter>,
+    n_users: usize,
+    n_items: usize,
+    line: &str,
+    w: &mut impl Write,
+) -> Result<(), ()> {
+    let put = |w: &mut dyn Write, s: &str| -> Result<(), ()> { writeln!(w, "{s}").map_err(|_| ()) };
+    let line = line.trim();
+    let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    match verb {
+        "PUT" => match parse_put(rest, n_users, n_items) {
+            Ok((user, item)) => {
+                let appended = log.lock().expect("ingest log lock").append(user, item);
+                match appended {
+                    Ok(offset) => put(w, &format!("OK off={offset}")),
+                    Err(e) => put(w, &format!("ERR log append: {e}")),
+                }
+            }
+            Err(refusal) => put(w, &format!("ERR {refusal}")),
+        },
+        "STATS" => {
+            let s = stats(log);
+            put(
+                w,
+                &format!("STATS ingested={} log_offset={}", s.ingested, s.log_offset),
+            )
+        }
+        "PING" => put(w, "PONG"),
+        "QUIT" => {
+            put(w, "BYE")?;
+            Err(())
+        }
+        _ => put(w, &format!("ERR unknown verb {verb:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    #[test]
+    fn put_parsing_is_strict() {
+        assert_eq!(parse_put("3 4", 10, 10), Ok((3, 4)));
+        assert_eq!(parse_put("  3   4  ", 10, 10), Ok((3, 4)));
+        assert_eq!(parse_put("3", 10, 10), Err(PutRefusal::Malformed));
+        assert_eq!(parse_put("3 4 5", 10, 10), Err(PutRefusal::Malformed));
+        assert_eq!(parse_put("", 10, 10), Err(PutRefusal::Malformed));
+        assert_eq!(
+            parse_put("alice 4", 10, 10),
+            Err(PutRefusal::NotAnInteger {
+                token: "alice".into()
+            })
+        );
+        assert_eq!(
+            parse_put("-1 4", 10, 10),
+            Err(PutRefusal::NotAnInteger { token: "-1".into() })
+        );
+        assert_eq!(
+            parse_put("10 4", 10, 10),
+            Err(PutRefusal::OutOfRange {
+                token: "10".into(),
+                bound: 10
+            })
+        );
+        assert_eq!(
+            parse_put("3 12", 10, 10),
+            Err(PutRefusal::OutOfRange {
+                token: "12".into(),
+                bound: 10
+            })
+        );
+    }
+
+    #[test]
+    fn end_to_end_put_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("graphaug_ingest_tcp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = Arc::new(Mutex::new(LogWriter::open(&dir, 64).unwrap()));
+        let handle = start_ingest(log.clone(), 8, 8, "127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |line: &str| {
+            let mut s = stream.try_clone().unwrap();
+            writeln!(s, "{line}").unwrap();
+            let mut out = String::new();
+            reader.read_line(&mut out).unwrap();
+            out.trim_end().to_string()
+        };
+        assert_eq!(send("PING"), "PONG");
+        assert_eq!(send("PUT 1 2"), "OK off=0");
+        assert_eq!(send("PUT 3 4"), "OK off=1");
+        assert_eq!(send("PUT 9 0"), "ERR id 9 out of range (bound 8)");
+        assert_eq!(send("PUT a b"), "ERR not an integer: \"a\"");
+        assert_eq!(send("PUT 1"), "ERR usage: PUT <user> <item>");
+        assert_eq!(send("STATS"), "STATS ingested=2 log_offset=2");
+        assert_eq!(send("QUIT"), "BYE");
+        handle.stop();
+        assert_eq!(
+            crate::log::read_range(&dir, 0, 2).unwrap(),
+            vec![(1, 2), (3, 4)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -478,6 +478,7 @@ fn route_rec(
 fn route_stats(router: &Router, down: &mut Downstream) -> String {
     let n = router.n_shards();
     let (mut gen, mut users, mut items, mut table_bytes) = (0u64, 0u64, 0u64, 0u64);
+    let (mut ingested, mut log_offset, mut finetunes) = (0u64, 0u64, 0u64);
     let mut states: Vec<&'static str> = Vec::with_capacity(n);
     for shard in 0..n {
         let deadline = Deadline::new(router.cfg.request_budget);
@@ -499,6 +500,12 @@ fn route_stats(router: &Router, down: &mut Downstream) -> String {
                 users = users.max(field("users="));
                 items = items.max(field("items="));
                 table_bytes = table_bytes.max(field("table_bytes="));
+                // Online-learning progress: every shard serves the same
+                // model, so max-merge mirrors the gen= convention (the
+                // most-advanced replica's view).
+                ingested = ingested.max(field("ingested="));
+                log_offset = log_offset.max(field("log_offset="));
+                finetunes = finetunes.max(field("finetunes="));
                 states.push("up");
             }
             None => states.push("down"),
@@ -540,7 +547,8 @@ fn route_stats(router: &Router, down: &mut Downstream) -> String {
         .collect::<Vec<_>>()
         .join(",");
     format!(
-        "STATS gen={gen} users={users} items={items} table_bytes={table_bytes} shards={n} up={} \
+        "STATS gen={gen} users={users} items={items} table_bytes={table_bytes} \
+         ingested={ingested} log_offset={log_offset} finetunes={finetunes} shards={n} up={} \
          requests={} errors={} deadline_errors={} failovers={} serving={serving} replicas={} \
          replica_states={replica_states} replica_gens={replica_gens} \
          shard_requests={shard_requests}",

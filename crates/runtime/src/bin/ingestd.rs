@@ -1,0 +1,232 @@
+//! The ingestion + incremental-training daemon driven by `ci.sh` and the
+//! README quickstart.
+//!
+//! ```text
+//! ingestd <checkpoint-dir> <log-dir> [--addr HOST:PORT] [--window N]
+//!         [--round-steps N] [--poll-ms N] [--segment-records N] [--replay]
+//! ```
+//!
+//! Runs the online-learning loop over the standard demo workload (the same
+//! deterministic graph and hyperparameters `serve_main` uses, via
+//! [`graphaug_runtime::demo`]):
+//!
+//! 1. if `<checkpoint-dir>` holds no valid checkpoint, trains the demo
+//!    base model there first (checkpoint every epoch);
+//! 2. **live mode** (default): opens the interaction log, starts the TCP
+//!    `PUT` listener (printing `READY addr=… gen=… watermark=…`), and polls
+//!    the log — every complete window of `--window` fresh records triggers
+//!    a warm-start fine-tune round of `--round-steps` steps and publishes
+//!    a new checkpoint generation (printing a `FINETUNE …` line with the
+//!    checkpoint fingerprint), which a `serve_main --log-dir` process
+//!    watching the same directory hot-reloads with zero downtime;
+//! 3. **`--replay` mode**: no listener — drains every complete window
+//!    already in the log back-to-back, prints the same `FINETUNE` lines,
+//!    then `REPLAY done …` and exits. Because rounds fire at fixed log
+//!    offsets, a replay over a finished log writes checkpoints
+//!    byte-identical to the live run that produced the log — at any
+//!    `GRAPHAUG_THREADS`.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use graphaug_ingest::{start_ingest, LogWriter};
+use graphaug_runtime::{checkpoint, demo, FineTuner, RoundReport, Runtime, RuntimeConfig};
+
+struct Args {
+    ckpt_dir: String,
+    log_dir: String,
+    addr: String,
+    window: u64,
+    round_steps: usize,
+    poll_ms: u64,
+    segment_records: u64,
+    replay: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let ckpt_dir = args.next().ok_or("missing <checkpoint-dir>")?;
+    let log_dir = args.next().ok_or("missing <log-dir>")?;
+    let mut out = Args {
+        ckpt_dir,
+        log_dir,
+        addr: "127.0.0.1:0".into(),
+        window: 32,
+        round_steps: 4,
+        poll_ms: 20,
+        segment_records: 4096,
+        replay: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?,
+            "--window" => {
+                out.window = value("--window")?
+                    .parse()
+                    .ok()
+                    .filter(|&w: &u64| w >= 1)
+                    .ok_or("bad --window (wants an integer >= 1)")?
+            }
+            "--round-steps" => {
+                out.round_steps = value("--round-steps")?
+                    .parse()
+                    .ok()
+                    .filter(|&s: &usize| s >= 1)
+                    .ok_or("bad --round-steps (wants an integer >= 1)")?
+            }
+            "--poll-ms" => {
+                out.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "bad --poll-ms".to_string())?
+            }
+            "--segment-records" => {
+                out.segment_records = value("--segment-records")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n >= 1)
+                    .ok_or("bad --segment-records (wants an integer >= 1)")?
+            }
+            "--replay" => out.replay = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// `FINETUNE` line for one round: everything a smoke needs to compare a
+/// live run against a replay (`ckpt_fnv` is the frame checksum of the
+/// newest checkpoint — byte-identity of generations in one hex token).
+fn finetune_line(dir: &Path, report: &RoundReport) -> String {
+    let (gen_str, fnv) = match checkpoint::load_latest_valid_with_fingerprint(dir) {
+        Some((generation, _, fingerprint)) => (generation.to_string(), fingerprint),
+        None => ("-".into(), 0),
+    };
+    format!(
+        "FINETUNE round={} gen={gen_str} watermark={} applied={} dups={} steps={} loss={:.6} ckpt_fnv={fnv:016x}",
+        report.round, report.watermark, report.applied, report.duplicates, report.steps,
+        report.mean_loss,
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ingestd: {e}");
+            eprintln!(
+                "usage: ingestd <checkpoint-dir> <log-dir> [--addr HOST:PORT] [--window N] \
+                 [--round-steps N] [--poll-ms N] [--segment-records N] [--replay]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let split = demo::demo_split();
+    let ckpt_dir = Path::new(&args.ckpt_dir);
+    let log_dir = Path::new(&args.log_dir);
+
+    // Train the demo base model if the directory is empty — with the
+    // *base* hyperparameters, so the checkpoint chain starts exactly like
+    // `serve_main`'s.
+    if checkpoint::load_latest_valid(ckpt_dir).is_none() {
+        println!(
+            "no valid checkpoint under {} — training demo base model",
+            ckpt_dir.display()
+        );
+        let base_cfg = RuntimeConfig::new(demo::demo_config()).checkpoint_dir(ckpt_dir);
+        let report = Runtime::new(base_cfg, &split.train).and_then(|mut rt| rt.run());
+        match report {
+            Ok(r) => println!(
+                "trained base model: {} epochs, {} checkpoints",
+                r.epochs_completed, r.checkpoints_written
+            ),
+            Err(e) => {
+                eprintln!("ingestd: base training failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Fine-tune rounds run `--round-steps` steps each: same model config,
+    // different steps_per_epoch. Replay must use the same value.
+    let tune_cfg = RuntimeConfig::new(demo::demo_config().steps_per_epoch(args.round_steps))
+        .checkpoint_dir(ckpt_dir);
+    let mut tuner = match FineTuner::open(tune_cfg, &split.train, log_dir, args.window) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ingestd: cannot open fine-tuner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.replay {
+        // Drain round by round (rather than `run_pending`) so each
+        // `FINETUNE` line carries *that round's* generation and
+        // fingerprint — byte-comparable against a live run's log.
+        let mut reports = Vec::new();
+        loop {
+            match tuner.poll_once() {
+                Ok(Some(report)) => {
+                    println!("{}", finetune_line(ckpt_dir, &report));
+                    reports.push(report);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("ingestd: replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let fnv = checkpoint::load_latest_valid_with_fingerprint(ckpt_dir)
+            .map(|(_, _, fingerprint)| fingerprint)
+            .unwrap_or(0);
+        println!(
+            "REPLAY done rounds={} watermark={} finetunes={} ckpt_fnv={fnv:016x}",
+            reports.len(),
+            tuner.watermark(),
+            tuner.finetunes(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Live mode: PUT listener + polling loop.
+    let log = match LogWriter::open(log_dir, args.segment_records) {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(e) => {
+            eprintln!("ingestd: cannot open log {}: {e}", log_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match start_ingest(
+        log.clone(),
+        split.train.n_users(),
+        split.train.n_items(),
+        &args.addr,
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("ingestd: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let generation = checkpoint::newest_generation(ckpt_dir).unwrap_or(0);
+    println!(
+        "READY addr={} gen={generation} watermark={}",
+        handle.addr(),
+        tuner.watermark()
+    );
+
+    loop {
+        match tuner.poll_once() {
+            Ok(Some(report)) => println!("{}", finetune_line(ckpt_dir, &report)),
+            Ok(None) => std::thread::sleep(Duration::from_millis(args.poll_ms)),
+            Err(e) => {
+                eprintln!("ingestd: fine-tune round failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}

@@ -65,6 +65,16 @@ pub struct TrainState {
     /// model's `steps_taken` it also counts withheld/rolled-back steps and
     /// never rewinds).
     pub attempt: u64,
+    /// Steps already executed inside the *current* epoch — `0` at every
+    /// epoch boundary. Non-zero only for checkpoints cut mid-epoch by a
+    /// step-budgeted driver ([`crate::Runtime::run_steps`]), which resume
+    /// at exactly this step with the saved sampler stream.
+    pub step_in_epoch: u64,
+    /// Interaction-log watermark: this model state was trained on the base
+    /// graph plus log records `[0, log_offset)`. `0` for offline runs.
+    pub log_offset: u64,
+    /// Warm-start fine-tune rounds applied on top of the base run.
+    pub finetunes: u64,
     /// Rolling window of recent finite losses (spike detection context).
     pub loss_window: Vec<f32>,
     /// Model parameters, Adam moments, RNG stream, step counter.
@@ -113,6 +123,9 @@ impl TrainState {
         w.put_f32(self.lr_scale);
         w.put_u32(self.consecutive_bad);
         w.put_u64(self.attempt);
+        w.put_u64(self.step_in_epoch);
+        w.put_u64(self.log_offset);
+        w.put_u64(self.finetunes);
         w.put_f32_slice(&self.loss_window);
         // Model.
         w.put_u64(self.model.params.t);
@@ -147,6 +160,9 @@ impl TrainState {
         let lr_scale = r.get_f32()?;
         let consecutive_bad = r.get_u32()?;
         let attempt = r.get_u64()?;
+        let step_in_epoch = r.get_u64()?;
+        let log_offset = r.get_u64()?;
+        let finetunes = r.get_u64()?;
         let loss_window = r.get_f32_vec()?;
         let t = r.get_u64()?;
         let n_slots = r.get_u64()? as usize;
@@ -180,11 +196,43 @@ impl TrainState {
             lr_scale,
             consecutive_bad,
             attempt,
+            step_in_epoch,
+            log_offset,
+            finetunes,
             loss_window,
             model,
             sampler,
         })
     }
+
+    /// A content fingerprint: the FNV-1a-64 checksum the frame header
+    /// would carry for this state — two states fingerprint equal iff
+    /// their checkpoint files are byte-identical. The hot-reload watcher
+    /// compares fingerprints to skip rebuilding (re-encoding,
+    /// re-quantizing, re-gating) tables for a generation whose bytes did
+    /// not change.
+    ///
+    /// This re-encodes the whole state to compute the checksum — O(state
+    /// size). A caller holding the encoded frame (anything that just read
+    /// a checkpoint file) should use [`frame_fingerprint`] or
+    /// [`load_latest_valid_with_fingerprint`] instead, which read the
+    /// same value straight off the header.
+    pub fn fingerprint(&self) -> u64 {
+        let framed = self.to_bytes();
+        frame_fingerprint(&framed).expect("frame header")
+    }
+}
+
+/// Reads the fingerprint (the frame checksum, bytes `[20..28]` of the
+/// header) straight off an encoded snapshot without decoding — the cheap
+/// counterpart of [`TrainState::fingerprint`]. Returns `None` for a slice
+/// too short to carry a frame header. The value is only meaningful for
+/// bytes that decode cleanly: a state decoded from these bytes
+/// fingerprints equal to this header field by construction.
+pub fn frame_fingerprint(bytes: &[u8]) -> Option<u64> {
+    bytes
+        .get(20..28)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("eight bytes")))
 }
 
 /// Generational checkpoint store over one directory.
@@ -327,10 +375,20 @@ pub fn newest_generation(dir: &Path) -> Option<u64> {
 /// corrupt generations — the read-only counterpart of
 /// [`Checkpointer::latest_valid`].
 pub fn load_latest_valid(dir: &Path) -> Option<(u64, TrainState)> {
+    load_latest_valid_with_fingerprint(dir).map(|(g, state, _)| (g, state))
+}
+
+/// [`load_latest_valid`], additionally returning the checkpoint's
+/// fingerprint read off the validated frame header — free, where
+/// [`TrainState::fingerprint`] would re-encode the whole state. This is
+/// the loader for anything that compares or reports fingerprints (the
+/// serving hot-reload watcher, `ingestd`'s `FINETUNE` lines).
+pub fn load_latest_valid_with_fingerprint(dir: &Path) -> Option<(u64, TrainState, u64)> {
     for g in list_generations(dir).into_iter().rev() {
         if let Ok(bytes) = fs::read(generation_path(dir, g)) {
             if let Ok(state) = TrainState::from_bytes(&bytes) {
-                return Some((g, state));
+                let fingerprint = frame_fingerprint(&bytes).expect("decoded frame has a header");
+                return Some((g, state, fingerprint));
             }
         }
     }

@@ -1,0 +1,26 @@
+//! The standard demo workload shared by the demo binaries (`serve_main`,
+//! `ingestd`, the kill/resume harness) and the CI smokes.
+//!
+//! Centralizing the numbers matters for the online-learning loop: the
+//! ingestion daemon that trains/fine-tunes and the serving process that
+//! reloads its checkpoints must agree *exactly* on the graph and the
+//! hyperparameters, or the compat check refuses the handoff.
+
+use graphaug_core::GraphAugConfig;
+use graphaug_data::{generate, SyntheticConfig};
+use graphaug_graph::TrainTestSplit;
+
+/// The deterministic demo workload (same shape as the kill/resume smoke
+/// harness, so its cost is already CI-calibrated).
+pub fn demo_split() -> TrainTestSplit {
+    let graph = generate(&SyntheticConfig::new(150, 120, 2200).clusters(6).seed(42));
+    TrainTestSplit::per_user(&graph, 0.2, 7)
+}
+
+/// Hyperparameters for the demo model trained over [`demo_split`].
+pub fn demo_config() -> GraphAugConfig {
+    GraphAugConfig::fast_test()
+        .seed(9)
+        .epochs(8)
+        .steps_per_epoch(4)
+}

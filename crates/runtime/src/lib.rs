@@ -48,8 +48,10 @@
 //! ```
 
 pub mod checkpoint;
+pub mod demo;
 pub mod fault;
 pub mod guards;
+pub mod online;
 pub mod runtime;
 pub mod snapshot;
 
@@ -57,7 +59,9 @@ pub use checkpoint::{
     generation_path, inspect_dir, list_generations, load_latest_valid, newest_generation,
     CheckpointInfo, CheckpointSummary, Checkpointer, RunCompat, TrainState,
 };
+pub use demo::{demo_config, demo_split};
 pub use fault::{corrupt_checkpoint, truncate_checkpoint, FaultPlan};
 pub use guards::{RecoveryPolicy, SpikeDetector, StepVerdict};
+pub use online::{FineTuner, OnlineError, RoundReport};
 pub use runtime::{RecoveryAction, RecoveryEvent, RunReport, Runtime, RuntimeConfig, RuntimeError};
 pub use snapshot::SnapshotError;

@@ -194,10 +194,13 @@ pub struct Runtime {
     detector: SpikeDetector,
     sampler_state: SamplerState,
     epoch: u64,
+    step_in_epoch: u64,
     lr_scale: f32,
     consecutive_bad: u32,
     attempt: u64,
     rollbacks: u32,
+    log_offset: u64,
+    finetunes: u64,
     last_good: TrainState,
 }
 
@@ -228,6 +231,9 @@ impl Runtime {
             lr_scale: 1.0,
             consecutive_bad: 0,
             attempt: 0,
+            step_in_epoch: 0,
+            log_offset: 0,
+            finetunes: 0,
             loss_window: Vec::new(),
             model: model.training_state(),
             sampler: sampler_state,
@@ -240,10 +246,13 @@ impl Runtime {
             detector,
             sampler_state,
             epoch: 0,
+            step_in_epoch: 0,
             lr_scale: 1.0,
             consecutive_bad: 0,
             attempt: 0,
             rollbacks: 0,
+            log_offset: 0,
+            finetunes: 0,
             last_good,
         })
     }
@@ -293,13 +302,16 @@ impl Runtime {
         }
     }
 
-    fn current_state(&self) -> TrainState {
+    pub(crate) fn current_state(&self) -> TrainState {
         TrainState {
             compat: self.compat(),
             epoch: self.epoch,
             lr_scale: self.lr_scale,
             consecutive_bad: self.consecutive_bad,
             attempt: self.attempt,
+            step_in_epoch: self.step_in_epoch,
+            log_offset: self.log_offset,
+            finetunes: self.finetunes,
             loss_window: self.detector.window().to_vec(),
             model: self.model.training_state(),
             sampler: self.sampler_state,
@@ -312,9 +324,12 @@ impl Runtime {
         self.model.restore_training_state(&state.model)?;
         self.sampler_state = state.sampler;
         self.epoch = state.epoch;
+        self.step_in_epoch = state.step_in_epoch;
         self.lr_scale = state.lr_scale;
         self.consecutive_bad = state.consecutive_bad;
         self.attempt = state.attempt;
+        self.log_offset = state.log_offset;
+        self.finetunes = state.finetunes;
         self.detector.restore(&state.loss_window);
         self.last_good = state.clone();
         Ok(())
@@ -335,9 +350,60 @@ impl Runtime {
         self.epoch
     }
 
+    /// Steps executed inside the current (incomplete) epoch — `0` at every
+    /// epoch boundary, non-zero only after a budgeted [`Runtime::run_steps`]
+    /// stopped mid-epoch.
+    pub fn step_in_epoch(&self) -> u64 {
+        self.step_in_epoch
+    }
+
     /// The learning-rate multiplier currently in force.
     pub fn lr_scale(&self) -> f32 {
         self.lr_scale
+    }
+
+    /// Interaction-log watermark this model state was trained through.
+    pub fn log_offset(&self) -> u64 {
+        self.log_offset
+    }
+
+    /// Warm-start fine-tune rounds applied so far.
+    pub fn finetunes(&self) -> u64 {
+        self.finetunes
+    }
+
+    /// Adopts a delta-grown training graph without losing the training
+    /// trajectory: the model is reconstructed over `graph` and the current
+    /// parameters, optimizer moments, and RNG streams are restored into it
+    /// (embedding shapes depend only on the fixed user/item universe, so a
+    /// graph with extra *edges* always fits). `log_offset` records the
+    /// interaction-log watermark the graph corresponds to; it is carried
+    /// in every subsequent checkpoint so a consumer can re-derive the same
+    /// graph by replaying the log prefix. The rollback target is refreshed
+    /// because states captured against the old graph no longer pass the
+    /// compat check.
+    pub fn absorb_deltas(
+        &mut self,
+        graph: &InteractionGraph,
+        log_offset: u64,
+    ) -> Result<(), RuntimeError> {
+        graph.validate().map_err(RuntimeError::InvalidGraph)?;
+        let state = self.model.training_state();
+        self.model = GraphAug::for_inference(self.cfg.model.clone(), graph, &state)?;
+        self.graph = graph.clone();
+        self.log_offset = log_offset;
+        self.last_good = self.current_state();
+        Ok(())
+    }
+
+    /// One warm-start fine-tune round: trains exactly one additional epoch
+    /// of `cfg.model.steps_per_epoch` steps (continuing the persisted
+    /// sampler and RNG streams), then refreshes embeddings and publishes a
+    /// checkpoint — regardless of the configured epoch total or cadence.
+    pub fn fine_tune_round(&mut self) -> Result<RunReport, RuntimeError> {
+        self.finetunes += 1;
+        let target = self.epoch + 1;
+        self.run_loop(target, None)
     }
 
     /// Runs (or continues) training to `cfg.model.epochs` epochs, applying
@@ -352,16 +418,47 @@ impl Runtime {
     /// total). Lets a driver interleave training with its own work — the
     /// kill/resume harness uses this to report progress between epochs.
     pub fn run_until(&mut self, target: u64) -> Result<RunReport, RuntimeError> {
+        let total = (self.cfg.model.epochs as u64).min(target);
+        self.run_loop(total, None)
+    }
+
+    /// Runs at most `max_steps` mini-batch steps toward the configured
+    /// epoch total, stopping *mid-epoch* when the budget runs out: the
+    /// sampler stream and step cursor are saved so the next call (or a
+    /// checkpoint cut at the stop point) resumes the run bit-identically.
+    /// The trajectory — batches, losses, checkpoints at epoch boundaries —
+    /// is byte-identical to one uninterrupted [`Runtime::run`], however the
+    /// total is sliced into budgets.
+    pub fn run_steps(&mut self, max_steps: u64) -> Result<RunReport, RuntimeError> {
+        self.run_loop(self.cfg.model.epochs as u64, Some(max_steps))
+    }
+
+    fn run_loop(
+        &mut self,
+        total_epochs: u64,
+        step_budget: Option<u64>,
+    ) -> Result<RunReport, RuntimeError> {
         let mut report = RunReport::default();
         let graph = self.graph.clone();
-        let total_epochs = (self.cfg.model.epochs as u64).min(target);
-        let steps_per_epoch = self.cfg.model.steps_per_epoch;
+        let steps_per_epoch = self.cfg.model.steps_per_epoch as u64;
+        let mut consumed = 0u64;
 
         'epochs: while self.epoch < total_epochs {
             let mut sampler = TripletSampler::from_state(&graph, self.sampler_state);
-            let mut steps_done = 0usize;
-            while steps_done < steps_per_epoch {
+            while self.step_in_epoch < steps_per_epoch {
+                if step_budget.is_some_and(|budget| consumed >= budget) {
+                    // Budget exhausted mid-epoch: persist the sampler
+                    // stream at the exact step boundary so the next call
+                    // picks up the identical batch sequence.
+                    self.sampler_state = sampler.state();
+                    report.epochs_completed = self.epoch;
+                    return Ok(report);
+                }
                 if self.cfg.fault.should_halt_before(self.attempt) {
+                    // A scripted crash: like the real SIGKILL it models,
+                    // in-epoch progress is abandoned — a continuation
+                    // replays the epoch from the last saved stream state.
+                    self.step_in_epoch = 0;
                     report.halted_by_fault = true;
                     report.epochs_completed = self.epoch;
                     return Ok(report);
@@ -381,7 +478,8 @@ impl Runtime {
                 if verdict == StepVerdict::Healthy {
                     self.consecutive_bad = 0;
                     report.step_losses.push(stats.loss);
-                    steps_done += 1;
+                    self.step_in_epoch += 1;
+                    consumed += 1;
                     continue;
                 }
                 self.consecutive_bad += 1;
@@ -394,7 +492,8 @@ impl Runtime {
                 match self.cfg.policy {
                     RecoveryPolicy::SkipBatch => {
                         report.recoveries.push(event(RecoveryAction::SkippedBatch));
-                        steps_done += 1;
+                        self.step_in_epoch += 1;
+                        consumed += 1;
                     }
                     RecoveryPolicy::ClipAndContinue { .. } => {
                         report
@@ -405,12 +504,14 @@ impl Runtime {
                             // as progress rather than dropping the step.
                             report.step_losses.push(stats.loss);
                         }
-                        steps_done += 1;
+                        self.step_in_epoch += 1;
+                        consumed += 1;
                     }
                     RecoveryPolicy::RollbackWithBackoff { after, lr_factor } => {
                         if self.consecutive_bad < after {
                             report.recoveries.push(event(RecoveryAction::Tolerated));
-                            steps_done += 1;
+                            self.step_in_epoch += 1;
+                            consumed += 1;
                             continue;
                         }
                         self.rollbacks += 1;
@@ -445,6 +546,7 @@ impl Runtime {
             }
 
             self.sampler_state = sampler.state();
+            self.step_in_epoch = 0;
             self.epoch += 1;
             self.model.refresh_embeddings();
 

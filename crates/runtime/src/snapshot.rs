@@ -20,8 +20,9 @@
 /// File magic identifying a GraphAug checkpoint.
 pub const MAGIC: &[u8; 8] = b"GAUGCKPT";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 added the online-learning
+/// cursors (`step_in_epoch`, `log_offset`, `finetunes`) to `TrainState`.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be read (or decoded).
 #[derive(Clone, Debug, PartialEq, Eq)]

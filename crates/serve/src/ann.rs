@@ -163,6 +163,7 @@ impl Fnv {
 /// the quantized index (`crate::quant::QuantIvf`) packs int8 rows and
 /// per-row scales instead — both share this partition and its probe, so
 /// the determinism contract is proven once.
+#[derive(Clone)]
 pub(crate) struct CoarsePartition {
     pub dim: usize,
     pub nlists: usize,
@@ -323,6 +324,7 @@ impl CoarsePartition {
 /// `item_emb` rows — without them the cache misses eat most of the
 /// sublinear-candidate advantage. Built once per table swap; shared
 /// read-only by every request thread.
+#[derive(Clone)]
 pub struct IvfIndex {
     part: CoarsePartition,
     /// The embedding row of each entry in `part.list_items`, packed in the

@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K]
 //!                [--zipf S] [--hot H:FRAC] [--exact] [--quant-parity N]
+//!                [--put N --users U --items I] [--dump N] [--stats]
 //! ```
 //!
 //! Opens `--conns` connections, each driving a deterministic request
@@ -26,6 +27,14 @@
 //! overlap at the end. On a server without an enabled fast path the two
 //! verbs are byte-identical and every overlap is `k/k`.
 //!
+//! Three single-connection modes support the online-learning smoke:
+//! `--put N` streams `N` seeded `PUT user item` interactions to an
+//! **ingest** listener (`--users`/`--items` bound the draws; every record
+//! must come back `OK off=…` durable), `--dump N` prints the raw `OK` line
+//! for users `0..N` at `k = --kmax` (a deterministic snapshot of the
+//! served rankings, byte-comparable between a live run and a replay), and
+//! `--stats` prints the server's raw `STATS` line.
+//!
 //! Argument problems are **typed** ([`ArgError`]) and rejected before any
 //! traffic is sent — `--kmax 0` at parse time, `--kmax` beyond the
 //! server's catalog right after the `STATS` probe — instead of surfacing
@@ -45,7 +54,8 @@ use graphaug_serve::client::{resolve_addr, stats_field, LatencySummary, ServeCli
 use graphaug_serve::{parse_ok_line, UserSampler};
 
 const USAGE: &str = "usage: loadgen <addr> [--requests N] [--conns N] [--seed S] [--kmax K] \
-     [--zipf S] [--hot H:FRAC] [--exact] [--quant-parity N]";
+     [--zipf S] [--hot H:FRAC] [--exact] [--quant-parity N] \
+     [--put N --users U --items I] [--dump N] [--stats]";
 
 /// Why the argument list was rejected. Typed so tests (and callers) can
 /// assert the *category* of refusal rather than string-matching, and so
@@ -113,6 +123,11 @@ struct Args {
     skew: Skew,
     exact: bool,
     quant_parity: usize,
+    put: usize,
+    put_users: u32,
+    put_items: u32,
+    dump: usize,
+    stats: bool,
 }
 
 /// Parses an argument list (everything after argv[0]). Separated from
@@ -132,6 +147,11 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
         skew: Skew::Uniform,
         exact: false,
         quant_parity: 0,
+        put: 0,
+        put_users: 0,
+        put_items: 0,
+        dump: 0,
+        stats: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &'static str| args.next().ok_or(ArgError::MissingValue(name));
@@ -155,6 +175,21 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
                     return Err(ArgError::Zero("--quant-parity"));
                 }
             }
+            "--put" => {
+                out.put = int("--put", value("--put"))? as usize;
+                if out.put == 0 {
+                    return Err(ArgError::Zero("--put"));
+                }
+            }
+            "--users" => out.put_users = int("--users", value("--users"))? as u32,
+            "--items" => out.put_items = int("--items", value("--items"))? as u32,
+            "--dump" => {
+                out.dump = int("--dump", value("--dump"))? as usize;
+                if out.dump == 0 {
+                    return Err(ArgError::Zero("--dump"));
+                }
+            }
+            "--stats" => out.stats = true,
             "--zipf" => {
                 let s = value("--zipf")?
                     .parse::<f64>()
@@ -211,6 +246,21 @@ fn parse_arg_list(mut args: impl Iterator<Item = String>) -> Result<Args, ArgErr
         return Err(ArgError::Invalid {
             flag: "--quant-parity",
             reason: "incompatible with --exact (the sweep drives both verbs itself)".into(),
+        });
+    }
+    if out.put > 0 && (out.put_users == 0 || out.put_items == 0) {
+        // The ingest listener's STATS carries no catalog shape, so the
+        // draw bounds must come from the caller.
+        return Err(ArgError::Invalid {
+            flag: "--put",
+            reason: "needs --users U and --items I draw bounds (both >= 1)".into(),
+        });
+    }
+    let modes = [out.put > 0, out.dump > 0, out.stats, out.quant_parity > 0];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        return Err(ArgError::Invalid {
+            flag: "--put",
+            reason: "--put/--dump/--stats/--quant-parity are mutually exclusive modes".into(),
         });
     }
     Ok(out)
@@ -281,6 +331,60 @@ fn quant_parity_sweep(
     Ok(())
 }
 
+/// Streams `n` seeded `PUT` interactions to an ingest listener and
+/// requires every one acknowledged durable (`OK off=…`); any refusal or
+/// malformed reply fails the run. Prints the final log offset so scripts
+/// can assert the whole stream landed.
+fn put_stream(addr: &str, n: usize, users: u32, items: u32, seed: u64) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rng = StdRng::stream(seed, 0);
+    let mut last_off = 0u64;
+    for i in 0..n {
+        let user = rng.bounded_u64(users as u64);
+        let item = rng.bounded_u64(items as u64);
+        let line = client
+            .request_lines(&format!("PUT {user} {item}"), 1)
+            .map_err(|e| e.to_string())?
+            .pop()
+            .expect("one reply per PUT");
+        match line
+            .strip_prefix("OK off=")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            Some(off) => last_off = off,
+            None => return Err(format!("PUT {user} {item} (record {i}) refused: {line}")),
+        }
+    }
+    client.quit();
+    println!("put: sent={n} last_off={last_off}");
+    Ok(())
+}
+
+/// Prints the raw `OK` line for users `0..n` at a fixed `k`: a
+/// deterministic snapshot of the served rankings (ids and hex score bits
+/// included), byte-comparable between a live run and a log replay.
+fn dump_rankings(addr: &str, n: u32, k: usize) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    for user in 0..n {
+        let line = client.rec_one(user, k).map_err(|e| e.to_string())?;
+        parse_ok_line(&line)
+            .filter(|ok| ok.user == user && ok.k == k && ok.items.len() <= k)
+            .ok_or_else(|| format!("bad response for REC {user} {k}: {line}"))?;
+        println!("{line}");
+    }
+    client.quit();
+    Ok(())
+}
+
+/// Prints the server's raw `STATS` line and exits.
+fn print_stats(addr: &str) -> Result<(), String> {
+    let mut client = ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let line = client.stats_line().map_err(|e| e.to_string())?;
+    println!("{line}");
+    client.quit();
+    Ok(())
+}
+
 struct ConnReport {
     latencies_us: Vec<u64>,
     errors: usize,
@@ -331,6 +435,34 @@ fn main() -> ExitCode {
         }
     };
 
+    // The single-connection modes that talk to servers whose STATS carries
+    // no catalog shape (ingest listeners) — or that only echo it — run
+    // before the shape probe.
+    if args.put > 0 {
+        return match put_stream(
+            &args.addr,
+            args.put,
+            args.put_users,
+            args.put_items,
+            args.seed,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("loadgen: put stream failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.stats {
+        return match print_stats(&args.addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("loadgen: stats failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let (n_users, n_items) = match fetch_table_shape(&args.addr) {
         Ok((u, i)) if u > 0 => (u, i),
         Ok(_) => {
@@ -352,6 +484,16 @@ fn main() -> ExitCode {
             }
         );
         return ExitCode::from(2);
+    }
+    if args.dump > 0 {
+        let n = (args.dump as u32).min(n_users);
+        return match dump_rankings(&args.addr, n, args.kmax) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("loadgen: dump failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if args.quant_parity > 0 {
         return match quant_parity_sweep(
@@ -520,6 +662,33 @@ mod tests {
                 flag: "--quant-parity",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn put_dump_stats_modes_are_typed() {
+        let a = parse_arg_list(argv("127.0.0.1:9 --put 64 --users 150 --items 120")).unwrap();
+        assert_eq!((a.put, a.put_users, a.put_items), (64, 150, 120));
+        // PUT draws need explicit bounds — the ingest STATS has none.
+        assert!(matches!(
+            parse_arg_list(argv("127.0.0.1:9 --put 64")).err(),
+            Some(ArgError::Invalid { flag: "--put", .. })
+        ));
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --put 0")).err(),
+            Some(ArgError::Zero("--put"))
+        );
+        let d = parse_arg_list(argv("127.0.0.1:9 --dump 16 --kmax 5")).unwrap();
+        assert_eq!((d.dump, d.kmax), (16, 5));
+        assert_eq!(
+            parse_arg_list(argv("127.0.0.1:9 --dump 0")).err(),
+            Some(ArgError::Zero("--dump"))
+        );
+        assert!(parse_arg_list(argv("127.0.0.1:9 --stats")).unwrap().stats);
+        // One mode per invocation.
+        assert!(matches!(
+            parse_arg_list(argv("127.0.0.1:9 --stats --dump 4")).err(),
+            Some(ArgError::Invalid { .. })
         ));
     }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N]
 //!            [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N]
-//!            [--quant] [--quant-floor F] [--quant-audit N]
+//!            [--quant] [--quant-floor F] [--quant-audit N] [--log-dir PATH]
 //! ```
 //!
 //! Runs a self-contained service over the standard demo workload (the same
@@ -30,40 +30,32 @@
 //!
 //! `--addr 127.0.0.1:0` (the default) binds an ephemeral loopback port so
 //! smoke tests can run concurrently.
+//!
+//! `--log-dir PATH` attaches the interaction log an `ingestd` process
+//! appends to: checkpoints fine-tuned past the base graph (nonzero
+//! watermark) are then resolved by replaying the log, so the watcher
+//! hot-reloads the online-learning loop's generations with zero downtime.
 
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_data::{generate, SyntheticConfig};
+use graphaug_core::GraphAug;
 use graphaug_eval::{evaluate, topk_indices, Recommender};
-use graphaug_graph::TrainTestSplit;
-use graphaug_runtime::{checkpoint, Runtime, RuntimeConfig};
+use graphaug_graph::{InteractionGraph, TrainTestSplit};
+use graphaug_runtime::{checkpoint, demo_config, demo_split, Runtime, RuntimeConfig};
 use graphaug_serve::{
     serve, spawn_watcher, Engine, IvfParams, ModelSource, QuantParams, DEFAULT_CACHE_CAPACITY,
 };
 
-/// The deterministic demo workload (same shape as the kill/resume smoke
-/// harness, so its cost is already CI-calibrated).
-fn demo_split() -> TrainTestSplit {
-    let graph = generate(&SyntheticConfig::new(150, 120, 2200).clusters(6).seed(42));
-    TrainTestSplit::per_user(&graph, 0.2, 7)
-}
-
-fn demo_config() -> GraphAugConfig {
-    GraphAugConfig::fast_test()
-        .seed(9)
-        .epochs(8)
-        .steps_per_epoch(4)
-}
-
 /// Offline top-K for one user, computed exactly as the eval harness does:
 /// score every item, mask train items to `-inf`, bounded-heap top-K.
-fn offline_topk(model: &dyn Recommender, source: &ModelSource, user: u32, k: usize) -> String {
+/// `graph` is the watermark-resolved training graph — base plus replayed
+/// deltas — so seen-item masking matches the served tables.
+fn offline_topk(model: &dyn Recommender, graph: &InteractionGraph, user: u32, k: usize) -> String {
     let mut scores = model.score_items(user as usize);
-    for &v in source.graph.items_of(user as usize) {
+    for &v in graph.items_of(user as usize) {
         scores[v as usize] = f32::NEG_INFINITY;
     }
     let ranked = topk_indices(&scores, k);
@@ -93,8 +85,13 @@ fn parity_check(engine: &Engine, split: &TrainTestSplit, users: usize) -> Result
     let dir = &source.checkpoint_dir;
     let (generation, state) = checkpoint::load_latest_valid(dir)
         .ok_or_else(|| format!("no valid checkpoint under {}", dir.display()))?;
-    // Independent offline path: training-style construct + restore.
-    let mut offline = GraphAug::new(source.config.clone(), &source.graph);
+    // Independent offline path: training-style construct + restore, over
+    // the same watermark-resolved graph the serving tables were built on
+    // (base graph plus a fresh replay of the interaction log).
+    let graph = source
+        .graph_at(state.log_offset)
+        .map_err(|e| format!("offline graph resolution failed: {e}"))?;
+    let mut offline = GraphAug::new(source.config.clone(), &graph);
     offline
         .restore_training_state(&state.model)
         .map_err(|e| format!("offline restore failed: {e}"))?;
@@ -107,7 +104,7 @@ fn parity_check(engine: &Engine, split: &TrainTestSplit, users: usize) -> Result
             tables.generation()
         ));
     }
-    let n_users = source.graph.n_users().min(users);
+    let n_users = graph.n_users().min(users);
     let mut compared = 0usize;
     for user in 0..n_users as u32 {
         for k in [1usize, 5, 20] {
@@ -124,7 +121,7 @@ fn parity_check(engine: &Engine, split: &TrainTestSplit, users: usize) -> Result
                     .map(|s| (s.item, s.score))
                     .collect::<Vec<_>>(),
             );
-            let offline_hex = offline_topk(&offline, source, user, k);
+            let offline_hex = offline_topk(&offline, &graph, user, k);
             if served_hex != offline_hex {
                 return Err(format!(
                     "top-{k} mismatch for user {user}:\n  served:  {served_hex}\n  offline: {offline_hex}"
@@ -161,6 +158,7 @@ struct Args {
     quant: bool,
     quant_floor: f64,
     quant_audit: u64,
+    log_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -179,6 +177,7 @@ fn parse_args() -> Result<Args, String> {
         quant: false,
         quant_floor: 0.9,
         quant_audit: 64,
+        log_dir: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
@@ -226,6 +225,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --quant-audit".to_string())?
             }
+            "--log-dir" => out.log_dir = Some(value("--log-dir")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -240,7 +240,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: serve_main <checkpoint-dir> [--addr HOST:PORT] [--watch-ms N] [--parity-users N] \
                  [--ann] [--ann-nlists N] [--ann-nprobe N] [--ann-floor F] [--ann-audit N] \
-                 [--quant] [--quant-floor F] [--quant-audit N]"
+                 [--quant] [--quant-floor F] [--quant-audit N] [--log-dir PATH]"
             );
             return ExitCode::from(2);
         }
@@ -253,9 +253,9 @@ fn main() -> ExitCode {
     // One probe decides training *and* feeds the engine: a valid checkpoint
     // is decoded exactly once and handed straight to `open_preloaded`, so a
     // warm restart never pays a redundant decode (or a redundant re-train).
-    let preloaded = checkpoint::load_latest_valid(dir);
+    let preloaded = checkpoint::load_latest_valid_with_fingerprint(dir);
     match &preloaded {
-        Some((generation, state)) => println!(
+        Some((generation, state, _)) => println!(
             "reusing checkpoint gen={generation} epoch={} under {} — skipping training",
             state.epoch,
             dir.display()
@@ -306,10 +306,17 @@ fn main() -> ExitCode {
                 .audit_every(args.quant_audit),
         );
     }
+    if let Some(log_dir) = &args.log_dir {
+        source = source.log_dir(Path::new(log_dir));
+    }
     let opened = match preloaded {
-        Some((generation, state)) => {
-            Engine::open_preloaded(source, generation, &state, DEFAULT_CACHE_CAPACITY)
-        }
+        Some((generation, state, fingerprint)) => Engine::open_preloaded(
+            source,
+            generation,
+            &state,
+            fingerprint,
+            DEFAULT_CACHE_CAPACITY,
+        ),
         None => Engine::open(source),
     };
     let engine = match opened {

@@ -108,10 +108,15 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Lists computed from the tables.
     pub cache_misses: u64,
-    /// Completed hot reloads.
+    /// Completed hot reloads that rebuilt the tables.
     pub reloads: u64,
     /// Reload attempts that failed (old tables kept serving).
     pub reload_errors: u64,
+    /// Newer generations whose checkpoint fingerprint matched the serving
+    /// tables': byte-identical state, so the rebuild (decode, log replay,
+    /// encoder forward, quantize, gates) was skipped and the generation
+    /// merely rebadged.
+    pub reload_skips: u64,
     /// True when the serving tables carry an *enabled* IVF index (built,
     /// and its build-time recall cleared the floor).
     pub ann_on: bool,
@@ -140,6 +145,15 @@ pub struct EngineStats {
     /// top-K items, the fraction the sampled quantized lists also
     /// returned. `None` until the first audited request.
     pub drift_sampled: Option<f64>,
+    /// Records currently in the interaction log the source watches
+    /// (`0` without a [`ModelSource::log_dir`]) — the live stream's length,
+    /// polled at stats time.
+    pub ingested: u64,
+    /// The serving checkpoint's watermark: log records `[0, log_offset)`
+    /// are baked into the tables.
+    pub log_offset: u64,
+    /// Fine-tune rounds the serving checkpoint had absorbed.
+    pub finetunes: u64,
 }
 
 /// The online serving engine. Cheap to share (`Arc<Engine>`); all methods
@@ -154,6 +168,11 @@ pub struct Engine {
     cache_misses: AtomicU64,
     reloads: AtomicU64,
     reload_errors: AtomicU64,
+    reload_skips: AtomicU64,
+    /// Fingerprint of the serving checkpoint ([`TrainState::fingerprint`]
+    /// of the state the tables were built from) — the cheap hash a reload
+    /// compares before paying for a rebuild.
+    fingerprint: AtomicU64,
     ann_probes: AtomicU64,
     ann_cands: AtomicU64,
     exact_fallbacks: AtomicU64,
@@ -186,25 +205,29 @@ impl Engine {
         source: ModelSource,
         cache_capacity: usize,
     ) -> Result<Engine, ServeError> {
-        let (generation, state) = checkpoint::load_latest_valid(&source.checkpoint_dir)
-            .ok_or_else(|| ServeError::NoCheckpoint(source.checkpoint_dir.clone()))?;
-        Engine::open_preloaded(source, generation, &state, cache_capacity)
+        let (generation, state, fingerprint) =
+            checkpoint::load_latest_valid_with_fingerprint(&source.checkpoint_dir)
+                .ok_or_else(|| ServeError::NoCheckpoint(source.checkpoint_dir.clone()))?;
+        Engine::open_preloaded(source, generation, &state, fingerprint, cache_capacity)
     }
 
     /// Opens an engine over an already-decoded checkpoint. A caller that
     /// just probed the directory to decide whether training is needed
     /// (`serve_main`) hands the decoded state straight in instead of
-    /// paying the decode twice.
+    /// paying the decode twice. `fingerprint` is the checkpoint's frame
+    /// checksum (see [`ModelTables::build`]).
     pub fn open_preloaded(
         source: ModelSource,
         generation: u64,
         state: &graphaug_runtime::TrainState,
+        fingerprint: u64,
         cache_capacity: usize,
     ) -> Result<Engine, ServeError> {
-        let tables = Arc::new(ModelTables::build(&source, generation, state)?);
+        let tables = Arc::new(ModelTables::build(&source, generation, state, fingerprint)?);
         Ok(Engine {
             source,
             generation: AtomicU64::new(tables.generation()),
+            fingerprint: AtomicU64::new(tables.fingerprint()),
             current: Mutex::new(tables),
             cache: Mutex::new(LruCache::new(cache_capacity)),
             requests: AtomicU64::new(0),
@@ -212,6 +235,7 @@ impl Engine {
             cache_misses: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             reload_errors: AtomicU64::new(0),
+            reload_skips: AtomicU64::new(0),
             ann_probes: AtomicU64::new(0),
             ann_cands: AtomicU64::new(0),
             exact_fallbacks: AtomicU64::new(0),
@@ -250,6 +274,7 @@ impl Engine {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             reload_errors: self.reload_errors.load(Ordering::Relaxed),
+            reload_skips: self.reload_skips.load(Ordering::Relaxed),
             ann_on: tables.ann().is_some_and(|a| a.enabled()),
             ann_probes: self.ann_probes.load(Ordering::Relaxed),
             ann_cands: self.ann_cands.load(Ordering::Relaxed),
@@ -261,6 +286,13 @@ impl Engine {
             quant_served: self.quant_served.load(Ordering::Relaxed),
             drift_sampled: (drift_total > 0)
                 .then(|| self.drift_hits.load(Ordering::Relaxed) as f64 / drift_total as f64),
+            ingested: self
+                .source
+                .log_dir
+                .as_ref()
+                .map_or(0, |dir| graphaug_ingest::log_len(dir).unwrap_or(0)),
+            log_offset: tables.log_offset(),
+            finetunes: tables.finetunes(),
         }
     }
 
@@ -495,14 +527,27 @@ impl Engine {
         let _guard = self.reload_lock.lock().expect("reload lock");
         // Re-check under the reload lock — another reloader may have won.
         let serving = self.generation.load(Ordering::Relaxed);
-        let Some((generation, state)) = checkpoint::load_latest_valid(&self.source.checkpoint_dir)
+        let Some((generation, state, fingerprint)) =
+            checkpoint::load_latest_valid_with_fingerprint(&self.source.checkpoint_dir)
         else {
             return Ok(None);
         };
         if generation <= serving {
             return Ok(None);
         }
-        let built = ModelTables::build(&self.source, generation, &state);
+        // Cheap hash compare before the expensive rebuild: an equal
+        // fingerprint (read straight off the frame header — no re-encode)
+        // means the checkpoint frame is byte-identical to the one serving,
+        // so decode + replay + forward + quantize + gates would reproduce
+        // the live tables bit-for-bit. Rebadge instead.
+        if fingerprint == self.fingerprint.load(Ordering::Relaxed) {
+            let rebadged = Arc::new(self.tables().rebadged(generation));
+            *self.current.lock().expect("tables lock") = rebadged;
+            self.generation.store(generation, Ordering::Relaxed);
+            self.reload_skips.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(generation));
+        }
+        let built = ModelTables::build(&self.source, generation, &state, fingerprint);
         let tables = match built {
             Ok(t) => Arc::new(t),
             Err(e) => {
@@ -513,6 +558,7 @@ impl Engine {
         // The swap itself: two pointer moves under a momentary lock.
         *self.current.lock().expect("tables lock") = tables;
         self.generation.store(generation, Ordering::Relaxed);
+        self.fingerprint.store(fingerprint, Ordering::Relaxed);
         self.reloads.fetch_add(1, Ordering::Relaxed);
         Ok(Some(generation))
     }

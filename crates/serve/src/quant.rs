@@ -100,6 +100,7 @@ impl QuantParams {
 /// One embedding matrix frozen to int8: `rows × dim` quantized weights
 /// plus one f32 scale per row. Immutable after construction, like every
 /// serving table.
+#[derive(Clone)]
 pub struct QuantRows {
     rows: usize,
     dim: usize,
@@ -221,6 +222,7 @@ impl QuantRows {
 /// row and scale packed in list order. Compared to [`crate::ann::IvfIndex`]
 /// the packed payload is `dim + 4` bytes per entry instead of `4·dim` —
 /// PR 7's sequential-scan win and the 4× shrink compound.
+#[derive(Clone)]
 pub struct QuantIvf {
     part: CoarsePartition,
     /// The quantized row of each entry in the partition's `list_items`,

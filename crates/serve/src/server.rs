@@ -127,7 +127,8 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                     "STATS gen={} users={} items={} requests={} cache_hits={} \
                      cache_misses={} reloads={} reload_errors={} ann={} \
                      ann_probes={} ann_cands={} exact_fallbacks={} recall_sampled={} \
-                     quant={} table_bytes={} quant_served={} drift_sampled={}",
+                     quant={} table_bytes={} quant_served={} drift_sampled={} \
+                     reload_skips={} ingested={} log_offset={} finetunes={}",
                     s.generation,
                     tables.n_users(),
                     tables.n_items(),
@@ -149,6 +150,10 @@ fn respond(engine: &Engine, line: &str, w: &mut impl Write) -> Result<(), ()> {
                     s.quant_served,
                     s.drift_sampled
                         .map_or_else(|| "-".to_string(), |r| format!("{r:.4}")),
+                    s.reload_skips,
+                    s.ingested,
+                    s.log_offset,
+                    s.finetunes,
                 ),
             )
         }

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use graphaug_core::{GraphAug, GraphAugConfig};
 use graphaug_eval::{overlap_count, topk_indices, topk_pairs, Recommender};
 use graphaug_graph::InteractionGraph;
+use graphaug_ingest::{apply_deltas, read_range, IngestError};
 use graphaug_rng::StdRng;
 use graphaug_runtime::{RunCompat, SnapshotError, TrainState};
 use graphaug_tensor::{Mat, RestoreError};
@@ -37,6 +38,16 @@ pub enum ServeError {
         /// Number of users the model knows.
         n_users: usize,
     },
+    /// The checkpoint was trained past the base graph (its watermark is
+    /// nonzero) but the source carries no interaction-log directory to
+    /// replay the deltas from.
+    LogRequired {
+        /// The checkpoint's watermark.
+        log_offset: u64,
+    },
+    /// The interaction log could not be replayed up to the checkpoint's
+    /// watermark (corrupt record, chain gap, out-of-range ids).
+    Ingest(IngestError),
     /// Network/socket failure in the server layer.
     Io(String),
 }
@@ -52,6 +63,11 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownUser { user, n_users } => {
                 write!(f, "unknown user {user} (model has users 0..{n_users})")
             }
+            ServeError::LogRequired { log_offset } => write!(
+                f,
+                "checkpoint watermark is {log_offset} but the source has no log_dir to replay"
+            ),
+            ServeError::Ingest(e) => write!(f, "log replay error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -68,6 +84,12 @@ impl From<SnapshotError> for ServeError {
 impl From<RestoreError> for ServeError {
     fn from(e: RestoreError) -> Self {
         ServeError::Restore(e)
+    }
+}
+
+impl From<IngestError> for ServeError {
+    fn from(e: IngestError) -> Self {
+        ServeError::Ingest(e)
     }
 }
 
@@ -104,6 +126,11 @@ pub struct ModelSource {
     /// survives hot reloads automatically. Combined with [`Self::ann`], the
     /// quantized build packs an int8 IVF index with the ANN geometry.
     pub quant: Option<QuantParams>,
+    /// When set, checkpoints trained past the base graph (nonzero
+    /// `log_offset` watermark) are served by replaying this interaction
+    /// log's records `[0, watermark)` onto `graph` — the online-learning
+    /// handoff. Without it, only watermark-zero checkpoints build.
+    pub log_dir: Option<PathBuf>,
 }
 
 impl ModelSource {
@@ -115,6 +142,7 @@ impl ModelSource {
             checkpoint_dir: checkpoint_dir.to_path_buf(),
             ann: None,
             quant: None,
+            log_dir: None,
         }
     }
 
@@ -131,15 +159,46 @@ impl ModelSource {
         self
     }
 
-    /// The [`RunCompat`] identity this source expects checkpoints to carry.
+    /// Attaches the interaction log the online trainer appends to, so
+    /// table builds can resolve watermarked checkpoints (see
+    /// [`Self::log_dir`]).
+    pub fn log_dir(mut self, dir: &Path) -> Self {
+        self.log_dir = Some(dir.to_path_buf());
+        self
+    }
+
+    /// The [`RunCompat`] identity this source expects watermark-zero
+    /// checkpoints to carry (see [`Self::compat_of`] for grown graphs).
     pub fn compat(&self) -> RunCompat {
+        self.compat_of(&self.graph)
+    }
+
+    /// The [`RunCompat`] identity of a checkpoint trained over `graph`
+    /// (the base graph or any watermark-resolved growth of it).
+    pub fn compat_of(&self, graph: &InteractionGraph) -> RunCompat {
         RunCompat {
-            n_users: self.graph.n_users() as u64,
-            n_items: self.graph.n_items() as u64,
-            n_edges: self.graph.n_interactions() as u64,
+            n_users: graph.n_users() as u64,
+            n_items: graph.n_items() as u64,
+            n_edges: graph.n_interactions() as u64,
             seed: self.config.seed,
             embed_dim: self.config.embed_dim as u64,
         }
+    }
+
+    /// The graph a checkpoint with watermark `log_offset` was trained on:
+    /// the base graph plus interaction-log records `[0, log_offset)`,
+    /// checksum-verified and deduplicated exactly like the trainer applied
+    /// them. Watermark zero needs no log at all.
+    pub fn graph_at(&self, log_offset: u64) -> Result<InteractionGraph, ServeError> {
+        if log_offset == 0 {
+            return Ok(self.graph.clone());
+        }
+        let dir = self
+            .log_dir
+            .as_ref()
+            .ok_or(ServeError::LogRequired { log_offset })?;
+        let records = read_range(dir, 0, log_offset)?;
+        Ok(apply_deltas(&self.graph, &records)?.graph)
     }
 }
 
@@ -149,6 +208,7 @@ impl ModelSource {
 /// alongside the tables at swap time (off the request path) and frozen —
 /// a reload rebuilds both from scratch, so the gate re-runs per
 /// generation.
+#[derive(Clone)]
 pub struct AnnBuild {
     index: IvfIndex,
     nprobe: usize,
@@ -213,6 +273,7 @@ pub struct AnnQuery {
 /// recall vs the f32 oracle, and whether it cleared the configured floor.
 /// Frozen at table-build time like [`AnnBuild`]; a hot reload re-quantizes
 /// and re-gates per generation.
+#[derive(Clone)]
 pub struct QuantBuild {
     user_q: QuantRows,
     item_q: QuantRows,
@@ -278,9 +339,13 @@ impl QuantBuild {
 
 /// Immutable, checkpoint-pinned serving state: embedding tables plus
 /// seen-item lists, and (optionally) the IVF index over the item table.
+#[derive(Clone)]
 pub struct ModelTables {
     generation: u64,
     epoch: u64,
+    log_offset: u64,
+    finetunes: u64,
+    fingerprint: u64,
     user_emb: Mat,
     item_emb: Mat,
     graph: InteractionGraph,
@@ -295,20 +360,35 @@ impl ModelTables {
     /// source carries [`IvfParams`], the IVF index is built and
     /// recall-gated here too — table build happens off the request path, so
     /// reload cost absorbs index cost.
+    ///
+    /// `fingerprint` is the checkpoint's frame checksum — a caller that
+    /// read the checkpoint file gets it free from
+    /// `checkpoint::load_latest_valid_with_fingerprint` (re-deriving it
+    /// from `state` via [`TrainState::fingerprint`] works too, at the
+    /// cost of a full re-encode).
     pub fn build(
         source: &ModelSource,
         generation: u64,
         state: &TrainState,
+        fingerprint: u64,
     ) -> Result<ModelTables, ServeError> {
-        state.compat.check(&source.compat())?;
-        let model = GraphAug::for_inference(source.config.clone(), &source.graph, &state.model)?;
+        // Resolve the graph the checkpoint was actually trained on — for a
+        // watermarked checkpoint that is the base graph plus a replay of
+        // the interaction log up to `state.log_offset` — then verify the
+        // compat header against *that* graph, not the base.
+        let graph = source.graph_at(state.log_offset)?;
+        state.compat.check(&source.compat_of(&graph))?;
+        let model = GraphAug::for_inference(source.config.clone(), &graph, &state.model)?;
         let (user_emb, item_emb) = model.embeddings().expect("GraphAug always has embeddings");
         Ok(ModelTables {
             generation,
             epoch: state.epoch,
+            log_offset: state.log_offset,
+            finetunes: state.finetunes,
+            fingerprint,
             user_emb: user_emb.clone(),
             item_emb: item_emb.clone(),
-            graph: source.graph.clone(),
+            graph,
             ann: None,
             quant: None,
         }
@@ -331,6 +411,9 @@ impl ModelTables {
         ModelTables {
             generation,
             epoch: 0,
+            log_offset: 0,
+            finetunes: 0,
+            fingerprint: 0,
             user_emb,
             item_emb,
             graph,
@@ -339,6 +422,19 @@ impl ModelTables {
         }
         .with_ann(ann)
         .with_quant(quant, ann)
+    }
+
+    /// A copy of these tables under a new generation number, everything
+    /// else untouched. This is the reload fast path for a checkpoint whose
+    /// [`TrainState::fingerprint`] matches the serving tables': the state
+    /// bytes are identical, so the expensive rebuild (decode, log replay,
+    /// encoder forward, quantization, recall/drift gates) is provably a
+    /// no-op and the engine only rebadges the generation.
+    pub fn rebadged(&self, generation: u64) -> ModelTables {
+        ModelTables {
+            generation,
+            ..self.clone()
+        }
     }
 
     /// Attaches (or skips) the IVF index: builds the quantizer over the
@@ -455,6 +551,32 @@ impl ModelTables {
     /// Training epochs completed when the source checkpoint was written.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The source checkpoint's watermark: these tables serve the base
+    /// graph plus interaction-log records `[0, log_offset)`.
+    pub fn log_offset(&self) -> u64 {
+        self.log_offset
+    }
+
+    /// Fine-tune rounds the source checkpoint had absorbed.
+    pub fn finetunes(&self) -> u64 {
+        self.finetunes
+    }
+
+    /// The source checkpoint's frame checksum ([`TrainState::fingerprint`]);
+    /// `0` for tables built via [`Self::from_embeddings`]. Equal
+    /// fingerprints mean byte-identical checkpoint files, which is what
+    /// licenses the engine's skip-rebuild reload path.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The graph these tables were resolved against (base plus replayed
+    /// deltas up to [`Self::log_offset`]) — the one [`Self::seen`] masks
+    /// from.
+    pub fn graph(&self) -> &InteractionGraph {
+        &self.graph
     }
 
     /// Number of users the tables cover.
@@ -789,6 +911,9 @@ mod tests {
             lr_scale: 1.0,
             consecutive_bad: 0,
             attempt: 4,
+            step_in_epoch: 0,
+            log_offset: 0,
+            finetunes: 0,
             loss_window: Vec::new(),
             model: model.training_state(),
             sampler: sampler.state(),
@@ -799,14 +924,14 @@ mod tests {
     #[test]
     fn build_verifies_compat() {
         let (source, state) = source_with_state();
-        let tables = ModelTables::build(&source, 7, &state).unwrap();
+        let tables = ModelTables::build(&source, 7, &state, state.fingerprint()).unwrap();
         assert_eq!(tables.generation(), 7);
         assert_eq!(tables.n_users(), 50);
         assert_eq!(tables.n_items(), 40);
 
         let mut wrong = source.clone();
         wrong.config.seed += 1;
-        match ModelTables::build(&wrong, 7, &state) {
+        match ModelTables::build(&wrong, 7, &state, state.fingerprint()) {
             Err(ServeError::Snapshot(SnapshotError::Incompatible(_))) => {}
             Err(other) => panic!("expected Incompatible, got {other:?}"),
             Ok(_) => panic!("expected Incompatible, got Ok"),
@@ -816,7 +941,7 @@ mod tests {
     #[test]
     fn top_k_filters_seen_items_and_ranks_descending() {
         let (source, state) = source_with_state();
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         for user in [0u32, 7, 49] {
             let top = tables.top_k(user, 10).unwrap();
             assert_eq!(top.len(), 10);
@@ -836,7 +961,7 @@ mod tests {
     #[test]
     fn top_k_rejects_out_of_range_users() {
         let (source, state) = source_with_state();
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         assert!(matches!(
             tables.top_k(50, 5),
             Err(ServeError::UnknownUser { user: 50, .. })
@@ -850,7 +975,7 @@ mod tests {
         // IVF path must reproduce the dense ranking bit-for-bit — scores
         // and tie-breaks included.
         source.ann = Some(IvfParams::new().nlists(6).nprobe(6));
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         assert!(tables.ann().unwrap().enabled(), "full probe recall is 1.0");
         for user in [0u32, 13, 49] {
             for k in [1usize, 5, 20, 10_000] {
@@ -876,7 +1001,7 @@ mod tests {
     fn narrow_probe_scores_fewer_candidates() {
         let (mut source, state) = source_with_state();
         source.ann = Some(IvfParams::new().nlists(8).nprobe(2).recall_floor(0.0));
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         let (_, how) = tables.top_k_ann(3, 5).unwrap();
         assert!(how.used_ann);
         assert_eq!(how.probes, 2);
@@ -894,7 +1019,7 @@ mod tests {
         // A floor above 1.0 is unsatisfiable: the build must keep the index
         // but refuse to serve through it.
         source.ann = Some(IvfParams::new().nlists(8).nprobe(1).recall_floor(1.1));
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         let ann = tables.ann().unwrap();
         assert!(!ann.enabled());
         assert!(ann.build_recall() <= 1.0);
@@ -908,7 +1033,7 @@ mod tests {
     #[test]
     fn from_embeddings_serves_without_a_checkpoint() {
         let (source, state) = source_with_state();
-        let built = ModelTables::build(&source, 3, &state).unwrap();
+        let built = ModelTables::build(&source, 3, &state, state.fingerprint()).unwrap();
         let direct = ModelTables::from_embeddings(
             built.user_emb.clone(),
             built.item_emb.clone(),
@@ -927,7 +1052,7 @@ mod tests {
     #[test]
     fn top_k_clamps_k_to_unseen_catalog() {
         let (source, state) = source_with_state();
-        let tables = ModelTables::build(&source, 0, &state).unwrap();
+        let tables = ModelTables::build(&source, 0, &state, state.fingerprint()).unwrap();
         let top = tables.top_k(0, 10_000).unwrap();
         // All items come back, seen ones last (masked to -inf) — but never
         // more than the catalog.

@@ -89,7 +89,7 @@ fn index_build_is_bit_identical_across_thread_counts() {
     for threads in [1usize, 3, 4] {
         graphaug_par::set_thread_count(threads);
         let source = ModelSource::new(toy_model(), graph.clone(), dir.path()).ann(IvfParams::new());
-        let tables = ModelTables::build(&source, generation, &state).unwrap();
+        let tables = ModelTables::build(&source, generation, &state, state.fingerprint()).unwrap();
         let ann = tables.ann().expect("index built");
         // The whole build is pinned: quantizer bits, list membership, the
         // recall estimate, and the served lists.

@@ -182,8 +182,10 @@ fn quant_full_probe_equals_quant_full_scan_hex() {
         .quant(QuantParams::new().drift_floor(0.0));
     let scan_source =
         ModelSource::new(toy_model(), graph, dir.path()).quant(QuantParams::new().drift_floor(0.0));
-    let ivf_tables = ModelTables::build(&ivf_source, generation, &state).unwrap();
-    let scan_tables = ModelTables::build(&scan_source, generation, &state).unwrap();
+    let ivf_tables =
+        ModelTables::build(&ivf_source, generation, &state, state.fingerprint()).unwrap();
+    let scan_tables =
+        ModelTables::build(&scan_source, generation, &state, state.fingerprint()).unwrap();
     assert!(ivf_tables.quant().unwrap().ivf().is_some());
     assert!(scan_tables.quant().unwrap().ivf().is_none());
 
@@ -351,7 +353,8 @@ fn hot_reload_requantizes_and_regates() {
     // generation, bit for bit.
     let (generation, state) = checkpoint::load_latest_valid(dir.path()).unwrap();
     assert_eq!(generation, *last);
-    let fresh = ModelTables::build(engine.source(), generation, &state).unwrap();
+    let fresh =
+        ModelTables::build(engine.source(), generation, &state, state.fingerprint()).unwrap();
     let (reloaded, _) = after.top_k_quant(11, 10).unwrap();
     let (scratch, _) = fresh.top_k_quant(11, 10).unwrap();
     assert_eq!(hex_list(&reloaded), hex_list(&scratch));

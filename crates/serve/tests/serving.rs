@@ -237,7 +237,7 @@ fn hot_reload_is_atomic_under_concurrent_readers() {
         let path = generation_path(stage.path(), *generation);
         fs::write(&path, bytes).unwrap();
         let state = Checkpointer::load(&path).unwrap();
-        let tables = ModelTables::build(&source, *generation, &state).unwrap();
+        let tables = ModelTables::build(&source, *generation, &state, state.fingerprint()).unwrap();
         for &user in &users {
             expected.insert(
                 (*generation, user),
@@ -324,6 +324,53 @@ fn hot_reload_is_atomic_under_concurrent_readers() {
     assert_eq!(stats.reloads, swapped.len() as u64);
     assert_eq!(stats.generation, *swapped.last().unwrap());
     assert_eq!(stats.reload_errors, 0);
+}
+
+#[test]
+fn identical_checkpoint_under_a_newer_generation_is_rebadged_not_rebuilt() {
+    let graph = toy_graph();
+    let dir = TempDir::new("skip");
+    train_into(dir.path(), &graph);
+    let engine = Engine::open(ModelSource::new(toy_model(), graph.clone(), dir.path())).unwrap();
+    let serving = engine.stats().generation;
+    let before = engine.recommend(5, 10).unwrap();
+
+    // Re-publish the serving checkpoint's bytes under the next generation
+    // number (a backfill / checkpoint-dir restore). The state is
+    // byte-identical, so the reload must take the fingerprint fast path:
+    // no decode-forward-quantize-gate rebuild, just a rebadge.
+    let bytes = fs::read(generation_path(dir.path(), serving)).unwrap();
+    fs::write(generation_path(dir.path(), serving + 1), &bytes).unwrap();
+    assert_eq!(engine.reload_if_newer().unwrap(), Some(serving + 1));
+    let stats = engine.stats();
+    assert_eq!(stats.generation, serving + 1);
+    assert_eq!(
+        stats.reload_skips, 1,
+        "identical state must skip the rebuild"
+    );
+    assert_eq!(
+        stats.reloads, 0,
+        "no full rebuild may run for identical state"
+    );
+
+    // Served bits are unchanged; only the generation badge moved (and with
+    // it the cache keying, so the fresh generation recomputes its entry).
+    let after = engine.recommend(5, 10).unwrap();
+    assert_eq!(after.generation, serving + 1);
+    assert_eq!(hex_list(&before.items), hex_list(&after.items));
+
+    // A genuinely different state under a yet-newer generation still takes
+    // the full rebuild path and refreshes the fingerprint.
+    let earlier = all_generations(&graph)
+        .into_iter()
+        .next()
+        .expect("staged generations");
+    assert_ne!(earlier.1, bytes, "staged generation differs from final");
+    fs::write(generation_path(dir.path(), serving + 2), &earlier.1).unwrap();
+    assert_eq!(engine.reload_if_newer().unwrap(), Some(serving + 2));
+    let stats = engine.stats();
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_skips, 1);
 }
 
 #[test]

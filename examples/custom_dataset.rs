@@ -6,27 +6,44 @@
 //! cargo run --release -p graphaug-bench --example custom_dataset
 //! ```
 
+use std::process::ExitCode;
+
 use graphaug_baselines::{BaselineOpts, BiasMf, Trainable};
 use graphaug_core::{GraphAug, GraphAugConfig};
-use graphaug_data::{generate, parse_edge_list, to_edge_list, SyntheticConfig};
+use graphaug_data::{generate, load_edge_list, to_edge_list, DataError, SyntheticConfig};
 use graphaug_eval::{evaluate, Recommender};
 use graphaug_graph::TrainTestSplit;
 
-fn main() {
+fn main() -> ExitCode {
     // Simulate a user-provided log file: "user item" per line. Any string
     // tokens work — ids are densely re-mapped on load.
     let source = generate(&SyntheticConfig::new(200, 150, 2_500).clusters(6).seed(11));
     let text = to_edge_list(&source);
     let path = std::env::temp_dir().join("graphaug_custom_dataset.tsv");
-    std::fs::write(&path, &text).expect("write demo edge list");
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("custom_dataset: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
     println!(
         "wrote demo edge list: {} ({} lines)",
         path.display(),
         text.lines().count()
     );
 
-    // Load it back the way a user would.
-    let loaded = parse_edge_list(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+    // Load it back the way a user would — through the typed loader, so a
+    // malformed interaction log surfaces as a matchable `DataError` value
+    // (with its line number and offending token), never a panic.
+    let loaded = match load_edge_list(&path) {
+        Ok(graph) => graph,
+        Err(e @ DataError::RaggedRow { .. }) => {
+            eprintln!("custom_dataset: malformed edge list: {e}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("custom_dataset: cannot load {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "loaded: {} users, {} items, {} interactions",
         loaded.n_users(),
@@ -57,4 +74,5 @@ fn main() {
         ga_res.ndcg(20)
     );
     std::fs::remove_file(&path).ok();
+    ExitCode::SUCCESS
 }
